@@ -1,0 +1,296 @@
+//! Shared convolutional encoder/decoder used by the CAE and VCAE baselines.
+//!
+//! The original DeePattern/VCAE models are modest CNN auto-encoders over
+//! squish topology matrices; this module reimplements that family on the
+//! `dp-nn` substrate with exact manual backprop:
+//!
+//! * encoder: two stride-2 convolutions + SiLU, flattened into a linear
+//!   head (producing the latent, or `2x` latent for the VCAE's mean/logvar),
+//! * decoder: linear expansion, two nearest-neighbour upsample +
+//!   convolution stages, producing per-pixel *logits* (the continuous
+//!   output the pixel-based methods threshold — exactly the step the paper
+//!   criticises).
+
+use dp_geometry::BitGrid;
+use dp_nn::{
+    silu, silu_backward, upsample_nearest2, upsample_nearest2_backward, Conv2d, Linear, Param,
+    Tensor,
+};
+use rand::Rng;
+
+/// Architecture configuration shared by [`crate::Cae`] and [`crate::Vcae`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeConfig {
+    /// Topology matrix side (must be divisible by 4).
+    pub side: usize,
+    /// Base feature width.
+    pub features: usize,
+    /// Latent dimensionality.
+    pub latent: usize,
+}
+
+impl Default for AeConfig {
+    fn default() -> Self {
+        AeConfig {
+            side: 32,
+            features: 8,
+            latent: 32,
+        }
+    }
+}
+
+impl AeConfig {
+    /// Spatial side at the bottleneck.
+    pub fn bottleneck_side(&self) -> usize {
+        self.side / 4
+    }
+
+    /// Flattened bottleneck feature count.
+    pub fn bottleneck_len(&self) -> usize {
+        2 * self.features * self.bottleneck_side() * self.bottleneck_side()
+    }
+}
+
+/// Convolutional encoder producing `out_dim` features per item.
+#[derive(Debug, Clone)]
+pub(crate) struct Encoder {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    head: Linear,
+    config: AeConfig,
+    cache: Option<(Tensor, Tensor)>, // pre-SiLU activations
+}
+
+impl Encoder {
+    pub(crate) fn new(config: AeConfig, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(config.side.is_multiple_of(4), "side must be divisible by 4");
+        Encoder {
+            conv1: Conv2d::new(1, config.features, 3, 2, 1, rng),
+            conv2: Conv2d::new(config.features, 2 * config.features, 3, 2, 1, rng),
+            head: Linear::new(config.bottleneck_len(), out_dim, rng),
+            config,
+            cache: None,
+        }
+    }
+
+    pub(crate) fn forward(&mut self, x: &Tensor) -> Tensor {
+        let n = x.shape()[0];
+        let a1 = self.conv1.forward(x);
+        let h1 = silu(&a1);
+        let a2 = self.conv2.forward(&h1);
+        let h2 = silu(&a2);
+        self.cache = Some((a1, a2));
+        let flat = h2.reshape(&[n, self.config.bottleneck_len()]);
+        self.head.forward(&flat)
+    }
+
+    pub(crate) fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (a1, a2) = self.cache.take().expect("backward before forward");
+        let n = grad_out.shape()[0];
+        let g = self.head.backward(grad_out);
+        let s = self.config.bottleneck_side();
+        let g = g.reshape(&[n, 2 * self.config.features, s, s]);
+        let g = silu_backward(&a2, &g);
+        let g = self.conv2.backward(&g);
+        let g = silu_backward(&a1, &g);
+        self.conv1.backward(&g)
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.conv1.params_mut();
+        p.extend(self.conv2.params_mut());
+        p.extend(self.head.params_mut());
+        p
+    }
+}
+
+/// Decoder mapping a latent vector to per-pixel logits.
+#[derive(Debug, Clone)]
+pub(crate) struct Decoder {
+    expand: Linear,
+    conv1: Conv2d,
+    conv2: Conv2d,
+    config: AeConfig,
+    cache: Option<(Tensor, Tensor)>, // pre-SiLU expand output, pre-SiLU conv1 output
+}
+
+impl Decoder {
+    pub(crate) fn new(config: AeConfig, rng: &mut impl Rng) -> Self {
+        Decoder {
+            expand: Linear::new(config.latent, config.bottleneck_len(), rng),
+            conv1: Conv2d::new(2 * config.features, config.features, 3, 1, 1, rng),
+            conv2: Conv2d::new(config.features, 1, 3, 1, 1, rng),
+            config,
+            cache: None,
+        }
+    }
+
+    pub(crate) fn forward(&mut self, z: &Tensor) -> Tensor {
+        let n = z.shape()[0];
+        let s = self.config.bottleneck_side();
+        let a0 = self.expand.forward(z);
+        let h0 = silu(&a0);
+        let h0 = h0.reshape(&[n, 2 * self.config.features, s, s]);
+        let u1 = upsample_nearest2(&h0);
+        let a1 = self.conv1.forward(&u1);
+        let h1 = silu(&a1);
+        let u2 = upsample_nearest2(&h1);
+        self.cache = Some((a0, a1));
+        self.conv2.forward(&u2)
+    }
+
+    pub(crate) fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let (a0, a1) = self.cache.take().expect("backward before forward");
+        let n = grad_logits.shape()[0];
+        let g = self.conv2.backward(grad_logits);
+        let g = upsample_nearest2_backward(&g);
+        let g = silu_backward(&a1, &g);
+        let g = self.conv1.backward(&g);
+        let g = upsample_nearest2_backward(&g);
+        let g = g.reshape(&[n, self.config.bottleneck_len()]);
+        let g = silu_backward(&a0, &g);
+        self.expand.backward(&g)
+    }
+
+    pub(crate) fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.expand.params_mut();
+        p.extend(self.conv1.params_mut());
+        p.extend(self.conv2.params_mut());
+        p
+    }
+}
+
+/// Converts a batch of topology grids to a `(n, 1, S, S)` tensor.
+///
+/// # Panics
+///
+/// Panics when grids differ in shape or are not `side x side`.
+pub(crate) fn grids_to_tensor(grids: &[&BitGrid], side: usize) -> Tensor {
+    let n = grids.len();
+    assert!(n > 0, "empty batch");
+    let mut data = Vec::with_capacity(n * side * side);
+    for g in grids {
+        assert_eq!((g.width(), g.height()), (side, side), "grid shape");
+        data.extend(g.cells().iter().map(|&b| if b { 1.0f32 } else { 0.0 }));
+    }
+    Tensor::from_vec(&[n, 1, side, side], data)
+}
+
+/// Thresholds decoder logits at 0 (probability 0.5) into a topology grid —
+/// the clipping step of the pixel-based methods.
+pub(crate) fn logits_to_grid(logits: &Tensor, item: usize, side: usize) -> BitGrid {
+    let mut g = BitGrid::new(side, side).expect("side > 0");
+    for r in 0..side {
+        for c in 0..side {
+            if logits.at4(item, 0, r, c) > 0.0 {
+                g.set(c, r, true);
+            }
+        }
+    }
+    g
+}
+
+/// Binary cross-entropy (with logits) loss and gradient against bit
+/// targets; the mean is over all pixels.
+pub(crate) fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f64, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "shape mismatch");
+    let n = logits.len() as f64;
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut loss = 0.0f64;
+    for i in 0..logits.len() {
+        let l = logits.data()[i] as f64;
+        let t = targets.data()[i] as f64;
+        // log(1 + e^l) - t*l, stable form.
+        loss += l.max(0.0) - t * l + (1.0 + (-l.abs()).exp()).ln();
+        let p = 1.0 / (1.0 + (-l).exp());
+        grad.data_mut()[i] = ((p - t) / n) as f32;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn config() -> AeConfig {
+        AeConfig {
+            side: 16,
+            features: 4,
+            latent: 8,
+        }
+    }
+
+    #[test]
+    fn encoder_decoder_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut enc = Encoder::new(config(), 8, &mut rng);
+        let mut dec = Decoder::new(config(), &mut rng);
+        let x = Tensor::randn(&[3, 1, 16, 16], 1.0, &mut rng);
+        let z = enc.forward(&x);
+        assert_eq!(z.shape(), &[3, 8]);
+        let y = dec.forward(&z);
+        assert_eq!(y.shape(), &[3, 1, 16, 16]);
+    }
+
+    #[test]
+    fn backward_shapes_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut enc = Encoder::new(config(), 8, &mut rng);
+        let mut dec = Decoder::new(config(), &mut rng);
+        let x = Tensor::randn(&[2, 1, 16, 16], 1.0, &mut rng);
+        let z = enc.forward(&x);
+        let y = dec.forward(&z);
+        let gz = dec.backward(&Tensor::full(y.shape(), 1.0));
+        assert_eq!(gz.shape(), z.shape());
+        let gx = enc.backward(&gz);
+        assert_eq!(gx.shape(), x.shape());
+    }
+
+    #[test]
+    fn bce_is_minimal_at_confident_correct_logits() {
+        let targets = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]);
+        let good = Tensor::from_vec(&[4], vec![10.0, -10.0, 10.0, -10.0]);
+        let bad = Tensor::from_vec(&[4], vec![-10.0, 10.0, -10.0, 10.0]);
+        let (lg, _) = bce_with_logits(&good, &targets);
+        let (lb, _) = bce_with_logits(&bad, &targets);
+        assert!(lg < 1e-3);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let logits = Tensor::randn(&[6], 1.0, &mut rng);
+        let targets = Tensor::from_vec(&[6], vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut plus = logits.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = logits.clone();
+            minus.data_mut()[i] -= eps;
+            let (lp, _) = bce_with_logits(&plus, &targets);
+            let (lm, _) = bce_with_logits(&minus, &targets);
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - grad.data()[i] as f64).abs() < 1e-4,
+                "entry {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn grid_tensor_round_trip() {
+        let g = BitGrid::from_ascii(
+            ".#
+             #.",
+        )
+        .unwrap();
+        let t = grids_to_tensor(&[&g], 2);
+        // Strongly positive logits where bits are set.
+        let logits = t.scale(10.0).add(&Tensor::full(t.shape(), -5.0));
+        let back = logits_to_grid(&logits, 0, 2);
+        assert_eq!(back, g);
+    }
+}

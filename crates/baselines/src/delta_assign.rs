@@ -1,0 +1,136 @@
+//! Borrowed-delta assignment for pixel-based baselines.
+//!
+//! The CAE/VCAE systems restore physical geometry for a generated topology
+//! with a *learned* (implicit) assignment of geometric vectors. The paper's
+//! central criticism is that nothing in such an assignment guarantees the
+//! design rules. This module reproduces that mechanism in its simplest
+//! honest form: borrow the Δ vectors of a random training pattern
+//! (resampled to the generated topology's shape and rescaled to the
+//! window) — statistically plausible geometry with no legality guarantee,
+//! so the baselines' legality percentages in Table I are *measured*
+//! failures of implicit assignment, exactly as in the original systems.
+
+use dp_geometry::{BitGrid, Coord};
+use dp_squish::SquishPattern;
+use rand::Rng;
+
+/// Assigns borrowed geometric vectors to `topology`, producing a full
+/// squish pattern over a `window x window` tile.
+///
+/// A random training pattern donates its Δ profile; the profile is
+/// resampled to the topology's column/row counts and integer-rescaled to
+/// sum exactly to `window`.
+///
+/// # Panics
+///
+/// Panics when `donors` is empty or `window` is smaller than the number of
+/// scan intervals.
+pub fn assign_borrowed_deltas(
+    topology: &BitGrid,
+    donors: &[SquishPattern],
+    window: Coord,
+    rng: &mut impl Rng,
+) -> SquishPattern {
+    assert!(!donors.is_empty(), "no donor patterns");
+    assert!(
+        window >= topology.width() as Coord && window >= topology.height() as Coord,
+        "window too small for topology"
+    );
+    let donor = &donors[rng.gen_range(0..donors.len())];
+    let dx = resample_to(donor.dx(), topology.width(), window);
+    let dy = resample_to(donor.dy(), topology.height(), window);
+    SquishPattern::new(topology.clone(), dx, dy)
+        .expect("resampled deltas match topology shape")
+}
+
+/// Resamples a Δ profile to `n` entries summing exactly to `target`, each
+/// at least 1.
+fn resample_to(profile: &[Coord], n: usize, target: Coord) -> Vec<Coord> {
+    let raw: Vec<f64> = (0..n)
+        .map(|i| {
+            let src = i * profile.len() / n;
+            (profile[src] as f64).max(1.0)
+        })
+        .collect();
+    let sum: f64 = raw.iter().sum();
+    let mut out: Vec<Coord> = raw
+        .iter()
+        .map(|v| ((v / sum) * target as f64).floor().max(1.0) as Coord)
+        .collect();
+    // Fix the sum exactly.
+    let mut diff = target - out.iter().sum::<Coord>();
+    let mut i = 0usize;
+    while diff != 0 {
+        let idx = i % n;
+        if diff > 0 {
+            out[idx] += 1;
+            diff -= 1;
+        } else if out[idx] > 1 {
+            out[idx] -= 1;
+            diff += 1;
+        }
+        i += 1;
+        if i > 4 * n + target as usize {
+            break; // unreachable safeguard
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geometry::{Layout, Rect};
+    use rand::SeedableRng;
+
+    fn donor() -> SquishPattern {
+        let mut l = Layout::new(Rect::new(0, 0, 2048, 2048).unwrap());
+        l.push(Rect::new(100, 200, 700, 1800).unwrap());
+        l.push(Rect::new(900, 200, 1500, 1800).unwrap());
+        SquishPattern::encode(&l)
+    }
+
+    #[test]
+    fn output_matches_topology_and_window() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let topo = BitGrid::from_ascii(
+            ".#.#..
+             .#.#..
+             ......
+             ..###.",
+        )
+        .unwrap();
+        let p = assign_borrowed_deltas(&topo, &[donor()], 2048, &mut rng);
+        assert_eq!(p.topology(), &topo);
+        assert_eq!(p.width(), 2048);
+        assert_eq!(p.height(), 2048);
+        assert!(p.dx().iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn no_legality_guarantee() {
+        // The whole point: borrowed deltas frequently violate rules for
+        // topologies unlike the donor. A dense comb must produce narrow
+        // features somewhere.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let side = 16;
+        let mut comb = BitGrid::new(side, side).unwrap();
+        for c in (1..side - 1).step_by(2) {
+            for r in 1..side - 1 {
+                comb.set(c, r, true);
+            }
+        }
+        let p = assign_borrowed_deltas(&comb, &[donor()], 2048, &mut rng);
+        let rules = dp_drc::DesignRules::standard();
+        let report = dp_drc::check_pattern(&p, &rules);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    #[should_panic(expected = "no donor")]
+    fn empty_donors_panic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let topo = BitGrid::new(4, 4).unwrap();
+        let _ = assign_borrowed_deltas(&topo, &[], 2048, &mut rng);
+    }
+}

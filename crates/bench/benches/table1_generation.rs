@@ -1,0 +1,84 @@
+//! Table I companion benchmark: the per-pattern *generation cost* of every
+//! method in the comparison (the diversity/legality numbers themselves are
+//! produced by `examples/table1_comparison.rs`, which prints the actual
+//! table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_baselines::{
+    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig,
+    Vcae,
+};
+use dp_bench::{bench_patterns, bench_topology};
+use dp_geometry::BitGrid;
+use dp_legalize::{Init, Solver, SolverConfig};
+use dp_squish::SquishPattern;
+use rand::SeedableRng;
+
+fn baseline_generation(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let donors = bench_patterns();
+    let grids: Vec<BitGrid> = donors
+        .iter()
+        .filter_map(|p| dp_squish::extend_to_side(p, 32).ok())
+        .map(|(e, _)| e.topology().clone())
+        .collect();
+    let ae = AeConfig {
+        side: 32,
+        features: 4,
+        latent: 16,
+    };
+    let mut cae = Cae::new(ae, &mut rng);
+    let _ = cae.train(&grids, 20, 4, &mut rng);
+    let mut vcae = Vcae::new(ae, 0.05, &mut rng);
+    let _ = vcae.train(&grids, 20, 4, &mut rng);
+    let seq = SequenceModel::fit(&donors, SequenceModelConfig::default());
+    let legalizer = MorphLegalizer::default();
+
+    let mut group = c.benchmark_group("table1/generation_cost");
+    group.sample_size(20);
+    group.bench_function("CAE", |b| b.iter(|| cae.generate(&grids, 0.5, &mut rng)));
+    group.bench_function("VCAE", |b| b.iter(|| vcae.generate(&mut rng)));
+    group.bench_function("VCAE+LegalGAN", |b| {
+        b.iter(|| legalizer.legalize(&vcae.generate(&mut rng)))
+    });
+    group.bench_function("LayouTransformer", |b| b.iter(|| seq.generate(&mut rng)));
+    group.bench_function("borrowed_delta_assignment", |b| {
+        let topo = bench_topology(1, 32);
+        b.iter(|| assign_borrowed_deltas(&topo, &donors, 2048, &mut rng))
+    });
+    group.finish();
+}
+
+fn diffpattern_generation(c: &mut Criterion) {
+    // Topology sampling is measured in table2_efficiency; here the
+    // end-of-pipe legalization cost per DiffPattern-S pattern.
+    let rules = dp_drc::DesignRules::standard();
+    let solver = Solver::new(rules, SolverConfig::for_window(2048, 2048));
+    let donors = bench_patterns();
+    let topo = bench_topology(2, 32);
+
+    let mut group = c.benchmark_group("table1/diffpattern_legalize");
+    group.sample_size(20);
+    group.bench_function("DiffPattern-S_solve", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let donor = &donors[0];
+            solver.solve(&topo, Init::Existing(donor.dx(), donor.dy()), &mut rng)
+        })
+    });
+    group.bench_function("DiffPattern-L_10_variants", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        b.iter(|| solver.solve_many(&topo, 10, &mut rng))
+    });
+    group.bench_function("pattern_assembly", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let solution = solver.solve(&topo, Init::Random, &mut rng).unwrap();
+        b.iter(|| {
+            SquishPattern::new(topo.clone(), solution.dx.clone(), solution.dy.clone()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, baseline_generation, diffpattern_generation);
+criterion_main!(benches);

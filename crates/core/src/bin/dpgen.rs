@@ -1,0 +1,171 @@
+//! `dpgen` — command-line front end for the DiffPattern pipeline.
+//!
+//! ```text
+//! dpgen train   --iters 20000 --weights model.dpw [--seed 42]
+//! dpgen gen     --weights model.dpw --count 50 --out library/ [--stride 5]
+//! dpgen demo    [--iters 4000 --count 8]
+//! ```
+//!
+//! `train` fits the discrete diffusion model on a freshly generated
+//! synthetic metal layer and saves the U-Net weights; `gen` reloads them
+//! and emits a DRC-clean pattern library (PGM images + CSV manifest);
+//! `demo` does both in one go and prints ASCII art. The argument parser is
+//! deliberately dependency-free (`--key value` pairs only).
+
+use diffpattern::drc::check_pattern;
+use diffpattern::nn::{load_params, save_params};
+use diffpattern::render::{layout_to_pgm, pattern_to_ascii};
+use diffpattern::{Pipeline, PipelineConfig};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, options)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "train" => train(&options),
+        "gen" => generate(&options),
+        "demo" => demo(&options),
+        _ => {
+            eprintln!("unknown command `{command}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dpgen train --iters N --weights FILE [--seed N] [--steps K]
+  dpgen gen   --weights FILE --count N --out DIR [--seed N] [--stride N]
+  dpgen demo  [--iters N] [--count N] [--seed N]";
+
+type Options = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Options)> {
+    let mut it = args.iter();
+    let command = it.next()?.clone();
+    let mut options = Options::new();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?;
+        let value = it.next()?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Some((command, options))
+}
+
+fn opt_usize(options: &Options, key: &str, default: usize) -> usize {
+    options
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_pipeline(
+    options: &Options,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<Pipeline, Box<dyn std::error::Error>> {
+    let mut config = PipelineConfig::tiny();
+    config.train.diffusion_steps = opt_usize(options, "steps", 30);
+    config.sample_stride = opt_usize(options, "stride", 1);
+    Ok(Pipeline::from_synthetic_map(config, rng)?)
+}
+
+fn train(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let iters = opt_usize(options, "iters", 20_000);
+    let weights = options
+        .get("weights")
+        .ok_or("`train` needs --weights FILE")?;
+    let seed = opt_usize(options, "seed", 42) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut pipeline = build_pipeline(options, &mut rng)?;
+    eprintln!(
+        "dataset: {} tiles (H = {:.3} bits); training {iters} iterations...",
+        pipeline.dataset().report.accepted,
+        pipeline.dataset().library().diversity()
+    );
+    let report = pipeline.train(iters, &mut rng)?;
+    eprintln!(
+        "loss {:.4} -> {:.4}",
+        report.head_mean(50),
+        report.tail_mean(50)
+    );
+    let blob = save_params(&pipeline.denoiser_mut().unet_mut().params_mut());
+    std::fs::write(weights, &blob)?;
+    eprintln!("saved {} bytes of weights to {weights}", blob.len());
+    Ok(())
+}
+
+fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let weights = options.get("weights").ok_or("`gen` needs --weights FILE")?;
+    let count = opt_usize(options, "count", 50);
+    let out = PathBuf::from(options.get("out").ok_or("`gen` needs --out DIR")?);
+    let seed = opt_usize(options, "seed", 43) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut pipeline = build_pipeline(options, &mut rng)?;
+    let blob = std::fs::read(weights)?;
+    load_params(&mut pipeline.denoiser_mut().unet_mut().params_mut(), &blob)?;
+    pipeline.mark_trained();
+
+    std::fs::create_dir_all(&out)?;
+    let patterns = pipeline.generate_legal_patterns(count, &mut rng)?;
+    let mut manifest = std::fs::File::create(out.join("manifest.csv"))?;
+    writeln!(manifest, "file,cx,cy,width_nm,height_nm,drc_clean")?;
+    for (i, p) in patterns.iter().enumerate() {
+        let file = format!("pattern_{i:05}.pgm");
+        layout_to_pgm(&p.decode()?, 256, &out.join(&file))?;
+        let core = diffpattern::squish::squish_to_core(p.topology());
+        let clean = check_pattern(p, &pipeline.config().rules).is_clean();
+        writeln!(
+            manifest,
+            "{file},{},{},{},{},{clean}",
+            core.width(),
+            core.height(),
+            p.width(),
+            p.height()
+        )?;
+    }
+    let r = pipeline.report();
+    eprintln!(
+        "wrote {} patterns to {} (sampled {}, repaired {}, solver failures {})",
+        patterns.len(),
+        out.display(),
+        r.topologies_sampled,
+        r.prefilter_repaired,
+        r.solver_failures
+    );
+    Ok(())
+}
+
+fn demo(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let iters = opt_usize(options, "iters", 4_000);
+    let count = opt_usize(options, "count", 4);
+    let seed = opt_usize(options, "seed", 42) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut pipeline = build_pipeline(options, &mut rng)?;
+    eprintln!("training {iters} iterations...");
+    let _ = pipeline.train(iters, &mut rng)?;
+    let patterns = pipeline.generate_legal_patterns(count, &mut rng)?;
+    for (i, p) in patterns.iter().enumerate() {
+        println!(
+            "--- pattern {i} (DRC clean: {}) ---",
+            check_pattern(p, &pipeline.config().rules).is_clean()
+        );
+        println!("{}", pattern_to_ascii(p, 48, 20));
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Error type for pipeline orchestration.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Dataset construction produced no usable tiles.
+    EmptyDataset,
+    /// The diffusion substrate reported an error.
+    Diffusion(dp_diffusion::DiffusionError),
+    /// The design rules were inconsistent.
+    Rules(dp_drc::RulesError),
+    /// Generation was requested before training.
+    NotTrained,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::EmptyDataset => write!(f, "no usable tiles in the dataset"),
+            PipelineError::Diffusion(e) => write!(f, "diffusion error: {e}"),
+            PipelineError::Rules(e) => write!(f, "design rule error: {e}"),
+            PipelineError::NotTrained => {
+                write!(f, "generation requested before the model was trained")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Diffusion(e) => Some(e),
+            PipelineError::Rules(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dp_diffusion::DiffusionError> for PipelineError {
+    fn from(e: dp_diffusion::DiffusionError) -> Self {
+        PipelineError::Diffusion(e)
+    }
+}
+
+impl From<dp_drc::RulesError> for PipelineError {
+    fn from(e: dp_drc::RulesError) -> Self {
+        PipelineError::Rules(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = PipelineError::from(dp_diffusion::DiffusionError::EmptyDataset);
+        assert!(e.to_string().contains("diffusion"));
+        assert!(e.source().is_some());
+        assert!(PipelineError::NotTrained.source().is_none());
+    }
+}

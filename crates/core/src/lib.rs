@@ -1,0 +1,60 @@
+//! # DiffPattern — reliable layout pattern generation via discrete diffusion
+//!
+//! A from-scratch Rust reproduction of *"DiffPattern: Layout Pattern
+//! Generation via Discrete Diffusion"* (DAC 2023, arXiv:2303.13060). The
+//! system generates VLSI layout pattern libraries in three phases
+//! (paper Fig. 4):
+//!
+//! 1. **Deep Squish representation** — layouts are losslessly encoded as a
+//!    binary topology tensor plus geometric Δ vectors
+//!    ([`dp_squish`]),
+//! 2. **Topology tensor generation** — a discrete diffusion model over the
+//!    binary state space synthesises fresh topologies, no thresholding
+//!    anywhere ([`dp_diffusion`]),
+//! 3. **2-D legal pattern assessment** — a white-box nonlinear solver
+//!    assigns design-rule-clean Δ vectors ([`dp_legalize`]), giving a
+//!    100 % legality rate by construction.
+//!
+//! This crate is the facade: [`Pipeline`] wires the phases together,
+//! [`table1`] and [`table2`] regenerate the paper's quantitative results,
+//! and [`render`] produces the ASCII/PGM artwork for the figure examples.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use diffpattern::{Pipeline, PipelineConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let config = PipelineConfig::default();
+//! let mut pipeline = Pipeline::from_synthetic_map(config, &mut rng)?;
+//! pipeline.train(200, &mut rng)?;
+//! let patterns = pipeline.generate_legal_patterns(16, &mut rng)?;
+//! println!("generated {} legal patterns", patterns.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod metrics;
+mod pipeline;
+pub mod render;
+pub mod table1;
+pub mod table2;
+
+pub use error::PipelineError;
+pub use metrics::{evaluate_patterns, MethodRow};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+
+pub use dp_baselines as baselines;
+pub use dp_datagen as datagen;
+pub use dp_diffusion as diffusion;
+pub use dp_drc as drc;
+pub use dp_geometry as geometry;
+pub use dp_legalize as legalize;
+pub use dp_nn as nn;
+pub use dp_squish as squish;

@@ -1,0 +1,133 @@
+//! Rendering helpers for the figure-reproduction examples: ASCII art for
+//! terminals and binary PGM images for files.
+
+use dp_geometry::{BitGrid, Layout};
+use dp_squish::SquishPattern;
+use std::io::Write;
+use std::path::Path;
+
+/// Renders a topology matrix as ASCII art, top row first (`#` = shape).
+pub fn grid_to_ascii(grid: &BitGrid) -> String {
+    let mut out = String::with_capacity((grid.width() + 1) * grid.height());
+    for row in (0..grid.height()).rev() {
+        for col in 0..grid.width() {
+            out.push(if grid.get(col, row) { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a physical layout as `cols x rows` ASCII art by sampling cell
+/// centres (`#` = covered).
+///
+/// # Panics
+///
+/// Panics when `cols` or `rows` is zero.
+pub fn layout_to_ascii(layout: &Layout, cols: usize, rows: usize) -> String {
+    assert!(cols > 0 && rows > 0, "zero render size");
+    let window = layout.window();
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            let x = window.x0()
+                + (window.width() * (2 * c as i64 + 1)) / (2 * cols as i64);
+            let y = window.y0()
+                + (window.height() * (2 * r as i64 + 1)) / (2 * rows as i64);
+            let covered = layout
+                .rects()
+                .iter()
+                .any(|rect| rect.contains(dp_geometry::Point::new(x, y)));
+            out.push(if covered { '#' } else { '.' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a squish pattern's physical layout as ASCII art.
+pub fn pattern_to_ascii(pattern: &SquishPattern, cols: usize, rows: usize) -> String {
+    match pattern.decode() {
+        Ok(layout) => layout_to_ascii(&layout, cols, rows),
+        Err(_) => grid_to_ascii(pattern.topology()),
+    }
+}
+
+/// Writes a layout as a binary PGM image of `size x size` pixels
+/// (shape = black).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn layout_to_pgm(layout: &Layout, size: usize, path: &Path) -> std::io::Result<()> {
+    let window = layout.window();
+    let mut pixels = vec![255u8; size * size];
+    for rect in layout.rects() {
+        let sx = |x: i64| ((x - window.x0()) as i128 * size as i128
+            / window.width() as i128) as usize;
+        let sy = |y: i64| ((y - window.y0()) as i128 * size as i128
+            / window.height() as i128) as usize;
+        let (c0, c1) = (sx(rect.x0()), sx(rect.x1()).min(size));
+        let (r0, r1) = (sy(rect.y0()), sy(rect.y1()).min(size));
+        for r in r0..r1 {
+            for c in c0..c1 {
+                // PGM row 0 is the top of the image.
+                pixels[(size - 1 - r) * size + c] = 0;
+            }
+        }
+    }
+    let mut file = std::fs::File::create(path)?;
+    writeln!(file, "P5\n{size} {size}\n255")?;
+    file.write_all(&pixels)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geometry::Rect;
+
+    #[test]
+    fn grid_ascii_orientation() {
+        let g = BitGrid::from_ascii(
+            ".#
+             #.",
+        )
+        .unwrap();
+        assert_eq!(grid_to_ascii(&g), ".#\n#.\n");
+    }
+
+    #[test]
+    fn layout_ascii_coverage() {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        l.push(Rect::new(0, 0, 50, 100).unwrap());
+        let art = layout_to_ascii(&l, 4, 2);
+        // Left half covered: rows read "##..".
+        assert_eq!(art, "##..\n##..\n");
+    }
+
+    #[test]
+    fn pattern_ascii_decodes() {
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        l.push(Rect::new(25, 25, 75, 75).unwrap());
+        let p = SquishPattern::encode(&l);
+        let art = pattern_to_ascii(&p, 4, 4);
+        assert!(art.contains('#'));
+        assert!(art.contains('.'));
+    }
+
+    #[test]
+    fn pgm_file_is_written() {
+        let dir = std::env::temp_dir().join("dp_render_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.pgm");
+        let mut l = Layout::new(Rect::new(0, 0, 100, 100).unwrap());
+        l.push(Rect::new(0, 0, 100, 50).unwrap());
+        layout_to_pgm(&l, 16, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5"));
+        // 16x16 payload plus header.
+        assert!(bytes.len() > 256);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

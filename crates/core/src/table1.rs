@@ -1,0 +1,249 @@
+//! The Table I harness: diversity and legality of every method on a shared
+//! dataset.
+//!
+//! The paper generates 100 000 topologies per method on GPU clusters; the
+//! harness scales the counts by configuration (see `EXPERIMENTS.md` for
+//! the sizes used in the recorded run) while keeping the comparison
+//! structure identical:
+//!
+//! | Row | Generator | Delta assignment |
+//! |---|---|---|
+//! | Real Patterns | — (training tiles) | native |
+//! | CAE | perturbed-latent decode + threshold | borrowed (implicit) |
+//! | VCAE | prior-sample decode + threshold | borrowed (implicit) |
+//! | CAE+LegalGAN | CAE + morphological legalizer | borrowed (implicit) |
+//! | VCAE+LegalGAN | VCAE + morphological legalizer | borrowed (implicit) |
+//! | LayouTransformer | polygon-sequence Markov model | native (physical) |
+//! | DiffPattern-S | discrete diffusion | white-box solver, 1 per topology |
+//! | DiffPattern-L | discrete diffusion | white-box solver, many per topology |
+
+use crate::metrics::{evaluate_patterns, MethodRow};
+use crate::{Pipeline, PipelineError};
+use dp_baselines::{
+    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig,
+    Vcae,
+};
+use dp_datagen::PatternLibrary;
+use dp_geometry::BitGrid;
+use dp_squish::SquishPattern;
+use rand::Rng;
+
+/// Scale knobs for the Table I run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Config {
+    /// Patterns generated per method (paper: 100 000).
+    pub generate: usize,
+    /// Training iterations for the CAE/VCAE baselines.
+    pub ae_iterations: usize,
+    /// Latent/feature scale of the CAE/VCAE baselines.
+    pub ae: AeConfig,
+    /// Legal variants per topology for DiffPattern-L (paper: 100).
+    pub variants_per_topology: usize,
+}
+
+impl Default for Table1Config {
+    fn default() -> Self {
+        Table1Config {
+            generate: 200,
+            ae_iterations: 300,
+            ae: AeConfig::default(),
+            variants_per_topology: 10,
+        }
+    }
+}
+
+impl Table1Config {
+    /// A very small configuration for tests.
+    pub fn tiny() -> Self {
+        Table1Config {
+            generate: 8,
+            ae_iterations: 30,
+            ae: AeConfig {
+                side: 32,
+                features: 4,
+                latent: 8,
+            },
+            variants_per_topology: 3,
+        }
+    }
+}
+
+/// Runs every row of Table I on the pipeline's dataset. The pipeline must
+/// already be trained.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the DiffPattern rows.
+pub fn run(
+    pipeline: &mut Pipeline,
+    config: Table1Config,
+    rng: &mut impl Rng,
+) -> Result<Vec<MethodRow>, PipelineError> {
+    let rules = pipeline.config().rules;
+    let window = pipeline.config().tile;
+    let matrix_side = pipeline.config().dataset.matrix_side;
+    assert_eq!(
+        config.ae.side, matrix_side,
+        "AE baseline side must match the dataset matrix side"
+    );
+    let donors: Vec<SquishPattern> = pipeline.dataset().patterns.clone();
+    // Training grids for the pixel baselines: the extended topology
+    // matrices (unfold of the dataset tensors).
+    let grids: Vec<BitGrid> = pipeline
+        .dataset()
+        .tensors
+        .iter()
+        .map(|t| t.unfold())
+        .collect();
+
+    let mut rows = Vec::new();
+
+    // Real patterns row (legality is not applicable; the paper prints '-').
+    let real_lib: PatternLibrary = {
+        let mut lib = PatternLibrary::new();
+        for p in &donors {
+            lib.add_pattern(p);
+        }
+        lib
+    };
+    rows.push(MethodRow {
+        name: "Real Patterns".into(),
+        topologies: None,
+        patterns: real_lib.len(),
+        diversity: real_lib.diversity(),
+        legal: real_lib.len(),
+        diversity_legal: real_lib.diversity(),
+    });
+
+    // CAE and CAE+LegalGAN share one trained model.
+    let mut cae = Cae::new(config.ae, rng);
+    let _ = cae.train(&grids, config.ae_iterations, 8, rng);
+    let cae_topos: Vec<BitGrid> = (0..config.generate)
+        .map(|_| cae.generate(&grids, 0.5, rng))
+        .collect();
+    rows.push(pixel_row(
+        "CAE [7]",
+        &cae_topos,
+        &donors,
+        window,
+        &rules,
+        rng,
+    ));
+    let legalizer = MorphLegalizer::default();
+    let cae_clean: Vec<BitGrid> = cae_topos.iter().map(|t| legalizer.legalize(t)).collect();
+    rows.push(pixel_row(
+        "CAE+LegalGAN [8]",
+        &cae_clean,
+        &donors,
+        window,
+        &rules,
+        rng,
+    ));
+
+    // VCAE and VCAE+LegalGAN.
+    let mut vcae = Vcae::new(config.ae, 0.05, rng);
+    let _ = vcae.train(&grids, config.ae_iterations, 8, rng);
+    let vcae_topos: Vec<BitGrid> = (0..config.generate).map(|_| vcae.generate(rng)).collect();
+    rows.push(pixel_row(
+        "VCAE [8]",
+        &vcae_topos,
+        &donors,
+        window,
+        &rules,
+        rng,
+    ));
+    let vcae_clean: Vec<BitGrid> = vcae_topos.iter().map(|t| legalizer.legalize(t)).collect();
+    rows.push(pixel_row(
+        "VCAE+LegalGAN [8]",
+        &vcae_clean,
+        &donors,
+        window,
+        &rules,
+        rng,
+    ));
+
+    // LayouTransformer: sequential generation in physical coordinates.
+    let seq = SequenceModel::fit(
+        &donors,
+        SequenceModelConfig {
+            window,
+            ..SequenceModelConfig::default()
+        },
+    );
+    let seq_patterns: Vec<SquishPattern> = (0..config.generate)
+        .map(|_| SquishPattern::encode(&seq.generate(rng)))
+        .collect();
+    rows.push(evaluate_patterns(
+        "LayouTransformer [9]",
+        None,
+        &seq_patterns,
+        &rules,
+    ));
+
+    // DiffPattern-S.
+    let topologies = pipeline.generate_topologies(config.generate, rng)?;
+    let s_patterns = pipeline.legalize_topologies(&topologies, rng);
+    rows.push(evaluate_patterns(
+        "DiffPattern-S",
+        Some(topologies.len()),
+        &s_patterns,
+        &rules,
+    ));
+
+    // DiffPattern-L: many legal variants per topology.
+    let mut l_patterns = Vec::new();
+    for topo in &topologies {
+        l_patterns.extend(pipeline.legalize_variants(topo, config.variants_per_topology, rng));
+    }
+    rows.push(evaluate_patterns(
+        "DiffPattern-L",
+        Some(topologies.len()),
+        &l_patterns,
+        &rules,
+    ));
+
+    Ok(rows)
+}
+
+/// Evaluates a pixel-method row: topologies get borrowed deltas (the
+/// implicit assignment) before DRC.
+fn pixel_row(
+    name: &str,
+    topologies: &[BitGrid],
+    donors: &[SquishPattern],
+    window: i64,
+    rules: &dp_drc::DesignRules,
+    rng: &mut impl Rng,
+) -> MethodRow {
+    let patterns: Vec<SquishPattern> = topologies
+        .iter()
+        .map(|t| assign_borrowed_deltas(t, donors, window, rng))
+        .collect();
+    evaluate_patterns(name, Some(topologies.len()), &patterns, rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_table_runs_all_rows() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut pipeline =
+            Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+        let _ = pipeline.train(4, &mut rng).unwrap();
+        let rows = run(&mut pipeline, Table1Config::tiny(), &mut rng).unwrap();
+        assert_eq!(rows.len(), 8);
+        let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
+        assert!(names.contains(&"Real Patterns"));
+        assert!(names.contains(&"DiffPattern-S"));
+        assert!(names.contains(&"DiffPattern-L"));
+
+        // Structural claim of the paper: every DiffPattern output is legal.
+        for row in rows.iter().filter(|r| r.name.starts_with("DiffPattern")) {
+            assert_eq!(row.legal, row.patterns, "{row}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! The Table II harness: model efficiency.
+//!
+//! The paper reports the average wall-clock cost of (a) sampling one
+//! topology from the diffusion model and (b) solving the nonlinear system
+//! for one topology, with random (Solving-R) versus existing-vector
+//! (Solving-E) initialisation — the latter 2.30x faster in the paper.
+
+use crate::{Pipeline, PipelineError};
+use dp_legalize::{Init, Solver};
+use dp_squish::SquishPattern;
+use rand::Rng;
+use std::time::Instant;
+
+/// One row of the efficiency table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfficiencyRow {
+    /// Phase name as printed (`Sampling`, `Solving-R`, `Solving-E`).
+    pub phase: String,
+    /// Average seconds per sample.
+    pub seconds: f64,
+    /// Acceleration relative to the phase's baseline (`None` for
+    /// sampling, which the paper prints as N/A).
+    pub acceleration: Option<f64>,
+    /// Mean projection iterations per solve (`None` for sampling) — a
+    /// machine-independent convergence measure alongside wall-clock time.
+    pub mean_iterations: Option<f64>,
+}
+
+impl std::fmt::Display for EfficiencyRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.acceleration {
+            Some(a) => write!(f, "{:<12} {:>12.4} s {:>8.2}x", self.phase, self.seconds, a)?,
+            None => write!(f, "{:<12} {:>12.4} s      N/A", self.phase, self.seconds)?,
+        }
+        if let Some(it) = self.mean_iterations {
+            write!(f, "  ({it:.1} iters)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Measures the three rows of Table II on a trained pipeline.
+///
+/// `samples` controls how many topologies are drawn/solved per measurement
+/// (the paper averages over its full generation run).
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] when the pipeline is untrained.
+pub fn run(
+    pipeline: &mut Pipeline,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Result<Vec<EfficiencyRow>, PipelineError> {
+    // Phase 1: topology sampling.
+    let start = Instant::now();
+    let topologies = pipeline.generate_topologies(samples, rng)?;
+    let sampling = start.elapsed().as_secs_f64() / samples.max(1) as f64;
+
+    // Phase 2: solving with random vs existing initialisation on the SAME
+    // topologies, so the comparison is paired.
+    let solver = Solver::new(pipeline.config().rules, pipeline.config().solver);
+    // Paper §III-D: Solving-E starts from a random *existing* geometric
+    // vector pair. All dataset patterns were extended to the same matrix
+    // side as generated topologies, so donor Δ vectors match
+    // dimension-for-dimension.
+    let donors: Vec<SquishPattern> = pipeline.dataset().extended.clone();
+
+    let start = Instant::now();
+    let mut iters_r = 0usize;
+    for topo in &topologies {
+        if let Ok(s) = solver.solve(topo, Init::Random, rng) {
+            iters_r += s.stats.iterations;
+        }
+    }
+    let solving_r = start.elapsed().as_secs_f64() / topologies.len().max(1) as f64;
+
+    let start = Instant::now();
+    let mut iters_e = 0usize;
+    for topo in &topologies {
+        let donor = &donors[rng.gen_range(0..donors.len())];
+        if let Ok(s) = solver.solve(topo, Init::Existing(donor.dx(), donor.dy()), rng) {
+            iters_e += s.stats.iterations;
+        }
+    }
+    let solving_e = start.elapsed().as_secs_f64() / topologies.len().max(1) as f64;
+    let n_topo = topologies.len().max(1) as f64;
+
+    Ok(vec![
+        EfficiencyRow {
+            phase: "Sampling".into(),
+            seconds: sampling,
+            acceleration: None,
+            mean_iterations: None,
+        },
+        EfficiencyRow {
+            phase: "Solving-R".into(),
+            seconds: solving_r,
+            acceleration: Some(1.0),
+            mean_iterations: Some(iters_r as f64 / n_topo),
+        },
+        EfficiencyRow {
+            phase: "Solving-E".into(),
+            seconds: solving_e,
+            acceleration: Some(if solving_e > 0.0 {
+                solving_r / solving_e
+            } else {
+                f64::INFINITY
+            }),
+            mean_iterations: Some(iters_e as f64 / n_topo),
+        },
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PipelineConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measures_three_phases() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut pipeline =
+            Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+        let _ = pipeline.train(4, &mut rng).unwrap();
+        let rows = run(&mut pipeline, 3, &mut rng).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].phase, "Sampling");
+        assert!(rows[0].seconds > 0.0);
+        assert!(rows[2].acceleration.unwrap() > 0.0);
+        for r in &rows {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

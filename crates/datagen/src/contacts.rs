@@ -1,0 +1,181 @@
+//! Contact/via-layer generator: the second pattern family of a realistic
+//! library.
+//!
+//! Metal routing layers (see [`crate::LayoutMapGenerator`]) are dominated
+//! by long wires; contact and via layers are dominated by small square
+//! cuts on a regular grid with occasional redundant-via pairs and cut
+//! bars. Mixing the two families widens the complexity distribution of the
+//! training library (paper Fig. 9's heavy tail) and exercises the area
+//! rule family from the *small* side, where routing layers exercise it
+//! from the large side.
+
+use dp_geometry::{Coord, Layout, Rect};
+use rand::Rng;
+
+/// Configuration of the contact-layer generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactConfig {
+    /// Map width in nm.
+    pub width: Coord,
+    /// Map height in nm.
+    pub height: Coord,
+    /// Contact grid pitch in nm (both axes).
+    pub pitch: Coord,
+    /// Cut side length in nm.
+    pub cut: Coord,
+    /// Probability (percent) that a grid site holds a cut.
+    pub occupancy_percent: u32,
+    /// Probability (percent) that an occupied site extends into a
+    /// double-cut bar (redundant via).
+    pub bar_percent: u32,
+}
+
+impl Default for ContactConfig {
+    fn default() -> Self {
+        ContactConfig {
+            width: 4 * 2048,
+            height: 4 * 2048,
+            pitch: 256,
+            cut: 80,
+            occupancy_percent: 22,
+            bar_percent: 15,
+        }
+    }
+}
+
+impl ContactConfig {
+    /// A small map for unit tests.
+    pub fn small() -> Self {
+        ContactConfig {
+            width: 4 * 2048,
+            height: 2 * 2048,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a contact/via layer on a regular grid.
+///
+/// # Panics
+///
+/// Panics when the configuration is inconsistent (cut larger than pitch
+/// allows, zero sizes, percentages over 100).
+pub fn generate_contact_layer(config: ContactConfig, rng: &mut impl Rng) -> Layout {
+    assert!(config.width > 0 && config.height > 0, "empty map");
+    assert!(config.cut > 0 && config.pitch > 0, "zero geometry");
+    assert!(
+        2 * config.cut <= config.pitch,
+        "cuts would violate spacing at this pitch"
+    );
+    assert!(
+        config.occupancy_percent <= 100 && config.bar_percent <= 100,
+        "percentages over 100"
+    );
+    let window = Rect::new(0, 0, config.width, config.height).expect("validated non-empty");
+    let mut layout = Layout::new(window);
+    let nx = (config.width / config.pitch) as usize;
+    let ny = (config.height / config.pitch) as usize;
+    let margin = (config.pitch - config.cut) / 2;
+    for gy in 0..ny {
+        for gx in 0..nx {
+            if rng.gen_range(0..100) >= config.occupancy_percent {
+                continue;
+            }
+            let x0 = gx as Coord * config.pitch + margin;
+            let y0 = gy as Coord * config.pitch + margin;
+            // A bar spans this site and the next along x (when free).
+            let make_bar = rng.gen_range(0..100) < config.bar_percent && gx + 1 < nx;
+            let x1 = if make_bar {
+                x0 + config.pitch + config.cut
+            } else {
+                x0 + config.cut
+            };
+            layout.push(Rect::new(x0, y0, x1, y0 + config.cut).expect("positive extent"));
+        }
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_cuts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let layout = generate_contact_layer(ContactConfig::small(), &mut rng);
+        assert!(layout.len() > 20, "only {} cuts", layout.len());
+        for r in layout.rects() {
+            assert!(layout.window().contains_rect(r));
+            // Every shape is a single cut or a double bar.
+            assert_eq!(r.height(), 80);
+            assert!(r.width() == 80 || r.width() == 256 + 80);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_contact_layer(
+            ContactConfig::small(),
+            &mut rand::rngs::StdRng::seed_from_u64(3),
+        );
+        let b = generate_contact_layer(
+            ContactConfig::small(),
+            &mut rand::rngs::StdRng::seed_from_u64(3),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiles_are_drc_clean_under_contact_rules() {
+        // Contact layers have their own rule deck: small areas are legal.
+        use dp_drc::{check_layout, DesignRules};
+        let rules = DesignRules::builder()
+            .space_min(60)
+            .width_min(60)
+            .area_range(4_000, 80_000)
+            .build()
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let layout = generate_contact_layer(ContactConfig::small(), &mut rng);
+        let tiles = crate::split_into_tiles(&layout, 2048);
+        let clean = tiles
+            .iter()
+            .filter(|t| check_layout(t, &rules).is_clean())
+            .count();
+        assert_eq!(clean, tiles.len(), "{clean}/{}", tiles.len());
+    }
+
+    #[test]
+    fn widens_library_complexity_against_routing_layer() {
+        use crate::{build_dataset, DatasetConfig, GeneratorConfig, LayoutMapGenerator};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let routing = LayoutMapGenerator::new(GeneratorConfig::small()).generate(&mut rng);
+        let contacts = generate_contact_layer(ContactConfig::small(), &mut rng);
+        let mut tiles = crate::split_into_tiles(&routing, 2048);
+        let routing_only = build_dataset(&tiles, DatasetConfig::default());
+        tiles.extend(crate::split_into_tiles(&contacts, 2048));
+        let mixed = build_dataset(&tiles, DatasetConfig::default());
+        assert!(
+            mixed.library().distinct() > routing_only.library().distinct(),
+            "mixing families must add complexity classes: {} vs {}",
+            mixed.library().distinct(),
+            routing_only.library().distinct()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing")]
+    fn rejects_oversized_cuts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let _ = generate_contact_layer(
+            ContactConfig {
+                cut: 200,
+                pitch: 256,
+                ..ContactConfig::default()
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,75 @@
+use dp_geometry::{Coord, Layout, Rect};
+
+/// Splits a full-chip map into `tile x tile` nm² clips, dropping empty
+/// clips — the dataset construction of paper §IV-A (2048x2048 nm² there).
+///
+/// Partial tiles at the right/top edge of the map are discarded, matching
+/// the convention of splitting a map whose extent is a multiple of the tile
+/// size (and avoiding artificially truncated patterns in the library).
+///
+/// # Panics
+///
+/// Panics when `tile <= 0`.
+pub fn split_into_tiles(map: &Layout, tile: Coord) -> Vec<Layout> {
+    assert!(tile > 0, "tile size must be positive");
+    let window = map.window();
+    let nx = (window.width() / tile) as usize;
+    let ny = (window.height() / tile) as usize;
+    let mut out = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let x0 = window.x0() + i as Coord * tile;
+            let y0 = window.y0() + j as Coord * tile;
+            let clip = Rect::new(x0, y0, x0 + tile, y0 + tile).expect("tile > 0");
+            let sub = map.clip(clip);
+            if !sub.is_empty() {
+                out.push(sub.normalized());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_into_expected_count() {
+        let mut map = Layout::new(Rect::new(0, 0, 400, 200).unwrap());
+        // One shape per 100x100 tile in the bottom row.
+        for i in 0..4 {
+            map.push(Rect::new(i * 100 + 10, 10, i * 100 + 60, 60).unwrap());
+        }
+        let tiles = split_into_tiles(&map, 100);
+        assert_eq!(tiles.len(), 4, "empty top-row tiles are dropped");
+        for t in &tiles {
+            assert_eq!(t.window(), Rect::new(0, 0, 100, 100).unwrap());
+            assert_eq!(t.len(), 1);
+        }
+    }
+
+    #[test]
+    fn shapes_spanning_tiles_are_cut() {
+        let mut map = Layout::new(Rect::new(0, 0, 200, 100).unwrap());
+        map.push(Rect::new(50, 10, 150, 50).unwrap());
+        let tiles = split_into_tiles(&map, 100);
+        assert_eq!(tiles.len(), 2);
+        assert_eq!(tiles[0].rects()[0], Rect::new(50, 10, 100, 50).unwrap());
+        assert_eq!(tiles[1].rects()[0], Rect::new(0, 10, 50, 50).unwrap());
+    }
+
+    #[test]
+    fn partial_edge_tiles_are_discarded() {
+        let mut map = Layout::new(Rect::new(0, 0, 250, 100).unwrap());
+        map.push(Rect::new(210, 10, 240, 50).unwrap()); // only in partial tile
+        let tiles = split_into_tiles(&map, 100);
+        assert!(tiles.is_empty());
+    }
+
+    #[test]
+    fn empty_map_yields_no_tiles() {
+        let map = Layout::new(Rect::new(0, 0, 400, 400).unwrap());
+        assert!(split_into_tiles(&map, 100).is_empty());
+    }
+}

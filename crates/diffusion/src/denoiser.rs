@@ -1,0 +1,226 @@
+use crate::loss::p1_of_logits;
+use dp_nn::{Tensor, UNet};
+use dp_squish::DeepSquishTensor;
+
+/// A reverse-process model: predicts, for every entry of a noisy topology
+/// tensor, the probability that the *clean* entry is one.
+///
+/// Abstracting the network behind this trait lets the sampler and its tests
+/// validate the diffusion mathematics with closed-form denoisers
+/// ([`OracleDenoiser`], [`UniformDenoiser`]) before any training happens,
+/// and lets downstream users plug in their own models.
+pub trait Denoiser {
+    /// For each batch item `i`, returns `p_θ(x̃0 = 1 | x_k)` per entry in
+    /// the [`DeepSquishTensor::bits`] order. `ks[i]` is the 1-based
+    /// diffusion step of item `i`.
+    fn predict_p1(&mut self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>>;
+}
+
+/// The production denoiser: a [`UNet`] consuming `±1`-mapped bits and
+/// producing two logits per entry.
+#[derive(Debug, Clone)]
+pub struct NeuralDenoiser {
+    unet: UNet,
+    channels: usize,
+}
+
+impl NeuralDenoiser {
+    /// Wraps a U-Net whose input channel count is the squish channel count
+    /// `C` and whose output channel count is `2C`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the network's channel counts violate that contract.
+    pub fn new(unet: UNet) -> Self {
+        let channels = unet.config().in_channels;
+        assert_eq!(
+            unet.config().out_channels,
+            2 * channels,
+            "denoiser U-Net must output 2 logits per input channel"
+        );
+        NeuralDenoiser { unet, channels }
+    }
+
+    /// Squish channel count `C`.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The wrapped network.
+    pub fn unet(&self) -> &UNet {
+        &self.unet
+    }
+
+    /// Mutable access to the wrapped network (for the trainer).
+    pub fn unet_mut(&mut self) -> &mut UNet {
+        &mut self.unet
+    }
+
+    /// Maps a batch of bit tensors to the network input (`false → -1`,
+    /// `true → +1`), the conditioning the trainer also uses.
+    pub fn batch_to_input(xks: &[DeepSquishTensor]) -> Tensor {
+        let n = xks.len();
+        assert!(n > 0, "empty batch");
+        let c = xks[0].channels();
+        let side = xks[0].side();
+        let mut data = Vec::with_capacity(n * c * side * side);
+        for xk in xks {
+            assert_eq!(
+                (xk.channels(), xk.side()),
+                (c, side),
+                "batch shape mismatch"
+            );
+            data.extend(xk.bits().iter().map(|&b| if b { 1.0f32 } else { -1.0 }));
+        }
+        Tensor::from_vec(&[n, c, side, side], data)
+    }
+
+    /// Runs the network and returns the raw logit tensor `(n, 2C, M, M)` —
+    /// used by the trainer, which needs logits rather than probabilities.
+    pub fn forward_logits(&mut self, xks: &[DeepSquishTensor], ks: &[usize]) -> Tensor {
+        let input = Self::batch_to_input(xks);
+        self.unet.forward(&input, ks)
+    }
+}
+
+impl Denoiser for NeuralDenoiser {
+    fn predict_p1(&mut self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>> {
+        let logits = self.forward_logits(xks, ks);
+        (0..xks.len())
+            .map(|ni| p1_of_logits(&logits, ni, self.channels))
+            .collect()
+    }
+}
+
+/// A denoiser that knows the true clean sample — used to validate the
+/// sampler: with high confidence, ancestral sampling from pure noise must
+/// reconstruct `x0` (see the sampler tests).
+#[derive(Debug, Clone)]
+pub struct OracleDenoiser {
+    x0: DeepSquishTensor,
+    confidence: f64,
+}
+
+impl OracleDenoiser {
+    /// Creates an oracle believing in `x0` with probability `confidence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `confidence` is not in `(0, 1)`.
+    pub fn new(x0: DeepSquishTensor, confidence: f64) -> Self {
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1)"
+        );
+        OracleDenoiser { x0, confidence }
+    }
+}
+
+impl Denoiser for OracleDenoiser {
+    fn predict_p1(&mut self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
+        xks.iter()
+            .map(|_| {
+                self.x0
+                    .bits()
+                    .iter()
+                    .map(|&b| if b { self.confidence } else { 1.0 - self.confidence })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// A denoiser with no information: `p1 = 0.5` everywhere. Sampling with it
+/// keeps the chain at the uniform stationary distribution — the null model
+/// for statistical tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UniformDenoiser;
+
+impl UniformDenoiser {
+    /// Creates the denoiser.
+    pub fn new() -> Self {
+        UniformDenoiser
+    }
+}
+
+impl Denoiser for UniformDenoiser {
+    fn predict_p1(&mut self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
+        xks.iter()
+            .map(|xk| vec![0.5; xk.bits().len()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_nn::UNetConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_to_input_maps_signs() {
+        let t = DeepSquishTensor::from_bits(1, 2, vec![true, false, false, true]).unwrap();
+        let x = NeuralDenoiser::batch_to_input(&[t]);
+        assert_eq!(x.shape(), &[1, 1, 2, 2]);
+        assert_eq!(x.data(), &[1.0, -1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn neural_denoiser_output_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let config = UNetConfig {
+            in_channels: 4,
+            out_channels: 8,
+            base_channels: 4,
+            channel_mults: vec![1, 1],
+            num_res_blocks: 1,
+            attn_resolutions: vec![],
+            time_dim: 8,
+            groups: 2,
+            dropout: 0.0,
+        };
+        let mut d = NeuralDenoiser::new(dp_nn::UNet::new(&config, &mut rng));
+        let t = DeepSquishTensor::from_bits(4, 4, vec![false; 64]).unwrap();
+        let p = d.predict_p1(&[t.clone(), t], &[1, 5]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].len(), 64);
+        assert!(p[0].iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "2 logits")]
+    fn neural_denoiser_rejects_bad_head() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let config = UNetConfig {
+            in_channels: 2,
+            out_channels: 3,
+            base_channels: 4,
+            channel_mults: vec![1],
+            num_res_blocks: 1,
+            attn_resolutions: vec![],
+            time_dim: 8,
+            groups: 2,
+            dropout: 0.0,
+        };
+        let _ = NeuralDenoiser::new(dp_nn::UNet::new(&config, &mut rng));
+    }
+
+    #[test]
+    fn oracle_reports_x0() {
+        let x0 = DeepSquishTensor::from_bits(1, 2, vec![true, false, true, false]).unwrap();
+        let mut oracle = OracleDenoiser::new(x0.clone(), 0.9);
+        let noisy = DeepSquishTensor::from_bits(1, 2, vec![false; 4]).unwrap();
+        let p = oracle.predict_p1(&[noisy], &[3]);
+        let expected = [0.9, 0.1, 0.9, 0.1];
+        for (a, b) in p[0].iter().zip(expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_is_half() {
+        let t = DeepSquishTensor::from_bits(1, 2, vec![true; 4]).unwrap();
+        let p = UniformDenoiser::new().predict_p1(&[t], &[1]);
+        assert!(p[0].iter().all(|&v| v == 0.5));
+    }
+}

@@ -1,0 +1,71 @@
+use std::fmt;
+
+/// Error type for diffusion configuration and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DiffusionError {
+    /// Schedule parameters outside `(0, 1)` or a zero step count.
+    BadSchedule {
+        /// Number of steps requested.
+        steps: usize,
+        /// β at step 1.
+        beta1: f64,
+        /// β at step K.
+        beta_k: f64,
+    },
+    /// A step index outside `1..=K`.
+    StepOutOfRange {
+        /// Offending step.
+        step: usize,
+        /// Total steps `K`.
+        total: usize,
+    },
+    /// The training set is empty.
+    EmptyDataset,
+    /// Dataset tensors have inconsistent shapes.
+    ShapeMismatch {
+        /// Expected `(channels, side)`.
+        expected: (usize, usize),
+        /// Found `(channels, side)`.
+        actual: (usize, usize),
+    },
+}
+
+impl fmt::Display for DiffusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffusionError::BadSchedule {
+                steps,
+                beta1,
+                beta_k,
+            } => write!(
+                f,
+                "invalid schedule: steps={steps}, beta1={beta1}, betaK={beta_k} (need steps>0 and 0<beta<1)"
+            ),
+            DiffusionError::StepOutOfRange { step, total } => {
+                write!(f, "step {step} outside 1..={total}")
+            }
+            DiffusionError::EmptyDataset => write!(f, "training set is empty"),
+            DiffusionError::ShapeMismatch { expected, actual } => write!(
+                f,
+                "tensor shape {actual:?} does not match dataset shape {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DiffusionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = DiffusionError::StepOutOfRange {
+            step: 0,
+            total: 10,
+        };
+        assert!(e.to_string().contains("0"));
+    }
+}

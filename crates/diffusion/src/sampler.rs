@@ -1,0 +1,345 @@
+use crate::schedule::{reverse_jump_prob, reverse_step_prob, NoiseSchedule};
+use crate::Denoiser;
+use dp_squish::DeepSquishTensor;
+use rand::Rng;
+
+/// Ancestral sampler for the reverse diffusion process (paper Eq. 13,
+/// Fig. 6).
+///
+/// Starting from the uniform stationary distribution, each step queries the
+/// denoiser for `p_θ(x̃0 | x_k)` and flips every entry according to the
+/// closed-form mixture `p_θ(x_{k-1} | x_k)`; the final step draws
+/// `x̂_0 ~ p_θ(x_0 | x_1)` directly. The output is naturally binary — there
+/// is no threshold anywhere, which is the paper's core argument for
+/// discrete diffusion.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    schedule: NoiseSchedule,
+}
+
+/// A reverse trajectory with snapshots at requested steps — the data behind
+/// paper Fig. 6.
+#[derive(Debug, Clone)]
+pub struct SampleTrace {
+    /// `(k, state at step k)` pairs, highest `k` first. `k = 0` is the
+    /// final sample.
+    pub snapshots: Vec<(usize, DeepSquishTensor)>,
+    /// The final clean sample `x̂_0`.
+    pub sample: DeepSquishTensor,
+}
+
+impl Sampler {
+    /// Creates a sampler over `schedule`.
+    pub fn new(schedule: NoiseSchedule) -> Self {
+        Sampler { schedule }
+    }
+
+    /// The schedule in use.
+    pub fn schedule(&self) -> &NoiseSchedule {
+        &self.schedule
+    }
+
+    /// Draws `count` fresh topology tensors of shape `channels x side x
+    /// side`.
+    pub fn sample(
+        &self,
+        denoiser: &mut dyn Denoiser,
+        channels: usize,
+        side: usize,
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<DeepSquishTensor> {
+        (0..count)
+            .map(|_| self.sample_one(denoiser, channels, side, rng))
+            .collect()
+    }
+
+    /// Draws one sample.
+    pub fn sample_one(
+        &self,
+        denoiser: &mut dyn Denoiser,
+        channels: usize,
+        side: usize,
+        rng: &mut impl Rng,
+    ) -> DeepSquishTensor {
+        self.sample_with_trace(denoiser, channels, side, &[], rng)
+            .sample
+    }
+
+    /// Respaced (DDIM-style, paper ref. \[12\]) sampling: traverses only
+    /// the sub-sequence `0 < k_1 < k_2 < ... <= K` of steps, jumping
+    /// directly between consecutive entries with the generalised posterior
+    /// `q(x_{k_i} | x_{k_{i+1}}, x̃_0)`. One denoiser call per retained step
+    /// — `stride` x fewer network evaluations at modest quality cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `retained` is empty, unsorted, contains 0 or exceeds K.
+    pub fn sample_respaced(
+        &self,
+        denoiser: &mut dyn Denoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        rng: &mut impl Rng,
+    ) -> DeepSquishTensor {
+        let k_max = self.schedule.steps();
+        assert!(!retained.is_empty(), "empty step subset");
+        assert!(
+            retained.windows(2).all(|w| w[0] < w[1]),
+            "retained steps must be strictly increasing"
+        );
+        assert!(retained[0] >= 1, "steps are 1-based");
+        assert!(*retained.last().expect("non-empty") <= k_max, "step beyond K");
+
+        // Start from the stationary distribution at the highest retained
+        // step (for k_top close to K this is indistinguishable from T_K).
+        let bits = (0..channels * side * side)
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        let mut state =
+            DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+
+        for idx in (0..retained.len()).rev() {
+            let k = retained[idx];
+            let j = if idx == 0 { 0 } else { retained[idx - 1] };
+            let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[k])[0];
+            let bits: Vec<bool> = if j == 0 {
+                // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly.
+                p1.iter().map(|&p| rng.gen_bool(p.clamp(0.0, 1.0))).collect()
+            } else {
+                state
+                    .bits()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bit)| {
+                        let p_match = if bit { p1[i] } else { 1.0 - p1[i] };
+                        let keep = reverse_jump_prob(&self.schedule, j, k, p_match);
+                        if rng.gen_bool(keep.clamp(0.0, 1.0)) {
+                            bit
+                        } else {
+                            !bit
+                        }
+                    })
+                    .collect()
+            };
+            state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+        }
+        state
+    }
+
+    /// Builds an evenly strided retained-step subset `[s, 2s, ..., K]` for
+    /// [`Sampler::sample_respaced`].
+    pub fn strided_steps(&self, stride: usize) -> Vec<usize> {
+        let k_max = self.schedule.steps();
+        let stride = stride.max(1);
+        let mut out: Vec<usize> = (1..=k_max).filter(|k| k % stride == 0).collect();
+        if out.last() != Some(&k_max) {
+            out.push(k_max);
+        }
+        if out.is_empty() {
+            out.push(k_max);
+        }
+        out
+    }
+
+    /// Draws one sample, recording snapshots at the requested steps
+    /// (plus the initial noise at `k = K` and the final sample at `k = 0`).
+    pub fn sample_with_trace(
+        &self,
+        denoiser: &mut dyn Denoiser,
+        channels: usize,
+        side: usize,
+        snapshot_steps: &[usize],
+        rng: &mut impl Rng,
+    ) -> SampleTrace {
+        let k_max = self.schedule.steps();
+        // T_K ~ uniform over {0, 1}: the stationary distribution (Eq. 6).
+        let bits = (0..channels * side * side)
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        let mut state = DeepSquishTensor::from_bits(channels, side, bits)
+            .expect("valid shape");
+
+        let mut snapshots = vec![(k_max, state.clone())];
+        for k in (2..=k_max).rev() {
+            let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[k])[0];
+            let mut bits = state.bits().to_vec();
+            for (i, bit) in bits.iter_mut().enumerate() {
+                // Probability the network gives to x̃0 equalling the current
+                // state of this entry.
+                let p_match = if *bit { p1[i] } else { 1.0 - p1[i] };
+                let keep = reverse_step_prob(&self.schedule, k, p_match);
+                if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
+                    *bit = !*bit;
+                }
+            }
+            state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+            if snapshot_steps.contains(&(k - 1)) {
+                snapshots.push((k - 1, state.clone()));
+            }
+        }
+
+        // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly.
+        let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[1])[0];
+        let bits = p1
+            .iter()
+            .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
+            .collect();
+        let sample =
+            DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+        snapshots.push((0, sample.clone()));
+
+        SampleTrace { snapshots, sample }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OracleDenoiser, UniformDenoiser};
+    use rand::SeedableRng;
+
+    fn schedule() -> NoiseSchedule {
+        NoiseSchedule::linear(100, 0.01, 0.5).unwrap()
+    }
+
+    #[test]
+    fn oracle_sampling_reconstructs_x0() {
+        // The strongest correctness check of the reverse-process math: with
+        // a confident oracle, ancestral sampling from pure noise must land
+        // on x0 (every step pulls each entry towards x0's value).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let bits: Vec<bool> = (0..64).map(|i| (i / 3) % 2 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let mut oracle = OracleDenoiser::new(x0.clone(), 0.999);
+        let sampler = Sampler::new(schedule());
+        let out = sampler.sample_one(&mut oracle, 1, 8, &mut rng);
+        let hamming: usize = out
+            .bits()
+            .iter()
+            .zip(x0.bits())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(hamming <= 1, "hamming {hamming} too large");
+    }
+
+    #[test]
+    fn uniform_denoiser_stays_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let sampler = Sampler::new(schedule());
+        let mut d = UniformDenoiser::new();
+        let samples = sampler.sample(&mut d, 1, 16, 4, &mut rng);
+        let ones: usize = samples
+            .iter()
+            .map(|s| s.bits().iter().filter(|&&b| b).count())
+            .sum();
+        let total = 4 * 256;
+        let frac = ones as f64 / total as f64;
+        assert!((frac - 0.5).abs() < 0.08, "fraction {frac}");
+    }
+
+    #[test]
+    fn trace_contains_endpoints_and_requested_steps() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let sampler = Sampler::new(schedule());
+        let mut d = UniformDenoiser::new();
+        let trace = sampler.sample_with_trace(&mut d, 1, 4, &[50, 10], &mut rng);
+        let ks: Vec<usize> = trace.snapshots.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ks, vec![100, 50, 10, 0]);
+        assert_eq!(trace.sample, trace.snapshots.last().unwrap().1);
+    }
+
+    #[test]
+    fn samples_have_requested_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let sampler = Sampler::new(NoiseSchedule::linear(10, 0.05, 0.5).unwrap());
+        let mut d = UniformDenoiser::new();
+        let out = sampler.sample(&mut d, 4, 8, 3, &mut rng);
+        assert_eq!(out.len(), 3);
+        for t in out {
+            assert_eq!((t.channels(), t.side()), (4, 8));
+        }
+    }
+
+    #[test]
+    fn respaced_oracle_reconstruction() {
+        // Even with a stride of 10 (one tenth of the denoiser calls), a
+        // confident oracle still reconstructs x0 through the generalised
+        // jump posterior.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let bits: Vec<bool> = (0..64).map(|i| (i / 4) % 2 == 1).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let mut oracle = OracleDenoiser::new(x0.clone(), 0.999);
+        let sampler = Sampler::new(schedule());
+        let retained = sampler.strided_steps(10);
+        assert!(retained.len() <= 11);
+        let out = sampler.sample_respaced(&mut oracle, 1, 8, &retained, &mut rng);
+        let hamming: usize = out
+            .bits()
+            .iter()
+            .zip(x0.bits())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(hamming <= 2, "hamming {hamming}");
+    }
+
+    #[test]
+    fn respaced_full_sequence_matches_regular_statistics() {
+        // With stride 1, respaced sampling is the ordinary ancestral
+        // sampler; under a uniform denoiser both keep the fair-coin
+        // density.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let sampler = Sampler::new(schedule());
+        let full: Vec<usize> = (1..=100).collect();
+        let mut d = UniformDenoiser::new();
+        let mut ones = 0usize;
+        for _ in 0..4 {
+            let t = sampler.sample_respaced(&mut d, 1, 16, &full, &mut rng);
+            ones += t.bits().iter().filter(|&&b| b).count();
+        }
+        let frac = ones as f64 / (4.0 * 256.0);
+        assert!((frac - 0.5).abs() < 0.08, "{frac}");
+    }
+
+    #[test]
+    fn strided_steps_cover_endpoints() {
+        let sampler = Sampler::new(schedule());
+        let steps = sampler.strided_steps(25);
+        assert_eq!(steps.last(), Some(&100));
+        assert!(steps.iter().all(|&k| (1..=100).contains(&k)));
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+        // stride 1 is the full sequence
+        assert_eq!(sampler.strided_steps(1).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn respaced_rejects_unsorted_steps() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let sampler = Sampler::new(schedule());
+        let mut d = UniformDenoiser::new();
+        let _ = sampler.sample_respaced(&mut d, 1, 4, &[50, 10], &mut rng);
+    }
+
+    #[test]
+    fn noise_dominates_early_denoising_late() {
+        // With a confident oracle, the state at a late snapshot (small k)
+        // must be closer to x0 than the initial noise was.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let bits: Vec<bool> = (0..256).map(|i| i % 5 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 16, bits).unwrap();
+        let mut oracle = OracleDenoiser::new(x0.clone(), 0.999);
+        let sampler = Sampler::new(schedule());
+        let trace = sampler.sample_with_trace(&mut oracle, 1, 16, &[5], &mut rng);
+        let dist = |t: &DeepSquishTensor| -> usize {
+            t.bits().iter().zip(x0.bits()).filter(|(a, b)| a != b).count()
+        };
+        let initial = dist(&trace.snapshots[0].1);
+        let late = dist(&trace.snapshots[1].1);
+        assert!(
+            late < initial / 4,
+            "late {late} should be far below initial {initial}"
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Extraction of the nonlinear-system ingredients (paper Eq. 14).
+//!
+//! The legal-pattern-assessment phase needs, for a *fixed* topology matrix,
+//! the pattern-dependent index sets over the unknown Δ vectors:
+//!
+//! * `Set_W` — delta ranges spanned by a filled run (a shape crossing),
+//!   whose physical sum must be at least `width_min`,
+//! * `Set_S` — delta ranges spanned by an interior empty run between two
+//!   shapes, whose sum must be at least `space_min`,
+//! * per-polygon cell sets, whose bilinear sum `Σ δx_i · δy_j` must lie in
+//!   `[area_min, area_max]`.
+//!
+//! [`ConstraintSet::extract`] computes these once per topology; the
+//! legalizer in `dp-legalize` then solves for Δx, Δy. Because the same
+//! run/polygon definitions drive [`crate::check_pattern`], a solution that
+//! satisfies the constraint set is DRC-clean by construction (see the
+//! cross-validation property test in `dp-legalize`).
+
+use std::collections::BTreeSet;
+
+use crate::DesignRules;
+use dp_geometry::runs::{filled_runs, interior_space_runs};
+use dp_geometry::{BitGrid, ComponentLabels, Coord};
+
+/// The pattern-dependent constraint data for one topology matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintSet {
+    cols: usize,
+    rows: usize,
+    x_width: Vec<(usize, usize)>,
+    x_space: Vec<(usize, usize)>,
+    y_width: Vec<(usize, usize)>,
+    y_space: Vec<(usize, usize)>,
+    polygons: Vec<Vec<(usize, usize)>>,
+}
+
+impl ConstraintSet {
+    /// Extracts all constraint index sets from a topology under `rules`
+    /// (border exemption is honoured here, consistently with the checker).
+    pub fn extract(topology: &BitGrid, rules: &DesignRules) -> Self {
+        let w = topology.width();
+        let h = topology.height();
+
+        let mut x_width: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut x_space: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for row in 0..h {
+            let cells: Vec<bool> = topology.row(row).collect();
+            for run in filled_runs(cells.iter().copied()) {
+                if run.touches_border(w) && rules.exempt_border() {
+                    continue;
+                }
+                x_width.insert((run.start, run.end));
+            }
+            for run in interior_space_runs(cells.iter().copied(), w) {
+                x_space.insert((run.start, run.end));
+            }
+        }
+
+        let mut y_width: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut y_space: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for col in 0..w {
+            let cells: Vec<bool> = topology.column(col).collect();
+            for run in filled_runs(cells.iter().copied()) {
+                if run.touches_border(h) && rules.exempt_border() {
+                    continue;
+                }
+                y_width.insert((run.start, run.end));
+            }
+            for run in interior_space_runs(cells.iter().copied(), h) {
+                y_space.insert((run.start, run.end));
+            }
+        }
+
+        let labels = ComponentLabels::label(topology);
+        let boxes = labels.bounding_boxes();
+        let mut polygons = Vec::new();
+        for label in 0..labels.count() {
+            let (c0, r0, c1, r1) = boxes[label as usize];
+            let touches = c0 == 0 || r0 == 0 || c1 == w || r1 == h;
+            if touches && rules.exempt_border() {
+                continue;
+            }
+            polygons.push(labels.cells_of(label));
+        }
+
+        ConstraintSet {
+            cols: w,
+            rows: h,
+            x_width: x_width.into_iter().collect(),
+            x_space: x_space.into_iter().collect(),
+            y_width: y_width.into_iter().collect(),
+            y_space: y_space.into_iter().collect(),
+            polygons,
+        }
+    }
+
+    /// Number of Δx variables (topology columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of Δy variables (topology rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Width ranges over Δx (half-open index ranges).
+    pub fn x_width(&self) -> &[(usize, usize)] {
+        &self.x_width
+    }
+
+    /// Space ranges over Δx.
+    pub fn x_space(&self) -> &[(usize, usize)] {
+        &self.x_space
+    }
+
+    /// Width ranges over Δy.
+    pub fn y_width(&self) -> &[(usize, usize)] {
+        &self.y_width
+    }
+
+    /// Space ranges over Δy.
+    pub fn y_space(&self) -> &[(usize, usize)] {
+        &self.y_space
+    }
+
+    /// Cell lists per area-constrained polygon.
+    pub fn polygons(&self) -> &[Vec<(usize, usize)>] {
+        &self.polygons
+    }
+
+    /// Total number of scalar constraints (paper Eq. 14 rows, excluding
+    /// positivity and the two sum-pinning equalities).
+    pub fn len(&self) -> usize {
+        self.x_width.len()
+            + self.x_space.len()
+            + self.y_width.len()
+            + self.y_space.len()
+            + self.polygons.len()
+    }
+
+    /// `true` when the topology induces no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks whether concrete Δ vectors satisfy every constraint under
+    /// `rules`. This is the reference oracle the solver is validated
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dx`/`dy` lengths do not match the topology shape.
+    pub fn is_satisfied(&self, dx: &[Coord], dy: &[Coord], rules: &DesignRules) -> bool {
+        assert_eq!(dx.len(), self.cols, "dx length mismatch");
+        assert_eq!(dy.len(), self.rows, "dy length mismatch");
+        if dx.iter().any(|&d| d <= 0) || dy.iter().any(|&d| d <= 0) {
+            return false;
+        }
+        let sum = |v: &[Coord], (a, b): (usize, usize)| -> Coord { v[a..b].iter().sum() };
+        for &range in &self.x_width {
+            if sum(dx, range) < rules.width_min() {
+                return false;
+            }
+        }
+        for &range in &self.x_space {
+            if sum(dx, range) < rules.space_min() {
+                return false;
+            }
+        }
+        for &range in &self.y_width {
+            if sum(dy, range) < rules.width_min() {
+                return false;
+            }
+        }
+        for &range in &self.y_space {
+            if sum(dy, range) < rules.space_min() {
+                return false;
+            }
+        }
+        for cells in &self.polygons {
+            let area: i128 = cells
+                .iter()
+                .map(|&(c, r)| dx[c] as i128 * dy[r] as i128)
+                .sum();
+            if area < rules.area_min() || area > rules.area_max() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> DesignRules {
+        DesignRules::builder()
+            .space_min(60)
+            .width_min(60)
+            .area_range(4_000, 1_500_000)
+            .build()
+            .unwrap()
+    }
+
+    /// Two vertical bars with a gap: `.#.#.` horizontally, solid vertically
+    /// inside a margin.
+    fn two_bars() -> BitGrid {
+        BitGrid::from_ascii(
+            ".....
+             .#.#.
+             .#.#.
+             .....",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_expected_ranges() {
+        let cs = ConstraintSet::extract(&two_bars(), &rules());
+        // x: filled runs at cols 1..2 and 3..4; interior space runs 0..1 is
+        // border-touching? start==0 touches border -> excluded; 2..3 between
+        // bars -> included; 4..5 border -> excluded.
+        assert_eq!(cs.x_width(), &[(1, 2), (3, 4)]);
+        assert_eq!(cs.x_space(), &[(2, 3)]);
+        // y: bars span rows 1..3 in columns 1 and 3.
+        assert_eq!(cs.y_width(), &[(1, 3)]);
+        assert_eq!(cs.y_space(), &[]);
+        assert_eq!(cs.polygons().len(), 2);
+        assert_eq!(cs.len(), 2 + 1 + 1 + 2);
+    }
+
+    #[test]
+    fn empty_topology_has_no_constraints() {
+        let g = BitGrid::new(4, 4).unwrap();
+        let cs = ConstraintSet::extract(&g, &rules());
+        assert!(cs.is_empty());
+        assert!(cs.is_satisfied(&[1; 4], &[1; 4], &rules()));
+    }
+
+    #[test]
+    fn satisfaction_oracle() {
+        let cs = ConstraintSet::extract(&two_bars(), &rules());
+        let r = rules();
+        // Legal: bars 100 wide, gap 100, margins 100; rows 100 tall.
+        let dx = vec![100, 100, 100, 100, 1648];
+        let dy = vec![100, 100, 100, 1748];
+        assert!(cs.is_satisfied(&dx, &dy, &r));
+        // Too-narrow gap.
+        let dx_bad = vec![100, 100, 20, 100, 1728];
+        assert!(!cs.is_satisfied(&dx_bad, &dy, &r));
+        // Too-narrow bar.
+        let dx_bad = vec![100, 30, 170, 100, 1648];
+        assert!(!cs.is_satisfied(&dx_bad, &dy, &r));
+        // Bar area too small: 100 wide x 30 tall x 2 rows = hmm, rows are
+        // two cells; shrink both row heights.
+        let dy_bad = vec![100, 10, 10, 1928];
+        assert!(!cs.is_satisfied(&dx, &dy_bad, &r));
+        // Non-positive delta.
+        let dx_bad = vec![100, 100, 0, 200, 1648];
+        assert!(!cs.is_satisfied(&dx_bad, &dy, &r));
+    }
+
+    #[test]
+    fn satisfaction_agrees_with_checker() {
+        use dp_squish::SquishPattern;
+        let topo = two_bars();
+        let r = rules();
+        let cs = ConstraintSet::extract(&topo, &r);
+        let cases = [
+            (vec![100, 100, 100, 100, 1648], vec![100, 100, 100, 1748]),
+            (vec![100, 100, 20, 100, 1728], vec![100, 100, 100, 1748]),
+            (vec![500, 700, 100, 100, 648], vec![100, 1000, 800, 148]),
+        ];
+        for (dx, dy) in cases {
+            let pattern =
+                SquishPattern::new(topo.clone(), dx.clone(), dy.clone()).unwrap();
+            let report = crate::check_pattern(&pattern, &r);
+            assert_eq!(
+                cs.is_satisfied(&dx, &dy, &r),
+                report.is_clean(),
+                "oracle and checker disagree for dx={dx:?} dy={dy:?}: {:?}",
+                report.violations()
+            );
+        }
+    }
+
+    #[test]
+    fn border_exemption_consistency() {
+        let strict = DesignRules::builder()
+            .space_min(60)
+            .width_min(60)
+            .area_range(4_000, 1_500_000)
+            .exempt_border(false)
+            .build()
+            .unwrap();
+        // A bar touching the left border.
+        let g = BitGrid::from_ascii(
+            "#..
+             #..
+             #..",
+        )
+        .unwrap();
+        let exempted = ConstraintSet::extract(&g, &rules());
+        let checked = ConstraintSet::extract(&g, &strict);
+        assert!(exempted.x_width().is_empty());
+        assert_eq!(checked.x_width(), &[(0, 1)]);
+        assert!(exempted.polygons().is_empty());
+        assert_eq!(checked.polygons().len(), 1);
+    }
+}

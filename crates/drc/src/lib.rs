@@ -1,0 +1,58 @@
+//! Design-rule checking for layout patterns.
+//!
+//! The paper evaluates pattern *legality* with KLayout against three rule
+//! families (Fig. 3):
+//!
+//! * **Space** — the distance between two adjacent polygons must be at
+//!   least `space_min`,
+//! * **Width** — the size of a shape measured across, in either axis, must
+//!   be at least `width_min`,
+//! * **Area** — each polygon's area must lie within
+//!   `[area_min, area_max]`.
+//!
+//! This crate is the workspace's KLayout substitute: [`check_pattern`]
+//! measures all three rule families directly on a squish pattern (topology
+//! matrix + Δ vectors), reporting every [`Violation`] with physical
+//! coordinates, and [`constraints::ConstraintSet`] extracts the
+//! `Set_S` / `Set_W` index sets and per-polygon cell lists that the
+//! legalization system (paper Eq. 14) is built from — guaranteeing the
+//! checker and the legalizer agree on what "legal" means.
+//!
+//! # Example
+//!
+//! ```
+//! use dp_geometry::{Layout, Rect};
+//! use dp_squish::SquishPattern;
+//! use dp_drc::{check_pattern, DesignRules};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let rules = DesignRules::builder()
+//!     .space_min(40)
+//!     .width_min(40)
+//!     .area_range(1_000, 2_000_000)
+//!     .build()?;
+//!
+//! let mut layout = Layout::new(Rect::new(0, 0, 2048, 2048)?);
+//! layout.push(Rect::new(100, 100, 300, 800)?);   // 200 wide: ok
+//! layout.push(Rect::new(320, 100, 520, 800)?);   // only 20 apart: space violation
+//! let pattern = SquishPattern::encode(&layout);
+//!
+//! let report = check_pattern(&pattern, &rules);
+//! assert!(!report.is_clean());
+//! assert_eq!(report.violations().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod check;
+pub mod constraints;
+mod rules;
+mod violation;
+
+pub use check::{check_layout, check_pattern, DrcReport};
+pub use constraints::ConstraintSet;
+pub use rules::{DesignRules, DesignRulesBuilder, RulesError};
+pub use violation::Violation;

@@ -1,0 +1,205 @@
+//! Bow-tie detection: the topology pre-filter of DiffPattern (paper §III-C).
+//!
+//! A *bow-tie* is a point contact where two filled cells touch only
+//! diagonally while the two orthogonal neighbours are empty (or the mirror
+//! configuration). Such a topology describes two polygons meeting at a
+//! single point, which is not manufacturable and is rejected by every
+//! layout tool. DiffPattern removes these topologies with a rule-based
+//! pre-filter before legalization; the paper reports fewer than 0.1 % of
+//! generated topologies being filtered out.
+
+use crate::BitGrid;
+
+/// A bow-tie occurrence at the 2x2 window whose bottom-left cell is
+/// `(col, row)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BowTie {
+    /// Column of the bottom-left cell of the 2x2 window.
+    pub col: usize,
+    /// Row of the bottom-left cell of the 2x2 window.
+    pub row: usize,
+    /// `true` when the filled diagonal runs bottom-left to top-right.
+    pub rising: bool,
+}
+
+/// Finds every bow-tie in `grid`.
+///
+/// A 2x2 window is a bow-tie when exactly one diagonal pair is filled:
+///
+/// ```text
+/// #.      .#
+/// .#  or  #.
+/// ```
+///
+/// ```
+/// use dp_geometry::{BitGrid, bowtie};
+/// let g = BitGrid::from_ascii("#.\n.#").unwrap();
+/// assert_eq!(bowtie::find_bowties(&g).len(), 1);
+/// ```
+pub fn find_bowties(grid: &BitGrid) -> Vec<BowTie> {
+    let mut out = Vec::new();
+    for row in 0..grid.height().saturating_sub(1) {
+        for col in 0..grid.width().saturating_sub(1) {
+            let bl = grid.get(col, row);
+            let br = grid.get(col + 1, row);
+            let tl = grid.get(col, row + 1);
+            let tr = grid.get(col + 1, row + 1);
+            if bl && tr && !br && !tl {
+                out.push(BowTie {
+                    col,
+                    row,
+                    rising: true,
+                });
+            } else if br && tl && !bl && !tr {
+                out.push(BowTie {
+                    col,
+                    row,
+                    rising: false,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` when the topology contains no bow-tie and is therefore
+/// accepted by the pre-filter.
+pub fn is_bowtie_free(grid: &BitGrid) -> bool {
+    for row in 0..grid.height().saturating_sub(1) {
+        for col in 0..grid.width().saturating_sub(1) {
+            let bl = grid.get(col, row);
+            let br = grid.get(col + 1, row);
+            let tl = grid.get(col, row + 1);
+            let tr = grid.get(col + 1, row + 1);
+            if (bl && tr && !br && !tl) || (br && tl && !bl && !tr) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Repairs every bow-tie by filling one of the empty cells of the 2x2
+/// window, chosen deterministically (the bottom-empty cell). This is the
+/// simplest legalizing transformation and is used by the LegalGAN baseline's
+/// morphological post-processing.
+///
+/// Returns the number of repairs applied (iterates until bow-tie free).
+pub fn repair_bowties(grid: &mut BitGrid) -> usize {
+    let mut repairs = 0;
+    loop {
+        let ties = find_bowties(grid);
+        if ties.is_empty() {
+            return repairs;
+        }
+        for tie in ties {
+            // Fill the empty bottom cell of the window.
+            let (c, r) = if tie.rising {
+                (tie.col + 1, tie.row)
+            } else {
+                (tie.col, tie.row)
+            };
+            if !grid.get(c, r) {
+                grid.set(c, r, true);
+                repairs += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_grid_has_no_bowties() {
+        let g = BitGrid::from_ascii(
+            "##..
+             ##..
+             ..##",
+        )
+        .unwrap();
+        // The 2x2 window at (1,0)-(2,1): cells (1,1)=#, (2,0)=# -> wait,
+        // row 0 is ..##, row 1 is ##.., so window cols 1-2 rows 0-1 has
+        // bl=(1,0)=. br=(2,0)=# tl=(1,1)=# tr=(2,1)=. -> falling bow-tie!
+        assert!(!is_bowtie_free(&g));
+        let ties = find_bowties(&g);
+        assert_eq!(ties.len(), 1);
+        assert!(!ties[0].rising);
+    }
+
+    #[test]
+    fn truly_clean_grid() {
+        let g = BitGrid::from_ascii(
+            "##..
+             ##..
+             ##..",
+        )
+        .unwrap();
+        assert!(is_bowtie_free(&g));
+        assert!(find_bowties(&g).is_empty());
+    }
+
+    #[test]
+    fn rising_bowtie() {
+        let g = BitGrid::from_ascii(
+            ".#
+             #.",
+        )
+        .unwrap();
+        let ties = find_bowties(&g);
+        assert_eq!(ties.len(), 1);
+        assert_eq!(
+            ties[0],
+            BowTie {
+                col: 0,
+                row: 0,
+                rising: true
+            }
+        );
+    }
+
+    #[test]
+    fn full_window_is_not_bowtie() {
+        let g = BitGrid::from_ascii(
+            "##
+             ##",
+        )
+        .unwrap();
+        assert!(is_bowtie_free(&g));
+    }
+
+    #[test]
+    fn three_filled_is_not_bowtie() {
+        let g = BitGrid::from_ascii(
+            "##
+             #.",
+        )
+        .unwrap();
+        assert!(is_bowtie_free(&g));
+    }
+
+    #[test]
+    fn repair_terminates_and_clears() {
+        let mut g = BitGrid::from_ascii(
+            "#.#.
+             .#.#
+             #.#.",
+        )
+        .unwrap();
+        assert!(!is_bowtie_free(&g));
+        let n = repair_bowties(&mut g);
+        assert!(n > 0);
+        assert!(is_bowtie_free(&g));
+    }
+
+    #[test]
+    fn repair_noop_on_clean() {
+        let mut g = BitGrid::from_ascii(
+            "###
+             ###",
+        )
+        .unwrap();
+        assert_eq!(repair_bowties(&mut g), 0);
+    }
+}

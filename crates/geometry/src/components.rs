@@ -1,0 +1,223 @@
+//! 4-connected component labelling over a [`BitGrid`].
+//!
+//! Every polygon in a topology matrix is a maximal 4-connected region of
+//! filled cells. The legalization system (paper Eq. 14) needs per-polygon
+//! cell sets for the area constraints, and the topology pre-filter needs the
+//! component structure to reason about point contacts.
+
+use crate::BitGrid;
+
+/// Result of labelling a grid: one label per cell, `None` for empty cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    width: usize,
+    height: usize,
+    labels: Vec<Option<u32>>,
+    count: u32,
+}
+
+impl ComponentLabels {
+    /// Labels all 4-connected components of filled cells in `grid`.
+    ///
+    /// Labels are assigned in scan order (bottom row, left to right) and are
+    /// dense: `0..count`.
+    pub fn label(grid: &BitGrid) -> Self {
+        let width = grid.width();
+        let height = grid.height();
+        let mut labels: Vec<Option<u32>> = vec![None; width * height];
+        let mut count = 0u32;
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+
+        for row in 0..height {
+            for col in 0..width {
+                if !grid.get(col, row) || labels[row * width + col].is_some() {
+                    continue;
+                }
+                let label = count;
+                count += 1;
+                stack.push((col, row));
+                labels[row * width + col] = Some(label);
+                while let Some((c, r)) = stack.pop() {
+                    let mut visit = |nc: usize, nr: usize| {
+                        if grid.get(nc, nr) && labels[nr * width + nc].is_none() {
+                            labels[nr * width + nc] = Some(label);
+                            stack.push((nc, nr));
+                        }
+                    };
+                    if c > 0 {
+                        visit(c - 1, r);
+                    }
+                    if c + 1 < width {
+                        visit(c + 1, r);
+                    }
+                    if r > 0 {
+                        visit(c, r - 1);
+                    }
+                    if r + 1 < height {
+                        visit(c, r + 1);
+                    }
+                }
+            }
+        }
+
+        ComponentLabels {
+            width,
+            height,
+            labels,
+            count,
+        }
+    }
+
+    /// Number of components found.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Label of the cell at `(col, row)`, or `None` for empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell is out of bounds.
+    pub fn get(&self, col: usize, row: usize) -> Option<u32> {
+        assert!(col < self.width && row < self.height, "cell out of bounds");
+        self.labels[row * self.width + col]
+    }
+
+    /// All cells belonging to component `label`, in scan order.
+    pub fn cells_of(&self, label: u32) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for row in 0..self.height {
+            for col in 0..self.width {
+                if self.labels[row * self.width + col] == Some(label) {
+                    out.push((col, row));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cell count per component, indexed by label.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count as usize];
+        for l in self.labels.iter().flatten() {
+            sizes[*l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Bounding box `(col0, row0, col1, row1)` (half-open) per component.
+    pub fn bounding_boxes(&self) -> Vec<(usize, usize, usize, usize)> {
+        let mut boxes = vec![(usize::MAX, usize::MAX, 0usize, 0usize); self.count as usize];
+        for row in 0..self.height {
+            for col in 0..self.width {
+                if let Some(l) = self.labels[row * self.width + col] {
+                    let b = &mut boxes[l as usize];
+                    b.0 = b.0.min(col);
+                    b.1 = b.1.min(row);
+                    b.2 = b.2.max(col + 1);
+                    b.3 = b.3.max(row + 1);
+                }
+            }
+        }
+        boxes
+    }
+
+    /// Returns `true` when component `label` is a perfect filled rectangle.
+    pub fn is_rectangular(&self, label: u32) -> bool {
+        let (c0, r0, c1, r1) = self.bounding_boxes()[label as usize];
+        let expected = (c1 - c0) * (r1 - r0);
+        self.sizes()[label as usize] == expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(art: &str) -> BitGrid {
+        BitGrid::from_ascii(art).unwrap()
+    }
+
+    #[test]
+    fn empty_grid_has_no_components() {
+        let g = BitGrid::new(4, 4).unwrap();
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.count(), 0);
+        assert!(labels.sizes().is_empty());
+    }
+
+    #[test]
+    fn two_separate_bars() {
+        let g = grid(
+            "#..#
+             #..#
+             #..#",
+        );
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.count(), 2);
+        assert_eq!(labels.sizes(), vec![3, 3]);
+        assert!(labels.is_rectangular(0));
+        assert!(labels.is_rectangular(1));
+    }
+
+    #[test]
+    fn diagonal_touch_is_not_connected() {
+        let g = grid(
+            "#.
+             .#",
+        );
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.count(), 2, "4-connectivity must split diagonals");
+    }
+
+    #[test]
+    fn l_shape_is_one_component_not_rectangular() {
+        let g = grid(
+            "#..
+             #..
+             ###",
+        );
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.count(), 1);
+        assert_eq!(labels.sizes(), vec![5]);
+        assert!(!labels.is_rectangular(0));
+        assert_eq!(labels.bounding_boxes()[0], (0, 0, 3, 3));
+    }
+
+    #[test]
+    fn labels_are_scan_ordered_and_dense() {
+        let g = grid(
+            "..#
+             ...
+             #..",
+        );
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.count(), 2);
+        // Bottom-left cell is scanned first, so it gets label 0.
+        assert_eq!(labels.get(0, 0), Some(0));
+        assert_eq!(labels.get(2, 2), Some(1));
+        assert_eq!(labels.get(1, 1), None);
+    }
+
+    #[test]
+    fn cells_of_returns_all_cells() {
+        let g = grid(
+            "##
+             ##",
+        );
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.cells_of(0).len(), 4);
+    }
+
+    #[test]
+    fn snake_component() {
+        let g = grid(
+            "###
+             #..
+             ###",
+        );
+        let labels = ComponentLabels::label(&g);
+        assert_eq!(labels.count(), 1);
+        assert_eq!(labels.sizes(), vec![7]);
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Error type for geometric construction and queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeometryError {
+    /// A rectangle was constructed with non-positive extent.
+    EmptyRect {
+        /// Left x.
+        x0: i64,
+        /// Bottom y.
+        y0: i64,
+        /// Right x.
+        x1: i64,
+        /// Top y.
+        y1: i64,
+    },
+    /// A grid was constructed with a zero dimension.
+    EmptyGrid {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// Row data does not match the declared grid shape.
+    ShapeMismatch {
+        /// Expected number of cells.
+        expected: usize,
+        /// Number of cells supplied.
+        actual: usize,
+    },
+    /// A geometric object lies outside the region it must be contained in.
+    OutOfBounds,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyRect { x0, y0, x1, y1 } => write!(
+                f,
+                "rectangle ({x0},{y0})-({x1},{y1}) has non-positive extent"
+            ),
+            GeometryError::EmptyGrid { width, height } => {
+                write!(f, "grid dimensions {width}x{height} must be non-zero")
+            }
+            GeometryError::ShapeMismatch { expected, actual } => {
+                write!(f, "expected {expected} cells, got {actual}")
+            }
+            GeometryError::OutOfBounds => write!(f, "object lies outside its container"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let errors = [
+            GeometryError::EmptyRect {
+                x0: 0,
+                y0: 0,
+                x1: 0,
+                y1: 5,
+            },
+            GeometryError::EmptyGrid {
+                width: 0,
+                height: 3,
+            },
+            GeometryError::ShapeMismatch {
+                expected: 9,
+                actual: 8,
+            },
+            GeometryError::OutOfBounds,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeometryError>();
+    }
+}

@@ -1,0 +1,66 @@
+//! Rectilinear geometry kernel for the DiffPattern reproduction.
+//!
+//! VLSI layout patterns are stacks of axis-aligned (Manhattan) polygons.
+//! This crate provides the low-level geometric machinery every other crate
+//! in the workspace builds on:
+//!
+//! * [`Point`] / [`Rect`] — integer-nanometre coordinates and axis-aligned
+//!   rectangles,
+//! * [`BitGrid`] — a dense binary occupancy grid, the in-memory form of a
+//!   squish-pattern *topology matrix*,
+//! * [`components`] — 4-connected component labelling over a [`BitGrid`],
+//! * [`RectilinearPolygon`] — boundary tracing of a labelled region into a
+//!   closed Manhattan vertex loop (used by the LayouTransformer baseline and
+//!   by area accounting),
+//! * [`bowtie`] — detection of *bow-tie* point contacts, the invalid
+//!   topology class removed by DiffPattern's topology pre-filter,
+//! * [`runs`] — run-length decomposition of rows/columns, the basis of the
+//!   Space/Width design-rule measurements (paper Fig. 3),
+//! * [`Layout`] — a bag of rectangles with scan-line extraction, the input
+//!   to squish-pattern encoding (paper Fig. 2).
+//!
+//! # Example
+//!
+//! ```
+//! use dp_geometry::{BitGrid, Layout, Rect};
+//!
+//! # fn main() -> Result<(), dp_geometry::GeometryError> {
+//! let mut layout = Layout::new(Rect::new(0, 0, 100, 100)?);
+//! layout.push(Rect::new(10, 10, 40, 90)?);
+//! layout.push(Rect::new(60, 10, 90, 90)?);
+//! let (xs, ys) = layout.scan_lines();
+//! assert_eq!(xs, vec![0, 10, 40, 60, 90, 100]);
+//! assert_eq!(ys, vec![0, 10, 90, 100]);
+//!
+//! let grid = layout.rasterize(&xs, &ys);
+//! assert_eq!(grid.width(), 5);
+//! assert_eq!(grid.height(), 3);
+//! assert!(grid.get(1, 1));  // inside the first rect
+//! assert!(!grid.get(2, 1)); // the gap between the rects
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bitgrid;
+pub mod bowtie;
+pub mod components;
+mod error;
+mod layout;
+mod point;
+mod polygon;
+mod rect;
+pub mod runs;
+
+pub use bitgrid::BitGrid;
+pub use components::ComponentLabels;
+pub use error::GeometryError;
+pub use layout::Layout;
+pub use point::Point;
+pub use polygon::{polygons_of_grid, EdgeToken, RectilinearPolygon};
+pub use rect::Rect;
+
+/// Integer coordinate type used throughout the workspace (nanometres).
+pub type Coord = i64;

@@ -1,0 +1,147 @@
+//! Run-length decomposition of grid rows and columns.
+//!
+//! The Space and Width design rules (paper Fig. 3) measure maximal runs of
+//! empty and filled cells along each axis: a *width* violation is a filled
+//! run whose physical extent is below `width_min`, and a *space* violation
+//! is an empty run between two polygons whose extent is below `space_min`.
+//! The legalization system (paper Eq. 14) builds its `Set_W` and `Set_S`
+//! index sets from exactly these runs.
+
+/// A maximal run of equal cells within a row or column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// Index of the first cell in the run.
+    pub start: usize,
+    /// One past the last cell in the run.
+    pub end: usize,
+    /// Cell value over the run.
+    pub filled: bool,
+}
+
+impl Run {
+    /// Number of cells covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` when the run covers no cells (never produced by [`runs_of`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// `true` when the run touches either end of a line of length `len`.
+    pub fn touches_border(&self, len: usize) -> bool {
+        self.start == 0 || self.end == len
+    }
+}
+
+/// Decomposes a sequence of cells into maximal runs.
+///
+/// ```
+/// use dp_geometry::runs::runs_of;
+/// let runs = runs_of([true, true, false, true].into_iter());
+/// assert_eq!(runs.len(), 3);
+/// assert_eq!(runs[0].len(), 2);
+/// assert!(runs[0].filled);
+/// ```
+pub fn runs_of(cells: impl Iterator<Item = bool>) -> Vec<Run> {
+    let mut out: Vec<Run> = Vec::new();
+    for (i, value) in cells.enumerate() {
+        match out.last_mut() {
+            Some(run) if run.filled == value => run.end = i + 1,
+            _ => out.push(Run {
+                start: i,
+                end: i + 1,
+                filled: value,
+            }),
+        }
+    }
+    out
+}
+
+/// Filled runs only (width-rule subjects).
+pub fn filled_runs(cells: impl Iterator<Item = bool>) -> Vec<Run> {
+    runs_of(cells).into_iter().filter(|r| r.filled).collect()
+}
+
+/// Empty runs strictly between two filled runs (space-rule subjects).
+///
+/// Runs touching the border are *not* interior: the neighbouring shape in
+/// the adjacent tile is unknown, so the paper's rule set (and KLayout in
+/// tile mode) measures space only between two polygons inside the tile.
+pub fn interior_space_runs(cells: impl Iterator<Item = bool>, len: usize) -> Vec<Run> {
+    runs_of(cells)
+        .into_iter()
+        .filter(|r| !r.filled && !r.touches_border(len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_input() {
+        assert!(runs_of(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn single_run() {
+        let r = runs_of([true; 5].into_iter());
+        assert_eq!(
+            r,
+            vec![Run {
+                start: 0,
+                end: 5,
+                filled: true
+            }]
+        );
+    }
+
+    #[test]
+    fn alternating() {
+        let r = runs_of([true, false, true, false].into_iter());
+        assert_eq!(r.len(), 4);
+        assert!(r.iter().all(|run| run.len() == 1));
+    }
+
+    #[test]
+    fn interior_space_excludes_borders() {
+        // . # . . # .
+        let cells = [false, true, false, false, true, false];
+        let spaces = interior_space_runs(cells.into_iter(), cells.len());
+        assert_eq!(spaces.len(), 1);
+        assert_eq!((spaces[0].start, spaces[0].end), (2, 4));
+    }
+
+    #[test]
+    fn no_interior_space_for_single_shape() {
+        let cells = [false, true, true, false];
+        assert!(interior_space_runs(cells.into_iter(), cells.len()).is_empty());
+    }
+
+    #[test]
+    fn filled_runs_only() {
+        let cells = [true, false, true, true];
+        let f = filled_runs(cells.into_iter());
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[1].len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn runs_partition_the_line(cells in proptest::collection::vec(any::<bool>(), 1..64)) {
+            let runs = runs_of(cells.iter().copied());
+            // Runs tile the whole line with no gaps and alternate in value.
+            prop_assert_eq!(runs[0].start, 0);
+            prop_assert_eq!(runs.last().unwrap().end, cells.len());
+            for pair in runs.windows(2) {
+                prop_assert_eq!(pair[0].end, pair[1].start);
+                prop_assert_ne!(pair[0].filled, pair[1].filled);
+            }
+            let total: usize = runs.iter().map(Run::len).sum();
+            prop_assert_eq!(total, cells.len());
+        }
+    }
+}

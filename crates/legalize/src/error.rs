@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Error type for the legalization solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The topology has more scan intervals than the target window can hold
+    /// at one nanometre each — no assignment can exist.
+    WindowTooSmall {
+        /// Number of variables on the axis.
+        variables: usize,
+        /// Target sum for the axis.
+        target: i64,
+    },
+    /// The solver exhausted its iteration/restart budget without finding a
+    /// point satisfying every constraint. The paper (§III-D) notes such
+    /// cases are removed from the generated set; callers should drop the
+    /// topology.
+    Infeasible {
+        /// Projection iterations spent in the last attempt.
+        iterations: usize,
+        /// Restarts attempted.
+        restarts: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::WindowTooSmall { variables, target } => write!(
+                f,
+                "{variables} scan intervals cannot fit a window of {target} nm"
+            ),
+            SolveError::Infeasible {
+                iterations,
+                restarts,
+            } => write!(
+                f,
+                "no legal assignment found after {restarts} restarts x {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SolveError::WindowTooSmall {
+            variables: 4096,
+            target: 2048,
+        };
+        assert!(e.to_string().contains("4096"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Sum-preserving rounding from the continuous relaxation onto the integer
+//! nanometre grid.
+
+/// Rounds a positive real vector to integers that are each at least
+/// `min_value` and sum exactly to `target`.
+///
+/// Entries are floored (clamped at `min_value`) and the residual against
+/// `target` is distributed one unit at a time: increments go to the largest
+/// fractional parts first, decrements to the smallest — never pushing an
+/// entry below `min_value`.
+///
+/// Returns `None` when `target < n * min_value` (no valid rounding exists).
+///
+/// # Panics
+///
+/// Panics when `values` is empty or contains a non-finite number.
+pub fn round_preserving_sum(values: &[f64], target: i64, min_value: i64) -> Option<Vec<i64>> {
+    assert!(!values.is_empty(), "empty vector");
+    assert!(
+        values.iter().all(|v| v.is_finite()),
+        "non-finite value in solver output"
+    );
+    let n = values.len() as i64;
+    if target < n * min_value {
+        return None;
+    }
+
+    let mut out: Vec<i64> = values
+        .iter()
+        .map(|&v| (v.floor() as i64).max(min_value))
+        .collect();
+    let mut diff = target - out.iter().sum::<i64>();
+
+    // Order indices by fractional part, largest first (they deserve the
+    // increments most and the decrements least).
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = values[a] - values[a].floor();
+        let fb = values[b] - values[b].floor();
+        fb.partial_cmp(&fa).expect("finite values")
+    });
+
+    while diff != 0 {
+        let mut moved = false;
+        if diff > 0 {
+            for &i in &order {
+                if diff == 0 {
+                    break;
+                }
+                out[i] += 1;
+                diff -= 1;
+                moved = true;
+            }
+        } else {
+            for &i in order.iter().rev() {
+                if diff == 0 {
+                    break;
+                }
+                if out[i] > min_value {
+                    out[i] -= 1;
+                    diff += 1;
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            // Every entry is at min_value and we still owe decrements:
+            // impossible, but guarded against by the early return.
+            return None;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_integers_pass_through() {
+        let out = round_preserving_sum(&[10.0, 20.0, 30.0], 60, 1).unwrap();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn residual_goes_to_largest_fraction() {
+        let out = round_preserving_sum(&[1.9, 1.1, 1.0], 5, 1).unwrap();
+        assert_eq!(out.iter().sum::<i64>(), 5);
+        assert_eq!(out[0], 2, "largest fraction gets the extra unit");
+    }
+
+    #[test]
+    fn clamps_to_minimum() {
+        let out = round_preserving_sum(&[0.2, 0.3, 9.5], 10, 1).unwrap();
+        assert!(out.iter().all(|&v| v >= 1));
+        assert_eq!(out.iter().sum::<i64>(), 10);
+    }
+
+    #[test]
+    fn impossible_target_is_none() {
+        assert!(round_preserving_sum(&[1.0, 1.0, 1.0], 2, 1).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn always_sums_and_respects_min(
+            values in proptest::collection::vec(0.01f64..100.0, 1..32),
+            extra in 0i64..500,
+        ) {
+            let n = values.len() as i64;
+            let target = n + extra; // always >= n * 1
+            if let Some(out) = round_preserving_sum(&values, target, 1) {
+                prop_assert_eq!(out.iter().sum::<i64>(), target);
+                prop_assert!(out.iter().all(|&v| v >= 1));
+            } else {
+                prop_assert!(target < n);
+            }
+        }
+    }
+}

@@ -1,0 +1,179 @@
+use crate::Tensor;
+
+/// SiLU (swish) activation `x * sigmoid(x)` applied element-wise.
+pub fn silu(x: &Tensor) -> Tensor {
+    let data = x.data().iter().map(|&v| v * sigmoid(v)).collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// Gradient of SiLU: given the forward input `x` and upstream gradient
+/// `grad_out`, returns `grad_out * d silu(x)/dx`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn silu_backward(x: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(x.shape(), grad_out.shape(), "shape mismatch");
+    let data = x
+        .data()
+        .iter()
+        .zip(grad_out.data())
+        .map(|(&v, &g)| {
+            let s = sigmoid(v);
+            g * (s * (1.0 + v * (1.0 - s)))
+        })
+        .collect();
+    Tensor::from_vec(x.shape(), data)
+}
+
+/// A SiLU layer caching its input for the backward pass.
+#[derive(Debug, Default, Clone)]
+pub struct Silu {
+    cache: Option<Tensor>,
+}
+
+impl Silu {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Silu { cache: None }
+    }
+
+    /// Forward pass, caching the input.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache = Some(x.clone());
+        silu(x)
+    }
+
+    /// Backward pass using the cached input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cache.as_ref().expect("backward before forward");
+        silu_backward(x, grad_out)
+    }
+}
+
+/// Numerically stable row-wise softmax over a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics when the input is not 2-D.
+pub fn softmax_rows(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().len(), 2, "softmax_rows expects 2-D input");
+    let (rows, cols) = (x.shape()[0], x.shape()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let row = &x.data()[r * cols..(r + 1) * cols];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0;
+        for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            denom += e;
+        }
+        for o in &mut out[r * cols..(r + 1) * cols] {
+            *o /= denom;
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+/// Backward of row-wise softmax: given the softmax output `y` and upstream
+/// gradient `grad_out`, returns the gradient with respect to the logits.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-2-D input.
+pub fn softmax_rows_backward(y: &Tensor, grad_out: &Tensor) -> Tensor {
+    assert_eq!(y.shape(), grad_out.shape(), "shape mismatch");
+    assert_eq!(y.shape().len(), 2, "softmax_rows expects 2-D input");
+    let (rows, cols) = (y.shape()[0], y.shape()[1]);
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        let yr = &y.data()[r * cols..(r + 1) * cols];
+        let gr = &grad_out.data()[r * cols..(r + 1) * cols];
+        let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+        for ((o, &yv), &gv) in out[r * cols..(r + 1) * cols].iter_mut().zip(yr).zip(gr) {
+            *o = yv * (gv - dot);
+        }
+    }
+    Tensor::from_vec(&[rows, cols], out)
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::finite_diff;
+    use rand::SeedableRng;
+
+    #[test]
+    fn silu_known_values() {
+        let x = Tensor::from_vec(&[3], vec![0.0, 10.0, -10.0]);
+        let y = silu(&x);
+        assert!((y.data()[0] - 0.0).abs() < 1e-6);
+        assert!((y.data()[1] - 10.0).abs() < 1e-3);
+        assert!(y.data()[2].abs() < 1e-3);
+    }
+
+    #[test]
+    fn silu_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[17], 1.0, &mut rng);
+        let grad_out = Tensor::full(&[17], 1.0);
+        let analytic = silu_backward(&x, &grad_out);
+        let numeric = finite_diff(&x, |t| silu(t).sum());
+        for (a, n) in analytic.data().iter().zip(numeric.data()) {
+            assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[4, 9], 3.0, &mut rng);
+        let y = softmax_rows(&x);
+        for r in 0..4 {
+            let s: f32 = y.data()[r * 9..(r + 1) * 9].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        // Loss: weighted sum of softmax outputs.
+        let w = Tensor::randn(&[2, 5], 1.0, &mut rng);
+        let y = softmax_rows(&x);
+        let analytic = softmax_rows_backward(&y, &w);
+        let w2 = w.clone();
+        let numeric = finite_diff(&x, move |t| {
+            softmax_rows(t)
+                .data()
+                .iter()
+                .zip(w2.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        for (a, n) in analytic.data().iter().zip(numeric.data()) {
+            assert!((a - n).abs() < 1e-2, "analytic {a} vs numeric {n}");
+        }
+    }
+
+    #[test]
+    fn silu_layer_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let mut layer = Silu::new();
+        let y = layer.forward(&x);
+        assert_eq!(y, silu(&x));
+        let g = layer.backward(&Tensor::full(&[2, 3], 1.0));
+        assert_eq!(g.shape(), x.shape());
+    }
+}

@@ -1,0 +1,347 @@
+use crate::gemm::{matmul, transpose};
+use crate::{Param, Tensor};
+use rand::Rng;
+
+/// 2-D convolution over NCHW tensors, implemented as im2col + GEMM.
+///
+/// Supports arbitrary kernel size, stride and zero padding — everything the
+/// DDPM U-Net needs (3x3 stride-1 pad-1 feature convs, 3x3 stride-2 pad-1
+/// downsampling, 1x1 skip/attention projections).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Kernel of shape `(out_c, in_c, kh, kw)`.
+    pub weight: Param,
+    /// Bias of shape `(out_c,)`.
+    pub bias: Param,
+    stride: usize,
+    padding: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Kaiming-normal initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `kernel` or `stride` is zero.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let fan_in = (in_c * kernel * kernel) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        Conv2d {
+            weight: Param::new(Tensor::randn(&[out_c, in_c, kernel, kernel], std, rng)),
+            bias: Param::new(Tensor::zeros(&[out_c])),
+            stride,
+            padding,
+            cache_input: None,
+        }
+    }
+
+    /// Convenience constructor for a 1x1 stride-1 projection.
+    pub fn new_1x1(in_c: usize, out_c: usize, rng: &mut impl Rng) -> Self {
+        Conv2d::new(in_c, out_c, 1, 1, 0, rng)
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.weight.value.shape()[2]
+    }
+
+    /// Spatial output size for a given input size.
+    pub fn out_size(&self, in_size: usize) -> usize {
+        (in_size + 2 * self.padding - self.kernel()) / self.stride + 1
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-4-D input, channel mismatch, or an input smaller than
+    /// the kernel after padding.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "conv expects NCHW input");
+        assert_eq!(x.shape()[1], self.in_channels(), "channel mismatch");
+        self.cache_input = Some(x.clone());
+        let (n, _ic, h, w) = shape4(x);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let oc = self.out_channels();
+        let k = self.kernel();
+        let w_mat = self
+            .weight
+            .value
+            .clone()
+            .reshape(&[oc, self.in_channels() * k * k]);
+
+        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+        for ni in 0..n {
+            let cols = self.im2col(x, ni, oh, ow);
+            let y = matmul(&w_mat, &cols); // (oc, oh*ow)
+            for c in 0..oc {
+                let b = self.bias.value.data()[c];
+                for i in 0..oh * ow {
+                    out.data_mut()[((ni * oc + c) * oh + i / ow) * ow + i % ow] =
+                        y.data()[c * oh * ow + i] + b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward pass: accumulates weight/bias gradients, returns grad wrt
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before `forward` or on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        let (n, ic, h, w) = shape4(&x);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let oc = self.out_channels();
+        let k = self.kernel();
+        assert_eq!(grad_out.shape(), &[n, oc, oh, ow], "grad_out shape mismatch");
+
+        let w_mat = self
+            .weight
+            .value
+            .clone()
+            .reshape(&[oc, ic * k * k]);
+        let w_mat_t = transpose(&w_mat);
+
+        let mut grad_input = Tensor::zeros(&[n, ic, h, w]);
+        let mut grad_w_mat = Tensor::zeros(&[oc, ic * k * k]);
+        for ni in 0..n {
+            // grad_out slice as (oc, L).
+            let l = oh * ow;
+            let mut go = Tensor::zeros(&[oc, l]);
+            for c in 0..oc {
+                for i in 0..l {
+                    go.data_mut()[c * l + i] =
+                        grad_out.data()[((ni * oc + c) * oh + i / ow) * ow + i % ow];
+                }
+            }
+            // Bias gradient: row sums.
+            for c in 0..oc {
+                let s: f32 = go.data()[c * l..(c + 1) * l].iter().sum();
+                self.bias.grad.data_mut()[c] += s;
+            }
+            // Weight gradient: go (oc, L) x cols^T (L, ick2).
+            let cols = self.im2col(&x, ni, oh, ow);
+            grad_w_mat.add_assign(&matmul(&go, &transpose(&cols)));
+            // Input gradient: w^T (ick2, oc) x go (oc, L) -> col grads.
+            let gcols = matmul(&w_mat_t, &go);
+            self.col2im_accumulate(&gcols, &mut grad_input, ni, oh, ow);
+        }
+        self.weight
+            .grad
+            .add_assign(&grad_w_mat.reshape(&[oc, ic, k, k]));
+        grad_input
+    }
+
+    /// Mutable access to the parameters, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Builds the im2col matrix `(ic*k*k, oh*ow)` for batch item `ni`.
+    fn im2col(&self, x: &Tensor, ni: usize, oh: usize, ow: usize) -> Tensor {
+        let (_n, ic, h, w) = shape4(x);
+        let k = self.kernel();
+        let (s, p) = (self.stride, self.padding);
+        let l = oh * ow;
+        let mut cols = vec![0.0f32; ic * k * k * l];
+        for c in 0..ic {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oy in 0..oh {
+                        let iy = oy * s + ki;
+                        if iy < p || iy >= h + p {
+                            continue;
+                        }
+                        let iy = iy - p;
+                        for ox in 0..ow {
+                            let ix = ox * s + kj;
+                            if ix < p || ix >= w + p {
+                                continue;
+                            }
+                            let ix = ix - p;
+                            cols[row * l + oy * ow + ox] = x.at4(ni, c, iy, ix);
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(&[ic * k * k, l], cols)
+    }
+
+    /// Scatters column gradients back onto the padded input grid.
+    fn col2im_accumulate(
+        &self,
+        gcols: &Tensor,
+        grad_input: &mut Tensor,
+        ni: usize,
+        oh: usize,
+        ow: usize,
+    ) {
+        let (_n, ic, h, w) = shape4(grad_input);
+        let k = self.kernel();
+        let (s, p) = (self.stride, self.padding);
+        let l = oh * ow;
+        for c in 0..ic {
+            for ki in 0..k {
+                for kj in 0..k {
+                    let row = (c * k + ki) * k + kj;
+                    for oy in 0..oh {
+                        let iy = oy * s + ki;
+                        if iy < p || iy >= h + p {
+                            continue;
+                        }
+                        let iy = iy - p;
+                        for ox in 0..ow {
+                            let ix = ox * s + kj;
+                            if ix < p || ix >= w + p {
+                                continue;
+                            }
+                            let ix = ix - p;
+                            let g = gcols.data()[row * l + oy * ow + ox];
+                            let idx = ((ni * ic + c) * h + iy) * w + ix;
+                            grad_input.data_mut()[idx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn shape4(t: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(t.shape().len(), 4, "expected 4-D tensor");
+    (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, finite_diff};
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_kernel_1x1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new_1x1(1, 1, &mut rng);
+        conv.weight.value.data_mut()[0] = 1.0;
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn known_3x3_same_conv() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        // Averaging kernel.
+        for v in conv.weight.value.data_mut() {
+            *v = 1.0;
+        }
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        // Centre sees 9 ones; corners see 4.
+        assert!((y.at4(0, 0, 1, 1) - 9.0).abs() < 1e-5);
+        assert!((y.at4(0, 0, 0, 0) - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stride_two_output_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 8, 8], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(2, 3, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        let mut live = conv.clone();
+        let y = live.forward(&x);
+        let analytic = live.backward(&Tensor::full(y.shape(), 1.0));
+        let base = conv.clone();
+        let numeric = finite_diff(&x, move |t| {
+            let mut c = base.clone();
+            c.forward(t).sum()
+        });
+        assert_close(&analytic, &numeric, 2e-2, "conv dx");
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let conv = Conv2d::new(2, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let mut live = conv.clone();
+        let y = live.forward(&x);
+        let _ = live.backward(&Tensor::full(y.shape(), 1.0));
+        let x2 = x.clone();
+        let base = conv.clone();
+        let numeric = finite_diff(&conv.weight.value, move |w| {
+            let mut c = base.clone();
+            c.weight.value = w.clone();
+            c.forward(&x2).sum()
+        });
+        assert_close(&live.weight.grad, &numeric, 2e-2, "conv dW");
+    }
+
+    #[test]
+    fn strided_gradients_match_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let conv = Conv2d::new(1, 2, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[1, 1, 6, 6], 1.0, &mut rng);
+        let mut live = conv.clone();
+        let y = live.forward(&x);
+        let analytic = live.backward(&Tensor::full(y.shape(), 1.0));
+        let base = conv.clone();
+        let numeric = finite_diff(&x, move |t| {
+            let mut c = base.clone();
+            c.forward(t).sum()
+        });
+        assert_close(&analytic, &numeric, 2e-2, "strided conv dx");
+    }
+
+    #[test]
+    fn bias_gradient_counts_positions() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut conv = Conv2d::new(1, 1, 1, 1, 0, &mut rng);
+        let x = Tensor::randn(&[2, 1, 3, 3], 1.0, &mut rng);
+        let y = conv.forward(&x);
+        let _ = conv.backward(&Tensor::full(y.shape(), 1.0));
+        // 2 batch items x 9 positions.
+        assert!((conv.bias.grad.data()[0] - 18.0).abs() < 1e-5);
+    }
+}

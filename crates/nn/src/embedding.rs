@@ -1,0 +1,61 @@
+use crate::Tensor;
+
+/// Sinusoidal position embedding of diffusion time steps (paper §IV-A,
+/// following "Attention is All You Need").
+///
+/// Returns a `(batch, dim)` tensor where row `i` embeds `steps[i]`:
+/// `emb[2k] = sin(t / 10000^(2k/dim))`, `emb[2k+1] = cos(...)`.
+///
+/// # Panics
+///
+/// Panics when `dim` is zero or odd.
+pub fn sinusoidal_embedding(steps: &[usize], dim: usize) -> Tensor {
+    assert!(dim > 0 && dim.is_multiple_of(2), "embedding dim must be even");
+    let half = dim / 2;
+    let mut data = vec![0.0f32; steps.len() * dim];
+    for (i, &t) in steps.iter().enumerate() {
+        for k in 0..half {
+            let freq = (10_000f32).powf(-(k as f32) / half as f32);
+            let angle = t as f32 * freq;
+            data[i * dim + 2 * k] = angle.sin();
+            data[i * dim + 2 * k + 1] = angle.cos();
+        }
+    }
+    Tensor::from_vec(&[steps.len(), dim], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_range() {
+        let e = sinusoidal_embedding(&[0, 1, 500], 16);
+        assert_eq!(e.shape(), &[3, 16]);
+        assert!(e.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn step_zero_is_cosine_one() {
+        let e = sinusoidal_embedding(&[0], 8);
+        for k in 0..4 {
+            assert_eq!(e.data()[2 * k], 0.0);
+            assert_eq!(e.data()[2 * k + 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn distinct_steps_have_distinct_embeddings() {
+        let e = sinusoidal_embedding(&[1, 2], 32);
+        let a = &e.data()[..32];
+        let b = &e.data()[32..];
+        let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
+        assert!(diff > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_panics() {
+        let _ = sinusoidal_embedding(&[1], 7);
+    }
+}

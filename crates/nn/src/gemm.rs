@@ -1,0 +1,140 @@
+use crate::Tensor;
+
+/// Matrix product `a (m x k) * b (k x n) -> (m x n)`.
+///
+/// Uses an `i-k-j` loop order for cache-friendly access and splits the row
+/// range across threads (crossbeam scoped threads) when the work is large
+/// enough to amortise the spawn cost.
+///
+/// # Panics
+///
+/// Panics when either input is not 2-D or the inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul lhs must be 2-D");
+    assert_eq!(b.shape().len(), 2, "matmul rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    const PARALLEL_THRESHOLD: usize = 1 << 18; // ~0.26 MFLOP
+    let work = m * k * n;
+    if work < PARALLEL_THRESHOLD {
+        gemm_rows(a_data, b_data, &mut out, 0, m, k, n);
+    } else {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(m)
+            .max(1);
+        let rows_per = m.div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (chunk_idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = chunk_idx * rows_per;
+                let rows = chunk.len() / n;
+                scope.spawn(move |_| {
+                    gemm_rows(a_data, b_data, chunk, row0, rows, k, n);
+                });
+            }
+        })
+        .expect("gemm worker panicked");
+    }
+    Tensor::from_vec(&[m, n], out)
+}
+
+/// Computes `rows` rows of the product starting at global row `row0`,
+/// writing into `out` (whose row 0 corresponds to global `row0`).
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
+    for i in 0..rows {
+        let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b_kj;
+            }
+        }
+    }
+}
+
+/// Transposes a 2-D tensor.
+///
+/// # Panics
+///
+/// Panics when the input is not 2-D.
+pub fn transpose(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "transpose input must be 2-D");
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a.data()[i * n + j];
+        }
+    }
+    Tensor::from_vec(&[n, m], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(&[3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = Tensor::randn(&[5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[5, 5]);
+        for i in 0..5 {
+            eye.data_mut()[i * 5 + i] = 1.0;
+        }
+        let c = matmul(&a, &eye);
+        for (x, y) in c.data().iter().zip(a.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Big enough to trip the parallel threshold.
+        let a = Tensor::randn(&[128, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 128], 1.0, &mut rng);
+        let c = matmul(&a, &b);
+        // Serial reference.
+        let mut reference = vec![0.0f32; 128 * 128];
+        gemm_rows(a.data(), b.data(), &mut reference, 0, 128, 64, 128);
+        for (x, y) in c.data().iter().zip(&reference) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[4, 7], 1.0, &mut rng);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = matmul(&a, &b);
+    }
+}

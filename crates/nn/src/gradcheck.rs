@@ -1,0 +1,30 @@
+//! Finite-difference gradient checking utilities (test-only).
+
+use crate::Tensor;
+
+/// Central-difference gradient of a scalar function of a tensor.
+pub fn finite_diff(x: &Tensor, f: impl Fn(&Tensor) -> f32) -> Tensor {
+    const EPS: f32 = 1e-2;
+    let mut grad = Tensor::zeros(x.shape());
+    for i in 0..x.len() {
+        let mut plus = x.clone();
+        plus.data_mut()[i] += EPS;
+        let mut minus = x.clone();
+        minus.data_mut()[i] -= EPS;
+        grad.data_mut()[i] = (f(&plus) - f(&minus)) / (2.0 * EPS);
+    }
+    grad
+}
+
+/// Asserts that two gradients agree within a mixed absolute/relative
+/// tolerance.
+pub fn assert_close(analytic: &Tensor, numeric: &Tensor, tol: f32, what: &str) {
+    assert_eq!(analytic.shape(), numeric.shape(), "{what}: shape mismatch");
+    for (i, (a, n)) in analytic.data().iter().zip(numeric.data()).enumerate() {
+        let denom = 1.0f32.max(a.abs()).max(n.abs());
+        assert!(
+            (a - n).abs() / denom < tol,
+            "{what}[{i}]: analytic {a} vs numeric {n}"
+        );
+    }
+}

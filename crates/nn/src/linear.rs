@@ -1,0 +1,170 @@
+use crate::gemm::{matmul, transpose};
+use crate::{Param, Tensor};
+use rand::Rng;
+
+/// A fully connected layer `y = x W^T + b` over 2-D inputs `(batch, in)`.
+///
+/// Used for time-embedding MLPs and the per-residual-block time projection
+/// (paper §IV-A: the step index enters each residual block through a
+/// sinusoidal embedding followed by learned projections).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight of shape `(out, in)`.
+    pub weight: Param,
+    /// Bias of shape `(out,)`.
+    pub bias: Param,
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with Kaiming-uniform-like normal init.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        let std = (2.0 / in_features as f32).sqrt();
+        Linear {
+            weight: Param::new(Tensor::randn(&[out_features, in_features], std, rng)),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            cache_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+
+    /// Forward pass over `(batch, in)` input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input is not 2-D with matching feature count.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "linear expects 2-D input");
+        assert_eq!(x.shape()[1], self.in_features(), "feature mismatch");
+        self.cache_input = Some(x.clone());
+        let mut y = matmul(x, &transpose(&self.weight.value));
+        let out = self.out_features();
+        for row in y.data_mut().chunks_mut(out) {
+            for (v, b) in row.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients, returns grad wrt
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before `forward` or on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_input
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        assert_eq!(grad_out.shape()[0], x.shape()[0], "batch mismatch");
+        assert_eq!(grad_out.shape()[1], self.out_features(), "feature mismatch");
+
+        // dW = grad_out^T x ; db = column sums of grad_out.
+        let gw = matmul(&transpose(grad_out), &x);
+        self.weight.grad.add_assign(&gw);
+        let out = self.out_features();
+        for row in grad_out.data().chunks(out) {
+            for (g, &v) in self.bias.grad.data_mut().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        // dx = grad_out W
+        matmul(grad_out, &self.weight.value)
+    }
+
+    /// Mutable access to the parameters, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, finite_diff};
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut layer = Linear::new(3, 5, &mut rng);
+        for b in layer.bias.value.data_mut() {
+            *b = 1.0;
+        }
+        let x = Tensor::zeros(&[2, 3]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 5]);
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let _ = layer.forward(&x);
+        let grad_out = Tensor::full(&[2, 3], 1.0);
+        let analytic = layer.backward(&grad_out);
+        let probe = layer.clone();
+        let numeric = finite_diff(&x, move |t| {
+            let mut l = probe.clone();
+            l.forward(t).sum()
+        });
+        assert_close(&analytic, &numeric, 1e-2, "linear dx");
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let layer = Linear::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let mut live = layer.clone();
+        let _ = live.forward(&x);
+        let _ = live.backward(&Tensor::full(&[2, 3], 1.0));
+
+        let x2 = x.clone();
+        let base = layer.clone();
+        let numeric = finite_diff(&layer.weight.value, move |w| {
+            let mut l = base.clone();
+            l.weight.value = w.clone();
+            l.forward(&x2).sum()
+        });
+        assert_close(&live.weight.grad, &numeric, 1e-2, "linear dW");
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Tensor::randn(&[3, 2], 1.0, &mut rng);
+        let _ = layer.forward(&x);
+        let grad_out = Tensor::from_vec(&[3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let _ = layer.backward(&grad_out);
+        assert_eq!(layer.bias.grad.data(), &[9.0, 12.0]);
+    }
+
+    #[test]
+    fn grads_accumulate_across_calls() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Tensor::randn(&[1, 2], 1.0, &mut rng);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&Tensor::full(&[1, 2], 1.0));
+        let first = layer.bias.grad.clone();
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&Tensor::full(&[1, 2], 1.0));
+        assert_eq!(layer.bias.grad, first.scale(2.0));
+    }
+}

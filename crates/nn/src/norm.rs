@@ -1,0 +1,273 @@
+use crate::{Param, Tensor};
+
+/// Group normalisation over NCHW tensors (the DDPM U-Net's normaliser).
+///
+/// Channels are split into `groups`; each `(batch, group)` slice is
+/// standardised to zero mean / unit variance and then scaled and shifted by
+/// the per-channel affine parameters `gamma` and `beta`.
+#[derive(Debug, Clone)]
+pub struct GroupNorm {
+    /// Per-channel scale, initialised to one.
+    pub gamma: Param,
+    /// Per-channel shift, initialised to zero.
+    pub beta: Param,
+    groups: usize,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    input: Tensor,
+    normalized: Tensor,
+    inv_std: Vec<f32>, // per (n, group)
+}
+
+impl GroupNorm {
+    /// Creates a GroupNorm layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` is not divisible by `groups` or `groups` is
+    /// zero.
+    pub fn new(groups: usize, channels: usize) -> Self {
+        assert!(groups > 0, "groups must be positive");
+        assert_eq!(channels % groups, 0, "channels must divide into groups");
+        GroupNorm {
+            gamma: Param::new(Tensor::full(&[channels], 1.0)),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            groups,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of channel groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-4-D input or channel mismatch.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "groupnorm expects NCHW input");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.gamma.value.len(), "channel mismatch");
+        let cg = c / self.groups;
+        let group_len = (cg * h * w) as f32;
+
+        let mut normalized = Tensor::zeros(x.shape());
+        let mut out = Tensor::zeros(x.shape());
+        let mut inv_stds = vec![0.0f32; n * self.groups];
+
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let mut mean = 0.0f32;
+                for ci in g * cg..(g + 1) * cg {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            mean += x.at4(ni, ci, hi, wi);
+                        }
+                    }
+                }
+                mean /= group_len;
+                let mut var = 0.0f32;
+                for ci in g * cg..(g + 1) * cg {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let d = x.at4(ni, ci, hi, wi) - mean;
+                            var += d * d;
+                        }
+                    }
+                }
+                var /= group_len;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                inv_stds[ni * self.groups + g] = inv_std;
+                for ci in g * cg..(g + 1) * cg {
+                    let gamma = self.gamma.value.data()[ci];
+                    let beta = self.beta.value.data()[ci];
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let xhat = (x.at4(ni, ci, hi, wi) - mean) * inv_std;
+                            normalized.set4(ni, ci, hi, wi, xhat);
+                            out.set4(ni, ci, hi, wi, gamma * xhat + beta);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.cache = Some(Cache {
+            input: x.clone(),
+            normalized,
+            inv_std: inv_stds,
+        });
+        out
+    }
+
+    /// Backward pass: accumulates `gamma`/`beta` gradients, returns grad wrt
+    /// input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called before `forward` or on shape mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let x = &cache.input;
+        assert_eq!(grad_out.shape(), x.shape(), "grad_out shape mismatch");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let cg = c / self.groups;
+        let group_len = (cg * h * w) as f32;
+
+        // Per-channel affine gradients.
+        for ci in 0..c {
+            let mut dg = 0.0f32;
+            let mut db = 0.0f32;
+            for ni in 0..n {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let g = grad_out.at4(ni, ci, hi, wi);
+                        dg += g * cache.normalized.at4(ni, ci, hi, wi);
+                        db += g;
+                    }
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += dg;
+            self.beta.grad.data_mut()[ci] += db;
+        }
+
+        // Input gradient per (n, group):
+        // dxhat = grad_out * gamma
+        // dx = inv_std/Ng * (Ng*dxhat - sum(dxhat) - xhat * sum(dxhat*xhat))
+        let mut grad_in = Tensor::zeros(x.shape());
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let inv_std = cache.inv_std[ni * self.groups + g];
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for ci in g * cg..(g + 1) * cg {
+                    let gamma = self.gamma.value.data()[ci];
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let dxhat = grad_out.at4(ni, ci, hi, wi) * gamma;
+                            sum_dxhat += dxhat;
+                            sum_dxhat_xhat += dxhat * cache.normalized.at4(ni, ci, hi, wi);
+                        }
+                    }
+                }
+                for ci in g * cg..(g + 1) * cg {
+                    let gamma = self.gamma.value.data()[ci];
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let dxhat = grad_out.at4(ni, ci, hi, wi) * gamma;
+                            let xhat = cache.normalized.at4(ni, ci, hi, wi);
+                            let dx = inv_std / group_len
+                                * (group_len * dxhat - sum_dxhat - xhat * sum_dxhat_xhat);
+                            grad_in.set4(ni, ci, hi, wi, dx);
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Mutable access to the parameters, in a stable order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, finite_diff};
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_standardised_per_group() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut norm = GroupNorm::new(2, 4);
+        let x = Tensor::randn(&[2, 4, 5, 5], 3.0, &mut rng);
+        let y = norm.forward(&x);
+        // With gamma=1 beta=0 each (n, group) slice has ~zero mean, unit var.
+        for ni in 0..2 {
+            for g in 0..2 {
+                let mut vals = Vec::new();
+                for ci in g * 2..(g + 1) * 2 {
+                    for hi in 0..5 {
+                        for wi in 0..5 {
+                            vals.push(y.at4(ni, ci, hi, wi));
+                        }
+                    }
+                }
+                let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+                let var: f32 =
+                    vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+                assert!(mean.abs() < 1e-4, "mean {mean}");
+                assert!((var - 1.0).abs() < 1e-2, "var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let norm = GroupNorm::new(2, 4);
+        let x = Tensor::randn(&[1, 4, 3, 3], 1.0, &mut rng);
+        // Non-trivial loss weights to exercise all terms.
+        let w = Tensor::randn(&[1, 4, 3, 3], 1.0, &mut rng);
+        let mut live = norm.clone();
+        let _ = live.forward(&x);
+        let analytic = live.backward(&w);
+        let base = norm.clone();
+        let w2 = w.clone();
+        let numeric = finite_diff(&x, move |t| {
+            let mut n = base.clone();
+            n.forward(t)
+                .data()
+                .iter()
+                .zip(w2.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_close(&analytic, &numeric, 3e-2, "groupnorm dx");
+    }
+
+    #[test]
+    fn affine_gradients_match_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let norm = GroupNorm::new(1, 2);
+        let x = Tensor::randn(&[2, 2, 2, 2], 1.0, &mut rng);
+        let mut live = norm.clone();
+        let y = live.forward(&x);
+        let _ = live.backward(&Tensor::full(y.shape(), 1.0));
+
+        let base = norm.clone();
+        let x2 = x.clone();
+        let numeric_gamma = finite_diff(&norm.gamma.value, move |g| {
+            let mut n = base.clone();
+            n.gamma.value = g.clone();
+            n.forward(&x2).sum()
+        });
+        assert_close(&live.gamma.grad, &numeric_gamma, 2e-2, "groupnorm dgamma");
+
+        let base = norm.clone();
+        let x2 = x.clone();
+        let numeric_beta = finite_diff(&norm.beta.value, move |b| {
+            let mut n = base.clone();
+            n.beta.value = b.clone();
+            n.forward(&x2).sum()
+        });
+        assert_close(&live.beta.grad, &numeric_beta, 2e-2, "groupnorm dbeta");
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must divide")]
+    fn bad_group_count_panics() {
+        let _ = GroupNorm::new(3, 4);
+    }
+}

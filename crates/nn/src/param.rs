@@ -1,0 +1,53 @@
+use crate::Tensor;
+
+/// A trainable parameter: value plus accumulated gradient.
+///
+/// Layers accumulate into [`Param::grad`] during `backward`; the optimizer
+/// reads and zeroes it. Adam's moment buffers live in the optimizer, keyed
+/// by parameter order, so `Param` itself stays minimal.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Always `false` for valid tensors; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::full(&[3], 1.0));
+        p.grad.data_mut()[1] = 5.0;
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+        assert_eq!(p.len(), 3);
+    }
+}

@@ -1,0 +1,371 @@
+use rand::Rng;
+use std::fmt;
+
+/// A dense `f32` tensor in row-major order, used in NCHW layout for feature
+/// maps and `(rows, cols)` layout for matrices.
+///
+/// All operations are shape-checked with panics (this is an internal
+/// substrate; shape errors are programming bugs, not recoverable
+/// conditions).
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shape is empty or has a zero dimension.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let len = checked_len(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid shape.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        let len = checked_len(shape);
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; len],
+        }
+    }
+
+    /// Tensor with i.i.d. normal entries of standard deviation `std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid shape.
+    pub fn randn(shape: &[usize], std: f32, rng: &mut impl Rng) -> Self {
+        let len = checked_len(shape);
+        let data = (0..len).map(|_| std * normal_sample(rng)).collect();
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a tensor from raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len()` does not match the shape product.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        let len = checked_len(shape);
+        assert_eq!(data.len(), len, "data length does not match shape");
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the tensor has zero elements (never for valid shapes).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its raw data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshape without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new shape has a different element count.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        let len = checked_len(shape);
+        assert_eq!(self.data.len(), len, "reshape changes element count");
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at NCHW index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for tensors that are not 4-D or out-of-range indices.
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.idx4(n, c, h, w)]
+    }
+
+    /// Sets the element at NCHW index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for tensors that are not 4-D or out-of-range indices.
+    pub fn set4(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.idx4(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        assert_eq!(self.shape.len(), 4, "expected 4-D tensor");
+        let [sn, sc, sh, sw] = [self.shape[0], self.shape[1], self.shape[2], self.shape[3]];
+        assert!(n < sn && c < sc && h < sh && w < sw, "index out of range");
+        ((n * sc + c) * sh + h) * sw + w
+    }
+
+    /// Element-wise sum `self + other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise difference `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in sub");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Scaled copy `self * s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|a| a * s).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.data.len() as f32
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Splits a 4-D tensor along the channel axis at `c_split`, returning
+    /// `(first, second)` with `c_split` and `C - c_split` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-4-D tensors or `c_split > C`.
+    pub fn split_channels(&self, c_split: usize) -> (Tensor, Tensor) {
+        assert_eq!(self.shape.len(), 4, "expected 4-D tensor");
+        let (n, c, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        assert!(c_split <= c, "split beyond channel count");
+        let mut a = Tensor::zeros(&[n, c_split.max(1), h, w]);
+        let mut b = Tensor::zeros(&[n, (c - c_split).max(1), h, w]);
+        if c_split == 0 {
+            return (Tensor::zeros(&[n, 1, h, w]), self.clone());
+        }
+        if c_split == c {
+            return (self.clone(), Tensor::zeros(&[n, 1, h, w]));
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let v = self.at4(ni, ci, hi, wi);
+                        if ci < c_split {
+                            a.set4(ni, ci, hi, wi, v);
+                        } else {
+                            b.set4(ni, ci - c_split, hi, wi, v);
+                        }
+                    }
+                }
+            }
+        }
+        (a, b)
+    }
+
+    /// Concatenates two 4-D tensors along the channel axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when batch or spatial shapes differ.
+    pub fn cat_channels(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 4, "expected 4-D tensor");
+        assert_eq!(other.shape.len(), 4, "expected 4-D tensor");
+        let (n, c1, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        let c2 = other.shape[1];
+        assert_eq!(
+            (n, h, w),
+            (other.shape[0], other.shape[2], other.shape[3]),
+            "batch/spatial mismatch in cat"
+        );
+        let mut out = Tensor::zeros(&[n, c1 + c2, h, w]);
+        for ni in 0..n {
+            for hi in 0..h {
+                for wi in 0..w {
+                    for ci in 0..c1 {
+                        out.set4(ni, ci, hi, wi, self.at4(ni, ci, hi, wi));
+                    }
+                    for ci in 0..c2 {
+                        out.set4(ni, c1 + ci, hi, wi, other.at4(ni, ci, hi, wi));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor(shape={:?}, mean={:.4}, max_abs={:.4})",
+            self.shape,
+            self.mean(),
+            self.max_abs()
+        )
+    }
+}
+
+fn checked_len(shape: &[usize]) -> usize {
+    assert!(!shape.is_empty(), "empty shape");
+    assert!(shape.iter().all(|&d| d > 0), "zero dimension in shape");
+    shape.iter().product()
+}
+
+/// Box-Muller standard normal sample.
+fn normal_sample(rng: &mut impl Rng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "zero dimension")]
+    fn zero_dim_panics() {
+        let _ = Tensor::zeros(&[2, 0, 3]);
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let mut t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.len(), 120);
+        t.set4(1, 2, 3, 4, 7.5);
+        assert_eq!(t.at4(1, 2, 3, 4), 7.5);
+        assert_eq!(t.data()[119], 7.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Tensor::full(&[2, 2], 0.5);
+        assert_eq!(a.add(&b).data(), &[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(a.sub(&b).data(), &[0.5, 1.5, 2.5, 3.5]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let t = Tensor::randn(&[10_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn split_cat_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let t = Tensor::randn(&[2, 6, 3, 3], 1.0, &mut rng);
+        let (a, b) = t.split_channels(2);
+        assert_eq!(a.shape(), &[2, 2, 3, 3]);
+        assert_eq!(b.shape(), &[2, 4, 3, 3]);
+        assert_eq!(a.cat_channels(&b), t);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let r = t.clone().reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        let _ = a.add(&b);
+    }
+}

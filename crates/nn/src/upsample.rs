@@ -1,0 +1,112 @@
+use crate::Tensor;
+
+/// Nearest-neighbour 2x spatial upsampling of an NCHW tensor (the U-Net
+/// decoder's upsampling step).
+///
+/// # Panics
+///
+/// Panics when the input is not 4-D.
+pub fn upsample_nearest2(x: &Tensor) -> Tensor {
+    assert_eq!(x.shape().len(), 4, "expected NCHW input");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let mut out = Tensor::zeros(&[n, c, h * 2, w * 2]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let v = x.at4(ni, ci, hi, wi);
+                    out.set4(ni, ci, 2 * hi, 2 * wi, v);
+                    out.set4(ni, ci, 2 * hi + 1, 2 * wi, v);
+                    out.set4(ni, ci, 2 * hi, 2 * wi + 1, v);
+                    out.set4(ni, ci, 2 * hi + 1, 2 * wi + 1, v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`upsample_nearest2`]: sums each 2x2 output block back onto
+/// its source cell.
+///
+/// # Panics
+///
+/// Panics when the gradient is not 4-D with even spatial dimensions.
+pub fn upsample_nearest2_backward(grad_out: &Tensor) -> Tensor {
+    assert_eq!(grad_out.shape().len(), 4, "expected NCHW gradient");
+    let (n, c, h2, w2) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    assert!(h2 % 2 == 0 && w2 % 2 == 0, "odd spatial dims");
+    let (h, w) = (h2 / 2, w2 / 2);
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let s = grad_out.at4(ni, ci, 2 * hi, 2 * wi)
+                        + grad_out.at4(ni, ci, 2 * hi + 1, 2 * wi)
+                        + grad_out.at4(ni, ci, 2 * hi, 2 * wi + 1)
+                        + grad_out.at4(ni, ci, 2 * hi + 1, 2 * wi + 1);
+                    out.set4(ni, ci, hi, wi, s);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{assert_close, finite_diff};
+    use rand::SeedableRng;
+
+    #[test]
+    fn doubles_spatial_dims() {
+        let x = Tensor::from_vec(&[1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = upsample_nearest2(&x);
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.at4(0, 0, 0, 0), 1.0);
+        assert_eq!(y.at4(0, 0, 1, 1), 1.0);
+        assert_eq!(y.at4(0, 0, 0, 2), 2.0);
+        assert_eq!(y.at4(0, 0, 3, 3), 4.0);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = Tensor::randn(&[1, 2, 3, 3], 1.0, &mut rng);
+        let w = Tensor::randn(&[1, 2, 6, 6], 1.0, &mut rng);
+        let w2 = w.clone();
+        let analytic = {
+            // Loss = sum(upsample(x) * w); grad wrt upsample output is w.
+            upsample_nearest2_backward(&w)
+        };
+        let numeric = finite_diff(&x, move |t| {
+            upsample_nearest2(t)
+                .data()
+                .iter()
+                .zip(w2.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        });
+        assert_close(&analytic, &numeric, 1e-2, "upsample dx");
+    }
+
+    #[test]
+    fn round_trip_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let y = upsample_nearest2(&x);
+        let g = upsample_nearest2_backward(&y);
+        assert_eq!(g.shape(), x.shape());
+        // Each cell's gradient is the sum of its 4 copies = 4 * value.
+        for (a, b) in g.data().iter().zip(x.data()) {
+            assert!((a - 4.0 * b).abs() < 1e-5);
+        }
+    }
+}

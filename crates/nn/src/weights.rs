@@ -1,0 +1,212 @@
+//! Model weight persistence.
+//!
+//! The paper trains for 17 hours on 8 GPUs and then samples from the frozen
+//! model; any practical reproduction needs to decouple training from
+//! sampling the same way. This module serialises every parameter of a
+//! network (in the stable `params_mut` order) into a self-describing
+//! little-endian binary blob and restores it with full shape checking.
+
+use crate::Param;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Magic bytes identifying a DiffPattern weight blob.
+const MAGIC: &[u8; 8] = b"DPWEIGHT";
+/// Format version.
+const VERSION: u32 = 1;
+
+/// Error type for weight (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WeightsError {
+    /// The blob does not start with the expected magic/version.
+    BadHeader,
+    /// The blob ends before the declared data.
+    Truncated,
+    /// The blob's parameter list does not match the network.
+    ParameterMismatch {
+        /// Parameter index at which the mismatch was detected.
+        index: usize,
+        /// Shape expected by the network.
+        expected: Vec<usize>,
+        /// Shape found in the blob.
+        found: Vec<usize>,
+    },
+    /// The blob declares a different parameter count than the network has.
+    CountMismatch {
+        /// Parameters in the network.
+        expected: usize,
+        /// Parameters in the blob.
+        found: usize,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::BadHeader => write!(f, "not a DiffPattern weight blob"),
+            WeightsError::Truncated => write!(f, "weight blob is truncated"),
+            WeightsError::ParameterMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "parameter {index}: expected shape {expected:?}, blob has {found:?}"
+            ),
+            WeightsError::CountMismatch { expected, found } => {
+                write!(f, "network has {expected} parameters, blob has {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+/// Serialises parameters (values only, not gradients) into a binary blob.
+pub fn save_params(params: &[&mut Param]) -> Bytes {
+    let total: usize = params
+        .iter()
+        .map(|p| 4 + p.value.shape().len() * 8 + p.value.len() * 4)
+        .sum();
+    let mut buf = BytesMut::with_capacity(16 + total);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        buf.put_u32_le(p.value.shape().len() as u32);
+        for &d in p.value.shape() {
+            buf.put_u64_le(d as u64);
+        }
+        for &v in p.value.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values from a blob produced by [`save_params`].
+///
+/// # Errors
+///
+/// Returns [`WeightsError`] when the blob is malformed or its parameter
+/// list does not exactly match the network's.
+pub fn load_params(params: &mut [&mut Param], blob: &[u8]) -> Result<(), WeightsError> {
+    let mut buf = blob;
+    if buf.remaining() < 16 || &buf[..8] != MAGIC {
+        return Err(WeightsError::BadHeader);
+    }
+    buf.advance(8);
+    if buf.get_u32_le() != VERSION {
+        return Err(WeightsError::BadHeader);
+    }
+    let count = buf.get_u32_le() as usize;
+    if count != params.len() {
+        return Err(WeightsError::CountMismatch {
+            expected: params.len(),
+            found: count,
+        });
+    }
+    for (index, p) in params.iter_mut().enumerate() {
+        if buf.remaining() < 4 {
+            return Err(WeightsError::Truncated);
+        }
+        let rank = buf.get_u32_le() as usize;
+        if buf.remaining() < rank * 8 {
+            return Err(WeightsError::Truncated);
+        }
+        let shape: Vec<usize> = (0..rank).map(|_| buf.get_u64_le() as usize).collect();
+        if shape != p.value.shape() {
+            return Err(WeightsError::ParameterMismatch {
+                index,
+                expected: p.value.shape().to_vec(),
+                found: shape,
+            });
+        }
+        let len = p.value.len();
+        if buf.remaining() < len * 4 {
+            return Err(WeightsError::Truncated);
+        }
+        for v in p.value.data_mut() {
+            *v = buf.get_f32_le();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Tensor, UNet, UNetConfig};
+    use rand::SeedableRng;
+
+    fn tiny() -> UNetConfig {
+        UNetConfig {
+            in_channels: 1,
+            out_channels: 2,
+            base_channels: 2,
+            channel_mults: vec![1],
+            num_res_blocks: 1,
+            attn_resolutions: vec![],
+            time_dim: 4,
+            groups: 1,
+            dropout: 0.0,
+        }
+    }
+
+    #[test]
+    fn round_trip_restores_outputs() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut a = UNet::new(&tiny(), &mut rng);
+        let mut b = UNet::new(&tiny(), &mut rng); // different random weights
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let ya = a.forward(&x, &[2]);
+        assert!(ya.sub(&b.forward(&x, &[2])).max_abs() > 1e-6);
+
+        let blob = save_params(&a.params_mut());
+        load_params(&mut b.params_mut(), &blob).unwrap();
+        let yb = b.forward(&x, &[2]);
+        for (p, q) in ya.data().iter().zip(yb.data()) {
+            assert!((p - q).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut net = UNet::new(&tiny(), &mut rng);
+        assert_eq!(
+            load_params(&mut net.params_mut(), b"NOTMAGIC0000"),
+            Err(WeightsError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut net = UNet::new(&tiny(), &mut rng);
+        let blob = save_params(&net.params_mut());
+        let cut = &blob[..blob.len() / 2];
+        assert_eq!(
+            load_params(&mut net.params_mut(), cut),
+            Err(WeightsError::Truncated)
+        );
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut small = UNet::new(&tiny(), &mut rng);
+        let big_config = UNetConfig {
+            base_channels: 4,
+            ..tiny()
+        };
+        let mut big = UNet::new(&big_config, &mut rng);
+        let blob = save_params(&small.params_mut());
+        let err = load_params(&mut big.params_mut(), &blob).unwrap_err();
+        assert!(matches!(
+            err,
+            WeightsError::ParameterMismatch { .. } | WeightsError::CountMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,115 @@
+//! Pattern complexity (paper §II-C, Definition 1).
+//!
+//! The complexity of a pattern is `(c_x, c_y)`: the number of scan lines
+//! minus one along each axis. An encoded squish pattern has this directly
+//! as its topology shape, but *generated* topologies are padded to a fixed
+//! side (see [`crate::extend_to_side`]) and may contain adjacent duplicate
+//! rows/columns that do not correspond to real scan lines. This module
+//! squishes a grid to its canonical core before measuring.
+
+use dp_geometry::BitGrid;
+
+/// Removes adjacent duplicate rows and columns until a fixpoint, yielding
+/// the canonical squished core of a topology matrix.
+///
+/// ```
+/// use dp_geometry::BitGrid;
+/// use dp_squish::squish_to_core;
+///
+/// let g = BitGrid::from_ascii(
+///     "..##
+///      ..##
+///      .#..
+///      .#..",
+/// ).unwrap();
+/// let core = squish_to_core(&g);
+/// assert_eq!((core.width(), core.height()), (3, 2));
+/// ```
+pub fn squish_to_core(grid: &BitGrid) -> BitGrid {
+    let mut current = grid.clone();
+    loop {
+        let rows = current.duplicate_row_indices();
+        let cols = current.duplicate_column_indices();
+        if rows.is_empty() && cols.is_empty() {
+            return current;
+        }
+        current = current.remove_rows_cols(&rows, &cols);
+    }
+}
+
+/// Complexity `(c_x, c_y)` of a topology matrix: the shape of its squished
+/// core. This equals the number of scan lines minus one along each axis of
+/// the smallest squish pattern describing the same geometry.
+pub fn complexity_of_grid(grid: &BitGrid) -> (usize, usize) {
+    let core = squish_to_core(grid);
+    (core.width(), core.height())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_grid_squishes_to_unit() {
+        let g = BitGrid::new(8, 8).unwrap();
+        assert_eq!(complexity_of_grid(&g), (1, 1));
+        let mut full = BitGrid::new(8, 8).unwrap();
+        full.fill_cells(0, 0, 8, 8);
+        assert_eq!(complexity_of_grid(&full), (1, 1));
+    }
+
+    #[test]
+    fn already_squished_is_fixpoint() {
+        let g = BitGrid::from_ascii(
+            "#.
+             .#",
+        )
+        .unwrap();
+        assert_eq!(squish_to_core(&g), g);
+        assert_eq!(complexity_of_grid(&g), (2, 2));
+    }
+
+    #[test]
+    fn row_and_column_duplicates_collapse() {
+        let g = BitGrid::from_ascii(
+            "##..
+             ##..
+             ..##
+             ..##",
+        )
+        .unwrap();
+        assert_eq!(complexity_of_grid(&g), (2, 2));
+    }
+
+    #[test]
+    fn iterative_collapse_needs_fixpoint() {
+        // Removing columns can create new duplicate rows; check the loop
+        // reaches the true core.
+        let g = BitGrid::from_ascii(
+            "#.#
+             #.#
+             ###",
+        )
+        .unwrap();
+        let core = squish_to_core(&g);
+        // Row 2 duplicates row 1; after removal rows are ### and #.#,
+        // columns 0 and 2 differ from column 1.
+        assert_eq!((core.width(), core.height()), (3, 2));
+    }
+
+    #[test]
+    fn complexity_matches_encode_of_decoded_layout() {
+        use crate::SquishPattern;
+        let g = BitGrid::from_ascii(
+            "#..#
+             #..#
+             ....
+             ####",
+        )
+        .unwrap();
+        let p = SquishPattern::new(g.clone(), vec![10; 4], vec![10; 4]).unwrap();
+        let reencoded = SquishPattern::encode(&p.decode().unwrap());
+        let (cx, cy) = complexity_of_grid(&g);
+        assert_eq!(reencoded.complexity(), (cx, cy));
+    }
+}

@@ -1,0 +1,105 @@
+use std::fmt;
+
+/// Error type for squish-pattern encoding, extension and folding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SquishError {
+    /// The Δ vectors do not match the topology matrix shape.
+    DeltaShapeMismatch {
+        /// Topology width (columns).
+        cols: usize,
+        /// Topology height (rows).
+        rows: usize,
+        /// Length of Δx supplied.
+        dx_len: usize,
+        /// Length of Δy supplied.
+        dy_len: usize,
+    },
+    /// A Δ interval is non-positive.
+    NonPositiveDelta {
+        /// Axis name, `"x"` or `"y"`.
+        axis: &'static str,
+        /// Offending index.
+        index: usize,
+        /// Offending value.
+        value: i64,
+    },
+    /// A pattern is too complex to extend to the requested side length.
+    TooComplex {
+        /// Current side (rows or columns).
+        have: usize,
+        /// Requested side.
+        want: usize,
+    },
+    /// The matrix side is not divisible by the fold patch size.
+    NotFoldable {
+        /// Matrix side length.
+        side: usize,
+        /// Patch side `√C`.
+        patch: usize,
+    },
+    /// Channel count is not a perfect square.
+    ChannelsNotSquare {
+        /// Requested channel count.
+        channels: usize,
+    },
+    /// An interval could not be split further during extension (length 1 nm
+    /// intervals cannot be subdivided on the integer grid).
+    UnsplittableInterval,
+}
+
+impl fmt::Display for SquishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SquishError::DeltaShapeMismatch {
+                cols,
+                rows,
+                dx_len,
+                dy_len,
+            } => write!(
+                f,
+                "topology is {cols}x{rows} but |dx|={dx_len}, |dy|={dy_len}"
+            ),
+            SquishError::NonPositiveDelta { axis, index, value } => {
+                write!(f, "delta-{axis}[{index}] = {value} must be positive")
+            }
+            SquishError::TooComplex { have, want } => {
+                write!(f, "pattern side {have} exceeds target side {want}")
+            }
+            SquishError::NotFoldable { side, patch } => {
+                write!(f, "matrix side {side} is not divisible by patch side {patch}")
+            }
+            SquishError::ChannelsNotSquare { channels } => {
+                write!(f, "channel count {channels} is not a perfect square")
+            }
+            SquishError::UnsplittableInterval => {
+                write!(f, "all intervals have unit length; cannot extend further")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SquishError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = SquishError::TooComplex { have: 40, want: 32 };
+        assert!(e.to_string().contains("40"));
+        let e = SquishError::NonPositiveDelta {
+            axis: "x",
+            index: 3,
+            value: 0,
+        };
+        assert!(e.to_string().contains("delta-x[3]"));
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync>() {}
+        assert_traits::<SquishError>();
+    }
+}

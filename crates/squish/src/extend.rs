@@ -1,0 +1,186 @@
+//! Fixed-side extension of squish patterns (paper ref. \[14\]).
+//!
+//! Different layout clips squish to topology matrices of different sizes.
+//! To train a pixel-based model the paper extends every pattern to a square
+//! matrix with a fixed side length: extra scan lines are inserted by
+//! *splitting* existing intervals, which duplicates the corresponding
+//! topology column/row and splits its Δ value — a lossless operation, since
+//! the duplicated cells describe exactly the same geometry.
+
+use crate::{SquishError, SquishPattern};
+use dp_geometry::{BitGrid, Coord};
+
+/// Statistics of one extension, useful for dataset reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtendReport {
+    /// Columns added along x.
+    pub cols_added: usize,
+    /// Rows added along y.
+    pub rows_added: usize,
+}
+
+/// Extends `pattern` to a `side x side` topology matrix by repeatedly
+/// splitting the largest interval on each axis.
+///
+/// The split interval's Δ is divided as evenly as the integer grid allows
+/// and the topology column/row is duplicated, so the decoded geometry is
+/// unchanged (see the round-trip property test).
+///
+/// # Errors
+///
+/// * [`SquishError::TooComplex`] when the pattern already has more than
+///   `side` scan intervals on either axis,
+/// * [`SquishError::UnsplittableInterval`] when every interval has unit
+///   length so no further scan line fits on the integer grid.
+pub fn extend_to_side(
+    pattern: &SquishPattern,
+    side: usize,
+) -> Result<(SquishPattern, ExtendReport), SquishError> {
+    let topo = pattern.topology();
+    if topo.width() > side {
+        return Err(SquishError::TooComplex {
+            have: topo.width(),
+            want: side,
+        });
+    }
+    if topo.height() > side {
+        return Err(SquishError::TooComplex {
+            have: topo.height(),
+            want: side,
+        });
+    }
+
+    let (dx, col_dup) = split_axis(pattern.dx(), side)?;
+    let (dy, row_dup) = split_axis(pattern.dy(), side)?;
+
+    let report = ExtendReport {
+        cols_added: side - topo.width(),
+        rows_added: side - topo.height(),
+    };
+
+    let mut grid = BitGrid::new(side, side).expect("side > 0 because topo is non-empty");
+    for (new_row, &old_row) in row_dup.iter().enumerate() {
+        for (new_col, &old_col) in col_dup.iter().enumerate() {
+            if topo.get(old_col, old_row) {
+                grid.set(new_col, new_row, true);
+            }
+        }
+    }
+
+    Ok((SquishPattern::new(grid, dx, dy)?, report))
+}
+
+/// Splits the interval vector until it has `target` entries; returns the new
+/// vector and, for each new index, the originating old index.
+fn split_axis(deltas: &[Coord], target: usize) -> Result<(Vec<Coord>, Vec<usize>), SquishError> {
+    // Work on (value, old_index) pairs, splitting the largest value.
+    let mut parts: Vec<(Coord, usize)> =
+        deltas.iter().copied().zip(0..deltas.len()).collect();
+    while parts.len() < target {
+        let (pos, &(value, old)) = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (v, _))| *v)
+            .expect("non-empty deltas");
+        if value < 2 {
+            return Err(SquishError::UnsplittableInterval);
+        }
+        let left = value / 2;
+        let right = value - left;
+        parts[pos] = (left, old);
+        parts.insert(pos + 1, (right, old));
+    }
+    Ok(parts.into_iter().unzip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geometry::{Layout, Rect};
+    use proptest::prelude::*;
+
+    fn sample_pattern() -> SquishPattern {
+        let mut l = Layout::new(Rect::new(0, 0, 2048, 2048).unwrap());
+        l.push(Rect::new(100, 200, 600, 1800).unwrap());
+        l.push(Rect::new(900, 200, 1400, 1800).unwrap());
+        SquishPattern::encode(&l)
+    }
+
+    #[test]
+    fn extends_to_requested_side() {
+        let p = sample_pattern();
+        let (q, report) = extend_to_side(&p, 16).unwrap();
+        assert_eq!(q.topology().width(), 16);
+        assert_eq!(q.topology().height(), 16);
+        assert_eq!(report.cols_added, 16 - p.topology().width());
+        assert_eq!(report.rows_added, 16 - p.topology().height());
+    }
+
+    #[test]
+    fn extension_is_lossless() {
+        let p = sample_pattern();
+        let (q, _) = extend_to_side(&p, 32).unwrap();
+        assert_eq!(
+            q.decode().unwrap().normalized(),
+            p.decode().unwrap().normalized()
+        );
+        assert_eq!(q.width(), p.width());
+        assert_eq!(q.height(), p.height());
+    }
+
+    #[test]
+    fn too_complex_is_rejected() {
+        let p = sample_pattern();
+        let err = extend_to_side(&p, 2).unwrap_err();
+        assert!(matches!(err, SquishError::TooComplex { .. }));
+    }
+
+    #[test]
+    fn unsplittable_is_rejected() {
+        let g = BitGrid::new(2, 2).unwrap();
+        let p = SquishPattern::new(g, vec![1, 1], vec![1, 1]).unwrap();
+        assert!(matches!(
+            extend_to_side(&p, 4),
+            Err(SquishError::UnsplittableInterval)
+        ));
+    }
+
+    #[test]
+    fn exact_side_is_noop() {
+        let p = sample_pattern();
+        let w = p.topology().width().max(p.topology().height());
+        let (q, report) = extend_to_side(&p, w).unwrap();
+        assert_eq!(report.cols_added + report.rows_added, w * 2 - p.topology().width() - p.topology().height());
+        assert_eq!(q.width(), p.width());
+    }
+
+    #[test]
+    fn split_axis_preserves_sum_and_order() {
+        let (parts, origin) = split_axis(&[100, 1, 7], 8).unwrap();
+        assert_eq!(parts.iter().sum::<Coord>(), 108);
+        assert_eq!(parts.len(), 8);
+        assert_eq!(origin.len(), 8);
+        // Origins must be non-decreasing (splits stay in place).
+        assert!(origin.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    proptest! {
+        #[test]
+        fn random_extension_round_trips(seed in any::<u64>(), side in 8usize..24) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut layout = Layout::new(Rect::new(0, 0, 1000, 1000).unwrap());
+            for _ in 0..3 {
+                let cx = rng.gen_range(0..8) * 120;
+                let cy = rng.gen_range(0..8) * 120;
+                layout.push(Rect::new(cx + 10, cy + 10, cx + 80, cy + 90).unwrap());
+            }
+            let p = SquishPattern::encode(&layout.normalized());
+            prop_assume!(p.topology().width() <= side && p.topology().height() <= side);
+            let (q, _) = extend_to_side(&p, side).unwrap();
+            prop_assert_eq!(q.decode().unwrap().normalized(), p.decode().unwrap().normalized());
+            prop_assert_eq!(q.width(), p.width());
+            prop_assert_eq!(q.height(), p.height());
+        }
+    }
+}

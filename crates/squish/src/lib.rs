@@ -1,0 +1,56 @@
+//! Squish and Deep Squish pattern representations.
+//!
+//! The *squish pattern* (paper §II-B, Fig. 2; Gennari & Lai, US 8,832,621)
+//! losslessly encodes a rectilinear layout as a small binary **topology
+//! matrix** plus two **geometric vectors** Δx and Δy holding the interval
+//! lengths between adjacent scan lines. DiffPattern generates topologies
+//! with a discrete diffusion model and re-assigns legal Δ vectors with a
+//! white-box solver; this crate provides the representation layer both of
+//! those sit on:
+//!
+//! * [`SquishPattern`] — encode a [`Layout`] into topology + Δ vectors and
+//!   decode back, losslessly,
+//! * [`extend_to_side`] — the fixed-side extension of Yang et al. (paper
+//!   ref. \[14\]) that pads every pattern to a square matrix of a common
+//!   side length so a batch can be stacked into a tensor,
+//! * [`DeepSquishTensor`] — the paper's §III-B contribution: fold a
+//!   `√C·M x √C·M` topology matrix into a `C x M x M` binary tensor
+//!   (space-to-depth) so the diffusion U-Net sees a smaller spatial extent
+//!   at more channels,
+//! * [`complexity_of_grid`] — the pattern complexity `(c_x, c_y)` used by
+//!   the diversity metric (paper Definition 1).
+//!
+//! # Example: lossless round trip
+//!
+//! ```
+//! use dp_geometry::{Layout, Rect};
+//! use dp_squish::SquishPattern;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut layout = Layout::new(Rect::new(0, 0, 2048, 2048)?);
+//! layout.push(Rect::new(100, 200, 600, 1800)?);
+//! layout.push(Rect::new(900, 200, 1400, 1800)?);
+//!
+//! let pattern = SquishPattern::encode(&layout);
+//! let restored = pattern.decode()?;
+//! assert_eq!(restored.normalized(), layout.normalized());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod complexity;
+mod deep;
+mod error;
+mod extend;
+mod pattern;
+
+pub use complexity::{complexity_of_grid, squish_to_core};
+pub use deep::DeepSquishTensor;
+pub use error::SquishError;
+pub use extend::{extend_to_side, ExtendReport};
+pub use pattern::SquishPattern;
+
+pub use dp_geometry::{BitGrid, Coord, Layout, Rect};

@@ -1,0 +1,63 @@
+//! Quickstart: the full DiffPattern loop on a small synthetic dataset.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Environment knobs: `DP_TRAIN_ITERS` (default 150), `DP_GENERATE`
+//! (default 8), `DP_SEED`.
+
+use diffpattern::render::pattern_to_ascii;
+use diffpattern::{Pipeline, PipelineConfig};
+use diffpattern_suite::{env_knob, example_rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = example_rng();
+    let train_iters = env_knob("DP_TRAIN_ITERS", 150);
+    let generate = env_knob("DP_GENERATE", 8);
+
+    println!("=== DiffPattern quickstart ===");
+    let config = PipelineConfig::tiny();
+    let mut pipeline = Pipeline::from_synthetic_map(config, &mut rng)?;
+    let ds = pipeline.dataset().report;
+    println!(
+        "dataset: {} tiles accepted ({} too complex, {} unsplittable)",
+        ds.accepted, ds.too_complex, ds.unsplittable
+    );
+    println!(
+        "real-pattern library: {} patterns, diversity H = {:.4} bits",
+        pipeline.dataset().library().len(),
+        pipeline.dataset().library().diversity()
+    );
+
+    println!("training the discrete diffusion model for {train_iters} iterations...");
+    let report = pipeline.train(train_iters, &mut rng)?;
+    println!(
+        "loss: {:.4} -> {:.4}",
+        report.head_mean(10),
+        report.tail_mean(10)
+    );
+
+    println!("generating {generate} legal patterns (sample -> pre-filter -> solve)...");
+    let patterns = pipeline.generate_legal_patterns(generate, &mut rng)?;
+    let r = pipeline.report();
+    println!(
+        "sampled {} topologies, pre-filter rejected {} / repaired {}, solver failures {}, legal patterns {}",
+        r.topologies_sampled,
+        r.prefilter_rejected,
+        r.prefilter_repaired,
+        r.solver_failures,
+        r.legal_patterns
+    );
+
+    for (i, p) in patterns.iter().take(2).enumerate() {
+        let drc = diffpattern::drc::check_pattern(p, &pipeline.config().rules);
+        println!(
+            "\npattern {i}: complexity {:?}, DRC clean = {}",
+            p.complexity(),
+            drc.is_clean()
+        );
+        println!("{}", pattern_to_ascii(p, 48, 24));
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Regenerates paper Table I: pattern diversity and legality for every
+//! method (Real / CAE / VCAE / CAE+LegalGAN / VCAE+LegalGAN /
+//! LayouTransformer / DiffPattern-S / DiffPattern-L).
+//!
+//! ```text
+//! cargo run --release --example table1_comparison
+//! ```
+//!
+//! Environment knobs: `DP_TRAIN_ITERS` (diffusion, default 300),
+//! `DP_GENERATE` (patterns per method, default 100; the paper uses
+//! 100 000), `DP_AE_ITERS` (baseline training, default 300), `DP_SEED`.
+
+use diffpattern::table1::{self, Table1Config};
+use diffpattern::{metrics, Pipeline, PipelineConfig};
+use diffpattern_suite::{env_knob, example_rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = example_rng();
+    let train_iters = env_knob("DP_TRAIN_ITERS", 300);
+    let generate = env_knob("DP_GENERATE", 100);
+    let ae_iterations = env_knob("DP_AE_ITERS", 300);
+
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;
+    println!(
+        "dataset: {} tiles, real diversity H = {:.4}",
+        pipeline.dataset().report.accepted,
+        pipeline.dataset().library().diversity()
+    );
+    println!("training the diffusion model for {train_iters} iterations...");
+    let report = pipeline.train(train_iters, &mut rng)?;
+    println!(
+        "diffusion loss: {:.4} -> {:.4}",
+        report.head_mean(20),
+        report.tail_mean(20)
+    );
+
+    let config = Table1Config {
+        generate,
+        ae_iterations,
+        ae: dp_ae_config(&pipeline),
+        variants_per_topology: env_knob("DP_VARIANTS", 10),
+    };
+    println!("running all Table I rows ({generate} patterns per method)...\n");
+    let rows = table1::run(&mut pipeline, config, &mut rng)?;
+
+    println!("{}", metrics::table_header());
+    for row in &rows {
+        println!("{row}");
+    }
+    let r = pipeline.report();
+    println!(
+        "\npipeline stats: sampled {}, pre-filter rejected {} / repaired {}, solver failures {}",
+        r.topologies_sampled, r.prefilter_rejected, r.prefilter_repaired, r.solver_failures
+    );
+    Ok(())
+}
+
+fn dp_ae_config(pipeline: &Pipeline) -> diffpattern::baselines::AeConfig {
+    diffpattern::baselines::AeConfig {
+        side: pipeline.config().dataset.matrix_side,
+        features: 8,
+        latent: 32,
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates paper Table II: average wall-clock time per sample for
+//! topology sampling and for the nonlinear-system solving phase with
+//! random (Solving-R) versus existing-vector (Solving-E) initialisation.
+//!
+//! ```text
+//! cargo run --release --example table2_efficiency
+//! ```
+//!
+//! Environment knobs: `DP_TRAIN_ITERS` (default 100), `DP_SAMPLES`
+//! (default 16), `DP_SEED`.
+
+use diffpattern::table2;
+use diffpattern::{Pipeline, PipelineConfig};
+use diffpattern_suite::{env_knob, example_rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = example_rng();
+    let train_iters = env_knob("DP_TRAIN_ITERS", 100);
+    let samples = env_knob("DP_SAMPLES", 16);
+
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;
+    println!("training for {train_iters} iterations...");
+    let _ = pipeline.train(train_iters, &mut rng)?;
+
+    println!("measuring over {samples} samples...\n");
+    let rows = table2::run(&mut pipeline, samples, &mut rng)?;
+    println!("{:<12} {:>14} {:>9}", "Phase", "Cost Time", "Accel.");
+    for row in &rows {
+        println!("{row}");
+    }
+    if let (Some(r), Some(e)) = (rows.get(1), rows.get(2)) {
+        println!(
+            "\nSolving-E speedup over Solving-R: {:.2}x (paper reports 2.30x)",
+            r.seconds / e.seconds
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! Reproduces the paper's §IV-F discussion: why DiffPattern refuses the
+//! "pattern validity" metric of prior work.
+//!
+//! Validity scores generated patterns by how well an auto-encoder
+//! pre-trained on the training set reconstructs them. The paper's
+//! critique: (a) legal-but-novel patterns — the entire purpose of pattern
+//! generation — score *worse* than memorised ones, and (b) prior work's
+//! generated sets outscored the held-out test set (65% → 84%), which is
+//! only possible if the metric rewards overfitting.
+//!
+//! This example measures both effects on the synthetic dataset:
+//!
+//! ```text
+//! cargo run --release --example validity_critique
+//! ```
+
+use diffpattern::baselines::{AeConfig, Cae, ValidityScorer};
+use diffpattern::geometry::BitGrid;
+use diffpattern::{Pipeline, PipelineConfig};
+use diffpattern_suite::{env_knob, example_rng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = example_rng();
+    let scorer_iters = env_knob("DP_AE_ITERS", 400);
+    let train_iters = env_knob("DP_TRAIN_ITERS", 4000);
+    let generate = env_knob("DP_GENERATE", 40);
+
+    // Split the tiles into train/test halves like the paper's protocol.
+    let pipeline_cfg = PipelineConfig::tiny();
+    let mut pipeline = Pipeline::from_synthetic_map(pipeline_cfg, &mut rng)?;
+    let grids: Vec<BitGrid> = pipeline
+        .dataset()
+        .tensors
+        .iter()
+        .map(|t| t.unfold())
+        .collect();
+    let split = grids.len() * 3 / 4;
+    let (train_grids, test_grids) = grids.split_at(split);
+
+    println!("fitting the validity scorer on {} training grids...", split);
+    let ae = AeConfig {
+        side: pipeline.config().dataset.matrix_side,
+        features: 8,
+        latent: 32,
+    };
+    let mut scorer = ValidityScorer::fit(ae, train_grids, scorer_iters, &mut rng);
+
+    println!("training DiffPattern for {train_iters} iterations and generating {generate} topologies...");
+    let _ = pipeline.train(train_iters, &mut rng)?;
+    let diffpattern_topos = pipeline.generate_topologies(generate, &mut rng)?;
+
+    // An overfit generator: a CAE that memorises the training set and
+    // regurgitates lightly perturbed reconstructions.
+    println!("training an overfit CAE generator...");
+    let mut cae = Cae::new(ae, &mut rng);
+    let _ = cae.train(train_grids, scorer_iters, 8, &mut rng);
+    let overfit: Vec<BitGrid> = (0..generate)
+        .map(|_| cae.generate(train_grids, 0.1, &mut rng))
+        .collect();
+
+    let v_train = scorer.validity_pct(train_grids);
+    let v_test = scorer.validity_pct(test_grids);
+    let v_overfit = scorer.validity_pct(&overfit);
+    let v_diff = scorer.validity_pct(&diffpattern_topos);
+
+    println!("\n=== validity percentages (threshold = {:.4} BCE) ===", scorer.threshold());
+    println!("{:<28} {:>8.1}%", "training set", v_train);
+    println!("{:<28} {:>8.1}%", "held-out test set", v_test);
+    println!("{:<28} {:>8.1}%", "overfit CAE generator", v_overfit);
+    println!("{:<28} {:>8.1}%", "DiffPattern (novel, legal)", v_diff);
+
+    println!("\npaper's §IV-F points, measured here:");
+    if v_overfit >= v_test {
+        println!(
+            "  (a) the overfit generator ({v_overfit:.1}%) matches or beats the honest \
+             test set ({v_test:.1}%) — the metric rewards memorisation"
+        );
+    } else {
+        println!(
+            "  (a) overfit generator {v_overfit:.1}% vs test {v_test:.1}% — effect not \
+             visible at this scale"
+        );
+    }
+    println!(
+        "  (b) DiffPattern's novel-but-legal patterns score {v_diff:.1}% — diversity is \
+         penalised even though every pattern is DRC-clean; this is why the paper \
+         evaluates with diversity + legality instead"
+    );
+    Ok(())
+}

@@ -1,0 +1,41 @@
+//! Workspace-level helpers shared by the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! The actual library lives in the `crates/` members; see the
+//! [`diffpattern`] facade crate. This package only adds small utilities
+//! for scaling example runs via environment variables.
+
+use rand::SeedableRng;
+
+/// Reads a `usize` knob from the environment with a default, so examples
+/// can be scaled up (`DP_GENERATE=1000 cargo run --release --example
+/// table1_comparison`) without recompiling.
+pub fn env_knob(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministic RNG for examples, seedable via `DP_SEED`.
+pub fn example_rng() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(env_knob("DP_SEED", 42) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knob_defaults() {
+        assert_eq!(env_knob("DP_SURELY_UNSET_KNOB", 7), 7);
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::RngCore;
+        let mut a = example_rng();
+        let mut b = example_rng();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based contracts between crates: the DRC checker, the
+//! constraint extractor and the legalization solver must agree on what
+//! "legal" means, across randomly generated topologies.
+
+use diffpattern::drc::{check_pattern, ConstraintSet, DesignRules};
+use diffpattern::geometry::{bowtie, BitGrid};
+use diffpattern::legalize::{Init, Solver, SolverConfig};
+use diffpattern::squish::SquishPattern;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Random sparse topology without bow-ties (the class DiffPattern's
+/// pre-filter admits).
+fn random_topology(seed: u64, side: usize, density_pct: u32) -> BitGrid {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut grid = BitGrid::new(side, side).unwrap();
+    // Place a few random rectangles, which never create bow-ties by
+    // themselves; then clean any incidental corner contact.
+    let shapes = 1 + (density_pct as usize % 5);
+    for _ in 0..shapes {
+        let w = rng.gen_range(1..=side / 2);
+        let h = rng.gen_range(1..=side / 2);
+        let c0 = rng.gen_range(0..side - w + 1);
+        let r0 = rng.gen_range(0..side - h + 1);
+        grid.fill_cells(c0, r0, c0 + w, r0 + h);
+    }
+    bowtie::repair_bowties(&mut grid);
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever the solver returns must pass the full DRC engine — not just
+    /// the constraint oracle it optimised against.
+    #[test]
+    fn solver_output_is_always_drc_clean(seed in any::<u64>(), density in 0u32..100) {
+        let topo = random_topology(seed, 10, density);
+        let rules = DesignRules::standard();
+        let solver = Solver::new(rules, SolverConfig::for_window(2048, 2048));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xabcd);
+        if let Ok(solution) = solver.solve(&topo, Init::Random, &mut rng) {
+            let pattern = SquishPattern::new(topo, solution.dx, solution.dy).unwrap();
+            let report = check_pattern(&pattern, &rules);
+            prop_assert!(report.is_clean(), "{:?}", report.violations());
+        }
+    }
+
+    /// The constraint oracle and the DRC checker agree on arbitrary
+    /// delta assignments.
+    #[test]
+    fn oracle_matches_checker(seed in any::<u64>()) {
+        use rand::Rng;
+        let topo = random_topology(seed, 8, 50);
+        let rules = DesignRules::standard();
+        let cs = ConstraintSet::extract(&topo, &rules);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0x1234);
+        // Random positive deltas, not necessarily legal.
+        let dx: Vec<i64> = (0..topo.width()).map(|_| rng.gen_range(1..500)).collect();
+        let dy: Vec<i64> = (0..topo.height()).map(|_| rng.gen_range(1..500)).collect();
+        let pattern = SquishPattern::new(topo, dx.clone(), dy.clone()).unwrap();
+        let report = check_pattern(&pattern, &rules);
+        prop_assert_eq!(cs.is_satisfied(&dx, &dy, &rules), report.is_clean());
+    }
+
+    /// Squish encode/decode is lossless through the geometry and squish
+    /// crates together.
+    #[test]
+    fn squish_round_trip_via_decode(seed in any::<u64>()) {
+        let topo = random_topology(seed, 8, 60);
+        let dx: Vec<i64> = vec![7; topo.width()];
+        let dy: Vec<i64> = vec![13; topo.height()];
+        let pattern = SquishPattern::new(topo.clone(), dx, dy).unwrap();
+        let layout = pattern.decode().unwrap();
+        let reencoded = SquishPattern::encode(&layout);
+        let roundtrip = reencoded.decode().unwrap();
+        prop_assert_eq!(layout.normalized(), roundtrip.normalized());
+    }
+}
+
+#[test]
+fn solving_e_and_r_agree_on_feasibility() {
+    // Across a batch of topologies, E and R must agree on which are
+    // solvable (initialisation affects speed, not feasibility).
+    let rules = DesignRules::standard();
+    let solver = Solver::new(rules, SolverConfig::for_window(2048, 2048));
+    let donor = {
+        let mut layout =
+            diffpattern::geometry::Layout::new(diffpattern::geometry::Rect::new(0, 0, 2048, 2048).unwrap());
+        layout.push(diffpattern::geometry::Rect::new(100, 100, 900, 1900).unwrap());
+        SquishPattern::encode(&layout)
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    for seed in 0..10 {
+        let topo = random_topology(seed, 10, 40);
+        let r = solver.solve(&topo, Init::Random, &mut rng).is_ok();
+        let e = solver
+            .solve(&topo, Init::Existing(donor.dx(), donor.dy()), &mut rng)
+            .is_ok();
+        assert_eq!(r, e, "seed {seed}: R={r} E={e}");
+    }
+}

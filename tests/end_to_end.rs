@@ -1,0 +1,72 @@
+//! Cross-crate integration: the full DiffPattern pipeline from synthetic
+//! map to DRC-clean patterns.
+
+use diffpattern::drc::check_pattern;
+use diffpattern::{Pipeline, PipelineConfig};
+use rand::SeedableRng;
+
+#[test]
+fn pipeline_produces_only_legal_patterns() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+    let _ = pipeline.train(5, &mut rng).unwrap();
+    let patterns = pipeline.generate_legal_patterns(4, &mut rng).unwrap();
+    assert!(!patterns.is_empty(), "pipeline produced nothing");
+    for p in &patterns {
+        let report = check_pattern(p, &pipeline.config().rules);
+        assert!(report.is_clean(), "{:?}", report.violations());
+        // Window pinning (Eq. 14 sum constraints).
+        assert_eq!(p.width(), 2048);
+        assert_eq!(p.height(), 2048);
+    }
+}
+
+#[test]
+fn report_is_consistent() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+    let _ = pipeline.train(5, &mut rng).unwrap();
+    let topos = pipeline.generate_topologies(5, &mut rng).unwrap();
+    let patterns = pipeline.legalize_topologies(&topos, &mut rng);
+    let r = pipeline.report();
+    assert_eq!(
+        r.topologies_sampled,
+        topos.len() + r.prefilter_rejected,
+        "sampled = returned + rejected (repaired ones are returned)"
+    );
+    assert_eq!(r.legal_patterns, patterns.len());
+    assert_eq!(r.solver_failures + patterns.len(), topos.len());
+}
+
+#[test]
+fn strict_prefilter_rejects_instead_of_repairing() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut config = PipelineConfig::tiny();
+    config.repair_bowties = false;
+    let mut pipeline = Pipeline::from_synthetic_map(config, &mut rng).unwrap();
+    let _ = pipeline.train(3, &mut rng).unwrap();
+    let topos = pipeline.generate_topologies(2, &mut rng).unwrap();
+    let r = pipeline.report();
+    assert_eq!(r.prefilter_repaired, 0);
+    // Every returned topology is genuinely bow-tie free.
+    for t in &topos {
+        assert!(diffpattern::geometry::bowtie::is_bowtie_free(t));
+    }
+}
+
+#[test]
+fn dataset_patterns_round_trip_through_all_crates() {
+    // tiles -> squish -> extend -> fold -> unfold -> complexity matches.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+    let pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+    let ds = pipeline.dataset();
+    for (tensor, pattern) in ds.tensors.iter().zip(&ds.patterns).take(8) {
+        let unfolded = tensor.unfold();
+        let core = diffpattern::squish::squish_to_core(&unfolded);
+        assert_eq!(
+            (core.width(), core.height()),
+            pattern.complexity(),
+            "fold/extend must preserve the canonical complexity"
+        );
+    }
+}
