@@ -273,10 +273,7 @@ mod tests {
             let (lp, _) = bce_with_logits(&plus, &targets);
             let (lm, _) = bce_with_logits(&minus, &targets);
             let numeric = (lp - lm) / (2.0 * eps as f64);
-            assert!(
-                (numeric - grad.data()[i] as f64).abs() < 1e-4,
-                "entry {i}"
-            );
+            assert!((numeric - grad.data()[i] as f64).abs() < 1e-4, "entry {i}");
         }
     }
 

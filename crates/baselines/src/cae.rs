@@ -78,12 +78,7 @@ impl Cae {
     /// # Panics
     ///
     /// Panics on an empty seed set.
-    pub fn generate(
-        &mut self,
-        seeds: &[BitGrid],
-        noise_std: f32,
-        rng: &mut impl Rng,
-    ) -> BitGrid {
+    pub fn generate(&mut self, seeds: &[BitGrid], noise_std: f32, rng: &mut impl Rng) -> BitGrid {
         assert!(!seeds.is_empty(), "empty seed set");
         let seed = &seeds[rng.gen_range(0..seeds.len())];
         let x = grids_to_tensor(&[seed], self.config.side);

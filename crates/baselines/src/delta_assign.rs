@@ -39,8 +39,7 @@ pub fn assign_borrowed_deltas(
     let donor = &donors[rng.gen_range(0..donors.len())];
     let dx = resample_to(donor.dx(), topology.width(), window);
     let dy = resample_to(donor.dy(), topology.height(), window);
-    SquishPattern::new(topology.clone(), dx, dy)
-        .expect("resampled deltas match topology shape")
+    SquishPattern::new(topology.clone(), dx, dy).expect("resampled deltas match topology shape")
 }
 
 /// Resamples a Δ profile to `n` entries summing exactly to `target`, each

@@ -164,8 +164,7 @@ impl SequenceModel {
 
     /// Generates one layout pattern.
     pub fn generate(&self, rng: &mut impl Rng) -> Layout {
-        let window =
-            Rect::new(0, 0, self.config.window, self.config.window).expect("window > 0");
+        let window = Rect::new(0, 0, self.config.window, self.config.window).expect("window > 0");
         let mut layout = Layout::new(window);
         let n_polys = weighted_sample(&self.polygon_counts, rng)
             .unwrap_or(1)
@@ -184,8 +183,7 @@ impl SequenceModel {
 
     /// Samples a closed token walk from the Markov statistics.
     fn sample_walk(&self, rng: &mut impl Rng) -> Option<Vec<EdgeToken>> {
-        let target_len = weighted_sample(&self.walk_lengths, rng)?
-            .clamp(4, self.config.max_tokens);
+        let target_len = weighted_sample(&self.walk_lengths, rng)?.clamp(4, self.config.max_tokens);
         for _attempt in 0..8 {
             let mut classes: Vec<TokenClass> = Vec::with_capacity(target_len);
             classes.push(weighted_sample(&self.starts, rng)?);
@@ -204,7 +202,7 @@ impl SequenceModel {
                     })
                     .unwrap_or(TokenClass {
                         dir: if prev.horizontal() { 1 } else { 0 },
-                        bucket: 1 + rng.gen_range(0..4),
+                        bucket: 1 + rng.gen_range(0u32..4),
                     });
                 classes.push(next);
             }
@@ -281,11 +279,9 @@ impl SequenceModel {
         for _attempt in 0..20 {
             let ox = rng.gen_range(0..=(self.config.window - w)) - min.x;
             let oy = rng.gen_range(0..=(self.config.window - h)) - min.y;
-            let bbox = Rect::new(min.x + ox, min.y + oy, max.x + ox, max.y + oy)
-                .expect("positive extent");
-            let clear = bbox
-                .inflate(self.config.clearance)
-                .unwrap_or(bbox);
+            let bbox =
+                Rect::new(min.x + ox, min.y + oy, max.x + ox, max.y + oy).expect("positive extent");
+            let clear = bbox.inflate(self.config.clearance).unwrap_or(bbox);
             if placed.iter().any(|p| p.intersects(&clear)) {
                 continue;
             }

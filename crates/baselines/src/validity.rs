@@ -99,10 +99,13 @@ impl ValidityScorer {
         if grids.is_empty() {
             return 0.0;
         }
-        let valid = grids.iter().filter(|g| {
-            let e = self.error(g);
-            e <= self.threshold
-        }).count();
+        let valid = grids
+            .iter()
+            .filter(|g| {
+                let e = self.error(g);
+                e <= self.threshold
+            })
+            .count();
         100.0 * valid as f64 / grids.len() as f64
     }
 
@@ -178,11 +181,8 @@ mod tests {
         let training: Vec<BitGrid> = (2..12).map(|s| bars(16, s)).collect();
         let mut scorer = ValidityScorer::fit(config, &training, 200, &mut rng);
 
-        let memorised_err: f64 = training
-            .iter()
-            .map(|g| scorer.error(g))
-            .sum::<f64>()
-            / training.len() as f64;
+        let memorised_err: f64 =
+            training.iter().map(|g| scorer.error(g)).sum::<f64>() / training.len() as f64;
         // Novel family: transposed bars.
         let novel: Vec<BitGrid> = training.iter().map(|g| g.transposed()).collect();
         let novel_err: f64 =

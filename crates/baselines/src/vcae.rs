@@ -72,8 +72,7 @@ impl Vcae {
                 for j in 0..d {
                     let mu = enc_out.data()[i * 2 * d + j];
                     let logvar = enc_out.data()[i * 2 * d + d + j];
-                    z.data_mut()[i * d + j] =
-                        mu + (0.5 * logvar).exp() * eps.data()[i * d + j];
+                    z.data_mut()[i * d + j] = mu + (0.5 * logvar).exp() * eps.data()[i * d + j];
                 }
             }
 
@@ -105,8 +104,8 @@ impl Vcae {
                     let e = eps.data()[i * d + j] as f64;
                     // dz/dmu = 1; dz/dlogvar = 0.5 exp(logvar/2) eps.
                     let gmu = gz + kl_scale * mu;
-                    let glogvar = gz * 0.5 * (0.5 * logvar).exp() * e
-                        + kl_scale * 0.5 * (logvar.exp() - 1.0);
+                    let glogvar =
+                        gz * 0.5 * (0.5 * logvar).exp() * e + kl_scale * 0.5 * (logvar.exp() - 1.0);
                     grad_enc.data_mut()[i * 2 * d + j] = gmu as f32;
                     grad_enc.data_mut()[i * 2 * d + d + j] = glogvar as f32;
                 }

@@ -51,5 +51,10 @@ fn solve_many_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, solve_vs_side, constraint_extraction, solve_many_variants);
+criterion_group!(
+    benches,
+    solve_vs_side,
+    constraint_extraction,
+    solve_many_variants
+);
 criterion_main!(benches);

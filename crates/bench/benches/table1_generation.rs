@@ -5,8 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dp_baselines::{
-    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig,
-    Vcae,
+    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig, Vcae,
 };
 use dp_bench::{bench_patterns, bench_topology};
 use dp_geometry::BitGrid;

@@ -26,7 +26,7 @@ fn sampling(c: &mut Criterion) {
         attn_resolutions: vec![1],
         time_dim: 16,
         groups: 4,
-            dropout: 0.0,
+        dropout: 0.0,
     };
     let mut denoiser = dp_diffusion::NeuralDenoiser::new(UNet::new(&config, &mut rng));
     let sampler = Sampler::new(NoiseSchedule::linear(30, 0.01, 0.5).unwrap());

@@ -61,7 +61,7 @@ impl Default for PipelineConfig {
                 attn_resolutions: vec![1],
                 time_dim: 64,
                 groups: 8,
-            dropout: 0.0,
+                dropout: 0.0,
             },
             train: TrainConfig {
                 batch_size: 8,
@@ -99,7 +99,7 @@ impl PipelineConfig {
                 attn_resolutions: vec![1],
                 time_dim: 16,
                 groups: 4,
-            dropout: 0.0,
+                dropout: 0.0,
             },
             train: TrainConfig {
                 batch_size: 4,
@@ -245,9 +245,7 @@ impl Pipeline {
         iterations: usize,
         rng: &mut impl Rng,
     ) -> Result<TrainReport, PipelineError> {
-        let report = self
-            .trainer
-            .train(&self.dataset.tensors, iterations, rng)?;
+        let report = self.trainer.train(&self.dataset.tensors, iterations, rng)?;
         self.trained = true;
         Ok(report)
     }
@@ -283,13 +281,7 @@ impl Pipeline {
             let tensor = if self.config.sample_stride <= 1 {
                 sampler.sample_one(self.trainer.denoiser_mut(), channels, side, rng)
             } else {
-                sampler.sample_respaced(
-                    self.trainer.denoiser_mut(),
-                    channels,
-                    side,
-                    &retained,
-                    rng,
-                )
+                sampler.sample_respaced(self.trainer.denoiser_mut(), channels, side, &retained, rng)
             };
             let mut grid = tensor.unfold();
             if bowtie::is_bowtie_free(&grid) {

@@ -30,10 +30,8 @@ pub fn layout_to_ascii(layout: &Layout, cols: usize, rows: usize) -> String {
     let mut out = String::with_capacity((cols + 1) * rows);
     for r in (0..rows).rev() {
         for c in 0..cols {
-            let x = window.x0()
-                + (window.width() * (2 * c as i64 + 1)) / (2 * cols as i64);
-            let y = window.y0()
-                + (window.height() * (2 * r as i64 + 1)) / (2 * rows as i64);
+            let x = window.x0() + (window.width() * (2 * c as i64 + 1)) / (2 * cols as i64);
+            let y = window.y0() + (window.height() * (2 * r as i64 + 1)) / (2 * rows as i64);
             let covered = layout
                 .rects()
                 .iter()
@@ -63,10 +61,10 @@ pub fn layout_to_pgm(layout: &Layout, size: usize, path: &Path) -> std::io::Resu
     let window = layout.window();
     let mut pixels = vec![255u8; size * size];
     for rect in layout.rects() {
-        let sx = |x: i64| ((x - window.x0()) as i128 * size as i128
-            / window.width() as i128) as usize;
-        let sy = |y: i64| ((y - window.y0()) as i128 * size as i128
-            / window.height() as i128) as usize;
+        let sx =
+            |x: i64| ((x - window.x0()) as i128 * size as i128 / window.width() as i128) as usize;
+        let sy =
+            |y: i64| ((y - window.y0()) as i128 * size as i128 / window.height() as i128) as usize;
         let (c0, c1) = (sx(rect.x0()), sx(rect.x1()).min(size));
         let (r0, r1) = (sy(rect.y0()), sy(rect.y1()).min(size));
         for r in r0..r1 {

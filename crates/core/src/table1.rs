@@ -20,8 +20,7 @@
 use crate::metrics::{evaluate_patterns, MethodRow};
 use crate::{Pipeline, PipelineError};
 use dp_baselines::{
-    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig,
-    Vcae,
+    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig, Vcae,
 };
 use dp_datagen::PatternLibrary;
 use dp_geometry::BitGrid;
@@ -122,12 +121,7 @@ pub fn run(
         .map(|_| cae.generate(&grids, 0.5, rng))
         .collect();
     rows.push(pixel_row(
-        "CAE [7]",
-        &cae_topos,
-        &donors,
-        window,
-        &rules,
-        rng,
+        "CAE [7]", &cae_topos, &donors, window, &rules, rng,
     ));
     let legalizer = MorphLegalizer::default();
     let cae_clean: Vec<BitGrid> = cae_topos.iter().map(|t| legalizer.legalize(t)).collect();
@@ -231,8 +225,7 @@ mod tests {
     #[test]
     fn tiny_table_runs_all_rows() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut pipeline =
-            Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+        let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
         let rows = run(&mut pipeline, Table1Config::tiny(), &mut rng).unwrap();
         assert_eq!(rows.len(), 8);

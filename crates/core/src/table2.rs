@@ -121,8 +121,7 @@ mod tests {
     #[test]
     fn measures_three_phases() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        let mut pipeline =
-            Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+        let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
         let rows = run(&mut pipeline, 3, &mut rng).unwrap();
         assert_eq!(rows.len(), 3);

@@ -78,13 +78,13 @@ pub fn generate_contact_layer(config: ContactConfig, rng: &mut impl Rng) -> Layo
     let margin = (config.pitch - config.cut) / 2;
     for gy in 0..ny {
         for gx in 0..nx {
-            if rng.gen_range(0..100) >= config.occupancy_percent {
+            if rng.gen_range(0u32..100) >= config.occupancy_percent {
                 continue;
             }
             let x0 = gx as Coord * config.pitch + margin;
             let y0 = gy as Coord * config.pitch + margin;
             // A bar spans this site and the next along x (when free).
-            let make_bar = rng.gen_range(0..100) < config.bar_percent && gx + 1 < nx;
+            let make_bar = rng.gen_range(0u32..100) < config.bar_percent && gx + 1 < nx;
             let x1 = if make_bar {
                 x0 + config.pitch + config.cut
             } else {

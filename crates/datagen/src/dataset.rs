@@ -1,6 +1,6 @@
 use crate::PatternLibrary;
 use dp_geometry::Layout;
-use dp_squish::{extend_to_side, DeepSquishTensor, SquishPattern, SquishError};
+use dp_squish::{extend_to_side, DeepSquishTensor, SquishError, SquishPattern};
 
 /// Configuration for turning tiles into a training set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,9 +177,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "perfect square")]
     fn bad_channels_panic() {
-        let _ = build_dataset(&[], DatasetConfig {
-            matrix_side: 32,
-            channels: 3,
-        });
+        let _ = build_dataset(
+            &[],
+            DatasetConfig {
+                matrix_side: 32,
+                channels: 3,
+            },
+        );
     }
 }

@@ -148,15 +148,13 @@ impl LayoutMapGenerator {
         let stub_room = next_track_y - c.space - y1;
         let mut x = rng.gen_range(0..c.seg_min);
         while x < c.width {
-            if rng.gen_range(0..100) < c.fill_percent {
+            if rng.gen_range(0u32..100) < c.fill_percent {
                 let len = rng.gen_range(c.seg_min..=c.seg_max).min(c.width - x);
                 if len >= c.wire_min {
                     layout.push(Rect::new(x, y0, x + len, y1).expect("positive extent"));
                     // Occasional pin stub hanging off the segment, only when
                     // the inter-track gap leaves room for a legal one.
-                    if rng.gen_range(0..100) < 12
-                        && len > 3 * c.wire_min
-                        && stub_room >= c.wire_min
+                    if rng.gen_range(0..100) < 12 && len > 3 * c.wire_min && stub_room >= c.wire_min
                     {
                         let stub_w = c.wire_min;
                         let sx = x + rng.gen_range(c.wire_min..len - stub_w - c.wire_min);

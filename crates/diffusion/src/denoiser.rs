@@ -123,7 +123,13 @@ impl Denoiser for OracleDenoiser {
                 self.x0
                     .bits()
                     .iter()
-                    .map(|&b| if b { self.confidence } else { 1.0 - self.confidence })
+                    .map(|&b| {
+                        if b {
+                            self.confidence
+                        } else {
+                            1.0 - self.confidence
+                        }
+                    })
                     .collect()
             })
             .collect()
@@ -145,9 +151,7 @@ impl UniformDenoiser {
 
 impl Denoiser for UniformDenoiser {
     fn predict_p1(&mut self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
-        xks.iter()
-            .map(|xk| vec![0.5; xk.bits().len()])
-            .collect()
+        xks.iter().map(|xk| vec![0.5; xk.bits().len()]).collect()
     }
 }
 

@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let e = DiffusionError::StepOutOfRange {
-            step: 0,
-            total: 10,
-        };
+        let e = DiffusionError::StepOutOfRange { step: 0, total: 10 };
         assert!(e.to_string().contains("0"));
     }
 }

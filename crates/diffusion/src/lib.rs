@@ -48,8 +48,8 @@ pub use denoiser::{Denoiser, NeuralDenoiser, OracleDenoiser, UniformDenoiser};
 pub use error::DiffusionError;
 pub use sampler::{SampleTrace, Sampler};
 pub use schedule::{
-    flip_between, forward_sample, posterior_jump_same_prob, posterior_same_prob,
-    reverse_jump_prob, reverse_step_prob, NoiseSchedule,
+    flip_between, forward_sample, posterior_jump_same_prob, posterior_same_prob, reverse_jump_prob,
+    reverse_step_prob, NoiseSchedule,
 };
 pub use trainer::{TrainConfig, TrainReport, Trainer};
 

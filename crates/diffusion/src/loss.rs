@@ -204,8 +204,7 @@ mod tests {
                 bad.set4(0, 1, m, nn, if b { 8.0 } else { -8.0 });
             }
         }
-        let (lg, _) =
-            vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[50], &good, &s, 0.001);
+        let (lg, _) = vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[50], &good, &s, 0.001);
         let (lb, _) = vb_loss_and_grad(&[x0], &[xk], &[50], &bad, &s, 0.001);
         assert!(lg.total < lb.total, "good {lg:?} bad {lb:?}");
         // Perfect prediction drives the KL near zero (the posterior is then
@@ -220,24 +219,15 @@ mod tests {
         let x0 = random_bits(&mut rng, 4, 3);
         let xk = crate::forward_sample(&x0, &s, 30, &mut rng);
         let logits = Tensor::randn(&[1, 8, 3, 3], 1.0, &mut rng);
-        let (_, grad) = vb_loss_and_grad(
-            &[x0.clone()],
-            &[xk.clone()],
-            &[30],
-            &logits,
-            &s,
-            0.001,
-        );
+        let (_, grad) = vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[30], &logits, &s, 0.001);
         let eps = 1e-3f32;
         for i in 0..logits.len() {
             let mut plus = logits.clone();
             plus.data_mut()[i] += eps;
             let mut minus = logits.clone();
             minus.data_mut()[i] -= eps;
-            let (lp, _) =
-                vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[30], &plus, &s, 0.001);
-            let (lm, _) =
-                vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[30], &minus, &s, 0.001);
+            let (lp, _) = vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[30], &plus, &s, 0.001);
+            let (lm, _) = vb_loss_and_grad(&[x0.clone()], &[xk.clone()], &[30], &minus, &s, 0.001);
             // Total in the report is already normalised per entry, as is the
             // gradient.
             let numeric = (lp.total - lm.total) / (2.0 * eps as f64);

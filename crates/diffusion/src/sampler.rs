@@ -90,15 +90,17 @@ impl Sampler {
             "retained steps must be strictly increasing"
         );
         assert!(retained[0] >= 1, "steps are 1-based");
-        assert!(*retained.last().expect("non-empty") <= k_max, "step beyond K");
+        assert!(
+            *retained.last().expect("non-empty") <= k_max,
+            "step beyond K"
+        );
 
         // Start from the stationary distribution at the highest retained
         // step (for k_top close to K this is indistinguishable from T_K).
         let bits = (0..channels * side * side)
             .map(|_| rng.gen_bool(0.5))
             .collect();
-        let mut state =
-            DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+        let mut state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
 
         for idx in (0..retained.len()).rev() {
             let k = retained[idx];
@@ -106,7 +108,9 @@ impl Sampler {
             let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[k])[0];
             let bits: Vec<bool> = if j == 0 {
                 // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly.
-                p1.iter().map(|&p| rng.gen_bool(p.clamp(0.0, 1.0))).collect()
+                p1.iter()
+                    .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
+                    .collect()
             } else {
                 state
                     .bits()
@@ -158,8 +162,7 @@ impl Sampler {
         let bits = (0..channels * side * side)
             .map(|_| rng.gen_bool(0.5))
             .collect();
-        let mut state = DeepSquishTensor::from_bits(channels, side, bits)
-            .expect("valid shape");
+        let mut state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
 
         let mut snapshots = vec![(k_max, state.clone())];
         for k in (2..=k_max).rev() {
@@ -186,8 +189,7 @@ impl Sampler {
             .iter()
             .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
             .collect();
-        let sample =
-            DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+        let sample = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
         snapshots.push((0, sample.clone()));
 
         SampleTrace { snapshots, sample }
@@ -333,7 +335,11 @@ mod tests {
         let sampler = Sampler::new(schedule());
         let trace = sampler.sample_with_trace(&mut oracle, 1, 16, &[5], &mut rng);
         let dist = |t: &DeepSquishTensor| -> usize {
-            t.bits().iter().zip(x0.bits()).filter(|(a, b)| a != b).count()
+            t.bits()
+                .iter()
+                .zip(x0.bits())
+                .filter(|(a, b)| a != b)
+                .count()
         };
         let initial = dist(&trace.snapshots[0].1);
         let late = dist(&trace.snapshots[1].1);

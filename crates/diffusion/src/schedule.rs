@@ -18,7 +18,7 @@ use rand::Rng;
 /// the whole forward process is one Bernoulli flip per entry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NoiseSchedule {
-    betas: Vec<f64>,           // betas[k-1] = β_k, k = 1..=K
+    betas: Vec<f64>,            // betas[k-1] = β_k, k = 1..=K
     cumulative_flips: Vec<f64>, // cumulative_flips[k] = b̄_k, index 0 = 0.0
 }
 
@@ -31,7 +31,9 @@ impl NoiseSchedule {
     /// Returns [`DiffusionError::BadSchedule`] when `steps == 0` or either β
     /// is outside `(0, 1)`.
     pub fn linear(steps: usize, beta1: f64, beta_k: f64) -> Result<Self, DiffusionError> {
-        if steps == 0 || !(0.0..1.0).contains(&beta1) || !(0.0..1.0).contains(&beta_k)
+        if steps == 0
+            || !(0.0..1.0).contains(&beta1)
+            || !(0.0..1.0).contains(&beta_k)
             || beta1 <= 0.0
             || beta_k <= 0.0
         {
@@ -230,12 +232,7 @@ pub fn reverse_step_prob(schedule: &NoiseSchedule, k: usize, p_x0_equals_xk: f64
 /// # Panics
 ///
 /// Panics when `j >= k`, `k > K`, or `p_x0_equals_xk` is not a probability.
-pub fn reverse_jump_prob(
-    schedule: &NoiseSchedule,
-    j: usize,
-    k: usize,
-    p_x0_equals_xk: f64,
-) -> f64 {
+pub fn reverse_jump_prob(schedule: &NoiseSchedule, j: usize, k: usize, p_x0_equals_xk: f64) -> f64 {
     assert!(
         (0.0..=1.0).contains(&p_x0_equals_xk),
         "probability out of range"
@@ -369,9 +366,8 @@ mod tests {
         for k in [1usize, 5, 50, 100] {
             for eq in [true, false] {
                 assert!(
-                    (posterior_jump_same_prob(&s, k - 1, k, eq)
-                        - posterior_same_prob(&s, k, eq))
-                    .abs()
+                    (posterior_jump_same_prob(&s, k - 1, k, eq) - posterior_same_prob(&s, k, eq))
+                        .abs()
                         < 1e-15
                 );
             }

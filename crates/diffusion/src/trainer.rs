@@ -88,8 +88,7 @@ impl Trainer {
         config: TrainConfig,
         rng: &mut impl Rng,
     ) -> Result<Self, DiffusionError> {
-        let schedule =
-            NoiseSchedule::linear(config.diffusion_steps, config.beta1, config.beta_k)?;
+        let schedule = NoiseSchedule::linear(config.diffusion_steps, config.beta1, config.beta_k)?;
         let denoiser = NeuralDenoiser::new(UNet::new(unet_config, rng));
         let adam = Adam::new(config.adam);
         Ok(Trainer {
@@ -174,14 +173,8 @@ impl Trainer {
             x0s.push(x0);
         }
         let logits = self.denoiser.forward_logits(&xks, &ks);
-        let (loss, grad) = vb_loss_and_grad(
-            &x0s,
-            &xks,
-            &ks,
-            &logits,
-            &self.schedule,
-            self.config.lambda,
-        );
+        let (loss, grad) =
+            vb_loss_and_grad(&x0s, &xks, &ks, &logits, &self.schedule, self.config.lambda);
         let _ = self.denoiser.unet_mut().backward(&grad);
         self.adam.step(&mut self.denoiser.unet_mut().params_mut());
         loss
@@ -211,13 +204,9 @@ mod tests {
         // Two simple structured patterns: vertical and horizontal stripes.
         let mut data = Vec::new();
         for phase in 0..2 {
-            let bits: Vec<bool> = (0..side * side)
-                .map(|i| (i % side) % 2 == phase)
-                .collect();
+            let bits: Vec<bool> = (0..side * side).map(|i| (i % side) % 2 == phase).collect();
             data.push(DeepSquishTensor::from_bits(1, side, bits).unwrap());
-            let bits: Vec<bool> = (0..side * side)
-                .map(|i| (i / side) % 2 == phase)
-                .collect();
+            let bits: Vec<bool> = (0..side * side).map(|i| (i / side) % 2 == phase).collect();
             data.push(DeepSquishTensor::from_bits(1, side, bits).unwrap());
         }
         data

@@ -90,8 +90,7 @@ pub fn check_pattern(pattern: &SquishPattern, rules: &DesignRules) -> DrcReport 
     let boxes = labels.bounding_boxes();
     for label in 0..labels.count() {
         let (c0, r0, c1, r1) = boxes[label as usize];
-        let touches_border =
-            c0 == 0 || r0 == 0 || c1 == topo.width() || r1 == topo.height();
+        let touches_border = c0 == 0 || r0 == 0 || c1 == topo.width() || r1 == topo.height();
         if touches_border && rules.exempt_border() {
             continue;
         }
@@ -205,7 +204,9 @@ mod tests {
         let report = check_layout(&l, &rules());
         assert_eq!(report.count_of("space"), 1);
         match &report.violations()[0] {
-            Violation::Space { extent, required, .. } => {
+            Violation::Space {
+                extent, required, ..
+            } => {
                 assert_eq!(*extent, 20);
                 assert_eq!(*required, 60);
             }

@@ -274,8 +274,7 @@ mod tests {
             (vec![500, 700, 100, 100, 648], vec![100, 1000, 800, 148]),
         ];
         for (dx, dy) in cases {
-            let pattern =
-                SquishPattern::new(topo.clone(), dx.clone(), dy.clone()).unwrap();
+            let pattern = SquishPattern::new(topo.clone(), dx.clone(), dy.clone()).unwrap();
             let report = crate::check_pattern(&pattern, &r);
             assert_eq!(
                 cs.is_satisfied(&dx, &dy, &r),

@@ -239,11 +239,17 @@ mod tests {
     fn builder_validates() {
         assert!(matches!(
             DesignRules::builder().space_min(0).build(),
-            Err(RulesError::NonPositiveDistance { rule: "space_min", .. })
+            Err(RulesError::NonPositiveDistance {
+                rule: "space_min",
+                ..
+            })
         ));
         assert!(matches!(
             DesignRules::builder().width_min(-5).build(),
-            Err(RulesError::NonPositiveDistance { rule: "width_min", .. })
+            Err(RulesError::NonPositiveDistance {
+                rule: "width_min",
+                ..
+            })
         ));
         assert!(matches!(
             DesignRules::builder().area_range(100, 50).build(),

@@ -157,9 +157,7 @@ impl Layout {
         let mut merged: Vec<Rect> = Vec::with_capacity(out.rects.len());
         for r in out.rects.drain(..) {
             match merged.last_mut() {
-                Some(last)
-                    if last.x0() == r.x0() && last.x1() == r.x1() && last.y1() == r.y0() =>
-                {
+                Some(last) if last.x0() == r.x0() && last.x1() == r.x1() && last.y1() == r.y0() => {
                     *last = Rect::new(last.x0(), last.y0(), last.x1(), r.y1())
                         .expect("merged rect is non-empty");
                 }

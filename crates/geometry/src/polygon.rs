@@ -99,9 +99,7 @@ impl RectilinearPolygon {
     pub fn perimeter(&self) -> Coord {
         let n = self.vertices.len();
         (0..n)
-            .map(|i| {
-                self.vertices[i].manhattan_distance(self.vertices[(i + 1) % n])
-            })
+            .map(|i| self.vertices[i].manhattan_distance(self.vertices[(i + 1) % n]))
             .sum()
     }
 

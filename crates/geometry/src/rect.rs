@@ -177,11 +177,7 @@ impl Rect {
 
 impl fmt::Display for Rect {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{}, {}) x [{}, {})",
-            self.x0, self.x1, self.y0, self.y1
-        )
+        write!(f, "[{}, {}) x [{}, {})", self.x0, self.x1, self.y0, self.y1)
     }
 }
 

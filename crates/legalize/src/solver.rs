@@ -193,8 +193,10 @@ impl Solver {
         rng: &mut impl Rng,
     ) -> Result<SquishPattern, SolveError> {
         let solution = self.solve(topology, init, rng)?;
-        Ok(SquishPattern::new(topology.clone(), solution.dx, solution.dy)
-            .expect("solver output matches topology shape"))
+        Ok(
+            SquishPattern::new(topology.clone(), solution.dx, solution.dy)
+                .expect("solver output matches topology shape"),
+        )
     }
 
     /// One alternating-projection pass. Returns `true` when every
@@ -245,12 +247,7 @@ impl Solver {
 
     /// Rounds the continuous point to the integer grid and validates it
     /// against the independent oracle.
-    fn round_and_validate(
-        &self,
-        cs: &ConstraintSet,
-        u: &[f64],
-        v: &[f64],
-    ) -> Option<Solution> {
+    fn round_and_validate(&self, cs: &ConstraintSet, u: &[f64], v: &[f64]) -> Option<Solution> {
         let dx = round_preserving_sum(u, self.config.target_width, 1)?;
         let dy = round_preserving_sum(v, self.config.target_height, 1)?;
         cs.is_satisfied(&dx, &dy, &self.rules).then(|| Solution {
@@ -410,7 +407,9 @@ mod tests {
              .......",
         )
         .unwrap();
-        let pattern = solver().legal_pattern(&topo, Init::Random, &mut rng).unwrap();
+        let pattern = solver()
+            .legal_pattern(&topo, Init::Random, &mut rng)
+            .unwrap();
         let report = dp_drc::check_pattern(&pattern, &rules());
         assert!(report.is_clean(), "{:?}", report.violations());
     }
@@ -521,7 +520,11 @@ mod tests {
             let s = Solver::new(rules, SolverConfig::for_window(2048, 2048));
             let pattern = s.legal_pattern(&topo, Init::Random, &mut rng).unwrap();
             let report = dp_drc::check_pattern(&pattern, &rules);
-            assert!(report.is_clean(), "rules {rules}: {:?}", report.violations());
+            assert!(
+                report.is_clean(),
+                "rules {rules}: {:?}",
+                report.violations()
+            );
         }
     }
 

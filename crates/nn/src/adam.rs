@@ -66,8 +66,14 @@ impl Adam {
     /// Panics when the parameter list changes shape between calls.
     pub fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
         }
         assert_eq!(self.m.len(), params.len(), "parameter list changed");
 

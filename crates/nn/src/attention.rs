@@ -104,8 +104,8 @@ impl SelfAttention2d {
         let mut grad_k = Tensor::zeros(&[n, c, h, w]);
         let mut grad_v = Tensor::zeros(&[n, c, h, w]);
         for (ni, (qm, km, vm, attn)) in cache.per_item.iter().enumerate() {
-            let go = slice_to_mat(&grad_attended, ni, c, l); // (c, L)
-            // out = v attn^T  =>  dv = go attn ; dattn = go^T v
+            // go is (c, L); out = v attn^T  =>  dv = go attn ; dattn = go^T v
+            let go = slice_to_mat(&grad_attended, ni, c, l);
             let dv = matmul(&go, attn);
             let dattn = matmul(&transpose(&go), vm);
             let dscores = softmax_rows_backward(attn, &dattn).scale(scale);

@@ -32,7 +32,10 @@ impl Conv2d {
         padding: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         let fan_in = (in_c * kernel * kernel) as f32;
         let std = (2.0 / fan_in).sqrt();
         Conv2d {
@@ -120,13 +123,13 @@ impl Conv2d {
         let (oh, ow) = (self.out_size(h), self.out_size(w));
         let oc = self.out_channels();
         let k = self.kernel();
-        assert_eq!(grad_out.shape(), &[n, oc, oh, ow], "grad_out shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            &[n, oc, oh, ow],
+            "grad_out shape mismatch"
+        );
 
-        let w_mat = self
-            .weight
-            .value
-            .clone()
-            .reshape(&[oc, ic * k * k]);
+        let w_mat = self.weight.value.clone().reshape(&[oc, ic * k * k]);
         let w_mat_t = transpose(&w_mat);
 
         let mut grad_input = Tensor::zeros(&[n, ic, h, w]);

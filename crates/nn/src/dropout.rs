@@ -105,10 +105,7 @@ mod tests {
         let frac = zeros as f64 / 10_000.0;
         assert!((frac - 0.5).abs() < 0.05, "drop fraction {frac}");
         // Survivors are scaled by 2.
-        assert!(y
-            .data()
-            .iter()
-            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
         // Expectation preserved.
         assert!((y.mean() - 1.0).abs() < 0.1);
     }

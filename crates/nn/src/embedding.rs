@@ -10,7 +10,10 @@ use crate::Tensor;
 ///
 /// Panics when `dim` is zero or odd.
 pub fn sinusoidal_embedding(steps: &[usize], dim: usize) -> Tensor {
-    assert!(dim > 0 && dim.is_multiple_of(2), "embedding dim must be even");
+    assert!(
+        dim > 0 && dim.is_multiple_of(2),
+        "embedding dim must be even"
+    );
     let half = dim / 2;
     let mut data = vec![0.0f32; steps.len() * dim];
     for (i, &t) in steps.iter().enumerate() {

@@ -3,7 +3,7 @@ use crate::Tensor;
 /// Matrix product `a (m x k) * b (k x n) -> (m x n)`.
 ///
 /// Uses an `i-k-j` loop order for cache-friendly access and splits the row
-/// range across threads (crossbeam scoped threads) when the work is large
+/// range across threads (`std::thread::scope`) when the work is large
 /// enough to amortise the spawn cost.
 ///
 /// # Panics
@@ -31,16 +31,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
             .min(m)
             .max(1);
         let rows_per = m.div_ceil(threads);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for (chunk_idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
                 let row0 = chunk_idx * rows_per;
                 let rows = chunk.len() / n;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     gemm_rows(a_data, b_data, chunk, row0, rows, k, n);
                 });
             }
-        })
-        .expect("gemm worker panicked");
+        });
     }
     Tensor::from_vec(&[m, n], out)
 }

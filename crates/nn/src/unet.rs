@@ -94,15 +94,12 @@ impl ResBlock {
         }
     }
 
-    fn forward(
-        &mut self,
-        x: &Tensor,
-        temb: &Tensor,
-        rng: &mut rand::rngs::StdRng,
-    ) -> Tensor {
+    fn forward(&mut self, x: &Tensor, temb: &Tensor, rng: &mut rand::rngs::StdRng) -> Tensor {
         let (h, w) = (x.shape()[2], x.shape()[3]);
         self.cache_hw = Some((h, w));
-        let mut out = self.conv1.forward(&self.silu1.forward(&self.norm1.forward(x)));
+        let mut out = self
+            .conv1
+            .forward(&self.silu1.forward(&self.norm1.forward(x)));
         // Broadcast-add the projected time embedding over HW.
         let t = self.temb_proj.forward(&self.silu_t.forward(temb)); // (n, out_c)
         let (n, c) = (out.shape()[0], out.shape()[1]);
@@ -117,7 +114,9 @@ impl ResBlock {
                 }
             }
         }
-        let pre = self.dropout.forward(&self.silu2.forward(&self.norm2.forward(&out)), rng);
+        let pre = self
+            .dropout
+            .forward(&self.silu2.forward(&self.norm2.forward(&out)), rng);
         let out = self.conv2.forward(&pre);
         let skipped = match &mut self.skip {
             Some(proj) => proj.forward(x),
@@ -238,7 +237,14 @@ impl UNet {
             let mut blocks = Vec::with_capacity(config.num_res_blocks);
             for _ in 0..config.num_res_blocks {
                 let out_c = base * mult;
-                let res = ResBlock::new(ch, out_c, config.time_dim, config.groups, config.dropout, rng);
+                let res = ResBlock::new(
+                    ch,
+                    out_c,
+                    config.time_dim,
+                    config.groups,
+                    config.dropout,
+                    rng,
+                );
                 ch = out_c;
                 let attn = config
                     .attn_resolutions
@@ -672,12 +678,7 @@ mod tests {
             n.time_lin1.weight.value = w.clone();
             n.forward(&x2, &[3]).sum()
         });
-        assert_close(
-            &live.time_lin1.weight.grad,
-            &numeric,
-            8e-2,
-            "unet time dW",
-        );
+        assert_close(&live.time_lin1.weight.grad, &numeric, 8e-2, "unet time dW");
     }
 
     #[test]

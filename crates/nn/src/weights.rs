@@ -7,7 +7,6 @@
 //! little-endian binary blob and restores it with full shape checking.
 
 use crate::Param;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Magic bytes identifying a DiffPattern weight blob.
@@ -63,26 +62,56 @@ impl fmt::Display for WeightsError {
 
 impl std::error::Error for WeightsError {}
 
+/// Little-endian read cursor over a byte slice (local stand-in for the
+/// `bytes::Buf` subset this module needs).
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.0 = &self.0[n..];
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.0[..4].try_into().expect("checked"));
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.0[..8].try_into().expect("checked"));
+        self.advance(8);
+        v
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
 /// Serialises parameters (values only, not gradients) into a binary blob.
-pub fn save_params(params: &[&mut Param]) -> Bytes {
+pub fn save_params(params: &[&mut Param]) -> Vec<u8> {
     let total: usize = params
         .iter()
         .map(|p| 4 + p.value.shape().len() * 8 + p.value.len() * 4)
         .sum();
-    let mut buf = BytesMut::with_capacity(16 + total);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u32_le(params.len() as u32);
+    let mut buf = Vec::with_capacity(16 + total);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&(params.len() as u32).to_le_bytes());
     for p in params {
-        buf.put_u32_le(p.value.shape().len() as u32);
+        buf.extend_from_slice(&(p.value.shape().len() as u32).to_le_bytes());
         for &d in p.value.shape() {
-            buf.put_u64_le(d as u64);
+            buf.extend_from_slice(&(d as u64).to_le_bytes());
         }
         for &v in p.value.data() {
-            buf.put_f32_le(v);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Restores parameter values from a blob produced by [`save_params`].
@@ -92,8 +121,8 @@ pub fn save_params(params: &[&mut Param]) -> Bytes {
 /// Returns [`WeightsError`] when the blob is malformed or its parameter
 /// list does not exactly match the network's.
 pub fn load_params(params: &mut [&mut Param], blob: &[u8]) -> Result<(), WeightsError> {
-    let mut buf = blob;
-    if buf.remaining() < 16 || &buf[..8] != MAGIC {
+    let mut buf = Reader(blob);
+    if buf.remaining() < 16 || &blob[..8] != MAGIC {
         return Err(WeightsError::BadHeader);
     }
     buf.advance(8);

@@ -94,11 +94,7 @@ impl DeepSquishTensor {
     /// * [`SquishError::ChannelsNotSquare`] for a non-square channel count,
     /// * [`SquishError::DeltaShapeMismatch`] is never returned; shape errors
     ///   surface as [`SquishError::NotFoldable`] with the offending side.
-    pub fn from_bits(
-        channels: usize,
-        side: usize,
-        data: Vec<bool>,
-    ) -> Result<Self, SquishError> {
+    pub fn from_bits(channels: usize, side: usize, data: Vec<bool>) -> Result<Self, SquishError> {
         let patch = int_sqrt(channels).ok_or(SquishError::ChannelsNotSquare { channels })?;
         if data.len() != channels * side * side || side == 0 {
             return Err(SquishError::NotFoldable { side, patch });
@@ -184,7 +180,10 @@ impl DeepSquishTensor {
     /// Converts the bits to an `f32` buffer in channel-major layout
     /// (`1.0` filled / `0.0` empty), the input format of the U-Net.
     pub fn to_f32(&self) -> Vec<f32> {
-        self.data.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect()
+        self.data
+            .iter()
+            .map(|&b| if b { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// Builds a tensor by thresholding an `f32` buffer at `0.5`.
@@ -192,16 +191,8 @@ impl DeepSquishTensor {
     /// # Errors
     ///
     /// Same as [`DeepSquishTensor::from_bits`].
-    pub fn from_f32(
-        channels: usize,
-        side: usize,
-        values: &[f32],
-    ) -> Result<Self, SquishError> {
-        DeepSquishTensor::from_bits(
-            channels,
-            side,
-            values.iter().map(|&v| v >= 0.5).collect(),
-        )
+    pub fn from_f32(channels: usize, side: usize, values: &[f32]) -> Result<Self, SquishError> {
+        DeepSquishTensor::from_bits(channels, side, values.iter().map(|&v| v >= 0.5).collect())
     }
 }
 

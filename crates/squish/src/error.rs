@@ -67,7 +67,10 @@ impl fmt::Display for SquishError {
                 write!(f, "pattern side {have} exceeds target side {want}")
             }
             SquishError::NotFoldable { side, patch } => {
-                write!(f, "matrix side {side} is not divisible by patch side {patch}")
+                write!(
+                    f,
+                    "matrix side {side} is not divisible by patch side {patch}"
+                )
             }
             SquishError::ChannelsNotSquare { channels } => {
                 write!(f, "channel count {channels} is not a perfect square")

@@ -74,8 +74,7 @@ pub fn extend_to_side(
 /// vector and, for each new index, the originating old index.
 fn split_axis(deltas: &[Coord], target: usize) -> Result<(Vec<Coord>, Vec<usize>), SquishError> {
     // Work on (value, old_index) pairs, splitting the largest value.
-    let mut parts: Vec<(Coord, usize)> =
-        deltas.iter().copied().zip(0..deltas.len()).collect();
+    let mut parts: Vec<(Coord, usize)> = deltas.iter().copied().zip(0..deltas.len()).collect();
     while parts.len() < target {
         let (pos, &(value, old)) = parts
             .iter()
@@ -150,7 +149,10 @@ mod tests {
         let p = sample_pattern();
         let w = p.topology().width().max(p.topology().height());
         let (q, report) = extend_to_side(&p, w).unwrap();
-        assert_eq!(report.cols_added + report.rows_added, w * 2 - p.topology().width() - p.topology().height());
+        assert_eq!(
+            report.cols_added + report.rows_added,
+            w * 2 - p.topology().width() - p.topology().height()
+        );
         assert_eq!(q.width(), p.width());
     }
 
@@ -171,8 +173,8 @@ mod tests {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let mut layout = Layout::new(Rect::new(0, 0, 1000, 1000).unwrap());
             for _ in 0..3 {
-                let cx = rng.gen_range(0..8) * 120;
-                let cy = rng.gen_range(0..8) * 120;
+                let cx = rng.gen_range(0i64..8) * 120;
+                let cy = rng.gen_range(0i64..8) * 120;
                 layout.push(Rect::new(cx + 10, cy + 10, cx + 80, cy + 90).unwrap());
             }
             let p = SquishPattern::encode(&layout.normalized());

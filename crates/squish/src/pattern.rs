@@ -238,10 +238,10 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut layout = Layout::new(Rect::new(0, 0, 1000, 1000).unwrap());
         for _ in 0..k {
-            let cx = rng.gen_range(0..9) * 100;
-            let cy = rng.gen_range(0..9) * 100;
-            let w = rng.gen_range(20..90);
-            let h = rng.gen_range(20..90);
+            let cx = rng.gen_range(0i64..9) * 100;
+            let cy = rng.gen_range(0i64..9) * 100;
+            let w = rng.gen_range(20i64..90);
+            let h = rng.gen_range(20i64..90);
             layout.push(Rect::new(cx + 5, cy + 5, cx + 5 + w, cy + 5 + h).unwrap());
         }
         layout.normalized()

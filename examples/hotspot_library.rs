@@ -27,9 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = example_rng();
     let train_iters = env_knob("DP_TRAIN_ITERS", 200);
     let generate = env_knob("DP_GENERATE", 12);
-    let out_dir = PathBuf::from(
-        std::env::var("DP_OUT_DIR").unwrap_or_else(|_| "hotspot_library".into()),
-    );
+    let out_dir =
+        PathBuf::from(std::env::var("DP_OUT_DIR").unwrap_or_else(|_| "hotspot_library".into()));
     std::fs::create_dir_all(&out_dir)?;
 
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;

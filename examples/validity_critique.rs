@@ -45,7 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut scorer = ValidityScorer::fit(ae, train_grids, scorer_iters, &mut rng);
 
-    println!("training DiffPattern for {train_iters} iterations and generating {generate} topologies...");
+    println!(
+        "training DiffPattern for {train_iters} iterations and generating {generate} topologies..."
+    );
     let _ = pipeline.train(train_iters, &mut rng)?;
     let diffpattern_topos = pipeline.generate_topologies(generate, &mut rng)?;
 
@@ -63,7 +65,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let v_overfit = scorer.validity_pct(&overfit);
     let v_diff = scorer.validity_pct(&diffpattern_topos);
 
-    println!("\n=== validity percentages (threshold = {:.4} BCE) ===", scorer.threshold());
+    println!(
+        "\n=== validity percentages (threshold = {:.4} BCE) ===",
+        scorer.threshold()
+    );
     println!("{:<28} {:>8.1}%", "training set", v_train);
     println!("{:<28} {:>8.1}%", "held-out test set", v_test);
     println!("{:<28} {:>8.1}%", "overfit CAE generator", v_overfit);

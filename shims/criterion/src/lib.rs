@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` benchmark harness, exposing the
+//! API subset this workspace uses: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! The build environment has no cargo registry access, so the workspace
+//! pins `criterion` to this path shim (see the root `Cargo.toml` and
+//! README). Bench sources are source-compatible with the real crate; the
+//! measurement model is simpler: each benchmark runs a fixed number of
+//! timed samples (one closure batch per sample) and prints min / median /
+//! mean wall-clock times. No statistical regression analysis, plots or
+//! HTML reports. Sample count respects `sample_size` capped at
+//! [`MAX_SAMPLES`], overridable via the `DP_BENCH_SAMPLES` env var.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Hard cap on samples per benchmark so `cargo bench` stays quick.
+pub const MAX_SAMPLES: usize = 10;
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn configured_samples(requested: usize) -> usize {
+    std::env::var("DP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(|v: usize| v.clamp(1, 1000))
+        .unwrap_or_else(|| requested.clamp(1, MAX_SAMPLES))
+}
+
+/// Identifies one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark label, so `bench_function` accepts both
+/// string names and [`BenchmarkId`]s like the real crate.
+pub trait IntoBenchmarkId {
+    /// The display label for the benchmark.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Times one benchmark body, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` once per sample, timing each call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Untimed warm-up call.
+        black_box(body());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, timings: &[Duration]) {
+    if timings.is_empty() {
+        println!("{label:50} (no samples recorded)");
+        return;
+    }
+    let mut sorted = timings.to_vec();
+    sorted.sort();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label:50} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}   ({} samples)",
+        sorted.len()
+    );
+}
+
+fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    f(&mut bencher);
+    report(label, &bencher.timings);
+}
+
+/// A named set of related benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the requested number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        run_bench(&label, configured_samples(self.sample_size), f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the body.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_bench(&label, configured_samples(self.sample_size), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. Reports are printed eagerly, so this only marks the
+    /// group boundary in the output.
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` as a stand-alone (ungrouped) benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_bench(name, configured_samples(MAX_SAMPLES), f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: MAX_SAMPLES,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Criterion benchmark group `", stringify!($name), "`.")]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        #[doc = concat!("Criterion benchmark group `", stringify!($name), "`.")]
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut recorded = 0;
+        run_bench("smoke", 3, |b| {
+            b.iter(|| black_box(1 + 1));
+            recorded = 3;
+        });
+        assert_eq!(recorded, 3);
+    }
+
+    #[test]
+    fn group_runs_benches() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function(BenchmarkId::from_parameter(42), |b| {
+            b.iter(|| black_box(0u64));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

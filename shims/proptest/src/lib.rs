@@ -1,0 +1,372 @@
+//! Offline stand-in for the `proptest` crate, exposing the API subset this
+//! workspace uses: the [`proptest!`] macro, `prop_assert*`/[`prop_assume!`],
+//! [`prelude::any`], range strategies, [`collection::vec`] and
+//! [`test_runner::ProptestConfig`].
+//!
+//! The build environment has no cargo registry access, so the workspace
+//! pins `proptest` to this path shim (see the root `Cargo.toml` and
+//! README). Call sites are source-compatible with the real crate; the
+//! difference is behavioural: this shim does plain randomized testing with
+//! **no shrinking** — a failing case panics with the sampled inputs
+//! reported, but is not minimized. Deterministic per run (fixed seed), so
+//! failures reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runtime re-exports used by the macro expansions. Not public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::{Rng, SeedableRng};
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and primitive strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type, the shim analogue of
+    /// `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// Strategy returned by [`any`]; samples the type's full value space.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Produces an arbitrary value of `T`, the shim analogue of
+    /// `proptest::prelude::any`.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! any_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    // Finite values only; full-range magnitude with sign.
+                    let unit: $t = rng.gen();
+                    let scale = rng.gen_range(-6i32..=6) as $t;
+                    (unit - 0.5) * (10.0 as $t).powf(scale)
+                }
+            }
+        )*};
+    }
+    any_float!(f32, f64);
+
+    /// A fixed-value strategy, the shim analogue of `proptest::strategy::Just`.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection` subset).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length range for [`vec`], converted from `usize` ranges.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        /// Inclusive minimum length.
+        pub min: usize,
+        /// Inclusive maximum length.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "vec: empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "vec: empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length lies in `size`, the shim analogue of
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-case plumbing used by the [`proptest!`](crate::proptest)
+    //! expansion.
+
+    /// Why a single sampled case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case violated a `prop_assume!` precondition; resample.
+        Reject,
+        /// A `prop_assert*!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Result of one sampled case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Per-test configuration (`proptest::test_runner::ProptestConfig`
+    /// subset).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases, overridable via the `PROPTEST_CASES` env var.
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its arguments and runs the body for
+/// `ProptestConfig::cases` accepted cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Internal expansion backend of [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>
+                    ::seed_from_u64(0x5EED_0F_CAFE);
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts: u32 = __config.cases.saturating_mul(64).max(1024);
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest: too many cases rejected by prop_assume! \
+                         ({__accepted} accepted after {__attempts} attempts)"
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => panic!("proptest case failed: {}", __msg),
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` analogue that fails the current sampled case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` analogue that fails the current sampled case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// `assert_ne!` analogue that fails the current sampled case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Rejects the current sampled case unless `cond` holds; the runner
+/// resamples instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -4i64..=4) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        fn vectors_respect_length(v in collection::vec(any::<bool>(), 1..8)) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+
+        fn assume_filters_cases(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+            prop_assert_ne!(x % 2, 1);
+        }
+    }
+}

@@ -86,8 +86,9 @@ fn solving_e_and_r_agree_on_feasibility() {
     let rules = DesignRules::standard();
     let solver = Solver::new(rules, SolverConfig::for_window(2048, 2048));
     let donor = {
-        let mut layout =
-            diffpattern::geometry::Layout::new(diffpattern::geometry::Rect::new(0, 0, 2048, 2048).unwrap());
+        let mut layout = diffpattern::geometry::Layout::new(
+            diffpattern::geometry::Rect::new(0, 0, 2048, 2048).unwrap(),
+        );
         layout.push(diffpattern::geometry::Rect::new(100, 100, 900, 1900).unwrap());
         SquishPattern::encode(&layout)
     };

@@ -61,7 +61,10 @@ fn forward_noise_increases_monotonically_in_expectation() {
         prev_flips = flips;
     }
     // At k = K the sample is essentially a fair coin.
-    assert!((prev_flips as i64 - 128).abs() < 40, "final flips {prev_flips}");
+    assert!(
+        (prev_flips as i64 - 128).abs() < 40,
+        "final flips {prev_flips}"
+    );
 }
 
 #[test]

@@ -13,7 +13,7 @@ fn random_grid(seed: u64, side: usize, fill_pct: u32) -> BitGrid {
     let mut g = BitGrid::new(side, side).unwrap();
     for r in 0..side {
         for c in 0..side {
-            if rng.gen_range(0..100) < fill_pct {
+            if rng.gen_range(0u32..100) < fill_pct {
                 g.set(c, r, true);
             }
         }
