@@ -1,21 +1,26 @@
 //! `dpgen` — command-line front end for the DiffPattern pipeline.
 //!
 //! ```text
-//! dpgen train   --iters 20000 --weights model.dpw [--seed 42]
-//! dpgen gen     --weights model.dpw --count 50 --out library/ [--stride 5]
-//! dpgen demo    [--iters 4000 --count 8]
+//! dpgen train   --iters 20000 --model model.dpm [--seed 42]
+//! dpgen gen     --model model.dpm --count 50 --out library/ [--stride 5] [--threads 4]
+//! dpgen demo    [--iters 4000 --count 8 --threads 2]
 //! ```
 //!
 //! `train` fits the discrete diffusion model on a freshly generated
-//! synthetic metal layer and saves the U-Net weights; `gen` reloads them
-//! and emits a DRC-clean pattern library (PGM images + CSV manifest);
-//! `demo` does both in one go and prints ASCII art. The argument parser is
-//! deliberately dependency-free (`--key value` pairs only).
+//! synthetic metal layer and saves the frozen [`TrainedModel`] (weights +
+//! schedule + fold geometry in one self-describing file); `gen` reloads it
+//! and emits a DRC-clean pattern library (PGM images + CSV manifest)
+//! through a thread-parallel [`diffpattern::GenerationSession`]; `demo`
+//! does both in one go and prints ASCII art. The argument parser is deliberately
+//! dependency-free (`--key value` pairs only).
+//!
+//! `--weights FILE` is accepted as an alias of `--model FILE` for
+//! compatibility with pre-0.2 invocations (the file format changed: old
+//! raw-weight blobs are rejected with a clear error).
 
 use diffpattern::drc::check_pattern;
-use diffpattern::nn::{load_params, save_params};
 use diffpattern::render::{layout_to_pgm, pattern_to_ascii};
-use diffpattern::{Pipeline, PipelineConfig};
+use diffpattern::{Pipeline, PipelineConfig, TrainedModel};
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::io::Write;
@@ -47,9 +52,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dpgen train --iters N --weights FILE [--seed N] [--steps K]
-  dpgen gen   --weights FILE --count N --out DIR [--seed N] [--stride N]
-  dpgen demo  [--iters N] [--count N] [--seed N]";
+  dpgen train --iters N --model FILE [--seed N] [--steps K]
+  dpgen gen   --model FILE --count N --out DIR [--seed N] [--stride N] [--threads N]
+  dpgen demo  [--iters N] [--count N] [--seed N] [--threads N]";
 
 type Options = HashMap<String, String>;
 
@@ -72,6 +77,14 @@ fn opt_usize(options: &Options, key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn model_path(options: &Options, command: &str) -> Result<String, Box<dyn std::error::Error>> {
+    options
+        .get("model")
+        .or_else(|| options.get("weights"))
+        .cloned()
+        .ok_or_else(|| format!("`{command}` needs --model FILE").into())
+}
+
 fn build_pipeline(
     options: &Options,
     rng: &mut rand::rngs::StdRng,
@@ -84,9 +97,7 @@ fn build_pipeline(
 
 fn train(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let iters = opt_usize(options, "iters", 20_000);
-    let weights = options
-        .get("weights")
-        .ok_or("`train` needs --weights FILE")?;
+    let model_file = model_path(options, "train")?;
     let seed = opt_usize(options, "seed", 42) as u64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
@@ -102,50 +113,63 @@ fn train(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         report.head_mean(50),
         report.tail_mean(50)
     );
-    let blob = save_params(&pipeline.denoiser_mut().unet_mut().params_mut());
-    std::fs::write(weights, &blob)?;
-    eprintln!("saved {} bytes of weights to {weights}", blob.len());
+    let model = pipeline.into_trained_model()?;
+    let blob = model.save();
+    std::fs::write(&model_file, &blob)?;
+    eprintln!("saved {} bytes of model to {model_file}", blob.len());
     Ok(())
 }
 
 fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    let weights = options.get("weights").ok_or("`gen` needs --weights FILE")?;
+    let model_file = model_path(options, "gen")?;
     let count = opt_usize(options, "count", 50);
     let out = PathBuf::from(options.get("out").ok_or("`gen` needs --out DIR")?);
     let seed = opt_usize(options, "seed", 43) as u64;
+    let threads = opt_usize(options, "threads", 0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
-    let mut pipeline = build_pipeline(options, &mut rng)?;
-    let blob = std::fs::read(weights)?;
-    load_params(&mut pipeline.denoiser_mut().unet_mut().params_mut(), &blob)?;
-    pipeline.mark_trained();
+    // The pipeline supplies the dataset (Solving-E donors and config); the
+    // trained weights come from the frozen model file.
+    let pipeline = build_pipeline(options, &mut rng)?;
+    let model = TrainedModel::load(&std::fs::read(&model_file)?)?;
+    let session = pipeline
+        .session_builder(&model)
+        .threads(threads)
+        .seed(seed)
+        .build()?;
 
     std::fs::create_dir_all(&out)?;
-    let patterns = pipeline.generate_legal_patterns(count, &mut rng)?;
+    let batch = session.generate(count)?;
     let mut manifest = std::fs::File::create(out.join("manifest.csv"))?;
-    writeln!(manifest, "file,cx,cy,width_nm,height_nm,drc_clean")?;
-    for (i, p) in patterns.iter().enumerate() {
+    writeln!(manifest, "file,cx,cy,width_nm,height_nm,drc_clean,attempts")?;
+    for g in &batch.items {
+        let i = g.provenance.index;
+        let p = &g.pattern;
         let file = format!("pattern_{i:05}.pgm");
         layout_to_pgm(&p.decode()?, 256, &out.join(&file))?;
         let core = diffpattern::squish::squish_to_core(p.topology());
-        let clean = check_pattern(p, &pipeline.config().rules).is_clean();
+        let clean = check_pattern(p, session.rules()).is_clean();
         writeln!(
             manifest,
-            "{file},{},{},{},{},{clean}",
+            "{file},{},{},{},{},{clean},{}",
             core.width(),
             core.height(),
             p.width(),
-            p.height()
+            p.height(),
+            g.provenance.attempts
         )?;
     }
-    let r = pipeline.report();
+    let r = batch.report;
     eprintln!(
-        "wrote {} patterns to {} (sampled {}, repaired {}, solver failures {})",
-        patterns.len(),
+        "wrote {} patterns to {} with {} threads (sampled {}, repaired {}, \
+         solver failures {}, shortfall {})",
+        batch.items.len(),
         out.display(),
+        session.threads(),
         r.topologies_sampled,
         r.prefilter_repaired,
-        r.solver_failures
+        r.solver_failures,
+        r.shortfall
     );
     Ok(())
 }
@@ -154,18 +178,30 @@ fn demo(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let iters = opt_usize(options, "iters", 4_000);
     let count = opt_usize(options, "count", 4);
     let seed = opt_usize(options, "seed", 42) as u64;
+    let threads = opt_usize(options, "threads", 0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     let mut pipeline = build_pipeline(options, &mut rng)?;
     eprintln!("training {iters} iterations...");
     let _ = pipeline.train(iters, &mut rng)?;
-    let patterns = pipeline.generate_legal_patterns(count, &mut rng)?;
-    for (i, p) in patterns.iter().enumerate() {
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .threads(threads)
+        .seed(seed)
+        .build()?;
+    let batch = session.generate(count)?;
+    for g in &batch.items {
         println!(
-            "--- pattern {i} (DRC clean: {}) ---",
-            check_pattern(p, &pipeline.config().rules).is_clean()
+            "--- pattern {} (DRC clean: {}, attempts {}) ---",
+            g.provenance.index,
+            check_pattern(&g.pattern, session.rules()).is_clean(),
+            g.provenance.attempts
         );
-        println!("{}", pattern_to_ascii(p, 48, 20));
+        println!("{}", pattern_to_ascii(&g.pattern, 48, 20));
+    }
+    if batch.report.shortfall > 0 {
+        eprintln!("note: {} slots fell short", batch.report.shortfall);
     }
     Ok(())
 }

@@ -12,6 +12,10 @@ pub enum PipelineError {
     Rules(dp_drc::RulesError),
     /// Generation was requested before training.
     NotTrained,
+    /// The pipeline configuration was invalid.
+    Config(ConfigError),
+    /// Pattern generation failed structurally.
+    Generate(GenerateError),
 }
 
 impl fmt::Display for PipelineError {
@@ -23,6 +27,8 @@ impl fmt::Display for PipelineError {
             PipelineError::NotTrained => {
                 write!(f, "generation requested before the model was trained")
             }
+            PipelineError::Config(e) => write!(f, "configuration error: {e}"),
+            PipelineError::Generate(e) => write!(f, "generation error: {e}"),
         }
     }
 }
@@ -32,6 +38,8 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Diffusion(e) => Some(e),
             PipelineError::Rules(e) => Some(e),
+            PipelineError::Config(e) => Some(e),
+            PipelineError::Generate(e) => Some(e),
             _ => None,
         }
     }
@@ -49,6 +57,110 @@ impl From<dp_drc::RulesError> for PipelineError {
     }
 }
 
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> Self {
+        PipelineError::Config(e)
+    }
+}
+
+impl From<GenerateError> for PipelineError {
+    fn from(e: GenerateError) -> Self {
+        PipelineError::Generate(e)
+    }
+}
+
+/// A rejected configuration — returned by the builders
+/// ([`crate::GenerationSession::builder`], [`crate::Pipeline::from_tiles`])
+/// instead of panicking, so services can validate untrusted configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The reverse-sampling stride must be at least 1.
+    ZeroStride,
+    /// The per-item sampling attempt budget must be at least 1.
+    ZeroAttempts,
+    /// The fold channel count must be a perfect square.
+    ChannelsNotSquare {
+        /// Offending channel count.
+        channels: usize,
+    },
+    /// The topology matrix side must be divisible by the fold patch `√C`.
+    SideNotDivisible {
+        /// Configured matrix side.
+        matrix_side: usize,
+        /// Fold patch side `√C`.
+        patch: usize,
+    },
+    /// The solver window is smaller than the topology's scan-line count.
+    WindowTooSmall {
+        /// Unfolded topology matrix side (scan lines per axis).
+        matrix_side: usize,
+        /// Configured window width in nm.
+        target_width: i64,
+        /// Configured window height in nm.
+        target_height: i64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroStride => write!(f, "sample stride must be at least 1"),
+            ConfigError::ZeroAttempts => {
+                write!(f, "per-item sampling attempt budget must be at least 1")
+            }
+            ConfigError::ChannelsNotSquare { channels } => {
+                write!(f, "fold channel count {channels} is not a perfect square")
+            }
+            ConfigError::SideNotDivisible { matrix_side, patch } => write!(
+                f,
+                "matrix side {matrix_side} is not divisible by the fold patch {patch}"
+            ),
+            ConfigError::WindowTooSmall {
+                matrix_side,
+                target_width,
+                target_height,
+            } => write!(
+                f,
+                "solver window {target_width}x{target_height} nm cannot hold \
+                 {matrix_side} scan intervals per axis"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A structural failure during batch generation. Ordinary solver
+/// infeasibility and pre-filter rejections are *not* errors — they are
+/// counted in the [`crate::PipelineReport`] (including its `shortfall`
+/// field); this type covers failures that indicate a broken invariant.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GenerateError {
+    /// The solver's Δ vectors did not match the topology they were solved
+    /// for — a solver/squish contract violation.
+    Assembly(dp_squish::SquishError),
+}
+
+impl fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenerateError::Assembly(e) => {
+                write!(f, "solver output did not assemble into a pattern: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenerateError::Assembly(e) => Some(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,5 +172,17 @@ mod tests {
         assert!(e.to_string().contains("diffusion"));
         assert!(e.source().is_some());
         assert!(PipelineError::NotTrained.source().is_none());
+    }
+
+    #[test]
+    fn config_errors_display() {
+        let e = PipelineError::from(ConfigError::ZeroStride);
+        assert!(e.to_string().contains("stride"));
+        let e = ConfigError::WindowTooSmall {
+            matrix_side: 64,
+            target_width: 32,
+            target_height: 32,
+        };
+        assert!(e.to_string().contains("64"));
     }
 }

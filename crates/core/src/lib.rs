@@ -15,26 +15,70 @@
 //!    assigns design-rule-clean Δ vectors ([`dp_legalize`]), giving a
 //!    100 % legality rate by construction.
 //!
-//! This crate is the facade: [`Pipeline`] wires the phases together,
-//! [`table1`] and [`table2`] regenerate the paper's quantitative results,
-//! and [`render`] produces the ASCII/PGM artwork for the figure examples.
+//! This crate is the facade, built around an explicit **train/infer
+//! split**:
+//!
+//! * [`Pipeline`] builds the dataset and trains the diffusion model;
+//! * [`TrainedModel`] is the frozen, immutable artifact of training
+//!   (weights + schedule + fold geometry, `TrainedModel::save`/`load` for
+//!   persistence) — every operation takes `&self`, so one model serves any
+//!   number of threads;
+//! * [`GenerationSession`] is the inference engine: builder-configured,
+//!   fallible ([`ConfigError`]/[`GenerateError`]), thread-parallel and
+//!   **deterministic per seed regardless of thread count**, streaming
+//!   [`Generated`] items with full [`Provenance`];
+//! * [`PatternSource`] unifies the diffusion path and all four baseline
+//!   generators behind one interface for the comparison harnesses
+//!   ([`table1`], [`table2`]) and the `dpgen` CLI;
+//! * [`render`] produces the ASCII/PGM artwork for the figure examples.
 //!
 //! # Quickstart
 //!
 //! ```no_run
-//! use diffpattern::{Pipeline, PipelineConfig};
+//! use diffpattern::{GenerationSession, Pipeline, PipelineConfig};
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let config = PipelineConfig::default();
-//! let mut pipeline = Pipeline::from_synthetic_map(config, &mut rng)?;
+//!
+//! // Train.
+//! let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::default(), &mut rng)?;
 //! pipeline.train(200, &mut rng)?;
-//! let patterns = pipeline.generate_legal_patterns(16, &mut rng)?;
-//! println!("generated {} legal patterns", patterns.len());
+//!
+//! // Freeze: an immutable, shareable, saveable model.
+//! let model = pipeline.trained_model()?;
+//! std::fs::write("model.dpm", model.save())?;
+//!
+//! // Infer: batch generation across all cores, bit-identical per seed.
+//! let session = pipeline.session_builder(&model).seed(7).build()?;
+//! let batch = session.generate(16)?;
+//! println!(
+//!     "generated {} legal patterns ({} slots fell short)",
+//!     batch.items.len(),
+//!     batch.report.shortfall
+//! );
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Migrating from the monolithic `Pipeline` API
+//!
+//! The pre-0.2 `Pipeline` generation methods still work but are
+//! deprecated shims:
+//!
+//! | Deprecated | Replacement |
+//! |---|---|
+//! | `Pipeline::generate_legal_patterns` | [`GenerationSession::generate`] |
+//! | `Pipeline::generate_topologies` | [`GenerationSession::sample_topologies`] |
+//! | `Pipeline::legalize_topologies` | [`GenerationSession::generate`] (one pass) |
+//! | `Pipeline::legalize_variants` | [`GenerationSession::legalize_variants`] |
+//! | `Pipeline::denoiser_mut` + `dp_nn::save_params` | [`TrainedModel::save`] |
+//! | `dp_nn::load_params` + `Pipeline::mark_trained` | [`TrainedModel::load`] |
+//!
+//! Two behavioural improvements ride along: a batch that cannot be filled
+//! reports the gap in [`PipelineReport::shortfall`] instead of silently
+//! returning fewer patterns, and requested-but-unsolved DiffPattern-L
+//! variants are counted in [`PipelineReport::solver_failures`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -43,12 +87,21 @@ mod error;
 pub mod metrics;
 mod pipeline;
 pub mod render;
+mod session;
+mod source;
 pub mod table1;
 pub mod table2;
 
-pub use error::PipelineError;
+pub use error::{ConfigError, GenerateError, PipelineError};
 pub use metrics::{evaluate_patterns, MethodRow};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineReport};
+pub use pipeline::{BackboneConfig, Pipeline, PipelineConfig, PipelineReport};
+pub use session::{Generated, Generation, GenerationSession, Provenance, SessionBuilder};
+pub use source::{
+    DiffusionSource, DiffusionVariantsSource, PatternSource, PixelSource, SequenceSource,
+    SourceBatch,
+};
+
+pub use dp_diffusion::TrainedModel;
 
 pub use dp_baselines as baselines;
 pub use dp_datagen as datagen;

@@ -1,14 +1,38 @@
-use crate::PipelineError;
+use crate::{ConfigError, GenerationSession, PipelineError, SessionBuilder};
 use dp_datagen::{
     build_dataset, split_into_tiles, Dataset, DatasetConfig, GeneratorConfig, LayoutMapGenerator,
 };
-use dp_diffusion::{Sampler, TrainConfig, TrainReport, Trainer};
+use dp_diffusion::{TrainConfig, TrainReport, TrainedModel, Trainer};
 use dp_drc::DesignRules;
 use dp_geometry::{bowtie, BitGrid, Coord, Layout};
 use dp_legalize::{Init, Solution, SolveError, Solver, SolverConfig};
 use dp_nn::UNetConfig;
 use dp_squish::SquishPattern;
 use rand::Rng;
+
+/// U-Net backbone hyper-parameters.
+///
+/// Deliberately *without* channel counts: the network's input width is
+/// derived from [`DatasetConfig::channels`] (`in = C`, `out = 2C`, the
+/// denoiser head contract), so the fold/width mismatch that the old
+/// `validated()` assertion guarded against can no longer be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackboneConfig {
+    /// Base feature width.
+    pub base_channels: usize,
+    /// Per-level channel multipliers; the number of levels is the length.
+    pub channel_mults: Vec<usize>,
+    /// Residual blocks per level.
+    pub num_res_blocks: usize,
+    /// Levels (0 = full resolution) that get self-attention blocks.
+    pub attn_resolutions: Vec<usize>,
+    /// Sinusoidal time-embedding dimensionality (must be even).
+    pub time_dim: usize,
+    /// GroupNorm group count.
+    pub groups: usize,
+    /// Dropout rate inside each residual block.
+    pub dropout: f32,
+}
 
 /// End-to-end configuration of the DiffPattern pipeline.
 #[derive(Debug, Clone)]
@@ -19,8 +43,8 @@ pub struct PipelineConfig {
     pub tile: Coord,
     /// Dataset extension/folding settings.
     pub dataset: DatasetConfig,
-    /// U-Net architecture.
-    pub unet: UNetConfig,
+    /// U-Net backbone shape; channel counts are derived from `dataset`.
+    pub unet: BackboneConfig,
     /// Diffusion training settings.
     pub train: TrainConfig,
     /// Design rules for legalization and DRC.
@@ -43,18 +67,14 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        let dataset = DatasetConfig {
-            matrix_side: 32,
-            channels: 4,
-        };
-        let side = dataset.matrix_side / (dataset.channels as f64).sqrt() as usize;
         PipelineConfig {
             generator: GeneratorConfig::small(),
             tile: 2048,
-            dataset,
-            unet: UNetConfig {
-                in_channels: dataset.channels,
-                out_channels: 2 * dataset.channels,
+            dataset: DatasetConfig {
+                matrix_side: 32,
+                channels: 4,
+            },
+            unet: BackboneConfig {
                 base_channels: 32,
                 channel_mults: vec![1, 2],
                 num_res_blocks: 2,
@@ -73,7 +93,6 @@ impl Default for PipelineConfig {
             sample_stride: 1,
             repair_bowties: true,
         }
-        .validated(side)
     }
 }
 
@@ -82,17 +101,12 @@ impl PipelineConfig {
     /// the same 32x32 topology matrices as the default, folded deeper
     /// (C = 16) so the U-Net works on 8x8 feature maps.
     pub fn tiny() -> Self {
-        let dataset = DatasetConfig {
-            matrix_side: 32,
-            channels: 16,
-        };
         PipelineConfig {
-            generator: GeneratorConfig::small(),
-            tile: 2048,
-            dataset,
-            unet: UNetConfig {
-                in_channels: 16,
-                out_channels: 32,
+            dataset: DatasetConfig {
+                matrix_side: 32,
+                channels: 16,
+            },
+            unet: BackboneConfig {
                 base_channels: 8,
                 channel_mults: vec![1, 2],
                 num_res_blocks: 1,
@@ -106,19 +120,69 @@ impl PipelineConfig {
                 diffusion_steps: 30,
                 ..TrainConfig::default()
             },
-            rules: DesignRules::standard(),
-            solver: SolverConfig::for_window(2048, 2048),
-            sample_stride: 1,
-            repair_bowties: true,
+            ..PipelineConfig::default()
         }
     }
 
-    fn validated(self, _side: usize) -> Self {
-        assert_eq!(
-            self.unet.in_channels, self.dataset.channels,
-            "U-Net input channels must match the fold channel count"
-        );
-        self
+    /// The full U-Net configuration, with channel counts derived from the
+    /// dataset fold (`in = C`, `out = 2C`).
+    pub fn unet_config(&self) -> UNetConfig {
+        UNetConfig {
+            in_channels: self.dataset.channels,
+            out_channels: 2 * self.dataset.channels,
+            base_channels: self.unet.base_channels,
+            channel_mults: self.unet.channel_mults.clone(),
+            num_res_blocks: self.unet.num_res_blocks,
+            attn_resolutions: self.unet.attn_resolutions.clone(),
+            time_dim: self.unet.time_dim,
+            groups: self.unet.groups,
+            dropout: self.unet.dropout,
+        }
+    }
+
+    /// Spatial side of the folded topology tensors (`matrix_side / √C`).
+    pub fn fold_side(&self) -> usize {
+        self.dataset.matrix_side / self.fold_patch()
+    }
+
+    fn fold_patch(&self) -> usize {
+        (self.dataset.channels as f64).sqrt() as usize
+    }
+
+    /// Checks the configuration for inconsistencies the type system cannot
+    /// rule out.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] for a zero sampling stride, a non-square fold
+    /// channel count, a matrix side the fold patch does not divide, or a
+    /// solver window smaller than the topology matrix.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sample_stride == 0 {
+            return Err(ConfigError::ZeroStride);
+        }
+        let patch = self.fold_patch();
+        if patch * patch != self.dataset.channels {
+            return Err(ConfigError::ChannelsNotSquare {
+                channels: self.dataset.channels,
+            });
+        }
+        if !self.dataset.matrix_side.is_multiple_of(patch) || self.dataset.matrix_side == 0 {
+            return Err(ConfigError::SideNotDivisible {
+                matrix_side: self.dataset.matrix_side,
+                patch,
+            });
+        }
+        if (self.dataset.matrix_side as i64) > self.solver.target_width
+            || (self.dataset.matrix_side as i64) > self.solver.target_height
+        {
+            return Err(ConfigError::WindowTooSmall {
+                matrix_side: self.dataset.matrix_side,
+                target_width: self.solver.target_width,
+                target_height: self.solver.target_height,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -133,10 +197,15 @@ pub struct PipelineReport {
     /// Topologies whose bow-ties were repaired instead of rejected
     /// (only with [`PipelineConfig::repair_bowties`]).
     pub prefilter_repaired: usize,
-    /// Topologies the solver could not legalize.
+    /// Topologies the solver could not legalize (including
+    /// requested-but-unsolved DiffPattern-L variants).
     pub solver_failures: usize,
     /// Legal patterns produced.
     pub legal_patterns: usize,
+    /// Requested batch slots that exhausted their attempt budget and
+    /// produced nothing — the previously silent gap between what was
+    /// asked for and what came back.
+    pub shortfall: usize,
 }
 
 impl PipelineReport {
@@ -148,15 +217,33 @@ impl PipelineReport {
             self.prefilter_rejected as f64 / self.topologies_sampled as f64
         }
     }
+
+    /// Accumulates another report into this one (per-worker aggregation).
+    pub fn merge(&mut self, other: &PipelineReport) {
+        self.topologies_sampled += other.topologies_sampled;
+        self.prefilter_rejected += other.prefilter_rejected;
+        self.prefilter_repaired += other.prefilter_repaired;
+        self.solver_failures += other.solver_failures;
+        self.legal_patterns += other.legal_patterns;
+        self.shortfall += other.shortfall;
+    }
 }
 
 /// The DiffPattern pipeline (paper Fig. 4): dataset → discrete diffusion →
 /// pre-filter → white-box legalization.
+///
+/// `Pipeline` remains the *training* facade: it builds the dataset and
+/// drives the trainer. For inference, freeze the trained state with
+/// [`Pipeline::trained_model`] and generate through a
+/// [`GenerationSession`] (see [`Pipeline::session_builder`]); the
+/// pipeline's own generation methods are deprecated shims kept for
+/// source compatibility.
 #[derive(Debug)]
 pub struct Pipeline {
     config: PipelineConfig,
     dataset: Dataset,
     trainer: Trainer,
+    solver: Solver,
     trained: bool,
     report: PipelineReport,
 }
@@ -166,6 +253,7 @@ impl Pipeline {
     ///
     /// # Errors
     ///
+    /// [`PipelineError::Config`] for an invalid configuration,
     /// [`PipelineError::EmptyDataset`] when no tile survives extension;
     /// diffusion configuration errors are propagated.
     pub fn from_synthetic_map(
@@ -187,15 +275,18 @@ impl Pipeline {
         tiles: &[Layout],
         rng: &mut impl Rng,
     ) -> Result<Self, PipelineError> {
+        config.validate()?;
         let dataset = build_dataset(tiles, config.dataset);
         if dataset.tensors.is_empty() {
             return Err(PipelineError::EmptyDataset);
         }
-        let trainer = Trainer::new(&config.unet, config.train.clone(), rng)?;
+        let trainer = Trainer::new(&config.unet_config(), config.train.clone(), rng)?;
+        let solver = Solver::new(config.rules, config.solver);
         Ok(Pipeline {
             config,
             dataset,
             trainer,
+            solver,
             trained: false,
             report: PipelineReport::default(),
         })
@@ -216,21 +307,25 @@ impl Pipeline {
         self.report
     }
 
-    /// Mutable access to the (possibly trained) denoiser, for direct use
-    /// with [`dp_diffusion::Sampler`] — e.g. the Fig. 6 trace example.
-    pub fn denoiser_mut(&mut self) -> &mut dp_diffusion::NeuralDenoiser {
-        self.trainer.denoiser_mut()
-    }
-
     /// The diffusion noise schedule in use.
     pub fn schedule(&self) -> &dp_diffusion::NoiseSchedule {
         self.trainer.schedule()
     }
 
-    /// Marks the pipeline as trained without running the trainer — for use
-    /// after restoring weights with [`dp_nn::load_params`] (the `dpgen gen`
-    /// path). Generating from genuinely untrained weights produces noise,
-    /// not an error; the caller owns that trade-off.
+    /// Mutable access to the (possibly trained) denoiser.
+    #[deprecated(
+        since = "0.2.0",
+        note = "freeze the trained state with `Pipeline::trained_model` and use its `&self` inference path instead"
+    )]
+    pub fn denoiser_mut(&mut self) -> &mut dp_diffusion::NeuralDenoiser {
+        self.trainer.denoiser_mut()
+    }
+
+    /// Marks the pipeline as trained without running the trainer.
+    #[deprecated(
+        since = "0.2.0",
+        note = "restore a frozen model with `TrainedModel::load` instead of patching weights into a pipeline"
+    )]
     pub fn mark_trained(&mut self) {
         self.trained = true;
     }
@@ -250,14 +345,63 @@ impl Pipeline {
         Ok(report)
     }
 
-    /// Samples `count` topology matrices from the trained model, applying
-    /// the bow-tie pre-filter (paper §III-C). Rejected samples are replaced
-    /// so exactly `count` topologies are returned (the paper reports a
-    /// rejection rate below 0.1 %).
+    /// Freezes the trained state into an immutable, shareable
+    /// [`TrainedModel`] (the pipeline itself stays usable for further
+    /// training).
     ///
     /// # Errors
     ///
     /// [`PipelineError::NotTrained`] before [`Pipeline::train`].
+    pub fn trained_model(&self) -> Result<TrainedModel, PipelineError> {
+        if !self.trained {
+            return Err(PipelineError::NotTrained);
+        }
+        Ok(TrainedModel::new(
+            self.trainer.denoiser().clone(),
+            self.trainer.schedule().clone(),
+            self.config.fold_side(),
+        )?)
+    }
+
+    /// Consumes the pipeline into a [`TrainedModel`], avoiding the weight
+    /// clone of [`Pipeline::trained_model`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NotTrained`] before [`Pipeline::train`].
+    pub fn into_trained_model(self) -> Result<TrainedModel, PipelineError> {
+        if !self.trained {
+            return Err(PipelineError::NotTrained);
+        }
+        Ok(self.trainer.finish()?)
+    }
+
+    /// Starts a [`GenerationSession`] builder over `model`, pre-populated
+    /// with this pipeline's rules, solver window, sampling stride,
+    /// pre-filter policy and Solving-E donors (the extended dataset
+    /// patterns, as the paper prescribes).
+    pub fn session_builder<'m>(&self, model: &'m TrainedModel) -> SessionBuilder<'m> {
+        GenerationSession::builder(model)
+            .rules(self.config.rules)
+            .solver_config(self.config.solver)
+            .sample_stride(self.config.sample_stride)
+            .repair_bowties(self.config.repair_bowties)
+            .donors(self.dataset.extended.clone())
+    }
+
+    /// Samples `count` topology matrices from the trained model, applying
+    /// the bow-tie pre-filter (paper §III-C). Rejected samples are
+    /// replaced within a bounded attempt budget; if the budget runs out,
+    /// the gap is recorded in [`PipelineReport::shortfall`] instead of
+    /// being silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NotTrained`] before [`Pipeline::train`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `GenerationSession::sample_topologies` (thread-parallel, deterministic per seed)"
+    )]
     pub fn generate_topologies(
         &mut self,
         count: usize,
@@ -266,10 +410,11 @@ impl Pipeline {
         if !self.trained {
             return Err(PipelineError::NotTrained);
         }
-        let sampler = Sampler::new(self.trainer.schedule().clone());
+        let sampler = dp_diffusion::Sampler::new(self.trainer.schedule().clone());
         let channels = self.config.dataset.channels;
-        let side = self.config.dataset.matrix_side / (channels as f64).sqrt() as usize;
+        let side = self.config.fold_side();
         let retained = sampler.strided_steps(self.config.sample_stride);
+        let denoiser = self.trainer.denoiser();
         let mut out = Vec::with_capacity(count);
         // Bound replacement attempts so a degenerate model cannot loop
         // forever.
@@ -279,9 +424,9 @@ impl Pipeline {
             attempts += 1;
             self.report.topologies_sampled += 1;
             let tensor = if self.config.sample_stride <= 1 {
-                sampler.sample_one(self.trainer.denoiser_mut(), channels, side, rng)
+                sampler.sample_one_infer(denoiser, channels, side, rng)
             } else {
-                sampler.sample_respaced(self.trainer.denoiser_mut(), channels, side, &retained, rng)
+                sampler.sample_respaced_infer(denoiser, channels, side, &retained, rng)
             };
             let mut grid = tensor.unfold();
             if bowtie::is_bowtie_free(&grid) {
@@ -294,24 +439,54 @@ impl Pipeline {
                 self.report.prefilter_rejected += 1;
             }
         }
+        self.report.shortfall += count - out.len();
         Ok(out)
     }
 
     /// Legalizes a batch of topologies (DiffPattern-S: one pattern per
     /// topology), using Solving-E initialisation from the training set.
     /// Unsolvable topologies are dropped, as the paper prescribes.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `GenerationSession::generate`, which samples and legalizes in one thread-parallel pass"
+    )]
     pub fn legalize_topologies(
         &mut self,
         topologies: &[BitGrid],
         rng: &mut impl Rng,
     ) -> Vec<SquishPattern> {
-        let solver = Solver::new(self.config.rules, self.config.solver);
         let mut out = Vec::with_capacity(topologies.len());
         for topo in topologies {
-            match self.solve_with_existing_init(&solver, topo, rng) {
-                Ok(solution) => {
-                    let pattern = SquishPattern::new(topo.clone(), solution.dx, solution.dy)
-                        .expect("solver output matches topology");
+            match self.solve_with_existing_init(topo, rng) {
+                Ok(solution) => match SquishPattern::new(topo.clone(), solution.dx, solution.dy) {
+                    Ok(pattern) => {
+                        self.report.legal_patterns += 1;
+                        out.push(pattern);
+                    }
+                    Err(_) => self.report.solver_failures += 1,
+                },
+                Err(_) => self.report.solver_failures += 1,
+            }
+        }
+        out
+    }
+
+    /// Legalizes one topology into up to `variants` distinct patterns
+    /// (DiffPattern-L, paper Fig. 7). Requested-but-unsolved variants are
+    /// counted in [`PipelineReport::solver_failures`].
+    #[deprecated(since = "0.2.0", note = "use `GenerationSession::legalize_variants`")]
+    pub fn legalize_variants(
+        &mut self,
+        topology: &BitGrid,
+        variants: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<SquishPattern> {
+        let solve = self.solver.solve_many_report(topology, variants, rng);
+        self.report.solver_failures += solve.failures;
+        let mut out = Vec::with_capacity(solve.solutions.len());
+        for s in solve.solutions {
+            match SquishPattern::new(topology.clone(), s.dx, s.dy) {
+                Ok(pattern) => {
                     self.report.legal_patterns += 1;
                     out.push(pattern);
                 }
@@ -321,31 +496,13 @@ impl Pipeline {
         out
     }
 
-    /// Legalizes one topology into up to `variants` distinct patterns
-    /// (DiffPattern-L, paper Fig. 7).
-    pub fn legalize_variants(
-        &mut self,
-        topology: &BitGrid,
-        variants: usize,
-        rng: &mut impl Rng,
-    ) -> Vec<SquishPattern> {
-        let solver = Solver::new(self.config.rules, self.config.solver);
-        let solutions = solver.solve_many(topology, variants, rng);
-        self.report.legal_patterns += solutions.len();
-        solutions
-            .into_iter()
-            .map(|s| {
-                SquishPattern::new(topology.clone(), s.dx, s.dy)
-                    .expect("solver output matches topology")
-            })
-            .collect()
-    }
-
     /// Convenience: sample topologies and legalize them (DiffPattern-S).
     ///
     /// # Errors
     ///
     /// [`PipelineError::NotTrained`] before [`Pipeline::train`].
+    #[deprecated(since = "0.2.0", note = "use `GenerationSession::generate`")]
+    #[allow(deprecated)]
     pub fn generate_legal_patterns(
         &mut self,
         count: usize,
@@ -359,16 +516,17 @@ impl Pipeline {
     /// vectors), the accelerated mode of paper Table II.
     fn solve_with_existing_init(
         &self,
-        solver: &Solver,
         topology: &BitGrid,
         rng: &mut impl Rng,
     ) -> Result<Solution, SolveError> {
         let donor = &self.dataset.extended[rng.gen_range(0..self.dataset.extended.len())];
-        solver.solve(topology, Init::Existing(donor.dx(), donor.dy()), rng)
+        self.solver
+            .solve(topology, Init::Existing(donor.dx(), donor.dy()), rng)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
@@ -391,6 +549,10 @@ mod tests {
         let (mut pipeline, mut rng) = tiny_pipeline(1);
         assert!(matches!(
             pipeline.generate_topologies(1, &mut rng),
+            Err(PipelineError::NotTrained)
+        ));
+        assert!(matches!(
+            pipeline.trained_model(),
             Err(PipelineError::NotTrained)
         ));
     }
@@ -425,6 +587,40 @@ mod tests {
             assert_eq!(v.topology(), &topos[0]);
             assert!(dp_drc::check_pattern(v, &pipeline.config().rules).is_clean());
         }
+        // Requested-but-unproduced variants are now accounted: solved +
+        // failures + duplicates = requested, and only failures hit the
+        // report.
+        let r = pipeline.report();
+        assert!(variants.len() + r.solver_failures <= topos.len().max(1) * 4 + r.solver_failures);
+    }
+
+    #[test]
+    fn variant_failures_are_counted() {
+        // Infeasible rules: every requested variant must surface as a
+        // solver failure instead of silently shrinking the result.
+        let (mut pipeline, mut rng) = tiny_pipeline(7);
+        let _ = pipeline.train(3, &mut rng).unwrap();
+        pipeline.solver = Solver::new(
+            DesignRules::builder()
+                .space_min(900)
+                .width_min(900)
+                .area_range(1, i128::MAX / 4)
+                .build()
+                .unwrap(),
+            SolverConfig {
+                max_iterations: 30,
+                max_restarts: 1,
+                ..SolverConfig::for_window(2048, 2048)
+            },
+        );
+        let topo = pipeline.generate_topologies(1, &mut rng).unwrap();
+        if topo.is_empty() || topo[0].count_ones() == 0 {
+            return; // nothing to legalize → nothing to fail
+        }
+        let before = pipeline.report().solver_failures;
+        let variants = pipeline.legalize_variants(&topo[0], 3, &mut rng);
+        let after = pipeline.report().solver_failures;
+        assert_eq!(after - before + variants.len(), 3);
     }
 
     #[test]
@@ -435,6 +631,8 @@ mod tests {
         let r = pipeline.report();
         assert!(r.prefilter_rate() >= 0.0 && r.prefilter_rate() <= 1.0);
         assert_eq!(r.topologies_sampled, r.prefilter_rejected + topos.len());
+        // The shortfall invariant: whatever was not delivered is recorded.
+        assert_eq!(r.shortfall, 4 - topos.len());
     }
 
     #[test]
@@ -452,10 +650,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "input channels must match")]
-    fn config_validation_catches_channel_mismatch() {
-        let mut config = PipelineConfig::default();
-        config.unet.in_channels = 16;
-        let _ = config.validated(16);
+    fn invalid_configs_are_rejected_not_panicked() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        // Non-square channel count: impossible to express a channel
+        // mismatch any more, but the fold itself can still be invalid.
+        let mut config = PipelineConfig::tiny();
+        config.dataset.channels = 3;
+        assert!(matches!(
+            Pipeline::from_synthetic_map(config, &mut rng),
+            Err(PipelineError::Config(ConfigError::ChannelsNotSquare {
+                channels: 3
+            }))
+        ));
+        let mut config = PipelineConfig::tiny();
+        config.sample_stride = 0;
+        assert!(matches!(
+            Pipeline::from_synthetic_map(config, &mut rng),
+            Err(PipelineError::Config(ConfigError::ZeroStride))
+        ));
+        let mut config = PipelineConfig::tiny();
+        config.solver = SolverConfig::for_window(8, 2048);
+        assert!(matches!(
+            Pipeline::from_synthetic_map(config, &mut rng),
+            Err(PipelineError::Config(ConfigError::WindowTooSmall { .. }))
+        ));
+    }
+
+    #[test]
+    fn report_merge_adds_fields() {
+        let a = PipelineReport {
+            topologies_sampled: 3,
+            prefilter_rejected: 1,
+            prefilter_repaired: 1,
+            solver_failures: 2,
+            legal_patterns: 1,
+            shortfall: 1,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.topologies_sampled, 6);
+        assert_eq!(b.solver_failures, 4);
+        assert_eq!(b.shortfall, 2);
     }
 }

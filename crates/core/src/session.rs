@@ -1,0 +1,506 @@
+//! [`GenerationSession`]: the inference-side engine of the train/infer
+//! split.
+//!
+//! A session borrows an immutable [`TrainedModel`], owns one legalization
+//! [`Solver`] (built once, reused for every pattern), and shards batch
+//! generation across `std::thread::scope` workers. Every batch item draws
+//! its own RNG from `(session seed, item index)`, so the output is
+//! **bit-identical for a given seed regardless of the thread count** —
+//! scaling up workers never changes what gets generated, only how fast.
+//!
+//! ```no_run
+//! use diffpattern::{GenerationSession, Pipeline, PipelineConfig};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::default(), &mut rng)?;
+//! pipeline.train(200, &mut rng)?;
+//! let model = pipeline.trained_model()?;
+//! let session = pipeline.session_builder(&model).threads(4).seed(7).build()?;
+//! let batch = session.generate(16)?;
+//! println!("{} legal patterns, shortfall {}", batch.items.len(), batch.report.shortfall);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::{ConfigError, GenerateError, PipelineReport};
+use dp_diffusion::{Sampler, TrainedModel};
+use dp_drc::DesignRules;
+use dp_geometry::{bowtie, BitGrid};
+use dp_legalize::{Init, SolveStats, Solver, SolverConfig};
+use dp_squish::SquishPattern;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Where a generated pattern came from: enough to reproduce it exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// Position of this item in the requested batch.
+    pub index: usize,
+    /// The per-item RNG seed (derived from the session seed and `index`).
+    pub seed: u64,
+    /// Sampling attempts consumed, including the successful one.
+    pub attempts: usize,
+    /// Whether the bow-tie pre-filter repaired the topology.
+    pub repaired: bool,
+    /// Convergence statistics of the legalization solve.
+    pub solve: SolveStats,
+}
+
+/// One streamed generation result: a DRC-clean pattern plus its
+/// [`Provenance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Generated {
+    /// The legal squish pattern.
+    pub pattern: SquishPattern,
+    /// How it was produced.
+    pub provenance: Provenance,
+}
+
+/// A completed batch: items in batch-index order plus the aggregated
+/// per-worker reports.
+#[derive(Debug, Clone)]
+pub struct Generation {
+    /// The generated patterns, sorted by [`Provenance::index`].
+    pub items: Vec<Generated>,
+    /// Merged statistics of every worker, including the
+    /// [`PipelineReport::shortfall`] count of batch slots that exhausted
+    /// their attempt budget.
+    pub report: PipelineReport,
+}
+
+/// Builder for [`GenerationSession`]; see the module docs for an example.
+///
+/// All knobs have working defaults; `build` validates the combination and
+/// returns [`ConfigError`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder<'m> {
+    model: &'m TrainedModel,
+    rules: DesignRules,
+    solver: SolverConfig,
+    stride: usize,
+    repair_bowties: bool,
+    max_attempts: usize,
+    threads: usize,
+    seed: u64,
+    donors: Vec<SquishPattern>,
+}
+
+impl<'m> SessionBuilder<'m> {
+    /// Design rules for legalization (default: [`DesignRules::standard`]).
+    pub fn rules(mut self, rules: DesignRules) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Legalization solver settings (default: a window matching the
+    /// paper's 2048 nm tile).
+    pub fn solver_config(mut self, config: SolverConfig) -> Self {
+        self.solver = config;
+        self
+    }
+
+    /// Reverse-sampling stride: 1 runs the full ancestral chain, larger
+    /// values use the respaced sampler with `K / stride` denoiser calls.
+    pub fn sample_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Repair bow-ties instead of rejecting the sample (default: true).
+    pub fn repair_bowties(mut self, repair: bool) -> Self {
+        self.repair_bowties = repair;
+        self
+    }
+
+    /// Per-item sampling attempt budget before the slot is counted as
+    /// shortfall (default: 4).
+    pub fn max_attempts(mut self, attempts: usize) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Worker thread count; 0 (the default) uses the machine's available
+    /// parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Batch seed. Together with an item's index it fully determines that
+    /// item, independent of thread count (default: 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Donor patterns for Solving-E initialisation (paper Table II's
+    /// accelerated mode). Empty (the default) falls back to Solving-R.
+    pub fn donors(mut self, donors: Vec<SquishPattern>) -> Self {
+        self.donors = donors;
+        self
+    }
+
+    /// Validates the configuration and builds the session.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroStride`], [`ConfigError::ZeroAttempts`], or
+    /// [`ConfigError::WindowTooSmall`] when the solver window cannot hold
+    /// the model's topology matrix.
+    pub fn build(self) -> Result<GenerationSession<'m>, ConfigError> {
+        if self.stride == 0 {
+            return Err(ConfigError::ZeroStride);
+        }
+        if self.max_attempts == 0 {
+            return Err(ConfigError::ZeroAttempts);
+        }
+        let matrix_side = self.model.matrix_side();
+        if (matrix_side as i64) > self.solver.target_width
+            || (matrix_side as i64) > self.solver.target_height
+        {
+            return Err(ConfigError::WindowTooSmall {
+                matrix_side,
+                target_width: self.solver.target_width,
+                target_height: self.solver.target_height,
+            });
+        }
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        let sampler = self.model.sampler();
+        let retained = sampler.strided_steps(self.stride);
+        Ok(GenerationSession {
+            model: self.model,
+            sampler,
+            solver: Solver::new(self.rules, self.solver),
+            rules: self.rules,
+            retained,
+            stride: self.stride,
+            repair_bowties: self.repair_bowties,
+            max_attempts: self.max_attempts,
+            threads,
+            seed: self.seed,
+            donors: self.donors,
+        })
+    }
+}
+
+/// A configured generation engine over a shared [`TrainedModel`]: samples
+/// topologies, pre-filters bow-ties, legalizes with a reused [`Solver`],
+/// and streams [`Generated`] items — across as many threads as you ask
+/// for, deterministically per seed.
+#[derive(Debug)]
+pub struct GenerationSession<'m> {
+    model: &'m TrainedModel,
+    sampler: Sampler,
+    solver: Solver,
+    rules: DesignRules,
+    retained: Vec<usize>,
+    stride: usize,
+    repair_bowties: bool,
+    max_attempts: usize,
+    threads: usize,
+    seed: u64,
+    donors: Vec<SquishPattern>,
+}
+
+impl<'m> GenerationSession<'m> {
+    /// Starts a builder over `model` with default settings.
+    pub fn builder(model: &'m TrainedModel) -> SessionBuilder<'m> {
+        SessionBuilder {
+            model,
+            rules: DesignRules::standard(),
+            solver: SolverConfig::for_window(2048, 2048),
+            stride: 1,
+            repair_bowties: true,
+            max_attempts: 4,
+            threads: 0,
+            seed: 0,
+            donors: Vec::new(),
+        }
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &'m TrainedModel {
+        self.model
+    }
+
+    /// The design rules in force.
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// The session's (reused) legalization solver.
+    pub fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// Worker thread count used for batches.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The batch seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates a batch of `count` legal patterns, collecting the stream
+    /// into index order. Slots whose attempt budget ran out are reported
+    /// in [`PipelineReport::shortfall`] rather than silently missing.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError`] on structural failures only; solver infeasibility
+    /// and pre-filter rejections are statistics, not errors.
+    pub fn generate(&self, count: usize) -> Result<Generation, GenerateError> {
+        let mut items = Vec::with_capacity(count);
+        let report = self.generate_streaming(count, |g| items.push(g))?;
+        items.sort_by_key(|g| g.provenance.index);
+        Ok(Generation { items, report })
+    }
+
+    /// Generates `count` patterns, invoking `on_item` as each finished
+    /// [`Generated`] arrives (completion order under multiple threads,
+    /// index order with one). Returns the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// As [`GenerationSession::generate`].
+    pub fn generate_streaming(
+        &self,
+        count: usize,
+        on_item: impl FnMut(Generated),
+    ) -> Result<PipelineReport, GenerateError> {
+        self.run_batch(count, |index| self.generate_item(index), on_item)
+    }
+
+    /// Samples `count` topology matrices (pre-filtered, no legalization) —
+    /// the raw Table II "Sampling" phase, thread-parallel and
+    /// deterministic per seed like [`GenerationSession::generate`].
+    pub fn sample_topologies(&self, count: usize) -> (Vec<BitGrid>, PipelineReport) {
+        let mut out: Vec<(usize, BitGrid)> = Vec::with_capacity(count);
+        let report = self
+            .run_batch(
+                count,
+                |index| Ok(self.sample_item(index)),
+                |item: (usize, BitGrid)| out.push(item),
+            )
+            .expect("topology sampling is infallible");
+        out.sort_by_key(|(index, _)| *index);
+        (out.into_iter().map(|(_, grid)| grid).collect(), report)
+    }
+
+    /// Legalizes one topology into up to `variants` distinct patterns
+    /// (DiffPattern-L, paper Fig. 7), with full failure accounting in the
+    /// returned report.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError::Assembly`] when a solution does not match the
+    /// topology (a solver contract violation).
+    pub fn legalize_variants(
+        &self,
+        topology: &BitGrid,
+        variants: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(Vec<SquishPattern>, PipelineReport), GenerateError> {
+        let solve = self.solver.solve_many_report(topology, variants, rng);
+        let mut report = PipelineReport {
+            solver_failures: solve.failures,
+            ..PipelineReport::default()
+        };
+        let mut patterns = Vec::with_capacity(solve.solutions.len());
+        for s in solve.solutions {
+            let pattern = SquishPattern::new(topology.clone(), s.dx, s.dy)
+                .map_err(GenerateError::Assembly)?;
+            report.legal_patterns += 1;
+            patterns.push(pattern);
+        }
+        Ok((patterns, report))
+    }
+
+    /// Runs `count` independent work items across the configured worker
+    /// threads, merging their report deltas and streaming their outputs.
+    fn run_batch<T: Send>(
+        &self,
+        count: usize,
+        work: impl Fn(usize) -> Result<(PipelineReport, Option<T>), GenerateError> + Sync,
+        mut on_item: impl FnMut(T),
+    ) -> Result<PipelineReport, GenerateError> {
+        let mut report = PipelineReport::default();
+        let workers = self.threads.min(count.max(1));
+        if workers <= 1 {
+            for index in 0..count {
+                let (delta, item) = work(index)?;
+                report.merge(&delta);
+                match item {
+                    Some(item) => on_item(item),
+                    None => report.shortfall += 1,
+                }
+            }
+            return Ok(report);
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Result<(PipelineReport, Option<T>), GenerateError>>();
+        let mut first_error = None;
+        std::thread::scope(|scope| {
+            let work = &work;
+            let next = &next;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    if tx.send(work(index)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Drain on the coordinating thread so `on_item` can stream
+            // results to the caller as they complete.
+            while let Ok(message) = rx.recv() {
+                match message {
+                    Ok((delta, item)) => {
+                        report.merge(&delta);
+                        match item {
+                            Some(item) => on_item(item),
+                            None => report.shortfall += 1,
+                        }
+                    }
+                    Err(e) => {
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        });
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Produces one batch item end to end (sample → pre-filter → solve),
+    /// retrying within the attempt budget. `None` means shortfall.
+    fn generate_item(
+        &self,
+        index: usize,
+    ) -> Result<(PipelineReport, Option<Generated>), GenerateError> {
+        let seed = item_seed(self.seed, index);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut report = PipelineReport::default();
+        for attempt in 1..=self.max_attempts {
+            let Some((grid, repaired)) = self.sample_filtered(&mut report, &mut rng) else {
+                continue;
+            };
+            let init_donor = (!self.donors.is_empty())
+                .then(|| &self.donors[rng.gen_range(0..self.donors.len())]);
+            let solve = match init_donor {
+                Some(donor) => {
+                    self.solver
+                        .solve(&grid, Init::Existing(donor.dx(), donor.dy()), &mut rng)
+                }
+                None => self.solver.solve(&grid, Init::Random, &mut rng),
+            };
+            match solve {
+                Ok(solution) => {
+                    let stats = solution.stats;
+                    let pattern = SquishPattern::new(grid, solution.dx, solution.dy)
+                        .map_err(GenerateError::Assembly)?;
+                    report.legal_patterns += 1;
+                    return Ok((
+                        report,
+                        Some(Generated {
+                            pattern,
+                            provenance: Provenance {
+                                index,
+                                seed,
+                                attempts: attempt,
+                                repaired,
+                                solve: stats,
+                            },
+                        }),
+                    ));
+                }
+                Err(_) => report.solver_failures += 1,
+            }
+        }
+        Ok((report, None))
+    }
+
+    /// Topology-only batch item: sample → pre-filter, no solving.
+    fn sample_item(&self, index: usize) -> (PipelineReport, Option<(usize, BitGrid)>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(item_seed(self.seed, index));
+        let mut report = PipelineReport::default();
+        for _ in 0..self.max_attempts {
+            if let Some((grid, _)) = self.sample_filtered(&mut report, &mut rng) {
+                return (report, Some((index, grid)));
+            }
+        }
+        (report, None)
+    }
+
+    /// One sampling attempt through the pre-filter. `None` means the
+    /// sample was rejected (strict mode only).
+    fn sample_filtered(
+        &self,
+        report: &mut PipelineReport,
+        rng: &mut impl Rng,
+    ) -> Option<(BitGrid, bool)> {
+        report.topologies_sampled += 1;
+        let (channels, side) = (self.model.channels(), self.model.side());
+        let tensor = if self.stride <= 1 {
+            self.sampler
+                .sample_one_infer(self.model, channels, side, rng)
+        } else {
+            self.sampler
+                .sample_respaced_infer(self.model, channels, side, &self.retained, rng)
+        };
+        let mut grid = tensor.unfold();
+        if bowtie::is_bowtie_free(&grid) {
+            Some((grid, false))
+        } else if self.repair_bowties {
+            bowtie::repair_bowties(&mut grid);
+            report.prefilter_repaired += 1;
+            Some((grid, true))
+        } else {
+            report.prefilter_rejected += 1;
+            None
+        }
+    }
+}
+
+/// Derives the per-item RNG seed from the batch seed and item index
+/// (splitmix64 finaliser): items are independent of each other and of the
+/// thread that happens to run them.
+fn item_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| item_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(item_seed(1, 0), item_seed(2, 0));
+    }
+}

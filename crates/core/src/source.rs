@@ -1,0 +1,304 @@
+//! [`PatternSource`]: one interface over every pattern generator.
+//!
+//! The Table I comparison, the `dpgen` CLI and the examples all need the
+//! same thing — "give me N squish patterns" — from five very different
+//! engines: the discrete-diffusion [`GenerationSession`] and the four
+//! baseline generators ([`Cae`], [`Vcae`], the LegalGAN-style
+//! [`MorphLegalizer`] post-processor, and the LayouTransformer-style
+//! [`SequenceModel`]). This module unifies them behind one object-safe
+//! trait so harness code iterates a `Vec<Box<dyn PatternSource>>` instead
+//! of hand-wiring each method.
+
+use crate::{GenerateError, GenerationSession};
+use dp_baselines::{
+    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig, Vcae,
+};
+use dp_geometry::{BitGrid, Coord};
+use dp_squish::SquishPattern;
+use rand::{Rng, RngCore};
+use std::rc::Rc;
+
+/// What a source hands back for one request.
+#[derive(Debug, Clone)]
+pub struct SourceBatch {
+    /// The generated patterns.
+    pub patterns: Vec<SquishPattern>,
+    /// Distinct topologies behind the patterns, when the method has that
+    /// notion (`None` for sources that generate in physical coordinates).
+    pub topologies: Option<usize>,
+}
+
+/// A uniform, object-safe interface over pattern generators: the diffusion
+/// session and all four baselines implement it, so comparison harnesses
+/// drive every method through the same loop.
+pub trait PatternSource {
+    /// Method name as printed in Table I.
+    fn name(&self) -> String;
+
+    /// Generates a batch of `count` patterns.
+    ///
+    /// For topology-per-pattern methods `count` is the number of
+    /// topologies; [`DiffusionVariantsSource`] expands each into multiple
+    /// legal patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`GenerateError`] on structural failures; methods that can fall
+    /// short return fewer patterns instead.
+    fn generate(
+        &mut self,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SourceBatch, GenerateError>;
+}
+
+/// DiffPattern-S through a [`GenerationSession`]: one legal pattern per
+/// sampled topology. Ignores the passed RNG — the session's seed fully
+/// determines the batch (that is the determinism contract).
+#[derive(Debug)]
+pub struct DiffusionSource<'s, 'm> {
+    session: &'s GenerationSession<'m>,
+    label: String,
+}
+
+impl<'s, 'm> DiffusionSource<'s, 'm> {
+    /// Wraps a session under the given Table I label.
+    pub fn new(session: &'s GenerationSession<'m>, label: impl Into<String>) -> Self {
+        DiffusionSource {
+            session,
+            label: label.into(),
+        }
+    }
+}
+
+impl PatternSource for DiffusionSource<'_, '_> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn generate(
+        &mut self,
+        count: usize,
+        _rng: &mut dyn RngCore,
+    ) -> Result<SourceBatch, GenerateError> {
+        let batch = self.session.generate(count)?;
+        Ok(SourceBatch {
+            topologies: Some(batch.items.len()),
+            patterns: batch.items.into_iter().map(|g| g.pattern).collect(),
+        })
+    }
+}
+
+/// DiffPattern-L: `count` topologies from the session (same seed ⇒ the
+/// same topologies as [`DiffusionSource`]), each legalized into up to
+/// `variants_per_topology` distinct patterns.
+#[derive(Debug)]
+pub struct DiffusionVariantsSource<'s, 'm> {
+    session: &'s GenerationSession<'m>,
+    variants_per_topology: usize,
+    label: String,
+}
+
+impl<'s, 'm> DiffusionVariantsSource<'s, 'm> {
+    /// Wraps a session under the given label.
+    pub fn new(
+        session: &'s GenerationSession<'m>,
+        variants_per_topology: usize,
+        label: impl Into<String>,
+    ) -> Self {
+        DiffusionVariantsSource {
+            session,
+            variants_per_topology,
+            label: label.into(),
+        }
+    }
+}
+
+impl PatternSource for DiffusionVariantsSource<'_, '_> {
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn generate(
+        &mut self,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SourceBatch, GenerateError> {
+        let (topologies, _) = self.session.sample_topologies(count);
+        let mut patterns = Vec::new();
+        for topo in &topologies {
+            let (mut variants, _) =
+                self.session
+                    .legalize_variants(topo, self.variants_per_topology, &mut &mut *rng)?;
+            patterns.append(&mut variants);
+        }
+        Ok(SourceBatch {
+            patterns,
+            topologies: Some(topologies.len()),
+        })
+    }
+}
+
+/// Which pixel-space baseline generator a [`PixelSource`] wraps.
+#[derive(Debug, Clone)]
+enum PixelModel {
+    Cae { cae: Cae, noise: f32 },
+    Vcae(Vcae),
+}
+
+/// A pixel-space baseline (CAE or VCAE), optionally post-processed by the
+/// LegalGAN-style morphological legalizer, with borrowed Δ assignment —
+/// the implicit delta mechanism the paper criticises.
+///
+/// Seed grids and donor patterns are taken as `Rc` slices so every
+/// source built over the same dataset (CAE, VCAE, their `+LegalGAN`
+/// copies) shares one allocation instead of duplicating the training set.
+#[derive(Debug, Clone)]
+pub struct PixelSource {
+    name: String,
+    model: PixelModel,
+    seeds: Rc<[BitGrid]>,
+    donors: Rc<[SquishPattern]>,
+    window: Coord,
+    legalizer: Option<MorphLegalizer>,
+}
+
+impl PixelSource {
+    /// Trains a CAE on `grids` (also kept as the perturbation seeds) and
+    /// wraps it as a source. `donors` supply the borrowed Δ vectors,
+    /// `window` the tile size.
+    pub fn fit_cae(
+        name: impl Into<String>,
+        config: AeConfig,
+        grids: Rc<[BitGrid]>,
+        donors: Rc<[SquishPattern]>,
+        window: Coord,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut cae = Cae::new(config, rng);
+        let _ = cae.train(&grids, iterations, 8, rng);
+        PixelSource {
+            name: name.into(),
+            model: PixelModel::Cae { cae, noise: 0.5 },
+            seeds: grids,
+            donors,
+            window,
+            legalizer: None,
+        }
+    }
+
+    /// Trains a VCAE on `grids` and wraps it as a source (a VCAE samples
+    /// from the prior, so no seed grids are retained).
+    pub fn fit_vcae(
+        name: impl Into<String>,
+        config: AeConfig,
+        grids: &[BitGrid],
+        donors: Rc<[SquishPattern]>,
+        window: Coord,
+        iterations: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let mut vcae = Vcae::new(config, 0.05, rng);
+        let _ = vcae.train(grids, iterations, 8, rng);
+        PixelSource {
+            name: name.into(),
+            model: PixelModel::Vcae(vcae),
+            seeds: Rc::from([]),
+            donors,
+            window,
+            legalizer: None,
+        }
+    }
+
+    /// A copy of this source (sharing the trained weights) that runs the
+    /// LegalGAN-style morphological legalizer on every topology — the
+    /// "+LegalGAN" rows of Table I without retraining the generator.
+    pub fn with_legalizer(&self, name: impl Into<String>, legalizer: MorphLegalizer) -> Self {
+        PixelSource {
+            name: name.into(),
+            legalizer: Some(legalizer),
+            ..self.clone()
+        }
+    }
+}
+
+impl PatternSource for PixelSource {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn generate(
+        &mut self,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SourceBatch, GenerateError> {
+        let mut patterns = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut topo = match &mut self.model {
+                PixelModel::Cae { cae, noise } => {
+                    let noise = *noise;
+                    cae.generate(&self.seeds, noise, &mut &mut *rng)
+                }
+                PixelModel::Vcae(vcae) => vcae.generate(&mut &mut *rng),
+            };
+            if let Some(legalizer) = &self.legalizer {
+                topo = legalizer.legalize(&topo);
+            }
+            patterns.push(assign_borrowed_deltas(
+                &topo,
+                &self.donors,
+                self.window,
+                &mut &mut *rng,
+            ));
+        }
+        Ok(SourceBatch {
+            topologies: Some(count),
+            patterns,
+        })
+    }
+}
+
+/// The LayouTransformer-style baseline: sequential polygon generation in
+/// physical coordinates (native Δ vectors, no borrowing).
+#[derive(Debug, Clone)]
+pub struct SequenceSource {
+    name: String,
+    model: SequenceModel,
+}
+
+impl SequenceSource {
+    /// Fits the order-2 Markov sequence model on `donors`.
+    pub fn fit(name: impl Into<String>, donors: &[SquishPattern], window: Coord) -> Self {
+        SequenceSource {
+            name: name.into(),
+            model: SequenceModel::fit(
+                donors,
+                SequenceModelConfig {
+                    window,
+                    ..SequenceModelConfig::default()
+                },
+            ),
+        }
+    }
+}
+
+impl PatternSource for SequenceSource {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn generate(
+        &mut self,
+        count: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<SourceBatch, GenerateError> {
+        let patterns = (0..count)
+            .map(|_| SquishPattern::encode(&self.model.generate(&mut &mut *rng)))
+            .collect();
+        Ok(SourceBatch {
+            patterns,
+            topologies: None,
+        })
+    }
+}

@@ -4,7 +4,10 @@
 //! The paper generates 100 000 topologies per method on GPU clusters; the
 //! harness scales the counts by configuration (see `EXPERIMENTS.md` for
 //! the sizes used in the recorded run) while keeping the comparison
-//! structure identical:
+//! structure identical. Every generation method — the four baselines and
+//! both DiffPattern modes — runs through the same [`PatternSource`]
+//! interface, so adding a method to the table means adding one source to
+//! the list:
 //!
 //! | Row | Generator | Delta assignment |
 //! |---|---|---|
@@ -18,14 +21,16 @@
 //! | DiffPattern-L | discrete diffusion | white-box solver, many per topology |
 
 use crate::metrics::{evaluate_patterns, MethodRow};
-use crate::{Pipeline, PipelineError};
-use dp_baselines::{
-    assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig, Vcae,
+use crate::source::{
+    DiffusionSource, DiffusionVariantsSource, PatternSource, PixelSource, SequenceSource,
 };
-use dp_datagen::PatternLibrary;
+use crate::{GenerationSession, PipelineError};
+use dp_baselines::{AeConfig, MorphLegalizer};
+use dp_datagen::{Dataset, PatternLibrary};
 use dp_geometry::BitGrid;
 use dp_squish::SquishPattern;
-use rand::Rng;
+use rand::{Rng, RngCore};
+use std::rc::Rc;
 
 /// Scale knobs for the Table I run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,33 +72,36 @@ impl Table1Config {
     }
 }
 
-/// Runs every row of Table I on the pipeline's dataset. The pipeline must
-/// already be trained.
+/// Runs every row of Table I: the session supplies the trained diffusion
+/// model, `dataset` the shared training data every baseline fits on.
 ///
 /// # Errors
 ///
-/// Propagates [`PipelineError`] from the DiffPattern rows.
+/// Propagates [`PipelineError`] from the generation sources.
+///
+/// # Panics
+///
+/// Panics when `config.ae.side` does not match the dataset matrix side
+/// (a harness misconfiguration, not a data error).
 pub fn run(
-    pipeline: &mut Pipeline,
+    session: &GenerationSession<'_>,
+    dataset: &Dataset,
     config: Table1Config,
     rng: &mut impl Rng,
 ) -> Result<Vec<MethodRow>, PipelineError> {
-    let rules = pipeline.config().rules;
-    let window = pipeline.config().tile;
-    let matrix_side = pipeline.config().dataset.matrix_side;
+    let rules = *session.rules();
+    let window = session.solver().config().target_width;
+    let matrix_side = session.model().matrix_side();
     assert_eq!(
         config.ae.side, matrix_side,
         "AE baseline side must match the dataset matrix side"
     );
-    let donors: Vec<SquishPattern> = pipeline.dataset().patterns.clone();
-    // Training grids for the pixel baselines: the extended topology
-    // matrices (unfold of the dataset tensors).
-    let grids: Vec<BitGrid> = pipeline
-        .dataset()
-        .tensors
-        .iter()
-        .map(|t| t.unfold())
-        .collect();
+    let donors: Vec<SquishPattern> = dataset.patterns.clone();
+    // Shared pools: every pixel source holds an Rc into the same
+    // allocations. The grids are the extended topology matrices (unfold
+    // of the dataset tensors).
+    let grid_pool: Rc<[BitGrid]> = dataset.tensors.iter().map(|t| t.unfold()).collect();
+    let donor_pool: Rc<[SquishPattern]> = donors.clone().into();
 
     let mut rows = Vec::new();
 
@@ -114,112 +122,66 @@ pub fn run(
         diversity_legal: real_lib.diversity(),
     });
 
-    // CAE and CAE+LegalGAN share one trained model.
-    let mut cae = Cae::new(config.ae, rng);
-    let _ = cae.train(&grids, config.ae_iterations, 8, rng);
-    let cae_topos: Vec<BitGrid> = (0..config.generate)
-        .map(|_| cae.generate(&grids, 0.5, rng))
-        .collect();
-    rows.push(pixel_row(
-        "CAE [7]", &cae_topos, &donors, window, &rules, rng,
-    ));
-    let legalizer = MorphLegalizer::default();
-    let cae_clean: Vec<BitGrid> = cae_topos.iter().map(|t| legalizer.legalize(t)).collect();
-    rows.push(pixel_row(
-        "CAE+LegalGAN [8]",
-        &cae_clean,
-        &donors,
+    // Every generation method behind the one PatternSource interface.
+    let cae = PixelSource::fit_cae(
+        "CAE [7]",
+        config.ae,
+        Rc::clone(&grid_pool),
+        Rc::clone(&donor_pool),
         window,
-        &rules,
+        config.ae_iterations,
         rng,
-    ));
-
-    // VCAE and VCAE+LegalGAN.
-    let mut vcae = Vcae::new(config.ae, 0.05, rng);
-    let _ = vcae.train(&grids, config.ae_iterations, 8, rng);
-    let vcae_topos: Vec<BitGrid> = (0..config.generate).map(|_| vcae.generate(rng)).collect();
-    rows.push(pixel_row(
-        "VCAE [8]",
-        &vcae_topos,
-        &donors,
-        window,
-        &rules,
-        rng,
-    ));
-    let vcae_clean: Vec<BitGrid> = vcae_topos.iter().map(|t| legalizer.legalize(t)).collect();
-    rows.push(pixel_row(
-        "VCAE+LegalGAN [8]",
-        &vcae_clean,
-        &donors,
-        window,
-        &rules,
-        rng,
-    ));
-
-    // LayouTransformer: sequential generation in physical coordinates.
-    let seq = SequenceModel::fit(
-        &donors,
-        SequenceModelConfig {
-            window,
-            ..SequenceModelConfig::default()
-        },
     );
-    let seq_patterns: Vec<SquishPattern> = (0..config.generate)
-        .map(|_| SquishPattern::encode(&seq.generate(rng)))
-        .collect();
-    rows.push(evaluate_patterns(
-        "LayouTransformer [9]",
-        None,
-        &seq_patterns,
-        &rules,
-    ));
+    let cae_legal = cae.with_legalizer("CAE+LegalGAN [8]", MorphLegalizer::default());
+    let vcae = PixelSource::fit_vcae(
+        "VCAE [8]",
+        config.ae,
+        &grid_pool,
+        Rc::clone(&donor_pool),
+        window,
+        config.ae_iterations,
+        rng,
+    );
+    let vcae_legal = vcae.with_legalizer("VCAE+LegalGAN [8]", MorphLegalizer::default());
+    let seq = SequenceSource::fit("LayouTransformer [9]", &donors, window);
 
-    // DiffPattern-S.
-    let topologies = pipeline.generate_topologies(config.generate, rng)?;
-    let s_patterns = pipeline.legalize_topologies(&topologies, rng);
-    rows.push(evaluate_patterns(
-        "DiffPattern-S",
-        Some(topologies.len()),
-        &s_patterns,
-        &rules,
-    ));
+    let mut sources: Vec<(Box<dyn PatternSource + '_>, usize)> = vec![
+        (Box::new(cae), config.generate),
+        (Box::new(cae_legal), config.generate),
+        (Box::new(vcae), config.generate),
+        (Box::new(vcae_legal), config.generate),
+        (Box::new(seq), config.generate),
+        (
+            Box::new(DiffusionSource::new(session, "DiffPattern-S")),
+            config.generate,
+        ),
+        (
+            Box::new(DiffusionVariantsSource::new(
+                session,
+                config.variants_per_topology,
+                "DiffPattern-L",
+            )),
+            config.generate,
+        ),
+    ];
 
-    // DiffPattern-L: many legal variants per topology.
-    let mut l_patterns = Vec::new();
-    for topo in &topologies {
-        l_patterns.extend(pipeline.legalize_variants(topo, config.variants_per_topology, rng));
+    for (source, count) in &mut sources {
+        let batch = source.generate(*count, rng as &mut dyn RngCore)?;
+        rows.push(evaluate_patterns(
+            &source.name(),
+            batch.topologies,
+            &batch.patterns,
+            &rules,
+        ));
     }
-    rows.push(evaluate_patterns(
-        "DiffPattern-L",
-        Some(topologies.len()),
-        &l_patterns,
-        &rules,
-    ));
 
     Ok(rows)
-}
-
-/// Evaluates a pixel-method row: topologies get borrowed deltas (the
-/// implicit assignment) before DRC.
-fn pixel_row(
-    name: &str,
-    topologies: &[BitGrid],
-    donors: &[SquishPattern],
-    window: i64,
-    rules: &dp_drc::DesignRules,
-    rng: &mut impl Rng,
-) -> MethodRow {
-    let patterns: Vec<SquishPattern> = topologies
-        .iter()
-        .map(|t| assign_borrowed_deltas(t, donors, window, rng))
-        .collect();
-    evaluate_patterns(name, Some(topologies.len()), &patterns, rules)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PipelineConfig;
+    use crate::{Pipeline, PipelineConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -227,7 +189,14 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let rows = run(&mut pipeline, Table1Config::tiny(), &mut rng).unwrap();
+        let model = pipeline.trained_model().unwrap();
+        let session = pipeline
+            .session_builder(&model)
+            .threads(1)
+            .seed(1)
+            .build()
+            .unwrap();
+        let rows = run(&session, pipeline.dataset(), Table1Config::tiny(), &mut rng).unwrap();
         assert_eq!(rows.len(), 8);
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"Real Patterns"));

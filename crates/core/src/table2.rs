@@ -5,8 +5,8 @@
 //! for one topology, with random (Solving-R) versus existing-vector
 //! (Solving-E) initialisation — the latter 2.30x faster in the paper.
 
-use crate::{Pipeline, PipelineError};
-use dp_legalize::{Init, Solver};
+use crate::GenerationSession;
+use dp_legalize::Init;
 use dp_squish::SquishPattern;
 use rand::Rng;
 use std::time::Instant;
@@ -39,32 +39,29 @@ impl std::fmt::Display for EfficiencyRow {
     }
 }
 
-/// Measures the three rows of Table II on a trained pipeline.
+/// Measures the three rows of Table II through a [`GenerationSession`].
 ///
-/// `samples` controls how many topologies are drawn/solved per measurement
-/// (the paper averages over its full generation run).
-///
-/// # Errors
-///
-/// Propagates [`PipelineError`] when the pipeline is untrained.
+/// `donors` supply the existing Δ vectors for Solving-E (the paper draws
+/// them from the extended training set); with no donors the Solving-E
+/// phase degrades to random initialisation, like the session does.
+/// `samples` controls how many topologies are drawn/solved per
+/// measurement. Sampling runs on the session's configured thread count,
+/// so this also measures the batch engine's throughput.
 pub fn run(
-    pipeline: &mut Pipeline,
+    session: &GenerationSession<'_>,
+    donors: &[SquishPattern],
     samples: usize,
     rng: &mut impl Rng,
-) -> Result<Vec<EfficiencyRow>, PipelineError> {
+) -> Vec<EfficiencyRow> {
     // Phase 1: topology sampling.
     let start = Instant::now();
-    let topologies = pipeline.generate_topologies(samples, rng)?;
+    let (topologies, _) = session.sample_topologies(samples);
     let sampling = start.elapsed().as_secs_f64() / samples.max(1) as f64;
 
     // Phase 2: solving with random vs existing initialisation on the SAME
-    // topologies, so the comparison is paired.
-    let solver = Solver::new(pipeline.config().rules, pipeline.config().solver);
-    // Paper §III-D: Solving-E starts from a random *existing* geometric
-    // vector pair. All dataset patterns were extended to the same matrix
-    // side as generated topologies, so donor Δ vectors match
-    // dimension-for-dimension.
-    let donors: Vec<SquishPattern> = pipeline.dataset().extended.clone();
+    // topologies, so the comparison is paired. The session's solver is
+    // reused for every solve — no per-call construction.
+    let solver = session.solver();
 
     let start = Instant::now();
     let mut iters_r = 0usize;
@@ -78,15 +75,20 @@ pub fn run(
     let start = Instant::now();
     let mut iters_e = 0usize;
     for topo in &topologies {
-        let donor = &donors[rng.gen_range(0..donors.len())];
-        if let Ok(s) = solver.solve(topo, Init::Existing(donor.dx(), donor.dy()), rng) {
+        let init = if donors.is_empty() {
+            Init::Random
+        } else {
+            let donor = &donors[rng.gen_range(0..donors.len())];
+            Init::Existing(donor.dx(), donor.dy())
+        };
+        if let Ok(s) = solver.solve(topo, init, rng) {
             iters_e += s.stats.iterations;
         }
     }
     let solving_e = start.elapsed().as_secs_f64() / topologies.len().max(1) as f64;
     let n_topo = topologies.len().max(1) as f64;
 
-    Ok(vec![
+    vec![
         EfficiencyRow {
             phase: "Sampling".into(),
             seconds: sampling,
@@ -109,13 +111,13 @@ pub fn run(
             }),
             mean_iterations: Some(iters_e as f64 / n_topo),
         },
-    ])
+    ]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::PipelineConfig;
+    use crate::{Pipeline, PipelineConfig};
     use rand::SeedableRng;
 
     #[test]
@@ -123,7 +125,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let rows = run(&mut pipeline, 3, &mut rng).unwrap();
+        let model = pipeline.trained_model().unwrap();
+        let session = pipeline.session_builder(&model).threads(1).build().unwrap();
+        let rows = run(&session, &pipeline.dataset().extended, 3, &mut rng);
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].phase, "Sampling");
         assert!(rows[0].seconds > 0.0);

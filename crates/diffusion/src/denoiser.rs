@@ -16,6 +16,18 @@ pub trait Denoiser {
     fn predict_p1(&mut self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>>;
 }
 
+/// The inference-time counterpart of [`Denoiser`]: prediction from a
+/// *shared* reference, with no gradient caching and no internal mutation,
+/// so one model can serve many threads simultaneously (`Sync`).
+///
+/// [`crate::TrainedModel`] and the batch-generation engines build on this
+/// trait; [`NeuralDenoiser`] implements it through the U-Net's dedicated
+/// `&self` forward path ([`dp_nn::UNet::infer`]).
+pub trait InferenceDenoiser: Sync {
+    /// As [`Denoiser::predict_p1`], from `&self`.
+    fn infer_p1(&self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>>;
+}
+
 /// The production denoiser: a [`UNet`] consuming `±1`-mapped bits and
 /// producing two logits per entry.
 #[derive(Debug, Clone)]
@@ -92,6 +104,16 @@ impl Denoiser for NeuralDenoiser {
     }
 }
 
+impl InferenceDenoiser for NeuralDenoiser {
+    fn infer_p1(&self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>> {
+        let input = Self::batch_to_input(xks);
+        let logits = self.unet.infer(&input, ks);
+        (0..xks.len())
+            .map(|ni| p1_of_logits(&logits, ni, self.channels))
+            .collect()
+    }
+}
+
 /// A denoiser that knows the true clean sample — used to validate the
 /// sampler: with high confidence, ancestral sampling from pure noise must
 /// reconstruct `x0` (see the sampler tests).
@@ -116,8 +138,8 @@ impl OracleDenoiser {
     }
 }
 
-impl Denoiser for OracleDenoiser {
-    fn predict_p1(&mut self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
+impl OracleDenoiser {
+    fn oracle_p1(&self, xks: &[DeepSquishTensor]) -> Vec<Vec<f64>> {
         xks.iter()
             .map(|_| {
                 self.x0
@@ -136,6 +158,18 @@ impl Denoiser for OracleDenoiser {
     }
 }
 
+impl Denoiser for OracleDenoiser {
+    fn predict_p1(&mut self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
+        self.oracle_p1(xks)
+    }
+}
+
+impl InferenceDenoiser for OracleDenoiser {
+    fn infer_p1(&self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
+        self.oracle_p1(xks)
+    }
+}
+
 /// A denoiser with no information: `p1 = 0.5` everywhere. Sampling with it
 /// keeps the chain at the uniform stationary distribution — the null model
 /// for statistical tests.
@@ -151,6 +185,12 @@ impl UniformDenoiser {
 
 impl Denoiser for UniformDenoiser {
     fn predict_p1(&mut self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
+        xks.iter().map(|xk| vec![0.5; xk.bits().len()]).collect()
+    }
+}
+
+impl InferenceDenoiser for UniformDenoiser {
+    fn infer_p1(&self, xks: &[DeepSquishTensor], _ks: &[usize]) -> Vec<Vec<f64>> {
         xks.iter().map(|xk| vec![0.5; xk.bits().len()]).collect()
     }
 }
@@ -207,6 +247,27 @@ mod tests {
             dropout: 0.0,
         };
         let _ = NeuralDenoiser::new(dp_nn::UNet::new(&config, &mut rng));
+    }
+
+    #[test]
+    fn infer_p1_matches_eval_predict_p1() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let config = UNetConfig {
+            in_channels: 4,
+            out_channels: 8,
+            base_channels: 4,
+            channel_mults: vec![1, 1],
+            num_res_blocks: 1,
+            attn_resolutions: vec![],
+            time_dim: 8,
+            groups: 2,
+            dropout: 0.3, // identity in both eval paths
+        };
+        let mut d = NeuralDenoiser::new(dp_nn::UNet::new(&config, &mut rng));
+        let t = DeepSquishTensor::from_bits(4, 4, vec![true; 64]).unwrap();
+        let shared = d.infer_p1(std::slice::from_ref(&t), &[3]);
+        let exclusive = d.predict_p1(std::slice::from_ref(&t), &[3]);
+        assert_eq!(shared, exclusive);
     }
 
     #[test]

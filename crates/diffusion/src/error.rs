@@ -29,6 +29,17 @@ pub enum DiffusionError {
         /// Found `(channels, side)`.
         actual: (usize, usize),
     },
+    /// [`crate::Trainer::finish`] was called before any training run, so
+    /// the spatial geometry of the model is unknown.
+    NotTrained,
+    /// A serialised [`crate::TrainedModel`] blob was malformed.
+    BadModelBlob {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The weight payload inside a model blob did not match the declared
+    /// architecture.
+    Weights(dp_nn::WeightsError),
 }
 
 impl fmt::Display for DiffusionError {
@@ -50,11 +61,31 @@ impl fmt::Display for DiffusionError {
                 f,
                 "tensor shape {actual:?} does not match dataset shape {expected:?}"
             ),
+            DiffusionError::NotTrained => {
+                write!(f, "finish() called before any training run")
+            }
+            DiffusionError::BadModelBlob { reason } => {
+                write!(f, "malformed model blob: {reason}")
+            }
+            DiffusionError::Weights(e) => write!(f, "model weights: {e}"),
         }
     }
 }
 
-impl std::error::Error for DiffusionError {}
+impl std::error::Error for DiffusionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DiffusionError::Weights(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dp_nn::WeightsError> for DiffusionError {
+    fn from(e: dp_nn::WeightsError) -> Self {
+        DiffusionError::Weights(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -40,12 +40,14 @@
 mod denoiser;
 mod error;
 pub mod loss;
+mod model;
 mod sampler;
 mod schedule;
 mod trainer;
 
-pub use denoiser::{Denoiser, NeuralDenoiser, OracleDenoiser, UniformDenoiser};
+pub use denoiser::{Denoiser, InferenceDenoiser, NeuralDenoiser, OracleDenoiser, UniformDenoiser};
 pub use error::DiffusionError;
+pub use model::TrainedModel;
 pub use sampler::{SampleTrace, Sampler};
 pub use schedule::{
     flip_between, forward_sample, posterior_jump_same_prob, posterior_same_prob, reverse_jump_prob,

@@ -1,7 +1,32 @@
 use crate::schedule::{reverse_jump_prob, reverse_step_prob, NoiseSchedule};
-use crate::Denoiser;
+use crate::{Denoiser, InferenceDenoiser};
 use dp_squish::DeepSquishTensor;
 use rand::Rng;
+
+/// `p_θ(x̃0 = 1 | x_k)` for one state at one step — the only thing the
+/// sampling cores need from a denoiser, whichever mutability flavour it
+/// comes in.
+type PredictFn<'a> = dyn FnMut(&DeepSquishTensor, usize) -> Vec<f64> + 'a;
+
+fn predict_of_mut<'a>(
+    denoiser: &'a mut dyn Denoiser,
+) -> impl FnMut(&DeepSquishTensor, usize) -> Vec<f64> + 'a {
+    move |x, k| {
+        denoiser
+            .predict_p1(std::slice::from_ref(x), &[k])
+            .swap_remove(0)
+    }
+}
+
+fn predict_of_infer<'a>(
+    denoiser: &'a dyn InferenceDenoiser,
+) -> impl FnMut(&DeepSquishTensor, usize) -> Vec<f64> + 'a {
+    move |x, k| {
+        denoiser
+            .infer_p1(std::slice::from_ref(x), &[k])
+            .swap_remove(0)
+    }
+}
 
 /// Ancestral sampler for the reverse diffusion process (paper Eq. 13,
 /// Fig. 6).
@@ -66,6 +91,20 @@ impl Sampler {
             .sample
     }
 
+    /// Draws one sample through a shared-reference denoiser — the
+    /// thread-safe inference path used by `TrainedModel`-based batch
+    /// generation. Identical mathematics to [`Sampler::sample_one`].
+    pub fn sample_one_infer(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        rng: &mut impl Rng,
+    ) -> DeepSquishTensor {
+        self.trace_core(&mut predict_of_infer(denoiser), channels, side, &[], rng)
+            .sample
+    }
+
     /// Respaced (DDIM-style, paper ref. \[12\]) sampling: traverses only
     /// the sub-sequence `0 < k_1 < k_2 < ... <= K` of steps, jumping
     /// directly between consecutive entries with the generalised posterior
@@ -78,6 +117,39 @@ impl Sampler {
     pub fn sample_respaced(
         &self,
         denoiser: &mut dyn Denoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        rng: &mut impl Rng,
+    ) -> DeepSquishTensor {
+        self.respaced_core(&mut predict_of_mut(denoiser), channels, side, retained, rng)
+    }
+
+    /// [`Sampler::sample_respaced`] through a shared-reference denoiser.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Sampler::sample_respaced`].
+    pub fn sample_respaced_infer(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        rng: &mut impl Rng,
+    ) -> DeepSquishTensor {
+        self.respaced_core(
+            &mut predict_of_infer(denoiser),
+            channels,
+            side,
+            retained,
+            rng,
+        )
+    }
+
+    fn respaced_core(
+        &self,
+        predict: &mut PredictFn<'_>,
         channels: usize,
         side: usize,
         retained: &[usize],
@@ -105,7 +177,7 @@ impl Sampler {
         for idx in (0..retained.len()).rev() {
             let k = retained[idx];
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
-            let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[k])[0];
+            let p1 = &predict(&state, k);
             let bits: Vec<bool> = if j == 0 {
                 // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly.
                 p1.iter()
@@ -157,6 +229,41 @@ impl Sampler {
         snapshot_steps: &[usize],
         rng: &mut impl Rng,
     ) -> SampleTrace {
+        self.trace_core(
+            &mut predict_of_mut(denoiser),
+            channels,
+            side,
+            snapshot_steps,
+            rng,
+        )
+    }
+
+    /// [`Sampler::sample_with_trace`] through a shared-reference denoiser.
+    pub fn sample_with_trace_infer(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        snapshot_steps: &[usize],
+        rng: &mut impl Rng,
+    ) -> SampleTrace {
+        self.trace_core(
+            &mut predict_of_infer(denoiser),
+            channels,
+            side,
+            snapshot_steps,
+            rng,
+        )
+    }
+
+    fn trace_core(
+        &self,
+        predict: &mut PredictFn<'_>,
+        channels: usize,
+        side: usize,
+        snapshot_steps: &[usize],
+        rng: &mut impl Rng,
+    ) -> SampleTrace {
         let k_max = self.schedule.steps();
         // T_K ~ uniform over {0, 1}: the stationary distribution (Eq. 6).
         let bits = (0..channels * side * side)
@@ -166,7 +273,7 @@ impl Sampler {
 
         let mut snapshots = vec![(k_max, state.clone())];
         for k in (2..=k_max).rev() {
-            let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[k])[0];
+            let p1 = &predict(&state, k);
             let mut bits = state.bits().to_vec();
             for (i, bit) in bits.iter_mut().enumerate() {
                 // Probability the network gives to x̃0 equalling the current
@@ -184,7 +291,7 @@ impl Sampler {
         }
 
         // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly.
-        let p1 = &denoiser.predict_p1(std::slice::from_ref(&state), &[1])[0];
+        let p1 = &predict(&state, 1);
         let bits = p1
             .iter()
             .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
@@ -224,6 +331,27 @@ mod tests {
             .filter(|(a, b)| a != b)
             .count();
         assert!(hamming <= 1, "hamming {hamming} too large");
+    }
+
+    #[test]
+    fn infer_path_matches_mut_path_per_seed() {
+        // Both flavours drive the same core with the same RNG stream, so a
+        // fixed seed must give bit-identical samples.
+        let bits: Vec<bool> = (0..64).map(|i| i % 7 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let mut oracle = OracleDenoiser::new(x0, 0.9);
+        let sampler = Sampler::new(schedule());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a = sampler.sample_one(&mut oracle, 1, 8, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let b = sampler.sample_one_infer(&oracle, 1, 8, &mut rng);
+        assert_eq!(a, b);
+        let retained = sampler.strided_steps(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let a = sampler.sample_respaced(&mut oracle, 1, 8, &retained, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let b = sampler.sample_respaced_infer(&oracle, 1, 8, &retained, &mut rng);
+        assert_eq!(a, b);
     }
 
     #[test]

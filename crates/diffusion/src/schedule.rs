@@ -83,6 +83,30 @@ impl NoiseSchedule {
         self.betas.len()
     }
 
+    /// The per-step flip probabilities `β_1..β_K` — the schedule's full
+    /// description, used by [`crate::TrainedModel`] serialisation.
+    pub fn betas(&self) -> &[f64] {
+        &self.betas
+    }
+
+    /// Rebuilds a schedule from explicit per-step flip probabilities (the
+    /// inverse of [`NoiseSchedule::betas`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DiffusionError::BadSchedule`] when `betas` is empty or any
+    /// entry is outside `(0, 1)`.
+    pub fn from_beta_values(betas: Vec<f64>) -> Result<Self, DiffusionError> {
+        if betas.is_empty() || betas.iter().any(|&b| b <= 0.0 || b >= 1.0) {
+            return Err(DiffusionError::BadSchedule {
+                steps: betas.len(),
+                beta1: betas.first().copied().unwrap_or(0.0),
+                beta_k: betas.last().copied().unwrap_or(0.0),
+            });
+        }
+        Ok(Self::from_betas(betas))
+    }
+
     /// β_k, the single-step flip probability (`k` is 1-based).
     ///
     /// # Panics

@@ -1,6 +1,6 @@
 use crate::loss::{vb_loss_and_grad, LossReport};
 use crate::schedule::{forward_sample, NoiseSchedule};
-use crate::{DiffusionError, NeuralDenoiser, Sampler};
+use crate::{DiffusionError, NeuralDenoiser, Sampler, TrainedModel};
 use dp_nn::{Adam, AdamConfig, UNet, UNetConfig};
 use dp_squish::DeepSquishTensor;
 use rand::Rng;
@@ -69,6 +69,9 @@ pub struct Trainer {
     adam: Adam,
     schedule: NoiseSchedule,
     config: TrainConfig,
+    /// `(channels, side)` of the dataset last trained on — what
+    /// [`Trainer::finish`] needs to freeze the fold geometry.
+    trained_shape: Option<(usize, usize)>,
 }
 
 impl Trainer {
@@ -96,12 +99,18 @@ impl Trainer {
             adam,
             schedule,
             config,
+            trained_shape: None,
         })
     }
 
     /// The noise schedule in use.
     pub fn schedule(&self) -> &NoiseSchedule {
         &self.schedule
+    }
+
+    /// Shared access to the denoiser (for `&self` inference).
+    pub fn denoiser(&self) -> &NeuralDenoiser {
+        &self.denoiser
     }
 
     /// The denoiser being trained.
@@ -113,6 +122,19 @@ impl Trainer {
     /// over the same schedule.
     pub fn into_parts(self) -> (NeuralDenoiser, Sampler) {
         (self.denoiser, Sampler::new(self.schedule))
+    }
+
+    /// Consumes the trainer and freezes its state into an immutable,
+    /// shareable [`TrainedModel`] — the training/inference hand-off point.
+    ///
+    /// # Errors
+    ///
+    /// [`DiffusionError::NotTrained`] when [`Trainer::train`] never ran
+    /// (the fold geometry is unknown), [`DiffusionError::BadModelBlob`]
+    /// when the trained channel count is not a perfect square.
+    pub fn finish(self) -> Result<TrainedModel, DiffusionError> {
+        let (_, side) = self.trained_shape.ok_or(DiffusionError::NotTrained)?;
+        TrainedModel::new(self.denoiser, self.schedule, side)
     }
 
     /// Runs `iterations` optimisation steps over `dataset`.
@@ -148,6 +170,7 @@ impl Trainer {
             });
         }
 
+        self.trained_shape = Some((channels, side));
         // Dropout is active only while optimising (paper §IV-A trains with
         // dropout 0.1); sampling afterwards runs the deterministic network.
         self.denoiser.unet_mut().set_training(true);

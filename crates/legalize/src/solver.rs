@@ -55,6 +55,20 @@ pub struct SolveStats {
     pub restarts: usize,
 }
 
+/// Full accounting of a [`Solver::solve_many_report`] run: distinct
+/// solutions plus how many attempts were unsolvable or duplicated an
+/// earlier solution (`solutions.len() + failures + duplicates` equals the
+/// requested count).
+#[derive(Debug, Clone, Default)]
+pub struct SolveManyReport {
+    /// The distinct legal assignments found.
+    pub solutions: Vec<Solution>,
+    /// Attempts the solver could not legalize at all.
+    pub failures: usize,
+    /// Attempts that solved but duplicated an earlier solution.
+    pub duplicates: usize,
+}
+
 /// A legal geometric-vector assignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Solution {
@@ -170,15 +184,37 @@ impl Solver {
         count: usize,
         rng: &mut impl Rng,
     ) -> Vec<Solution> {
-        let mut out: Vec<Solution> = Vec::with_capacity(count);
+        self.solve_many_report(topology, count, rng).solutions
+    }
+
+    /// As [`Solver::solve_many`], but accounts for every attempt: callers
+    /// tracking failure statistics (e.g. the DiffPattern-L report) can see
+    /// how many of the `count` requested variants were unsolvable versus
+    /// merely duplicates, instead of silently receiving a shorter vector.
+    pub fn solve_many_report(
+        &self,
+        topology: &BitGrid,
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> SolveManyReport {
+        let mut report = SolveManyReport::default();
         for _ in 0..count {
-            if let Ok(s) = self.solve(topology, Init::Random, rng) {
-                if !out.iter().any(|o| o.dx == s.dx && o.dy == s.dy) {
-                    out.push(s);
+            match self.solve(topology, Init::Random, rng) {
+                Ok(s) => {
+                    if report
+                        .solutions
+                        .iter()
+                        .any(|o| o.dx == s.dx && o.dy == s.dy)
+                    {
+                        report.duplicates += 1;
+                    } else {
+                        report.solutions.push(s);
+                    }
                 }
+                Err(_) => report.failures += 1,
             }
         }
-        out
+        report
     }
 
     /// Convenience: solve and assemble the full squish pattern.
@@ -489,6 +525,41 @@ mod tests {
             .unwrap();
         assert_eq!(s.dx.len(), 5);
         assert_eq!(s.dy.len(), 4);
+    }
+
+    #[test]
+    fn solve_many_report_accounts_for_every_attempt() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let report = solver().solve_many_report(&two_bars(), 6, &mut rng);
+        assert_eq!(
+            report.solutions.len() + report.failures + report.duplicates,
+            6
+        );
+        // Infeasible rules: every attempt must be accounted as a failure.
+        let harsh = DesignRules::builder()
+            .space_min(400)
+            .width_min(400)
+            .area_range(1, i128::MAX / 4)
+            .build()
+            .unwrap();
+        let s = Solver::new(
+            harsh,
+            SolverConfig {
+                max_iterations: 40,
+                max_restarts: 1,
+                ..SolverConfig::for_window(1000, 1000)
+            },
+        );
+        let topo = BitGrid::from_ascii(
+            "........
+             .#.#.#.#
+             .#.#.#.#
+             ........",
+        )
+        .unwrap();
+        let report = s.solve_many_report(&topo, 4, &mut rng);
+        assert!(report.solutions.is_empty());
+        assert_eq!(report.failures, 4);
     }
 
     #[test]

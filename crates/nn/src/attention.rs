@@ -85,6 +85,40 @@ impl SelfAttention2d {
         x.add(&projected)
     }
 
+    /// Inference-only forward pass from a shared reference: identical
+    /// arithmetic to [`SelfAttention2d::forward`] with no caching.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SelfAttention2d::forward`].
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        let (n, c, h, w) = shape4(x);
+        let l = h * w;
+        let scale = 1.0 / (c as f32).sqrt();
+
+        let normed = self.norm.infer(x);
+        let qs = self.q.infer(&normed);
+        let ks = self.k.infer(&normed);
+        let vs = self.v.infer(&normed);
+
+        let mut attended = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            let qm = slice_to_mat(&qs, ni, c, l);
+            let km = slice_to_mat(&ks, ni, c, l);
+            let vm = slice_to_mat(&vs, ni, c, l);
+            let scores = matmul(&transpose(&qm), &km).scale(scale);
+            let attn = softmax_rows(&scores);
+            let out = matmul(&vm, &transpose(&attn));
+            for ci in 0..c {
+                for i in 0..l {
+                    attended.set4(ni, ci, i / w, i % w, out.data()[ci * l + i]);
+                }
+            }
+        }
+
+        x.add(&self.proj.infer(&attended))
+    }
+
     /// Backward pass: accumulates all parameter gradients, returns grad wrt
     /// input.
     ///
@@ -134,6 +168,17 @@ impl SelfAttention2d {
         params.extend(self.proj.params_mut());
         params
     }
+
+    /// Shared access to all parameters, in the same stable order as
+    /// [`SelfAttention2d::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        let mut params = self.norm.params();
+        params.extend(self.q.params());
+        params.extend(self.k.params());
+        params.extend(self.v.params());
+        params.extend(self.proj.params());
+        params
+    }
 }
 
 fn shape4(t: &Tensor) -> (usize, usize, usize, usize) {
@@ -175,6 +220,14 @@ mod tests {
         let x = Tensor::randn(&[2, 4, 3, 3], 1.0, &mut rng);
         let y = attn.forward(&x);
         assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut attn = SelfAttention2d::new(4, 2, &mut rng);
+        let x = Tensor::randn(&[2, 4, 3, 3], 1.0, &mut rng);
+        assert_eq!(attn.infer(&x), attn.forward(&x));
     }
 
     #[test]

@@ -72,16 +72,27 @@ impl Conv2d {
         (in_size + 2 * self.padding - self.kernel()) / self.stride + 1
     }
 
-    /// Forward pass.
+    /// Forward pass (training mode: caches the input for `backward`).
     ///
     /// # Panics
     ///
     /// Panics on non-4-D input, channel mismatch, or an input smaller than
     /// the kernel after padding.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_input = Some(x.clone());
+        self.infer(x)
+    }
+
+    /// Inference-only forward pass from a shared reference: identical
+    /// arithmetic to [`Conv2d::forward`], but nothing is cached, so no
+    /// backward pass is possible afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Conv2d::forward`].
+    pub fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 4, "conv expects NCHW input");
         assert_eq!(x.shape()[1], self.in_channels(), "channel mismatch");
-        self.cache_input = Some(x.clone());
         let (n, _ic, h, w) = shape4(x);
         let (oh, ow) = (self.out_size(h), self.out_size(w));
         let oc = self.out_channels();
@@ -165,6 +176,12 @@ impl Conv2d {
     /// Mutable access to the parameters, in a stable order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Shared access to the parameters, in the same stable order as
+    /// [`Conv2d::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 
     /// Builds the im2col matrix `(ic*k*k, oh*ow)` for batch item `ni`.
@@ -285,6 +302,14 @@ mod tests {
         let x = Tensor::randn(&[1, 2, 8, 8], 1.0, &mut rng);
         let y = conv.forward(&x);
         assert_eq!(y.shape(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
+        let x = Tensor::randn(&[2, 2, 8, 8], 1.0, &mut rng);
+        assert_eq!(conv.infer(&x), conv.forward(&x));
     }
 
     #[test]

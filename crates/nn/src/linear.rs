@@ -37,15 +37,26 @@ impl Linear {
         self.weight.value.shape()[0]
     }
 
-    /// Forward pass over `(batch, in)` input.
+    /// Forward pass over `(batch, in)` input (training mode: caches the
+    /// input for `backward`).
     ///
     /// # Panics
     ///
     /// Panics when the input is not 2-D with matching feature count.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cache_input = Some(x.clone());
+        self.infer(x)
+    }
+
+    /// Inference-only forward pass from a shared reference: identical
+    /// arithmetic to [`Linear::forward`] with no caching.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Linear::forward`].
+    pub fn infer(&self, x: &Tensor) -> Tensor {
         assert_eq!(x.shape().len(), 2, "linear expects 2-D input");
         assert_eq!(x.shape()[1], self.in_features(), "feature mismatch");
-        self.cache_input = Some(x.clone());
         let mut y = matmul(x, &transpose(&self.weight.value));
         let out = self.out_features();
         for row in y.data_mut().chunks_mut(out) {
@@ -87,6 +98,12 @@ impl Linear {
     /// Mutable access to the parameters, in a stable order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Shared access to the parameters, in the same stable order as
+    /// [`Linear::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
     }
 }
 

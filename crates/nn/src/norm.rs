@@ -47,12 +47,33 @@ impl GroupNorm {
         self.groups
     }
 
-    /// Forward pass.
+    /// Forward pass (training mode: caches what `backward` needs).
     ///
     /// # Panics
     ///
     /// Panics on non-4-D input or channel mismatch.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let (out, normalized, inv_std) = self.compute(x);
+        self.cache = Some(Cache {
+            input: x.clone(),
+            normalized,
+            inv_std,
+        });
+        out
+    }
+
+    /// Inference-only forward pass from a shared reference: identical
+    /// arithmetic to [`GroupNorm::forward`] with no caching.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GroupNorm::forward`].
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        self.compute(x).0
+    }
+
+    /// Shared normalisation kernel: returns `(out, normalized, inv_std)`.
+    fn compute(&self, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
         assert_eq!(x.shape().len(), 4, "groupnorm expects NCHW input");
         let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         assert_eq!(c, self.gamma.value.len(), "channel mismatch");
@@ -100,12 +121,7 @@ impl GroupNorm {
             }
         }
 
-        self.cache = Some(Cache {
-            input: x.clone(),
-            normalized,
-            inv_std: inv_stds,
-        });
-        out
+        (out, normalized, inv_stds)
     }
 
     /// Backward pass: accumulates `gamma`/`beta` gradients, returns grad wrt
@@ -178,6 +194,12 @@ impl GroupNorm {
     /// Mutable access to the parameters, in a stable order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    /// Shared access to the parameters, in the same stable order as
+    /// [`GroupNorm::params_mut`].
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
     }
 }
 

@@ -100,26 +100,28 @@ impl ResBlock {
         let mut out = self
             .conv1
             .forward(&self.silu1.forward(&self.norm1.forward(x)));
-        // Broadcast-add the projected time embedding over HW.
         let t = self.temb_proj.forward(&self.silu_t.forward(temb)); // (n, out_c)
-        let (n, c) = (out.shape()[0], out.shape()[1]);
-        for ni in 0..n {
-            for ci in 0..c {
-                let tv = t.data()[ni * c + ci];
-                for hi in 0..h {
-                    for wi in 0..w {
-                        let v = out.at4(ni, ci, hi, wi) + tv;
-                        out.set4(ni, ci, hi, wi, v);
-                    }
-                }
-            }
-        }
+        add_time_bias(&mut out, &t);
         let pre = self
             .dropout
             .forward(&self.silu2.forward(&self.norm2.forward(&out)), rng);
         let out = self.conv2.forward(&pre);
         let skipped = match &mut self.skip {
             Some(proj) => proj.forward(x),
+            None => x.clone(),
+        };
+        out.add(&skipped)
+    }
+
+    /// Inference-only forward from a shared reference: no caches, dropout
+    /// is the identity (evaluation semantics).
+    fn infer(&self, x: &Tensor, temb: &Tensor) -> Tensor {
+        let mut out = self.conv1.infer(&crate::silu(&self.norm1.infer(x)));
+        let t = self.temb_proj.infer(&crate::silu(temb));
+        add_time_bias(&mut out, &t);
+        let out = self.conv2.infer(&crate::silu(&self.norm2.infer(&out)));
+        let skipped = match &self.skip {
+            Some(proj) => proj.infer(x),
             None => x.clone(),
         };
         out.add(&skipped)
@@ -171,6 +173,40 @@ impl ResBlock {
             params.extend(skip.params_mut());
         }
         params
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut params = self.norm1.params();
+        params.extend(self.conv1.params());
+        params.extend(self.temb_proj.params());
+        params.extend(self.norm2.params());
+        params.extend(self.conv2.params());
+        if let Some(skip) = &self.skip {
+            params.extend(skip.params());
+        }
+        params
+    }
+}
+
+/// Broadcast-adds the `(n, c)` time projection over the HW plane of an
+/// `(n, c, h, w)` feature map.
+fn add_time_bias(out: &mut Tensor, t: &Tensor) {
+    let (n, c, h, w) = (
+        out.shape()[0],
+        out.shape()[1],
+        out.shape()[2],
+        out.shape()[3],
+    );
+    for ni in 0..n {
+        for ci in 0..c {
+            let tv = t.data()[ni * c + ci];
+            for hi in 0..h {
+                for wi in 0..w {
+                    let v = out.at4(ni, ci, hi, wi) + tv;
+                    out.set4(ni, ci, hi, wi, v);
+                }
+            }
+        }
     }
 }
 
@@ -340,8 +376,8 @@ impl UNet {
     }
 
     /// Total scalar parameter count.
-    pub fn parameter_count(&mut self) -> usize {
-        self.params_mut().iter().map(|p| p.len()).sum()
+    pub fn parameter_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
     }
 
     /// Forward pass over a batch: `x` is `(n, in_channels, s, s)` and
@@ -405,6 +441,69 @@ impl UNet {
 
         self.head_conv
             .forward(&self.head_silu.forward(&self.head_norm.forward(&h)))
+    }
+
+    /// Inference-only forward pass from a shared reference.
+    ///
+    /// Computes exactly what [`UNet::forward`] computes in evaluation mode
+    /// (dropout is the identity), but caches nothing: no backward pass is
+    /// possible and no internal state changes, so a `UNet` can be shared
+    /// across threads (`&self`) for parallel sampling.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`UNet::forward`].
+    pub fn infer(&self, x: &Tensor, steps: &[usize]) -> Tensor {
+        assert_eq!(x.shape().len(), 4, "expected NCHW input");
+        assert_eq!(x.shape()[0], steps.len(), "batch/steps mismatch");
+        let levels = self.config.channel_mults.len();
+        assert!(
+            x.shape()[2].is_multiple_of(1 << (levels - 1)),
+            "spatial side must be divisible by 2^(levels-1)"
+        );
+
+        let emb = sinusoidal_embedding(steps, self.config.time_dim);
+        let temb = self
+            .time_lin2
+            .infer(&crate::silu(&self.time_lin1.infer(&emb)));
+
+        let mut h = self.stem.infer(x);
+        let mut skips: Vec<Tensor> = vec![h.clone()];
+        for stage in &self.down {
+            for (res, attn) in &stage.blocks {
+                h = res.infer(&h, &temb);
+                if let Some(attn) = attn {
+                    h = attn.infer(&h);
+                }
+                skips.push(h.clone());
+            }
+            if let Some(down) = &stage.down {
+                h = down.infer(&h);
+                skips.push(h.clone());
+            }
+        }
+
+        h = self.mid1.infer(&h, &temb);
+        h = self.mid_attn.infer(&h);
+        h = self.mid2.infer(&h, &temb);
+
+        for stage in &self.up {
+            for (res, attn) in &stage.blocks {
+                let skip = skips.pop().expect("skip stack underflow");
+                let cat = h.cat_channels(&skip);
+                h = res.infer(&cat, &temb);
+                if let Some(attn) = attn {
+                    h = attn.infer(&h);
+                }
+            }
+            if let Some(upc) = &stage.up {
+                h = upc.infer(&upsample_nearest2(&h));
+            }
+        }
+        debug_assert!(skips.is_empty());
+
+        self.head_conv
+            .infer(&crate::silu(&self.head_norm.infer(&h)))
     }
 
     /// Backward pass: accumulates every parameter gradient and returns the
@@ -533,6 +632,43 @@ impl UNet {
         }
         params.extend(self.head_norm.params_mut());
         params.extend(self.head_conv.params_mut());
+        params
+    }
+
+    /// Every trainable parameter behind shared references, in the same
+    /// stable order as [`UNet::params_mut`] — the order
+    /// [`crate::save_params`] serialises.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut params = self.time_lin1.params();
+        params.extend(self.time_lin2.params());
+        params.extend(self.stem.params());
+        for stage in &self.down {
+            for (res, attn) in &stage.blocks {
+                params.extend(res.params());
+                if let Some(attn) = attn {
+                    params.extend(attn.params());
+                }
+            }
+            if let Some(down) = &stage.down {
+                params.extend(down.params());
+            }
+        }
+        params.extend(self.mid1.params());
+        params.extend(self.mid_attn.params());
+        params.extend(self.mid2.params());
+        for stage in &self.up {
+            for (res, attn) in &stage.blocks {
+                params.extend(res.params());
+                if let Some(attn) = attn {
+                    params.extend(attn.params());
+                }
+            }
+            if let Some(upc) = &stage.up {
+                params.extend(upc.params());
+            }
+        }
+        params.extend(self.head_norm.params());
+        params.extend(self.head_conv.params());
         params
     }
 
@@ -735,10 +871,43 @@ mod tests {
     #[test]
     fn parameter_count_is_stable() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        let mut net = UNet::new(&tiny_config(), &mut rng);
+        let net = UNet::new(&tiny_config(), &mut rng);
         let a = net.parameter_count();
         let b = net.parameter_count();
         assert_eq!(a, b);
         assert!(a > 1000, "unexpectedly small network: {a}");
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let config = UNetConfig {
+            dropout: 0.5, // must be ignored in both eval forward and infer
+            ..tiny_config()
+        };
+        let mut net = UNet::new(&config, &mut rng);
+        let x = Tensor::randn(&[2, 2, 8, 8], 1.0, &mut rng);
+        let via_infer = net.infer(&x, &[1, 77]);
+        let via_forward = net.forward(&x, &[1, 77]);
+        assert_eq!(via_infer, via_forward);
+        // infer is stateless: repeated calls agree bit-for-bit.
+        assert_eq!(net.infer(&x, &[1, 77]), via_infer);
+    }
+
+    #[test]
+    fn shared_and_mut_param_orders_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut net = UNet::new(&tiny_config(), &mut rng);
+        let shapes: Vec<Vec<usize>> = net
+            .params()
+            .iter()
+            .map(|p| p.value.shape().to_vec())
+            .collect();
+        let shapes_mut: Vec<Vec<usize>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.value.shape().to_vec())
+            .collect();
+        assert_eq!(shapes, shapes_mut);
     }
 }

@@ -93,7 +93,9 @@ impl Reader<'_> {
 }
 
 /// Serialises parameters (values only, not gradients) into a binary blob.
-pub fn save_params(params: &[&mut Param]) -> Vec<u8> {
+/// Takes shared references — pair it with [`crate::UNet::params`], so a
+/// network can be saved without mutable access.
+pub fn save_params(params: &[&Param]) -> Vec<u8> {
     let total: usize = params
         .iter()
         .map(|p| 4 + p.value.shape().len() * 8 + p.value.len() * 4)
@@ -192,7 +194,7 @@ mod tests {
         let ya = a.forward(&x, &[2]);
         assert!(ya.sub(&b.forward(&x, &[2])).max_abs() > 1e-6);
 
-        let blob = save_params(&a.params_mut());
+        let blob = save_params(&a.params());
         load_params(&mut b.params_mut(), &blob).unwrap();
         let yb = b.forward(&x, &[2]);
         for (p, q) in ya.data().iter().zip(yb.data()) {
@@ -214,7 +216,7 @@ mod tests {
     fn truncated_blob_is_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let mut net = UNet::new(&tiny(), &mut rng);
-        let blob = save_params(&net.params_mut());
+        let blob = save_params(&net.params());
         let cut = &blob[..blob.len() / 2];
         assert_eq!(
             load_params(&mut net.params_mut(), cut),
@@ -225,13 +227,13 @@ mod tests {
     #[test]
     fn mismatched_architecture_is_rejected() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let mut small = UNet::new(&tiny(), &mut rng);
+        let small = UNet::new(&tiny(), &mut rng);
         let big_config = UNetConfig {
             base_channels: 4,
             ..tiny()
         };
         let mut big = UNet::new(&big_config, &mut rng);
-        let blob = save_params(&small.params_mut());
+        let blob = save_params(&small.params());
         let err = load_params(&mut big.params_mut(), &blob).unwrap_err();
         assert!(matches!(
             err,

@@ -9,7 +9,6 @@
 //! k = K progressively denoising into a binary layout topology, with no
 //! thresholding anywhere — the visual argument of the paper's Fig. 6.
 
-use diffpattern::diffusion::Sampler;
 use diffpattern::render::grid_to_ascii;
 use diffpattern::{Pipeline, PipelineConfig};
 use diffpattern_suite::{env_knob, example_rng};
@@ -22,17 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
 
-    let config = pipeline.config().clone();
-    let channels = config.dataset.channels;
-    let side = config.dataset.matrix_side / (channels as f64).sqrt() as usize;
-    let steps = config.train.diffusion_steps;
-    let sampler = Sampler::new(pipeline.schedule().clone());
+    // Freeze the trained state; tracing runs on the immutable model.
+    let model = pipeline.into_trained_model()?;
+    let steps = model.schedule().steps();
+    let sampler = model.sampler();
 
     // Snapshot at 3K/4, K/2 and K/4 like the paper's strip (K and 0 are
     // always included by the tracer).
     let snaps = vec![3 * steps / 4, steps / 2, steps / 4];
     let trace =
-        sampler.sample_with_trace(pipeline.denoiser_mut(), channels, side, &snaps, &mut rng);
+        sampler.sample_with_trace_infer(&model, model.channels(), model.side(), &snaps, &mut rng);
 
     for (k, tensor) in &trace.snapshots {
         let grid = tensor.unfold();

@@ -30,7 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
     println!("generating {generate} topologies...");
-    let topologies = pipeline.generate_topologies(generate, &mut rng)?;
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .seed(env_knob("DP_SEED", 42) as u64)
+        .build()?;
+    let (topologies, _) = session.sample_topologies(generate);
     let mut generated = PatternLibrary::new();
     for t in &topologies {
         generated.add_topology(t);

@@ -35,7 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
     println!("generating {generate} legal patterns...");
-    let patterns = pipeline.generate_legal_patterns(generate, &mut rng)?;
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .seed(env_knob("DP_SEED", 42) as u64)
+        .build()?;
+    let batch = session.generate(generate)?;
+    let patterns: Vec<SquishPattern> = batch.items.into_iter().map(|g| g.pattern).collect();
     let rules = pipeline.config().rules;
 
     let manifest_path = out_dir.join("manifest.csv");

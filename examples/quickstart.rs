@@ -1,11 +1,13 @@
-//! Quickstart: the full DiffPattern loop on a small synthetic dataset.
+//! Quickstart: the full DiffPattern loop on a small synthetic dataset,
+//! through the train/infer split — train a [`Pipeline`], freeze a
+//! [`TrainedModel`], batch-generate with a [`GenerationSession`].
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
 //! Environment knobs: `DP_TRAIN_ITERS` (default 150), `DP_GENERATE`
-//! (default 8), `DP_SEED`.
+//! (default 8), `DP_THREADS` (default 0 = all cores), `DP_SEED`.
 
 use diffpattern::render::pattern_to_ascii;
 use diffpattern::{Pipeline, PipelineConfig};
@@ -15,6 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = example_rng();
     let train_iters = env_knob("DP_TRAIN_ITERS", 150);
     let generate = env_knob("DP_GENERATE", 8);
+    let threads = env_knob("DP_THREADS", 0);
 
     println!("=== DiffPattern quickstart ===");
     let config = PipelineConfig::tiny();
@@ -38,26 +41,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.tail_mean(10)
     );
 
-    println!("generating {generate} legal patterns (sample -> pre-filter -> solve)...");
-    let patterns = pipeline.generate_legal_patterns(generate, &mut rng)?;
-    let r = pipeline.report();
+    // Freeze training into an immutable, shareable model, then generate
+    // through a session: sample -> pre-filter -> solve, across threads.
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .threads(threads)
+        .seed(env_knob("DP_SEED", 42) as u64)
+        .build()?;
     println!(
-        "sampled {} topologies, pre-filter rejected {} / repaired {}, solver failures {}, legal patterns {}",
+        "generating {generate} legal patterns on {} threads...",
+        session.threads()
+    );
+    let batch = session.generate(generate)?;
+    let r = batch.report;
+    println!(
+        "sampled {} topologies, pre-filter rejected {} / repaired {}, solver failures {}, \
+         legal patterns {}, shortfall {}",
         r.topologies_sampled,
         r.prefilter_rejected,
         r.prefilter_repaired,
         r.solver_failures,
-        r.legal_patterns
+        r.legal_patterns,
+        r.shortfall
     );
 
-    for (i, p) in patterns.iter().take(2).enumerate() {
-        let drc = diffpattern::drc::check_pattern(p, &pipeline.config().rules);
+    for g in batch.items.iter().take(2) {
+        let drc = diffpattern::drc::check_pattern(&g.pattern, session.rules());
         println!(
-            "\npattern {i}: complexity {:?}, DRC clean = {}",
-            p.complexity(),
+            "\npattern {} (seed {:#x}, {} attempts): complexity {:?}, DRC clean = {}",
+            g.provenance.index,
+            g.provenance.seed,
+            g.provenance.attempts,
+            g.pattern.complexity(),
             drc.is_clean()
         );
-        println!("{}", pattern_to_ascii(p, 48, 24));
+        println!("{}", pattern_to_ascii(&g.pattern, 48, 24));
     }
     Ok(())
 }

@@ -1,6 +1,7 @@
 //! Regenerates paper Table I: pattern diversity and legality for every
 //! method (Real / CAE / VCAE / CAE+LegalGAN / VCAE+LegalGAN /
-//! LayouTransformer / DiffPattern-S / DiffPattern-L).
+//! LayouTransformer / DiffPattern-S / DiffPattern-L), every generator
+//! driven through the shared [`diffpattern::PatternSource`] interface.
 //!
 //! ```text
 //! cargo run --release --example table1_comparison
@@ -8,7 +9,8 @@
 //!
 //! Environment knobs: `DP_TRAIN_ITERS` (diffusion, default 300),
 //! `DP_GENERATE` (patterns per method, default 100; the paper uses
-//! 100 000), `DP_AE_ITERS` (baseline training, default 300), `DP_SEED`.
+//! 100 000), `DP_AE_ITERS` (baseline training, default 300),
+//! `DP_THREADS` (default 0 = all cores), `DP_SEED`.
 
 use diffpattern::table1::{self, Table1Config};
 use diffpattern::{metrics, Pipeline, PipelineConfig};
@@ -34,31 +36,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.tail_mean(20)
     );
 
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .threads(env_knob("DP_THREADS", 0))
+        .seed(env_knob("DP_SEED", 42) as u64)
+        .build()?;
+
     let config = Table1Config {
         generate,
         ae_iterations,
-        ae: dp_ae_config(&pipeline),
+        ae: diffpattern::baselines::AeConfig {
+            side: pipeline.config().dataset.matrix_side,
+            features: 8,
+            latent: 32,
+        },
         variants_per_topology: env_knob("DP_VARIANTS", 10),
     };
     println!("running all Table I rows ({generate} patterns per method)...\n");
-    let rows = table1::run(&mut pipeline, config, &mut rng)?;
+    let rows = table1::run(&session, pipeline.dataset(), config, &mut rng)?;
 
     println!("{}", metrics::table_header());
     for row in &rows {
         println!("{row}");
     }
-    let r = pipeline.report();
-    println!(
-        "\npipeline stats: sampled {}, pre-filter rejected {} / repaired {}, solver failures {}",
-        r.topologies_sampled, r.prefilter_rejected, r.prefilter_repaired, r.solver_failures
-    );
     Ok(())
-}
-
-fn dp_ae_config(pipeline: &Pipeline) -> diffpattern::baselines::AeConfig {
-    diffpattern::baselines::AeConfig {
-        side: pipeline.config().dataset.matrix_side,
-        features: 8,
-        latent: 32,
-    }
 }

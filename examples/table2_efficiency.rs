@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Environment knobs: `DP_TRAIN_ITERS` (default 100), `DP_SAMPLES`
-//! (default 16), `DP_SEED`.
+//! (default 16), `DP_THREADS` (default 1, so the per-sample cost is the
+//! serial anchor; raise it to measure batch throughput), `DP_SEED`.
 
 use diffpattern::table2;
 use diffpattern::{Pipeline, PipelineConfig};
@@ -21,9 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .threads(env_knob("DP_THREADS", 1))
+        .seed(env_knob("DP_SEED", 42) as u64)
+        .build()?;
 
-    println!("measuring over {samples} samples...\n");
-    let rows = table2::run(&mut pipeline, samples, &mut rng)?;
+    println!(
+        "measuring over {samples} samples on {} threads...\n",
+        session.threads()
+    );
+    let rows = table2::run(&session, &pipeline.dataset().extended, samples, &mut rng);
     println!("{:<12} {:>14} {:>9}", "Phase", "Cost Time", "Accel.");
     for row in &rows {
         println!("{row}");

@@ -49,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "training DiffPattern for {train_iters} iterations and generating {generate} topologies..."
     );
     let _ = pipeline.train(train_iters, &mut rng)?;
-    let diffpattern_topos = pipeline.generate_topologies(generate, &mut rng)?;
+    let model = pipeline.trained_model()?;
+    let session = pipeline
+        .session_builder(&model)
+        .seed(env_knob("DP_SEED", 42) as u64)
+        .build()?;
+    let (diffpattern_topos, _) = session.sample_topologies(generate);
 
     // An overfit generator: a CAE that memorises the training set and
     // regurgitates lightly perturbed reconstructions.

@@ -119,7 +119,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length range for [`vec`], converted from `usize` ranges.
+    /// A length range for [`vec()`], converted from `usize` ranges.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         /// Inclusive minimum length.

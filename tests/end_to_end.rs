@@ -1,5 +1,6 @@
 //! Cross-crate integration: the full DiffPattern pipeline from synthetic
-//! map to DRC-clean patterns.
+//! map to DRC-clean patterns, through both the new session API and the
+//! deprecated `Pipeline` shims (which must keep working).
 
 use diffpattern::drc::check_pattern;
 use diffpattern::{Pipeline, PipelineConfig};
@@ -10,19 +11,22 @@ fn pipeline_produces_only_legal_patterns() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
     let _ = pipeline.train(5, &mut rng).unwrap();
-    let patterns = pipeline.generate_legal_patterns(4, &mut rng).unwrap();
-    assert!(!patterns.is_empty(), "pipeline produced nothing");
-    for p in &patterns {
-        let report = check_pattern(p, &pipeline.config().rules);
+    let model = pipeline.trained_model().unwrap();
+    let session = pipeline.session_builder(&model).seed(11).build().unwrap();
+    let batch = session.generate(4).unwrap();
+    assert!(!batch.items.is_empty(), "pipeline produced nothing");
+    for g in &batch.items {
+        let report = check_pattern(&g.pattern, session.rules());
         assert!(report.is_clean(), "{:?}", report.violations());
         // Window pinning (Eq. 14 sum constraints).
-        assert_eq!(p.width(), 2048);
-        assert_eq!(p.height(), 2048);
+        assert_eq!(g.pattern.width(), 2048);
+        assert_eq!(g.pattern.height(), 2048);
     }
 }
 
 #[test]
-fn report_is_consistent() {
+#[allow(deprecated)]
+fn legacy_shim_report_is_consistent() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
     let _ = pipeline.train(5, &mut rng).unwrap();
@@ -36,6 +40,8 @@ fn report_is_consistent() {
     );
     assert_eq!(r.legal_patterns, patterns.len());
     assert_eq!(r.solver_failures + patterns.len(), topos.len());
+    // The shortfall fix: what was requested but not delivered is counted.
+    assert_eq!(r.shortfall, 5 - topos.len());
 }
 
 #[test]
@@ -45,13 +51,16 @@ fn strict_prefilter_rejects_instead_of_repairing() {
     config.repair_bowties = false;
     let mut pipeline = Pipeline::from_synthetic_map(config, &mut rng).unwrap();
     let _ = pipeline.train(3, &mut rng).unwrap();
-    let topos = pipeline.generate_topologies(2, &mut rng).unwrap();
-    let r = pipeline.report();
-    assert_eq!(r.prefilter_repaired, 0);
+    let model = pipeline.trained_model().unwrap();
+    let session = pipeline.session_builder(&model).seed(13).build().unwrap();
+    let (topos, report) = session.sample_topologies(2);
+    assert_eq!(report.prefilter_repaired, 0);
     // Every returned topology is genuinely bow-tie free.
     for t in &topos {
         assert!(diffpattern::geometry::bowtie::is_bowtie_free(t));
     }
+    // Closed accounting even in strict mode.
+    assert_eq!(topos.len() + report.shortfall, 2);
 }
 
 #[test]

@@ -78,14 +78,17 @@ fn pipeline_is_deterministic_under_fixed_seed() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let mut p = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = p.train(3, &mut rng).unwrap();
-        p.generate_legal_patterns(2, &mut rng).unwrap()
+        let model = p.trained_model().unwrap();
+        let session = p.session_builder(&model).seed(77).build().unwrap();
+        session.generate(2).unwrap().items
     };
     let a = run();
     let b = run();
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.topology(), y.topology());
-        assert_eq!(x.dx(), y.dx());
-        assert_eq!(x.dy(), y.dy());
+        assert_eq!(x.pattern.topology(), y.pattern.topology());
+        assert_eq!(x.pattern.dx(), y.pattern.dx());
+        assert_eq!(x.pattern.dy(), y.pattern.dy());
+        assert_eq!(x.provenance, y.provenance);
     }
 }

@@ -1,0 +1,185 @@
+//! Integration tests for the train/infer split: `TrainedModel` round-trip,
+//! thread-count-invariant determinism, shortfall surfacing, and the
+//! `PatternSource` interface.
+
+use diffpattern::drc::{check_pattern, DesignRules};
+use diffpattern::legalize::SolverConfig;
+use diffpattern::{DiffusionSource, PatternSource, Pipeline, PipelineConfig, TrainedModel};
+use rand::SeedableRng;
+
+fn trained_pipeline(seed: u64, iters: usize) -> Pipeline {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+    let _ = pipeline.train(iters, &mut rng).unwrap();
+    pipeline
+}
+
+#[test]
+fn batch_generation_is_bit_identical_across_thread_counts() {
+    let pipeline = trained_pipeline(50, 4);
+    let model = pipeline.trained_model().unwrap();
+    let run = |threads: usize| {
+        let session = pipeline
+            .session_builder(&model)
+            .threads(threads)
+            .seed(99)
+            .build()
+            .unwrap();
+        session.generate(6).unwrap()
+    };
+    let serial = run(1);
+    for threads in [2, 4, 7] {
+        let parallel = run(threads);
+        assert_eq!(
+            serial.items, parallel.items,
+            "{threads} threads changed the batch"
+        );
+        assert_eq!(serial.report, parallel.report);
+    }
+    // And a different seed gives a different batch (the seed is the knob).
+    let session = pipeline
+        .session_builder(&model)
+        .threads(1)
+        .seed(100)
+        .build()
+        .unwrap();
+    let other = session.generate(6).unwrap();
+    assert_ne!(serial.items, other.items);
+}
+
+#[test]
+fn session_patterns_are_drc_clean_with_provenance() {
+    let pipeline = trained_pipeline(51, 5);
+    let model = pipeline.trained_model().unwrap();
+    let session = pipeline
+        .session_builder(&model)
+        .threads(2)
+        .seed(3)
+        .build()
+        .unwrap();
+    let batch = session.generate(4).unwrap();
+    assert!(!batch.items.is_empty(), "session produced nothing");
+    let mut last_index = None;
+    for g in &batch.items {
+        let report = check_pattern(&g.pattern, session.rules());
+        assert!(report.is_clean(), "{:?}", report.violations());
+        assert_eq!(g.pattern.width(), 2048);
+        assert_eq!(g.pattern.height(), 2048);
+        assert!(g.provenance.attempts >= 1);
+        // Items come back in index order.
+        assert!(Some(g.provenance.index) > last_index);
+        last_index = Some(g.provenance.index);
+    }
+    // Accounting is closed: every requested slot is a pattern or shortfall.
+    assert_eq!(batch.items.len() + batch.report.shortfall, 4);
+}
+
+#[test]
+fn streaming_delivers_every_item() {
+    let pipeline = trained_pipeline(52, 4);
+    let model = pipeline.trained_model().unwrap();
+    let session = pipeline
+        .session_builder(&model)
+        .threads(3)
+        .seed(5)
+        .build()
+        .unwrap();
+    let mut streamed = 0usize;
+    let report = session.generate_streaming(5, |_| streamed += 1).unwrap();
+    assert_eq!(streamed + report.shortfall, 5);
+    assert_eq!(report.legal_patterns, streamed);
+}
+
+#[test]
+fn exhausted_attempts_surface_as_shortfall_not_silence() {
+    // Regression test for the silent-shortfall bug: with rules the solver
+    // cannot satisfy, every slot must be reported, not dropped.
+    let pipeline = trained_pipeline(53, 3);
+    let model = pipeline.trained_model().unwrap();
+    let harsh = DesignRules::builder()
+        .space_min(900)
+        .width_min(900)
+        .area_range(1, i128::MAX / 4)
+        .build()
+        .unwrap();
+    let session = pipeline
+        .session_builder(&model)
+        .rules(harsh)
+        .solver_config(SolverConfig {
+            max_iterations: 20,
+            max_restarts: 1,
+            ..SolverConfig::for_window(2048, 2048)
+        })
+        .max_attempts(2)
+        .threads(2)
+        .seed(11)
+        .build()
+        .unwrap();
+    let batch = session.generate(3).unwrap();
+    assert_eq!(batch.items.len() + batch.report.shortfall, 3);
+    if batch.items.is_empty() {
+        assert_eq!(batch.report.shortfall, 3);
+        assert!(batch.report.solver_failures >= 3);
+    }
+}
+
+#[test]
+fn model_save_load_round_trip_generates_identically() {
+    let pipeline = trained_pipeline(54, 4);
+    let model = pipeline.trained_model().unwrap();
+    let restored = TrainedModel::load(&model.save()).unwrap();
+
+    let generate = |m: &TrainedModel| {
+        let session = pipeline
+            .session_builder(m)
+            .threads(2)
+            .seed(8)
+            .build()
+            .unwrap();
+        session.generate(3).unwrap().items
+    };
+    assert_eq!(generate(&model), generate(&restored));
+}
+
+#[test]
+fn pattern_source_interface_drives_the_session() {
+    let pipeline = trained_pipeline(55, 4);
+    let model = pipeline.trained_model().unwrap();
+    let session = pipeline
+        .session_builder(&model)
+        .threads(1)
+        .seed(2)
+        .build()
+        .unwrap();
+    let mut source: Box<dyn PatternSource + '_> =
+        Box::new(DiffusionSource::new(&session, "DiffPattern-S"));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let batch = source.generate(3, &mut rng).unwrap();
+    assert_eq!(source.name(), "DiffPattern-S");
+    assert_eq!(batch.topologies, Some(batch.patterns.len()));
+    for p in &batch.patterns {
+        assert!(check_pattern(p, session.rules()).is_clean());
+    }
+}
+
+#[test]
+fn invalid_session_configs_are_rejected() {
+    use diffpattern::ConfigError;
+    let pipeline = trained_pipeline(56, 3);
+    let model = pipeline.trained_model().unwrap();
+    assert!(matches!(
+        pipeline.session_builder(&model).sample_stride(0).build(),
+        Err(ConfigError::ZeroStride)
+    ));
+    assert!(matches!(
+        pipeline.session_builder(&model).max_attempts(0).build(),
+        Err(ConfigError::ZeroAttempts)
+    ));
+    assert!(matches!(
+        pipeline
+            .session_builder(&model)
+            .solver_config(SolverConfig::for_window(8, 2048))
+            .build(),
+        Err(ConfigError::WindowTooSmall { .. })
+    ));
+}
