@@ -1,0 +1,115 @@
+//! Layer-level microbenchmarks for the `dp_nn` inference engine, so GEMM /
+//! conv / attention regressions are visible independently of the
+//! end-to-end paper tables.
+//!
+//! The GEMM shapes are the actual products the C4 16x16 U-Net issues
+//! (`(m, k, n)` = weight rows, im2col depth, spatial positions): the stem,
+//! a level-0 feature conv, a level-1 feature conv, the widest decoder
+//! conv, and an attention score product. Layer benches run prepacked with
+//! a warm workspace — the steady-state configuration of the sampling hot
+//! loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_nn::{matmul, Conv2d, SelfAttention2d, Tensor, UNet, UNetConfig, Workspace};
+use rand::SeedableRng;
+
+fn gemm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut group = c.benchmark_group("nn_micro/gemm");
+    group.sample_size(10);
+    for (label, m, k, n) in [
+        ("stem_16x36x256", 16usize, 36usize, 256usize),
+        ("feature_16x144x256", 16, 144, 256),
+        ("level1_32x288x64", 32, 288, 64),
+        ("decoder_16x432x256", 16, 432, 256),
+        ("attn_scores_64x32x64", 64, 32, 64),
+    ] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bch, ()| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn conv_infer(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut ws = Workspace::new();
+    let mut group = c.benchmark_group("nn_micro/conv_infer");
+    group.sample_size(10);
+    for (label, ic, oc, k, stride, pad, side) in [
+        (
+            "feature_3x3_16ch_16x16",
+            16usize,
+            16usize,
+            3usize,
+            1usize,
+            1usize,
+            16usize,
+        ),
+        ("down_3x3_s2_16ch_16x16", 16, 16, 3, 2, 1, 16),
+        ("proj_1x1_32ch_8x8", 32, 32, 1, 1, 0, 8),
+    ] {
+        let mut conv = Conv2d::new(ic, oc, k, stride, pad, &mut rng);
+        conv.prepack();
+        let x = Tensor::randn(&[1, ic, side, side], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bch, ()| {
+            bch.iter(|| {
+                let y = conv.infer(&x, &mut ws);
+                ws.recycle(y);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn attention_infer(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut ws = Workspace::new();
+    let mut attn = SelfAttention2d::new(32, 4, &mut rng);
+    attn.prepack();
+    let x = Tensor::randn(&[1, 32, 8, 8], 1.0, &mut rng);
+    let mut group = c.benchmark_group("nn_micro/attention_infer");
+    group.sample_size(10);
+    group.bench_function("c32_8x8", |bch| {
+        bch.iter(|| {
+            let y = attn.infer(&x, &mut ws);
+            ws.recycle(y);
+        })
+    });
+    group.finish();
+}
+
+fn unet_infer(c: &mut Criterion) {
+    // The same C4 16x16 instance as `ablation_fold/unet_forward`, but on
+    // the packed + workspace inference path the sampler actually runs.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let config = UNetConfig {
+        in_channels: 4,
+        out_channels: 8,
+        base_channels: 16,
+        channel_mults: vec![1, 2],
+        num_res_blocks: 1,
+        attn_resolutions: vec![1],
+        time_dim: 16,
+        groups: 4,
+        dropout: 0.0,
+    };
+    let mut net = UNet::new(&config, &mut rng);
+    net.prepack();
+    let x = Tensor::randn(&[1, 4, 16, 16], 1.0, &mut rng);
+    let mut ws = Workspace::new();
+    let mut group = c.benchmark_group("nn_micro/unet_infer");
+    group.sample_size(10);
+    group.bench_function("C4_16x16_prepacked_warm", |bch| {
+        bch.iter(|| {
+            let y = net.infer(&x, &[10], &mut ws);
+            ws.recycle(y);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gemm, conv_infer, attention_infer, unet_infer);
+criterion_main!(benches);

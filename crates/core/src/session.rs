@@ -25,7 +25,7 @@
 //! ```
 
 use crate::{ConfigError, GenerateError, PipelineReport};
-use dp_diffusion::{Sampler, TrainedModel};
+use dp_diffusion::{SampleScratch, Sampler, TrainedModel};
 use dp_drc::DesignRules;
 use dp_geometry::{bowtie, BitGrid};
 use dp_legalize::{Init, SolveStats, Solver, SolverConfig};
@@ -279,7 +279,11 @@ impl<'m> GenerationSession<'m> {
         count: usize,
         on_item: impl FnMut(Generated),
     ) -> Result<PipelineReport, GenerateError> {
-        self.run_batch(count, |index| self.generate_item(index), on_item)
+        self.run_batch(
+            count,
+            |index, scratch| self.generate_item(index, scratch),
+            on_item,
+        )
     }
 
     /// Samples `count` topology matrices (pre-filtered, no legalization) —
@@ -290,7 +294,7 @@ impl<'m> GenerationSession<'m> {
         let report = self
             .run_batch(
                 count,
-                |index| Ok(self.sample_item(index)),
+                |index, scratch| Ok(self.sample_item(index, scratch)),
                 |item: (usize, BitGrid)| out.push(item),
             )
             .expect("topology sampling is infallible");
@@ -329,17 +333,27 @@ impl<'m> GenerationSession<'m> {
 
     /// Runs `count` independent work items across the configured worker
     /// threads, merging their report deltas and streaming their outputs.
+    ///
+    /// Each worker owns one [`SampleScratch`] reused across its items, so
+    /// steady-state sampling allocates nothing per denoising step. When
+    /// more than one worker runs, inner GEMM parallelism is disabled
+    /// inside the workers (the batch is already data-parallel; nesting a
+    /// second layer of threads per matrix multiply would oversubscribe
+    /// the machine) — a single-worker batch keeps it enabled so large
+    /// multiplies can still use the whole machine.
     fn run_batch<T: Send>(
         &self,
         count: usize,
-        work: impl Fn(usize) -> Result<(PipelineReport, Option<T>), GenerateError> + Sync,
+        work: impl Fn(usize, &mut SampleScratch) -> Result<(PipelineReport, Option<T>), GenerateError>
+            + Sync,
         mut on_item: impl FnMut(T),
     ) -> Result<PipelineReport, GenerateError> {
         let mut report = PipelineReport::default();
         let workers = self.threads.min(count.max(1));
         if workers <= 1 {
+            let mut scratch = SampleScratch::new();
             for index in 0..count {
-                let (delta, item) = work(index)?;
+                let (delta, item) = work(index, &mut scratch)?;
                 report.merge(&delta);
                 match item {
                     Some(item) => on_item(item),
@@ -357,14 +371,19 @@ impl<'m> GenerationSession<'m> {
             let next = &next;
             for _ in 0..workers {
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= count {
-                        break;
-                    }
-                    if tx.send(work(index)).is_err() {
-                        break;
-                    }
+                scope.spawn(move || {
+                    dp_nn::with_inner_gemm_parallelism(false, || {
+                        let mut scratch = SampleScratch::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= count {
+                                break;
+                            }
+                            if tx.send(work(index, &mut scratch)).is_err() {
+                                break;
+                            }
+                        }
+                    })
                 });
             }
             drop(tx);
@@ -398,12 +417,14 @@ impl<'m> GenerationSession<'m> {
     fn generate_item(
         &self,
         index: usize,
+        scratch: &mut SampleScratch,
     ) -> Result<(PipelineReport, Option<Generated>), GenerateError> {
         let seed = item_seed(self.seed, index);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut report = PipelineReport::default();
         for attempt in 1..=self.max_attempts {
-            let Some((grid, repaired)) = self.sample_filtered(&mut report, &mut rng) else {
+            let Some((grid, repaired)) = self.sample_filtered(&mut report, &mut rng, scratch)
+            else {
                 continue;
             };
             let init_donor = (!self.donors.is_empty())
@@ -442,11 +463,15 @@ impl<'m> GenerationSession<'m> {
     }
 
     /// Topology-only batch item: sample → pre-filter, no solving.
-    fn sample_item(&self, index: usize) -> (PipelineReport, Option<(usize, BitGrid)>) {
+    fn sample_item(
+        &self,
+        index: usize,
+        scratch: &mut SampleScratch,
+    ) -> (PipelineReport, Option<(usize, BitGrid)>) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(item_seed(self.seed, index));
         let mut report = PipelineReport::default();
         for _ in 0..self.max_attempts {
-            if let Some((grid, _)) = self.sample_filtered(&mut report, &mut rng) {
+            if let Some((grid, _)) = self.sample_filtered(&mut report, &mut rng, scratch) {
                 return (report, Some((index, grid)));
             }
         }
@@ -459,15 +484,22 @@ impl<'m> GenerationSession<'m> {
         &self,
         report: &mut PipelineReport,
         rng: &mut impl Rng,
+        scratch: &mut SampleScratch,
     ) -> Option<(BitGrid, bool)> {
         report.topologies_sampled += 1;
         let (channels, side) = (self.model.channels(), self.model.side());
         let tensor = if self.stride <= 1 {
             self.sampler
-                .sample_one_infer(self.model, channels, side, rng)
+                .sample_one_with(self.model, channels, side, rng, scratch)
         } else {
-            self.sampler
-                .sample_respaced_infer(self.model, channels, side, &self.retained, rng)
+            self.sampler.sample_respaced_with(
+                self.model,
+                channels,
+                side,
+                &self.retained,
+                rng,
+                scratch,
+            )
         };
         let mut grid = tensor.unfold();
         if bowtie::is_bowtie_free(&grid) {

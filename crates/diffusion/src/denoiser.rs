@@ -1,5 +1,5 @@
-use crate::loss::p1_of_logits;
-use dp_nn::{Tensor, UNet};
+use crate::loss::{p1_of_logits, p1_of_logits_into};
+use dp_nn::{Tensor, UNet, Workspace};
 use dp_squish::DeepSquishTensor;
 
 /// A reverse-process model: predicts, for every entry of a noisy topology
@@ -26,6 +26,24 @@ pub trait Denoiser {
 pub trait InferenceDenoiser: Sync {
     /// As [`Denoiser::predict_p1`], from `&self`.
     fn infer_p1(&self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>>;
+
+    /// Single-item prediction into a caller-provided buffer, drawing all
+    /// scratch memory from `ws` — the allocation-free path the sampling
+    /// hot loop uses. The default implementation falls back to
+    /// [`InferenceDenoiser::infer_p1`] (correct but allocating); neural
+    /// implementations override it.
+    fn infer_p1_into(
+        &self,
+        xk: &DeepSquishTensor,
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = ws;
+        let p1 = self.infer_p1(std::slice::from_ref(xk), &[k]).swap_remove(0);
+        out.clear();
+        out.extend_from_slice(&p1);
+    }
 }
 
 /// The production denoiser: a [`UNet`] consuming `±1`-mapped bits and
@@ -93,6 +111,16 @@ impl NeuralDenoiser {
         let input = Self::batch_to_input(xks);
         self.unet.forward(&input, ks)
     }
+
+    /// Writes one tensor's `±1`-mapped bits into a workspace tensor.
+    fn input_into(xk: &DeepSquishTensor, ws: &mut Workspace) -> Tensor {
+        let (c, side) = (xk.channels(), xk.side());
+        let mut input = ws.take_uninit(&[1, c, side, side]);
+        for (v, &b) in input.data_mut().iter_mut().zip(xk.bits()) {
+            *v = if b { 1.0 } else { -1.0 };
+        }
+        input
+    }
 }
 
 impl Denoiser for NeuralDenoiser {
@@ -107,10 +135,24 @@ impl Denoiser for NeuralDenoiser {
 impl InferenceDenoiser for NeuralDenoiser {
     fn infer_p1(&self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>> {
         let input = Self::batch_to_input(xks);
-        let logits = self.unet.infer(&input, ks);
+        let logits = self.unet.infer(&input, ks, &mut Workspace::new());
         (0..xks.len())
             .map(|ni| p1_of_logits(&logits, ni, self.channels))
             .collect()
+    }
+
+    fn infer_p1_into(
+        &self,
+        xk: &DeepSquishTensor,
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        let input = Self::input_into(xk, ws);
+        let logits = self.unet.infer(&input, &[k], ws);
+        ws.recycle(input);
+        p1_of_logits_into(&logits, 0, self.channels, out);
+        ws.recycle(logits);
     }
 }
 

@@ -151,19 +151,31 @@ pub fn vb_loss_and_grad(
 ///
 /// Panics when the tensor is not `(n, 2C, M, M)` or `ni` is out of range.
 pub fn p1_of_logits(logits: &Tensor, ni: usize, channels: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    p1_of_logits_into(logits, ni, channels, &mut out);
+    out
+}
+
+/// [`p1_of_logits`] into a caller-provided buffer (cleared first), so the
+/// sampling hot loop reuses one allocation across denoising steps.
+///
+/// # Panics
+///
+/// Same conditions as [`p1_of_logits`].
+pub fn p1_of_logits_into(logits: &Tensor, ni: usize, channels: usize, out: &mut Vec<f64>) {
     let side = logits.shape()[2];
     assert_eq!(logits.shape()[1], 2 * channels, "logit channel layout");
-    let mut out = Vec::with_capacity(channels * side * side);
+    let hw = side * side;
+    out.clear();
+    out.reserve(channels * hw);
+    let base = ni * 2 * channels * hw;
     for ci in 0..channels {
-        for m in 0..side {
-            for nn in 0..side {
-                let l1 = logits.at4(ni, ci, m, nn) as f64;
-                let l0 = logits.at4(ni, channels + ci, m, nn) as f64;
-                out.push(sigmoid(l1 - l0));
-            }
+        let ones = &logits.data()[base + ci * hw..base + (ci + 1) * hw];
+        let zeros = &logits.data()[base + (channels + ci) * hw..base + (channels + ci + 1) * hw];
+        for (&l1, &l0) in ones.iter().zip(zeros) {
+            out.push(sigmoid(l1 as f64 - l0 as f64));
         }
     }
-    out
 }
 
 fn sigmoid(x: f64) -> f64 {

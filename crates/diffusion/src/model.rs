@@ -45,7 +45,7 @@ impl TrainedModel {
     /// Returns [`DiffusionError::BadModelBlob`] when `side` is zero or the
     /// fold channel count is not a perfect square.
     pub fn new(
-        denoiser: NeuralDenoiser,
+        mut denoiser: NeuralDenoiser,
         schedule: NoiseSchedule,
         side: usize,
     ) -> Result<Self, DiffusionError> {
@@ -61,6 +61,10 @@ impl TrainedModel {
                 reason: format!("fold channel count {channels} is not a perfect square"),
             });
         }
+        // Freeze point: the weights are final, so precompute every
+        // layer's packed/transposed GEMM operand once. Sampling then
+        // never re-reshapes a kernel tensor.
+        denoiser.unet_mut().prepack();
         Ok(TrainedModel {
             denoiser,
             schedule,
@@ -243,6 +247,16 @@ impl TrainedModel {
 impl InferenceDenoiser for TrainedModel {
     fn infer_p1(&self, xks: &[DeepSquishTensor], ks: &[usize]) -> Vec<Vec<f64>> {
         self.denoiser.infer_p1(xks, ks)
+    }
+
+    fn infer_p1_into(
+        &self,
+        xk: &DeepSquishTensor,
+        k: usize,
+        ws: &mut dp_nn::Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        self.denoiser.infer_p1_into(xk, k, ws, out);
     }
 }
 

@@ -1,30 +1,73 @@
 use crate::schedule::{reverse_jump_prob, reverse_step_prob, NoiseSchedule};
 use crate::{Denoiser, InferenceDenoiser};
+use dp_nn::Workspace;
 use dp_squish::DeepSquishTensor;
 use rand::Rng;
 
-/// `p_θ(x̃0 = 1 | x_k)` for one state at one step — the only thing the
-/// sampling cores need from a denoiser, whichever mutability flavour it
-/// comes in.
-type PredictFn<'a> = dyn FnMut(&DeepSquishTensor, usize) -> Vec<f64> + 'a;
+/// Reusable per-thread scratch for the sampling hot loop: the neural
+/// network's [`Workspace`] plus the probability buffer the denoiser fills
+/// each step. After the first sample warms it up, every subsequent
+/// denoising step runs without heap allocation.
+///
+/// Keep one per worker thread and pass it to the `*_with` sampling
+/// methods; the scratch-free methods create a throwaway one per call.
+#[derive(Debug, Default)]
+pub struct SampleScratch {
+    ws: Workspace,
+    p1: Vec<f64>,
+}
 
-fn predict_of_mut<'a>(
-    denoiser: &'a mut dyn Denoiser,
-) -> impl FnMut(&DeepSquishTensor, usize) -> Vec<f64> + 'a {
-    move |x, k| {
-        denoiser
-            .predict_p1(std::slice::from_ref(x), &[k])
-            .swap_remove(0)
+impl SampleScratch {
+    /// Creates an empty scratch (sized lazily by its first use).
+    pub fn new() -> Self {
+        SampleScratch::default()
     }
 }
 
-fn predict_of_infer<'a>(
-    denoiser: &'a dyn InferenceDenoiser,
-) -> impl FnMut(&DeepSquishTensor, usize) -> Vec<f64> + 'a {
-    move |x, k| {
-        denoiser
-            .infer_p1(std::slice::from_ref(x), &[k])
-            .swap_remove(0)
+/// `p_θ(x̃0 = 1 | x_k)` for one state at one step — the only thing the
+/// sampling cores need from a denoiser, whichever mutability flavour it
+/// comes in. Implementations write into the caller's buffer so the
+/// inference flavour stays allocation-free.
+trait Predictor {
+    fn predict_into(
+        &mut self,
+        x: &DeepSquishTensor,
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    );
+}
+
+struct MutPredictor<'a>(&'a mut dyn Denoiser);
+
+impl Predictor for MutPredictor<'_> {
+    fn predict_into(
+        &mut self,
+        x: &DeepSquishTensor,
+        k: usize,
+        _ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        let p1 = self
+            .0
+            .predict_p1(std::slice::from_ref(x), &[k])
+            .swap_remove(0);
+        out.clear();
+        out.extend_from_slice(&p1);
+    }
+}
+
+struct InferPredictor<'a>(&'a dyn InferenceDenoiser);
+
+impl Predictor for InferPredictor<'_> {
+    fn predict_into(
+        &mut self,
+        x: &DeepSquishTensor,
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        self.0.infer_p1_into(x, k, ws, out);
     }
 }
 
@@ -74,8 +117,17 @@ impl Sampler {
         count: usize,
         rng: &mut impl Rng,
     ) -> Vec<DeepSquishTensor> {
+        let mut scratch = SampleScratch::new();
         (0..count)
-            .map(|_| self.sample_one(denoiser, channels, side, rng))
+            .map(|_| {
+                self.chain_core(
+                    &mut MutPredictor(denoiser),
+                    channels,
+                    side,
+                    rng,
+                    &mut scratch,
+                )
+            })
             .collect()
     }
 
@@ -87,8 +139,13 @@ impl Sampler {
         side: usize,
         rng: &mut impl Rng,
     ) -> DeepSquishTensor {
-        self.sample_with_trace(denoiser, channels, side, &[], rng)
-            .sample
+        self.chain_core(
+            &mut MutPredictor(denoiser),
+            channels,
+            side,
+            rng,
+            &mut SampleScratch::new(),
+        )
     }
 
     /// Draws one sample through a shared-reference denoiser — the
@@ -101,8 +158,21 @@ impl Sampler {
         side: usize,
         rng: &mut impl Rng,
     ) -> DeepSquishTensor {
-        self.trace_core(&mut predict_of_infer(denoiser), channels, side, &[], rng)
-            .sample
+        self.sample_one_with(denoiser, channels, side, rng, &mut SampleScratch::new())
+    }
+
+    /// [`Sampler::sample_one_infer`] reusing a caller-owned
+    /// [`SampleScratch`]: once the scratch is warm, the whole denoising
+    /// chain allocates nothing beyond the returned tensor.
+    pub fn sample_one_with(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        rng: &mut impl Rng,
+        scratch: &mut SampleScratch,
+    ) -> DeepSquishTensor {
+        self.chain_core(&mut InferPredictor(denoiser), channels, side, rng, scratch)
     }
 
     /// Respaced (DDIM-style, paper ref. \[12\]) sampling: traverses only
@@ -122,7 +192,14 @@ impl Sampler {
         retained: &[usize],
         rng: &mut impl Rng,
     ) -> DeepSquishTensor {
-        self.respaced_core(&mut predict_of_mut(denoiser), channels, side, retained, rng)
+        self.respaced_core(
+            &mut MutPredictor(denoiser),
+            channels,
+            side,
+            retained,
+            rng,
+            &mut SampleScratch::new(),
+        )
     }
 
     /// [`Sampler::sample_respaced`] through a shared-reference denoiser.
@@ -138,22 +215,49 @@ impl Sampler {
         retained: &[usize],
         rng: &mut impl Rng,
     ) -> DeepSquishTensor {
-        self.respaced_core(
-            &mut predict_of_infer(denoiser),
+        self.sample_respaced_with(
+            denoiser,
             channels,
             side,
             retained,
             rng,
+            &mut SampleScratch::new(),
+        )
+    }
+
+    /// [`Sampler::sample_respaced_infer`] reusing a caller-owned
+    /// [`SampleScratch`] (see [`Sampler::sample_one_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Sampler::sample_respaced`].
+    pub fn sample_respaced_with(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        rng: &mut impl Rng,
+        scratch: &mut SampleScratch,
+    ) -> DeepSquishTensor {
+        self.respaced_core(
+            &mut InferPredictor(denoiser),
+            channels,
+            side,
+            retained,
+            rng,
+            scratch,
         )
     }
 
     fn respaced_core(
         &self,
-        predict: &mut PredictFn<'_>,
+        predict: &mut dyn Predictor,
         channels: usize,
         side: usize,
         retained: &[usize],
         rng: &mut impl Rng,
+        scratch: &mut SampleScratch,
     ) -> DeepSquishTensor {
         let k_max = self.schedule.steps();
         assert!(!retained.is_empty(), "empty step subset");
@@ -169,37 +273,27 @@ impl Sampler {
 
         // Start from the stationary distribution at the highest retained
         // step (for k_top close to K this is indistinguishable from T_K).
-        let bits = (0..channels * side * side)
-            .map(|_| rng.gen_bool(0.5))
-            .collect();
-        let mut state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+        let mut state = uniform_state(channels, side, rng);
+        let SampleScratch { ws, p1 } = scratch;
 
         for idx in (0..retained.len()).rev() {
             let k = retained[idx];
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
-            let p1 = &predict(&state, k);
-            let bits: Vec<bool> = if j == 0 {
+            predict.predict_into(&state, k, ws, p1);
+            if j == 0 {
                 // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly.
-                p1.iter()
-                    .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
-                    .collect()
+                for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
+                    *bit = rng.gen_bool(p.clamp(0.0, 1.0));
+                }
             } else {
-                state
-                    .bits()
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &bit)| {
-                        let p_match = if bit { p1[i] } else { 1.0 - p1[i] };
-                        let keep = reverse_jump_prob(&self.schedule, j, k, p_match);
-                        if rng.gen_bool(keep.clamp(0.0, 1.0)) {
-                            bit
-                        } else {
-                            !bit
-                        }
-                    })
-                    .collect()
-            };
-            state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+                for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
+                    let p_match = if *bit { p } else { 1.0 - p };
+                    let keep = reverse_jump_prob(&self.schedule, j, k, p_match);
+                    if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
+                        *bit = !*bit;
+                    }
+                }
+            }
         }
         state
     }
@@ -230,7 +324,7 @@ impl Sampler {
         rng: &mut impl Rng,
     ) -> SampleTrace {
         self.trace_core(
-            &mut predict_of_mut(denoiser),
+            &mut MutPredictor(denoiser),
             channels,
             side,
             snapshot_steps,
@@ -248,7 +342,7 @@ impl Sampler {
         rng: &mut impl Rng,
     ) -> SampleTrace {
         self.trace_core(
-            &mut predict_of_infer(denoiser),
+            &mut InferPredictor(denoiser),
             channels,
             side,
             snapshot_steps,
@@ -256,51 +350,92 @@ impl Sampler {
         )
     }
 
+    /// The lean ancestral chain: mutates one state tensor in place, so the
+    /// per-step loop performs no heap allocation once `scratch` is warm.
+    fn chain_core(
+        &self,
+        predict: &mut dyn Predictor,
+        channels: usize,
+        side: usize,
+        rng: &mut impl Rng,
+        scratch: &mut SampleScratch,
+    ) -> DeepSquishTensor {
+        let k_max = self.schedule.steps();
+        // T_K ~ uniform over {0, 1}: the stationary distribution (Eq. 6).
+        let mut state = uniform_state(channels, side, rng);
+        let SampleScratch { ws, p1 } = scratch;
+
+        for k in (2..=k_max).rev() {
+            predict.predict_into(&state, k, ws, p1);
+            for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
+                // Probability the network gives to x̃0 equalling the
+                // current state of this entry.
+                let p_match = if *bit { p } else { 1.0 - p };
+                let keep = reverse_step_prob(&self.schedule, k, p_match);
+                if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
+                    *bit = !*bit;
+                }
+            }
+        }
+
+        // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly.
+        predict.predict_into(&state, 1, ws, p1);
+        for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
+            *bit = rng.gen_bool(p.clamp(0.0, 1.0));
+        }
+        state
+    }
+
+    /// As [`Sampler::chain_core`] but cloning the state at the requested
+    /// snapshot steps — the Fig. 6 trace path, which necessarily
+    /// allocates per snapshot.
     fn trace_core(
         &self,
-        predict: &mut PredictFn<'_>,
+        predict: &mut dyn Predictor,
         channels: usize,
         side: usize,
         snapshot_steps: &[usize],
         rng: &mut impl Rng,
     ) -> SampleTrace {
         let k_max = self.schedule.steps();
-        // T_K ~ uniform over {0, 1}: the stationary distribution (Eq. 6).
-        let bits = (0..channels * side * side)
-            .map(|_| rng.gen_bool(0.5))
-            .collect();
-        let mut state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
+        let mut scratch = SampleScratch::new();
+        let mut state = uniform_state(channels, side, rng);
+        let SampleScratch { ws, p1 } = &mut scratch;
 
         let mut snapshots = vec![(k_max, state.clone())];
         for k in (2..=k_max).rev() {
-            let p1 = &predict(&state, k);
-            let mut bits = state.bits().to_vec();
-            for (i, bit) in bits.iter_mut().enumerate() {
-                // Probability the network gives to x̃0 equalling the current
-                // state of this entry.
-                let p_match = if *bit { p1[i] } else { 1.0 - p1[i] };
+            predict.predict_into(&state, k, ws, p1);
+            for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
+                let p_match = if *bit { p } else { 1.0 - p };
                 let keep = reverse_step_prob(&self.schedule, k, p_match);
                 if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
                     *bit = !*bit;
                 }
             }
-            state = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
             if snapshot_steps.contains(&(k - 1)) {
                 snapshots.push((k - 1, state.clone()));
             }
         }
 
-        // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly.
-        let p1 = &predict(&state, 1);
-        let bits = p1
-            .iter()
-            .map(|&p| rng.gen_bool(p.clamp(0.0, 1.0)))
-            .collect();
-        let sample = DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape");
-        snapshots.push((0, sample.clone()));
+        predict.predict_into(&state, 1, ws, p1);
+        for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
+            *bit = rng.gen_bool(p.clamp(0.0, 1.0));
+        }
+        snapshots.push((0, state.clone()));
 
-        SampleTrace { snapshots, sample }
+        SampleTrace {
+            snapshots,
+            sample: state,
+        }
     }
+}
+
+/// A fresh uniform-random state tensor (the chain's starting point).
+fn uniform_state(channels: usize, side: usize, rng: &mut impl Rng) -> DeepSquishTensor {
+    let bits = (0..channels * side * side)
+        .map(|_| rng.gen_bool(0.5))
+        .collect();
+    DeepSquishTensor::from_bits(channels, side, bits).expect("valid shape")
 }
 
 #[cfg(test)]
@@ -355,6 +490,31 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_scratch_per_seed() {
+        // A warm scratch must not change what gets sampled, only how much
+        // is allocated.
+        let bits: Vec<bool> = (0..64).map(|i| i % 5 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let oracle = OracleDenoiser::new(x0, 0.9);
+        let sampler = Sampler::new(schedule());
+        let mut scratch = SampleScratch::new();
+        // Warm it up.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let _ = sampler.sample_one_with(&oracle, 1, 8, &mut rng, &mut scratch);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let warm = sampler.sample_one_with(&oracle, 1, 8, &mut rng, &mut scratch);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+        let fresh = sampler.sample_one_infer(&oracle, 1, 8, &mut rng);
+        assert_eq!(warm, fresh);
+        let retained = sampler.strided_steps(7);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let warm = sampler.sample_respaced_with(&oracle, 1, 8, &retained, &mut rng, &mut scratch);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(34);
+        let fresh = sampler.sample_respaced_infer(&oracle, 1, 8, &retained, &mut rng);
+        assert_eq!(warm, fresh);
+    }
+
+    #[test]
     fn uniform_denoiser_stays_uniform() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         let sampler = Sampler::new(schedule());
@@ -378,6 +538,17 @@ mod tests {
         let ks: Vec<usize> = trace.snapshots.iter().map(|(k, _)| *k).collect();
         assert_eq!(ks, vec![100, 50, 10, 0]);
         assert_eq!(trace.sample, trace.snapshots.last().unwrap().1);
+    }
+
+    #[test]
+    fn trace_and_chain_agree_per_seed() {
+        let mut d = UniformDenoiser::new();
+        let sampler = Sampler::new(schedule());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let via_chain = sampler.sample_one(&mut d, 1, 4, &mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let via_trace = sampler.sample_with_trace(&mut d, 1, 4, &[], &mut rng);
+        assert_eq!(via_chain, via_trace.sample);
     }
 
     #[test]

@@ -6,6 +6,15 @@ pub fn silu(x: &Tensor) -> Tensor {
     Tensor::from_vec(x.shape(), data)
 }
 
+/// In-place SiLU: `x[i] = x[i] * sigmoid(x[i])` — same arithmetic as
+/// [`silu`] without the allocation, for the workspace-backed inference
+/// path.
+pub fn silu_in_place(x: &mut Tensor) {
+    for v in x.data_mut() {
+        *v *= sigmoid(*v);
+    }
+}
+
 /// Gradient of SiLU: given the forward input `x` and upstream gradient
 /// `grad_out`, returns `grad_out * d silu(x)/dx`.
 ///
@@ -62,22 +71,35 @@ impl Silu {
 /// Panics when the input is not 2-D.
 pub fn softmax_rows(x: &Tensor) -> Tensor {
     assert_eq!(x.shape().len(), 2, "softmax_rows expects 2-D input");
-    let (rows, cols) = (x.shape()[0], x.shape()[1]);
-    let mut out = vec![0.0f32; rows * cols];
-    for r in 0..rows {
-        let row = &x.data()[r * cols..(r + 1) * cols];
+    let mut out = x.clone();
+    softmax_rows_in_place(out.data_mut(), x.shape()[1]);
+    out
+}
+
+/// In-place row-wise softmax over row-major data with `cols` columns —
+/// same arithmetic (and accumulation order) as [`softmax_rows`] without
+/// the allocation.
+///
+/// # Panics
+///
+/// Panics when the data length is not a multiple of `cols`.
+pub fn softmax_rows_in_place(data: &mut [f32], cols: usize) {
+    assert!(
+        cols > 0 && data.len().is_multiple_of(cols),
+        "data length must be a multiple of the column count"
+    );
+    for row in data.chunks_mut(cols) {
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
         let mut denom = 0.0;
-        for (o, &v) in out[r * cols..(r + 1) * cols].iter_mut().zip(row) {
-            let e = (v - max).exp();
-            *o = e;
+        for v in row.iter_mut() {
+            let e = (*v - max).exp();
+            *v = e;
             denom += e;
         }
-        for o in &mut out[r * cols..(r + 1) * cols] {
-            *o /= denom;
+        for v in row.iter_mut() {
+            *v /= denom;
         }
     }
-    Tensor::from_vec(&[rows, cols], out)
 }
 
 /// Backward of row-wise softmax: given the softmax output `y` and upstream

@@ -1,6 +1,8 @@
-use crate::activation::{softmax_rows, softmax_rows_backward};
-use crate::gemm::{matmul, transpose};
-use crate::{Conv2d, GroupNorm, Param, Tensor};
+use crate::activation::{softmax_rows, softmax_rows_backward, softmax_rows_in_place};
+use crate::gemm::{
+    gemm_packed, matmul, pack_a_into, packed_len, transpose, transpose_into, Epilogue,
+};
+use crate::{Conv2d, GroupNorm, Param, Tensor, Workspace};
 use rand::Rng;
 
 /// Single-head spatial self-attention block with a residual connection,
@@ -69,11 +71,7 @@ impl SelfAttention2d {
             let attn = softmax_rows(&scores);
             // out (c, L) = v attn^T
             let out = matmul(&vm, &transpose(&attn));
-            for ci in 0..c {
-                for i in 0..l {
-                    attended.set4(ni, ci, i / w, i % w, out.data()[ci * l + i]);
-                }
-            }
+            write_mat(&mut attended, &out, ni, c, l, w);
             per_item.push((qm, km, vm, attn));
         }
         self.cache = Some(Cache {
@@ -85,38 +83,97 @@ impl SelfAttention2d {
         x.add(&projected)
     }
 
-    /// Inference-only forward pass from a shared reference: identical
-    /// arithmetic to [`SelfAttention2d::forward`] with no caching.
+    /// Precomputes packed weights for the four 1x1 projections so
+    /// subsequent [`SelfAttention2d::infer`] calls skip per-call packing.
+    /// Call only once the weights are final.
+    pub fn prepack(&mut self) {
+        self.q.prepack();
+        self.k.prepack();
+        self.v.prepack();
+        self.proj.prepack();
+    }
+
+    /// Inference forward pass from a shared reference: identical
+    /// arithmetic to [`SelfAttention2d::forward`] (bit-equal outputs)
+    /// with no caching; all scratch memory comes from `ws`. Per-item
+    /// `(c, L)` matrices are borrowed directly from the NCHW buffers
+    /// (each batch item's channel block *is* that matrix), so the only
+    /// data movement is the two transposes the math requires.
     ///
     /// # Panics
     ///
     /// Same conditions as [`SelfAttention2d::forward`].
-    pub fn infer(&self, x: &Tensor) -> Tensor {
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = shape4(x);
         let l = h * w;
         let scale = 1.0 / (c as f32).sqrt();
 
-        let normed = self.norm.infer(x);
-        let qs = self.q.infer(&normed);
-        let ks = self.k.infer(&normed);
-        let vs = self.v.infer(&normed);
+        let normed = self.norm.infer(x, ws);
+        let qs = self.q.infer(&normed, ws);
+        let ks = self.k.infer(&normed, ws);
+        let vs = self.v.infer(&normed, ws);
+        ws.recycle(normed);
 
-        let mut attended = Tensor::zeros(&[n, c, h, w]);
+        let mut attended = ws.take_uninit(&[n, c, h, w]);
+        let mut qt = ws.take_uninit(&[l, c]);
+        let mut scores = ws.take_uninit(&[l, l]);
+        let mut attn_t = ws.take_uninit(&[l, l]);
+        let mut panel_q = ws.take_uninit(&[packed_len(l, c)]);
+        let mut panel_v = ws.take_uninit(&[packed_len(c, l)]);
         for ni in 0..n {
-            let qm = slice_to_mat(&qs, ni, c, l);
-            let km = slice_to_mat(&ks, ni, c, l);
-            let vm = slice_to_mat(&vs, ni, c, l);
-            let scores = matmul(&transpose(&qm), &km).scale(scale);
-            let attn = softmax_rows(&scores);
-            let out = matmul(&vm, &transpose(&attn));
-            for ci in 0..c {
-                for i in 0..l {
-                    attended.set4(ni, ci, i / w, i % w, out.data()[ci * l + i]);
-                }
+            let qm = &qs.data()[ni * c * l..(ni + 1) * c * l];
+            let km = &ks.data()[ni * c * l..(ni + 1) * c * l];
+            let vm = &vs.data()[ni * c * l..(ni + 1) * c * l];
+            // scores (L, L) = q^T k * scale
+            transpose_into(qm, c, l, qt.data_mut());
+            pack_a_into(qt.data(), l, c, panel_q.data_mut());
+            gemm_packed(
+                panel_q.data(),
+                km,
+                scores.data_mut(),
+                l,
+                c,
+                l,
+                Epilogue::Zero,
+            );
+            for v in scores.data_mut() {
+                *v *= scale;
             }
+            softmax_rows_in_place(scores.data_mut(), l);
+            // out (c, L) = v attn^T, straight into the attended slice.
+            transpose_into(scores.data(), l, l, attn_t.data_mut());
+            pack_a_into(vm, c, l, panel_v.data_mut());
+            gemm_packed(
+                panel_v.data(),
+                attn_t.data(),
+                &mut attended.data_mut()[ni * c * l..(ni + 1) * c * l],
+                c,
+                l,
+                l,
+                Epilogue::Zero,
+            );
         }
+        ws.recycle(qt);
+        ws.recycle(scores);
+        ws.recycle(attn_t);
+        ws.recycle(panel_q);
+        ws.recycle(panel_v);
+        ws.recycle(qs);
+        ws.recycle(ks);
+        ws.recycle(vs);
 
-        x.add(&self.proj.infer(&attended))
+        let projected = self.proj.infer(&attended, ws);
+        ws.recycle(attended);
+        let mut out = ws.take_uninit(x.shape());
+        for (o, (a, b)) in out
+            .data_mut()
+            .iter_mut()
+            .zip(x.data().iter().zip(projected.data()))
+        {
+            *o = a + b;
+        }
+        ws.recycle(projected);
+        out
     }
 
     /// Backward pass: accumulates all parameter gradients, returns grad wrt
@@ -186,25 +243,19 @@ fn shape4(t: &Tensor) -> (usize, usize, usize, usize) {
     (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3])
 }
 
-/// Extracts batch item `ni` as a `(c, L)` matrix.
+/// Extracts batch item `ni` as a `(c, L)` matrix. In NCHW layout the
+/// item's channel block already is that matrix, so this is one contiguous
+/// copy.
 fn slice_to_mat(x: &Tensor, ni: usize, c: usize, l: usize) -> Tensor {
     let mut data = vec![0.0f32; c * l];
-    let w = x.shape()[3];
-    for ci in 0..c {
-        for i in 0..l {
-            data[ci * l + i] = x.at4(ni, ci, i / w, i % w);
-        }
-    }
+    data.copy_from_slice(&x.data()[ni * c * l..(ni + 1) * c * l]);
     Tensor::from_vec(&[c, l], data)
 }
 
-/// Writes a `(c, L)` matrix into batch item `ni` of an NCHW tensor.
-fn write_mat(dst: &mut Tensor, mat: &Tensor, ni: usize, c: usize, l: usize, w: usize) {
-    for ci in 0..c {
-        for i in 0..l {
-            dst.set4(ni, ci, i / w, i % w, mat.data()[ci * l + i]);
-        }
-    }
+/// Writes a `(c, L)` matrix into batch item `ni` of an NCHW tensor
+/// (contiguous copy, see [`slice_to_mat`]).
+fn write_mat(dst: &mut Tensor, mat: &Tensor, ni: usize, c: usize, l: usize, _w: usize) {
+    dst.data_mut()[ni * c * l..(ni + 1) * c * l].copy_from_slice(mat.data());
 }
 
 #[cfg(test)]
@@ -227,7 +278,11 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let mut attn = SelfAttention2d::new(4, 2, &mut rng);
         let x = Tensor::randn(&[2, 4, 3, 3], 1.0, &mut rng);
-        assert_eq!(attn.infer(&x), attn.forward(&x));
+        let mut ws = Workspace::new();
+        assert_eq!(attn.infer(&x, &mut ws), attn.forward(&x));
+        // Prepacked weights must not change a single bit.
+        attn.prepack();
+        assert_eq!(attn.infer(&x, &mut ws), attn.forward(&x));
     }
 
     #[test]

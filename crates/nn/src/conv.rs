@@ -1,5 +1,5 @@
-use crate::gemm::{matmul, transpose};
-use crate::{Param, Tensor};
+use crate::gemm::{gemm_packed, matmul, pack_a_into, packed_len, transpose, Epilogue};
+use crate::{Param, Tensor, Workspace};
 use rand::Rng;
 
 /// 2-D convolution over NCHW tensors, implemented as im2col + GEMM.
@@ -16,6 +16,9 @@ pub struct Conv2d {
     stride: usize,
     padding: usize,
     cache_input: Option<Tensor>,
+    /// GEMM-panel-packed weight matrix, populated by [`Conv2d::prepack`]
+    /// once the weights are frozen; `None` while training.
+    packed: Option<Vec<f32>>,
 }
 
 impl Conv2d {
@@ -44,6 +47,7 @@ impl Conv2d {
             stride,
             padding,
             cache_input: None,
+            packed: None,
         }
     }
 
@@ -72,6 +76,31 @@ impl Conv2d {
         (in_size + 2 * self.padding - self.kernel()) / self.stride + 1
     }
 
+    /// Precomputes the GEMM-ready packed weight matrix so every subsequent
+    /// [`Conv2d::infer`] call skips the per-call packing step.
+    ///
+    /// Intended for frozen/trained models; a later [`Conv2d::forward`]
+    /// call (resumed training) discards the packed copy so the training
+    /// path always computes from the live weights — but mutating
+    /// [`Conv2d::weight`] directly and then calling `infer` leaves the
+    /// packed copy stale (re-run `prepack` after by-hand weight edits).
+    pub fn prepack(&mut self) {
+        let (oc, ckk) = (
+            self.out_channels(),
+            self.in_channels() * self.kernel() * self.kernel(),
+        );
+        // The (oc, ic, kh, kw) kernel in row-major order *is* the
+        // (oc, ic*kh*kw) matrix — no reshape copy needed, only packing.
+        let mut panel = vec![0.0f32; packed_len(oc, ckk)];
+        pack_a_into(self.weight.value.data(), oc, ckk, &mut panel);
+        self.packed = Some(panel);
+    }
+
+    /// `true` once [`Conv2d::prepack`] has run.
+    pub fn is_prepacked(&self) -> bool {
+        self.packed.is_some()
+    }
+
     /// Forward pass (training mode: caches the input for `backward`).
     ///
     /// # Panics
@@ -79,41 +108,94 @@ impl Conv2d {
     /// Panics on non-4-D input, channel mismatch, or an input smaller than
     /// the kernel after padding.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        // Training mutates the weights, so any prepacked copy is about to
+        // go stale — drop it and compute from the live weights.
+        self.packed = None;
         self.cache_input = Some(x.clone());
-        self.infer(x)
+        self.infer(x, &mut Workspace::new())
     }
 
-    /// Inference-only forward pass from a shared reference: identical
-    /// arithmetic to [`Conv2d::forward`], but nothing is cached, so no
-    /// backward pass is possible afterwards.
+    /// Inference forward pass from a shared reference: identical
+    /// arithmetic to [`Conv2d::forward`] (bit-equal outputs), but nothing
+    /// is cached and all scratch memory comes from `ws`, so steady-state
+    /// calls allocate nothing.
     ///
     /// # Panics
     ///
     /// Same conditions as [`Conv2d::forward`].
-    pub fn infer(&self, x: &Tensor) -> Tensor {
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 4, "conv expects NCHW input");
         assert_eq!(x.shape()[1], self.in_channels(), "channel mismatch");
-        let (n, _ic, h, w) = shape4(x);
+        let (n, ic, h, w) = shape4(x);
         let (oh, ow) = (self.out_size(h), self.out_size(w));
-        let oc = self.out_channels();
-        let k = self.kernel();
-        let w_mat = self
-            .weight
-            .value
-            .clone()
-            .reshape(&[oc, self.in_channels() * k * k]);
+        let (oc, k) = (self.out_channels(), self.kernel());
+        let (l, ckk) = (oh * ow, ic * k * k);
 
-        let mut out = Tensor::zeros(&[n, oc, oh, ow]);
-        for ni in 0..n {
-            let cols = self.im2col(x, ni, oh, ow);
-            let y = matmul(&w_mat, &cols); // (oc, oh*ow)
-            for c in 0..oc {
-                let b = self.bias.value.data()[c];
-                for i in 0..oh * ow {
-                    out.data_mut()[((ni * oc + c) * oh + i / ow) * ow + i % ow] =
-                        y.data()[c * oh * ow + i] + b;
-                }
+        // Packed weights: frozen copy when available, otherwise packed
+        // into workspace scratch (same values, so same results).
+        let fresh_panel = match &self.packed {
+            Some(_) => None,
+            None => {
+                let mut panel = ws.take_uninit(&[packed_len(oc, ckk)]);
+                pack_a_into(self.weight.value.data(), oc, ckk, panel.data_mut());
+                Some(panel)
             }
+        };
+        let panel: &[f32] = match (&self.packed, &fresh_panel) {
+            (Some(p), _) => p,
+            (None, Some(t)) => t.data(),
+            (None, None) => unreachable!(),
+        };
+
+        let mut out = ws.take_uninit(&[n, oc, oh, ow]);
+        if k == 1 && self.stride == 1 && self.padding == 0 {
+            // 1x1 projection: the im2col matrix of an item *is* the item's
+            // (ic, L) channel block — feed it to the GEMM directly.
+            for ni in 0..n {
+                let item = &x.data()[ni * ic * l..(ni + 1) * ic * l];
+                gemm_packed(
+                    panel,
+                    item,
+                    &mut out.data_mut()[ni * oc * l..(ni + 1) * oc * l],
+                    oc,
+                    ckk,
+                    l,
+                    Epilogue::BiasPerRow(self.bias.value.data()),
+                );
+            }
+        } else {
+            let mut cols = ws.take_uninit(&[ckk, l]);
+            for ni in 0..n {
+                let item = &x.data()[ni * ic * h * w..(ni + 1) * ic * h * w];
+                im2col_into(
+                    item,
+                    ic,
+                    h,
+                    w,
+                    k,
+                    self.stride,
+                    self.padding,
+                    oh,
+                    ow,
+                    cols.data_mut(),
+                );
+                // The (oc, L) product block is exactly the (oc, oh, ow)
+                // output slice of this batch item; bias is fused into the
+                // epilogue.
+                gemm_packed(
+                    panel,
+                    cols.data(),
+                    &mut out.data_mut()[ni * oc * l..(ni + 1) * oc * l],
+                    oc,
+                    ckk,
+                    l,
+                    Epilogue::BiasPerRow(self.bias.value.data()),
+                );
+            }
+            ws.recycle(cols);
+        }
+        if let Some(t) = fresh_panel {
+            ws.recycle(t);
         }
         out
     }
@@ -145,16 +227,14 @@ impl Conv2d {
 
         let mut grad_input = Tensor::zeros(&[n, ic, h, w]);
         let mut grad_w_mat = Tensor::zeros(&[oc, ic * k * k]);
+        let l = oh * ow;
+        let mut go = Tensor::zeros(&[oc, l]);
         for ni in 0..n {
-            // grad_out slice as (oc, L).
-            let l = oh * ow;
-            let mut go = Tensor::zeros(&[oc, l]);
-            for c in 0..oc {
-                for i in 0..l {
-                    go.data_mut()[c * l + i] =
-                        grad_out.data()[((ni * oc + c) * oh + i / ow) * ow + i % ow];
-                }
-            }
+            // The (oc, oh, ow) slice of this batch item is already the
+            // (oc, L) matrix — one contiguous copy, no per-element
+            // division/modulo indexing.
+            go.data_mut()
+                .copy_from_slice(&grad_out.data()[ni * oc * l..(ni + 1) * oc * l]);
             // Bias gradient: row sums.
             for c in 0..oc {
                 let s: f32 = go.data()[c * l..(c + 1) * l].iter().sum();
@@ -184,35 +264,26 @@ impl Conv2d {
         vec![&self.weight, &self.bias]
     }
 
-    /// Builds the im2col matrix `(ic*k*k, oh*ow)` for batch item `ni`.
+    /// Builds the im2col matrix `(ic*k*k, oh*ow)` for batch item `ni`
+    /// (allocating variant used by the training backward pass).
     fn im2col(&self, x: &Tensor, ni: usize, oh: usize, ow: usize) -> Tensor {
         let (_n, ic, h, w) = shape4(x);
         let k = self.kernel();
-        let (s, p) = (self.stride, self.padding);
         let l = oh * ow;
         let mut cols = vec![0.0f32; ic * k * k * l];
-        for c in 0..ic {
-            for ki in 0..k {
-                for kj in 0..k {
-                    let row = (c * k + ki) * k + kj;
-                    for oy in 0..oh {
-                        let iy = oy * s + ki;
-                        if iy < p || iy >= h + p {
-                            continue;
-                        }
-                        let iy = iy - p;
-                        for ox in 0..ow {
-                            let ix = ox * s + kj;
-                            if ix < p || ix >= w + p {
-                                continue;
-                            }
-                            let ix = ix - p;
-                            cols[row * l + oy * ow + ox] = x.at4(ni, c, iy, ix);
-                        }
-                    }
-                }
-            }
-        }
+        let item = &x.data()[ni * ic * h * w..(ni + 1) * ic * h * w];
+        im2col_into(
+            item,
+            ic,
+            h,
+            w,
+            k,
+            self.stride,
+            self.padding,
+            oh,
+            ow,
+            &mut cols,
+        );
         Tensor::from_vec(&[ic * k * k, l], cols)
     }
 
@@ -239,16 +310,108 @@ impl Conv2d {
                             continue;
                         }
                         let iy = iy - p;
-                        for ox in 0..ow {
+                        let grow = &gcols.data()[row * l + oy * ow..row * l + (oy + 1) * ow];
+                        let drow_base = ((ni * ic + c) * h + iy) * w;
+                        for (ox, &g) in grow.iter().enumerate() {
                             let ix = ox * s + kj;
                             if ix < p || ix >= w + p {
                                 continue;
                             }
-                            let ix = ix - p;
-                            let g = gcols.data()[row * l + oy * ow + ox];
-                            let idx = ((ni * ic + c) * h + iy) * w + ix;
-                            grad_input.data_mut()[idx] += g;
+                            grad_input.data_mut()[drow_base + (ix - p)] += g;
                         }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Writes the im2col matrix `(ic*k*k, oh*ow)` of one `(ic, h, w)` input
+/// item into `cols`, fully overwriting it (padding positions are written
+/// as explicit zeros, so the destination may hold stale data).
+#[allow(clippy::too_many_arguments)]
+fn im2col_into(
+    item: &[f32],
+    ic: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    let l = oh * ow;
+    debug_assert_eq!(cols.len(), ic * k * k * l);
+    let (s, p) = (stride, padding);
+    if s == 1 && oh == h && ow == w {
+        // Same-size stride-1 convolution (every feature conv in the
+        // U-Net): for a fixed (c, ki, kj) the whole (oh, ow) destination
+        // row is the source plane shifted by a constant offset, so it is
+        // ONE clamped contiguous copy plus edge zeroing — instead of
+        // per-output-row bookkeeping.
+        for c in 0..ic {
+            let plane = &item[c * h * w..(c + 1) * h * w];
+            for ki in 0..k {
+                for kj in 0..k {
+                    let base = ((c * k + ki) * k + kj) * l;
+                    let oy0 = p.saturating_sub(ki); // first valid output row
+                    let oy1 = (h + p).saturating_sub(ki).min(h); // one past last
+                    cols[base..base + oy0 * w].fill(0.0);
+                    cols[base + oy1 * w..base + l].fill(0.0);
+                    if oy0 < oy1 {
+                        let shift = (oy0 + ki - p) * w; // >= 0 by construction
+                        let mut d0 = oy0 * w;
+                        let mut len = (oy1 - oy0) * w;
+                        let s0 = if kj >= p {
+                            (shift + kj - p).min(plane.len())
+                        } else {
+                            // Source would start p-kj before the plane;
+                            // skip those (they are left-pad positions,
+                            // zeroed below).
+                            d0 += p - kj;
+                            len -= p - kj;
+                            shift
+                        };
+                        len = len.min(plane.len() - s0);
+                        cols[base + d0..base + d0 + len].copy_from_slice(&plane[s0..s0 + len]);
+                        // Horizontal pad columns picked up wrapped
+                        // neighbours in the bulk copy; zero them.
+                        if kj < p {
+                            for oy in oy0..oy1 {
+                                cols[base + oy * w..base + oy * w + (p - kj)].fill(0.0);
+                            }
+                        } else if kj > p {
+                            for oy in oy0..oy1 {
+                                cols[base + (oy + 1) * w - (kj - p)..base + (oy + 1) * w].fill(0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+    for c in 0..ic {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = (c * k + ki) * k + kj;
+                for oy in 0..oh {
+                    let dst = &mut cols[row * l + oy * ow..row * l + (oy + 1) * ow];
+                    let iy = oy * s + ki;
+                    if iy < p || iy >= h + p {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &item[(c * h + (iy - p)) * w..(c * h + (iy - p) + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = ox * s + kj;
+                        *d = if ix < p || ix >= w + p {
+                            0.0
+                        } else {
+                            src_row[ix - p]
+                        };
                     }
                 }
             }
@@ -309,7 +472,47 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
         let x = Tensor::randn(&[2, 2, 8, 8], 1.0, &mut rng);
-        assert_eq!(conv.infer(&x), conv.forward(&x));
+        let mut ws = Workspace::new();
+        assert_eq!(conv.infer(&x, &mut ws), conv.forward(&x));
+    }
+
+    #[test]
+    fn prepacked_infer_is_bit_identical_and_reuses_workspace() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut conv = Conv2d::new(3, 5, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        let mut ws = Workspace::new();
+        let fresh = conv.infer(&x, &mut ws);
+        conv.prepack();
+        assert!(conv.is_prepacked());
+        let packed = conv.infer(&x, &mut ws);
+        assert_eq!(fresh, packed, "prepacking must not change results");
+        // Repeated calls reuse the same workspace buffers.
+        let again = conv.infer(&x, &mut ws);
+        assert_eq!(again, packed);
+    }
+
+    #[test]
+    fn resumed_training_discards_stale_pack() {
+        // prepack() then keep training: forward must compute from the
+        // live weights, not the frozen packed copy.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(2, 2, 3, 1, 1, &mut rng);
+        let x = Tensor::randn(&[1, 2, 5, 5], 1.0, &mut rng);
+        conv.prepack();
+        let mut reference = conv.clone();
+        // Simulate an optimiser step between prepack and the next forward.
+        for v in conv.weight.value.data_mut() {
+            *v += 0.25;
+        }
+        for v in reference.weight.value.data_mut() {
+            *v += 0.25;
+        }
+        reference.packed = None;
+        assert!(conv.is_prepacked());
+        let live = conv.forward(&x);
+        assert!(!conv.is_prepacked(), "forward must drop the stale pack");
+        assert_eq!(live, reference.forward(&x));
     }
 
     #[test]

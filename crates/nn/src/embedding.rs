@@ -1,4 +1,4 @@
-use crate::Tensor;
+use crate::{Tensor, Workspace};
 
 /// Sinusoidal position embedding of diffusion time steps (paper §IV-A,
 /// following "Attention is All You Need").
@@ -10,21 +10,38 @@ use crate::Tensor;
 ///
 /// Panics when `dim` is zero or odd.
 pub fn sinusoidal_embedding(steps: &[usize], dim: usize) -> Tensor {
+    let mut out = Tensor::zeros(&[steps.len(), dim.max(1)]);
+    embed_into(steps, dim, &mut out);
+    out
+}
+
+/// [`sinusoidal_embedding`] drawing its output from a [`Workspace`] — the
+/// allocation-free variant the U-Net inference path uses.
+///
+/// # Panics
+///
+/// Panics when `dim` is zero or odd.
+pub fn sinusoidal_embedding_ws(steps: &[usize], dim: usize, ws: &mut Workspace) -> Tensor {
+    let mut out = ws.take_uninit(&[steps.len(), dim.max(1)]);
+    embed_into(steps, dim, &mut out);
+    out
+}
+
+fn embed_into(steps: &[usize], dim: usize, out: &mut Tensor) {
     assert!(
         dim > 0 && dim.is_multiple_of(2),
         "embedding dim must be even"
     );
     let half = dim / 2;
-    let mut data = vec![0.0f32; steps.len() * dim];
     for (i, &t) in steps.iter().enumerate() {
+        let row = &mut out.data_mut()[i * dim..(i + 1) * dim];
         for k in 0..half {
             let freq = (10_000f32).powf(-(k as f32) / half as f32);
             let angle = t as f32 * freq;
-            data[i * dim + 2 * k] = angle.sin();
-            data[i * dim + 2 * k + 1] = angle.cos();
+            row[2 * k] = angle.sin();
+            row[2 * k + 1] = angle.cos();
         }
     }
-    Tensor::from_vec(&[steps.len(), dim], data)
 }
 
 #[cfg(test)]

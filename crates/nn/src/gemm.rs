@@ -1,10 +1,267 @@
+//! Blocked GEMM, packing and transpose kernels for the compute hot path.
+//!
+//! The multiply is organised as a register-blocked micro-kernel over
+//! panel-packed A: rows of A are packed in groups of [`MR`] so the inner
+//! loop reads one contiguous `MR`-wide column of A per `k` step, streams
+//! one row of B, and accumulates `MR` output rows simultaneously. The
+//! inner loop is branch-free (no zero-skip) and written so LLVM
+//! autovectorises it. Bias addition is fused into the epilogue (the
+//! output is *initialised* with the bias, then accumulated into), which
+//! the convolution and linear layers use to avoid a separate pass.
+//!
+//! # Threading policy
+//!
+//! Large multiplies split their row range across `std::thread::scope`
+//! threads. The thread budget is `min(available_parallelism,
+//! DP_MAX_THREADS)` (the env var is read once per process), and inner
+//! parallelism can be disabled for a region with
+//! [`with_inner_gemm_parallelism`] — `GenerationSession` workers do this
+//! so data-parallel GEMM threads are never nested inside already-parallel
+//! sampling workers (thread oversubscription). Row partitioning never
+//! changes per-element accumulation order, so results are bit-identical
+//! at every thread count.
+
 use crate::Tensor;
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Micro-kernel height: rows of A (and of the output) processed together.
+pub(crate) const MR: usize = 4;
+
+/// Work threshold (`m * k * n`) below which a multiply stays serial.
+const PARALLEL_THRESHOLD: usize = 1 << 18;
+
+/// Process-wide inner-GEMM thread budget:
+/// `min(available_parallelism, DP_MAX_THREADS)`, where an unset, unparsable
+/// or zero `DP_MAX_THREADS` means "no cap".
+fn max_threads() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        match std::env::var("DP_MAX_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            Some(n) if n > 0 => n.min(hw),
+            _ => hw,
+        }
+    })
+}
+
+thread_local! {
+    static INNER_PARALLELISM_DISABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with inner GEMM data-parallelism enabled or disabled **on the
+/// current thread**, restoring the previous setting afterwards (also on
+/// panic).
+///
+/// Batch engines that already parallelise across work items (one sampler
+/// per worker thread) wrap their worker loops in
+/// `with_inner_gemm_parallelism(false, ..)` so a large multiply inside a
+/// worker never spawns a second layer of threads.
+pub fn with_inner_gemm_parallelism<R>(enabled: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            INNER_PARALLELISM_DISABLED.with(|c| c.set(self.0));
+        }
+    }
+    let prev = INNER_PARALLELISM_DISABLED.with(|c| c.replace(!enabled));
+    let _restore = Restore(prev);
+    f()
+}
+
+fn inner_parallelism_enabled() -> bool {
+    !INNER_PARALLELISM_DISABLED.with(|c| c.get())
+}
+
+/// How the output is initialised before accumulation.
+#[derive(Clone, Copy)]
+pub(crate) enum Epilogue<'a> {
+    /// Plain product: output starts at zero.
+    Zero,
+    /// `out[i][j]` starts at `bias[i]` (convolution: one bias per output
+    /// channel row).
+    BiasPerRow(&'a [f32]),
+    /// `out[i][j]` starts at `bias[j]` (linear: one bias per output
+    /// feature column).
+    BiasPerCol(&'a [f32]),
+}
+
+/// Length of the packed representation of an `(m, k)` A matrix.
+pub(crate) fn packed_len(m: usize, k: usize) -> usize {
+    m.div_ceil(MR) * MR * k
+}
+
+/// Packs row-major `a` (`m x k`) into `MR`-row panels: element `(i, kk)`
+/// lands at `panel_base + kk * MR + (i % MR)`, with zero padding for the
+/// tail rows, so the micro-kernel reads A contiguously.
+pub(crate) fn pack_a_into(a: &[f32], m: usize, k: usize, dst: &mut [f32]) {
+    assert_eq!(dst.len(), packed_len(m, k), "packed destination length");
+    assert_eq!(a.len(), m * k, "matrix data length");
+    for bi in 0..m.div_ceil(MR) {
+        let i0 = bi * MR;
+        let rows = MR.min(m - i0);
+        let panel = &mut dst[bi * MR * k..(bi + 1) * MR * k];
+        for r in 0..MR {
+            if r < rows {
+                let a_row = &a[(i0 + r) * k..(i0 + r + 1) * k];
+                for (kk, &v) in a_row.iter().enumerate() {
+                    panel[kk * MR + r] = v;
+                }
+            } else {
+                for kk in 0..k {
+                    panel[kk * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Computes `out (m x n) = unpack(packed_a) (m x k) * b (k x n)` plus the
+/// fused [`Epilogue`], splitting row panels across threads when the work
+/// is large enough and inner parallelism is allowed.
+pub(crate) fn gemm_packed(
+    packed_a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epilogue: Epilogue<'_>,
+) {
+    assert_eq!(packed_a.len(), packed_len(m, k), "packed A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(out.len(), m * n, "output length");
+    match epilogue {
+        Epilogue::Zero => out.fill(0.0),
+        Epilogue::BiasPerRow(bias) => {
+            assert_eq!(bias.len(), m, "per-row bias length");
+            for (row, &bv) in out.chunks_mut(n).zip(bias) {
+                row.fill(bv);
+            }
+        }
+        Epilogue::BiasPerCol(bias) => {
+            assert_eq!(bias.len(), n, "per-column bias length");
+            for row in out.chunks_mut(n) {
+                row.copy_from_slice(bias);
+            }
+        }
+    }
+
+    let blocks = m.div_ceil(MR);
+    let threads = if m * k * n >= PARALLEL_THRESHOLD && inner_parallelism_enabled() {
+        max_threads().min(blocks).max(1)
+    } else {
+        1
+    };
+    if threads <= 1 {
+        gemm_blocks(packed_a, b, out, m, k, n);
+        return;
+    }
+    let blocks_per = blocks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, chunk) in out.chunks_mut(blocks_per * MR * n).enumerate() {
+            let row0 = chunk_idx * blocks_per * MR;
+            let rows = chunk.len() / n;
+            let panel = &packed_a[row0 * k..];
+            scope.spawn(move || gemm_blocks(panel, b, chunk, rows, k, n));
+        }
+    });
+}
+
+/// Micro-kernel width: output columns accumulated in registers per tile.
+/// `MR x NR = 64` f32 accumulators — sized so the tile fits the vector
+/// register file once the build targets a 256/512-bit ISA (see the
+/// `target-cpu=native` note in `.cargo/config.toml`).
+const NR: usize = 16;
+
+/// Serial panel sweep over `rows` output rows; `packed_a` starts at the
+/// panel block of the first of those rows.
+fn gemm_blocks(packed_a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    let mut done = 0usize;
+    while done < rows {
+        let block_rows = MR.min(rows - done);
+        let panel = &packed_a[(done / MR) * MR * k..][..MR * k];
+        let out_block = &mut out[done * n..(done + block_rows) * n];
+        let mut j0 = 0usize;
+        while j0 < n {
+            let width = NR.min(n - j0);
+            let acc = if width == NR {
+                tile_kernel::<NR>(panel, b, k, n, j0)
+            } else {
+                tile_kernel_tail(panel, b, k, n, j0, width)
+            };
+            for (r, acc_row) in acc.iter().enumerate().take(block_rows) {
+                let orow = &mut out_block[r * n + j0..r * n + j0 + width];
+                for (o, &v) in orow.iter_mut().zip(acc_row) {
+                    *o += v;
+                }
+            }
+            j0 += width;
+        }
+        done += block_rows;
+    }
+}
+
+/// The register-tiled core: an `MR x W` accumulator block lives entirely
+/// in registers across the full `k` loop, so each step touches only one
+/// `MR`-wide column of packed A and one `W`-wide row segment of B — no
+/// output traffic until the final write-back. Branch-free and
+/// autovectorisation-friendly (the const width lets LLVM fully unroll).
+#[inline]
+fn tile_kernel<const W: usize>(
+    panel: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+) -> [[f32; W]; MR] {
+    let mut acc = [[0.0f32; W]; MR];
+    for kk in 0..k {
+        let ap = &panel[kk * MR..kk * MR + MR];
+        let bs = &b[kk * n + j0..kk * n + j0 + W];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = ap[r];
+            for (a, &bv) in acc_row.iter_mut().zip(bs) {
+                *a += ar * bv;
+            }
+        }
+    }
+    acc
+}
+
+/// Variable-width tail tile for the last `n % NR` columns.
+fn tile_kernel_tail(
+    panel: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    j0: usize,
+    width: usize,
+) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    for kk in 0..k {
+        let ap = &panel[kk * MR..kk * MR + MR];
+        let bs = &b[kk * n + j0..kk * n + j0 + width];
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = ap[r];
+            for (a, &bv) in acc_row.iter_mut().zip(bs) {
+                *a += ar * bv;
+            }
+        }
+    }
+    acc
+}
 
 /// Matrix product `a (m x k) * b (k x n) -> (m x n)`.
 ///
-/// Uses an `i-k-j` loop order for cache-friendly access and splits the row
-/// range across threads (`std::thread::scope`) when the work is large
-/// enough to amortise the spawn cost.
+/// Allocating convenience wrapper over the packed kernel; the inference
+/// layers call the packed kernel directly with workspace-owned buffers
+/// instead.
 ///
 /// # Panics
 ///
@@ -16,47 +273,27 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
 
+    let mut panel = vec![0.0f32; packed_len(m, k)];
+    pack_a_into(a.data(), m, k, &mut panel);
     let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
-
-    const PARALLEL_THRESHOLD: usize = 1 << 18; // ~0.26 MFLOP
-    let work = m * k * n;
-    if work < PARALLEL_THRESHOLD {
-        gemm_rows(a_data, b_data, &mut out, 0, m, k, n);
-    } else {
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(m)
-            .max(1);
-        let rows_per = m.div_ceil(threads);
-        std::thread::scope(|scope| {
-            for (chunk_idx, chunk) in out.chunks_mut(rows_per * n).enumerate() {
-                let row0 = chunk_idx * rows_per;
-                let rows = chunk.len() / n;
-                scope.spawn(move || {
-                    gemm_rows(a_data, b_data, chunk, row0, rows, k, n);
-                });
-            }
-        });
-    }
+    gemm_packed(&panel, b.data(), &mut out, m, k, n, Epilogue::Zero);
     Tensor::from_vec(&[m, n], out)
 }
 
-/// Computes `rows` rows of the product starting at global row `row0`,
-/// writing into `out` (whose row 0 corresponds to global `row0`).
-fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, rows: usize, k: usize, n: usize) {
-    for i in 0..rows {
-        let a_row = &a[(row0 + i) * k..(row0 + i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (kk, &a_ik) in a_row.iter().enumerate() {
-            if a_ik == 0.0 {
-                continue;
-            }
-            let b_row = &b[kk * n..(kk + 1) * n];
-            for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * b_kj;
+/// Cache-blocked transpose of row-major `a` (`rows x cols`) into `out`
+/// (`cols x rows`).
+pub(crate) fn transpose_into(a: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), rows * cols, "input length");
+    assert_eq!(out.len(), rows * cols, "output length");
+    const TILE: usize = 32;
+    for i0 in (0..rows).step_by(TILE) {
+        let i1 = (i0 + TILE).min(rows);
+        for j0 in (0..cols).step_by(TILE) {
+            let j1 = (j0 + TILE).min(cols);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    out[j * rows + i] = a[i * cols + j];
+                }
             }
         }
     }
@@ -71,11 +308,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
     assert_eq!(a.shape().len(), 2, "transpose input must be 2-D");
     let (m, n) = (a.shape()[0], a.shape()[1]);
     let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        for j in 0..n {
-            out[j * m + i] = a.data()[i * n + j];
-        }
-    }
+    transpose_into(a.data(), m, n, &mut out);
     Tensor::from_vec(&[n, m], out)
 }
 
@@ -83,6 +316,23 @@ pub fn transpose(a: &Tensor) -> Tensor {
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    /// Textbook i-j-k reference product.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
 
     #[test]
     fn small_known_product() {
@@ -108,18 +358,89 @@ mod tests {
     }
 
     #[test]
-    fn parallel_path_matches_serial() {
+    fn blocked_kernel_matches_naive_on_odd_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        // Shapes exercising every tail path of the MR blocking.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 4, 4),
+            (5, 9, 2),
+            (7, 13, 17),
+            (16, 36, 256),
+        ] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let c = matmul(&a, &b);
+            for (x, y) in c.data().iter().zip(naive_matmul(&a, &b)) {
+                assert!((x - y).abs() < 1e-4, "({m},{k},{n}): {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_bias_epilogues() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let (m, k, n) = (5, 7, 6);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let row_bias: Vec<f32> = (0..m).map(|i| i as f32).collect();
+        let col_bias: Vec<f32> = (0..n).map(|j| 10.0 + j as f32).collect();
+        let mut panel = vec![0.0f32; packed_len(m, k)];
+        pack_a_into(a.data(), m, k, &mut panel);
+        let base = naive_matmul(&a, &b);
+
+        let mut out = vec![0.0f32; m * n];
+        gemm_packed(
+            &panel,
+            b.data(),
+            &mut out,
+            m,
+            k,
+            n,
+            Epilogue::BiasPerRow(&row_bias),
+        );
+        for i in 0..m {
+            for j in 0..n {
+                assert!((out[i * n + j] - (base[i * n + j] + i as f32)).abs() < 1e-4);
+            }
+        }
+        gemm_packed(
+            &panel,
+            b.data(),
+            &mut out,
+            m,
+            k,
+            n,
+            Epilogue::BiasPerCol(&col_bias),
+        );
+        for i in 0..m {
+            for j in 0..n {
+                assert!((out[i * n + j] - (base[i * n + j] + 10.0 + j as f32)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_serial_bit_exactly() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-        // Big enough to trip the parallel threshold.
+        // Big enough to trip the parallel threshold on multi-core hosts.
         let a = Tensor::randn(&[128, 64], 1.0, &mut rng);
         let b = Tensor::randn(&[64, 128], 1.0, &mut rng);
         let c = matmul(&a, &b);
-        // Serial reference.
-        let mut reference = vec![0.0f32; 128 * 128];
-        gemm_rows(a.data(), b.data(), &mut reference, 0, 128, 64, 128);
-        for (x, y) in c.data().iter().zip(&reference) {
-            assert!((x - y).abs() < 1e-4);
-        }
+        let serial = with_inner_gemm_parallelism(false, || matmul(&a, &b));
+        assert_eq!(c, serial, "thread split must not change results");
+    }
+
+    #[test]
+    fn inner_parallelism_scope_restores() {
+        assert!(inner_parallelism_enabled());
+        with_inner_gemm_parallelism(false, || {
+            assert!(!inner_parallelism_enabled());
+            with_inner_gemm_parallelism(true, || assert!(inner_parallelism_enabled()));
+            assert!(!inner_parallelism_enabled());
+        });
+        assert!(inner_parallelism_enabled());
     }
 
     #[test]
@@ -127,6 +448,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let a = Tensor::randn(&[4, 7], 1.0, &mut rng);
         assert_eq!(transpose(&transpose(&a)), a);
+        // A shape larger than one transpose tile.
+        let big = Tensor::randn(&[40, 65], 1.0, &mut rng);
+        assert_eq!(transpose(&transpose(&big)), big);
     }
 
     #[test]

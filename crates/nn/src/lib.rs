@@ -15,7 +15,10 @@
 //! * [`SelfAttention2d`] — single-head spatial attention with backward,
 //! * [`Linear`], [`sinusoidal_embedding`] — time-step conditioning,
 //! * [`UNet`] — the full backbone with skip connections,
-//! * [`Adam`] — optimizer with gradient clipping.
+//! * [`Adam`] — optimizer with gradient clipping,
+//! * [`Workspace`] — a scratch arena making the `infer` path
+//!   allocation-free in steady state (paired with per-layer `prepack`
+//!   weight packing and the blocked GEMM in this crate's `gemm` module).
 //!
 //! Every layer is validated against finite-difference gradients in its unit
 //! tests; the U-Net itself has an end-to-end gradient check on a tiny
@@ -72,21 +75,25 @@ mod tensor;
 mod unet;
 mod upsample;
 mod weights;
+mod workspace;
 
-pub use activation::{silu, silu_backward, softmax_rows, Silu};
+pub use activation::{
+    silu, silu_backward, silu_in_place, softmax_rows, softmax_rows_in_place, Silu,
+};
 pub use adam::{Adam, AdamConfig};
 pub use attention::SelfAttention2d;
 pub use conv::Conv2d;
 pub use dropout::Dropout;
-pub use embedding::sinusoidal_embedding;
-pub use gemm::{matmul, transpose};
+pub use embedding::{sinusoidal_embedding, sinusoidal_embedding_ws};
+pub use gemm::{matmul, transpose, with_inner_gemm_parallelism};
 pub use linear::Linear;
 pub use norm::GroupNorm;
 pub use param::Param;
 pub use tensor::Tensor;
 pub use unet::{UNet, UNetConfig};
-pub use upsample::{upsample_nearest2, upsample_nearest2_backward};
+pub use upsample::{upsample_nearest2, upsample_nearest2_backward, upsample_nearest2_ws};
 pub use weights::{load_params, save_params, WeightsError};
+pub use workspace::Workspace;
 
 #[cfg(test)]
 pub(crate) mod gradcheck;

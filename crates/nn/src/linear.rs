@@ -1,5 +1,7 @@
-use crate::gemm::{matmul, transpose};
-use crate::{Param, Tensor};
+use crate::gemm::{
+    gemm_packed, matmul, pack_a_into, packed_len, transpose, transpose_into, Epilogue,
+};
+use crate::{Param, Tensor, Workspace};
 use rand::Rng;
 
 /// A fully connected layer `y = x W^T + b` over 2-D inputs `(batch, in)`.
@@ -14,6 +16,9 @@ pub struct Linear {
     /// Bias of shape `(out,)`.
     pub bias: Param,
     cache_input: Option<Tensor>,
+    /// Pre-transposed weight `(in, out)`, populated by [`Linear::prepack`]
+    /// once the weights are frozen; `None` while training.
+    packed_wt: Option<Vec<f32>>,
 }
 
 impl Linear {
@@ -24,7 +29,28 @@ impl Linear {
             weight: Param::new(Tensor::randn(&[out_features, in_features], std, rng)),
             bias: Param::new(Tensor::zeros(&[out_features])),
             cache_input: None,
+            packed_wt: None,
         }
+    }
+
+    /// Precomputes the transposed weight `(in, out)` so every subsequent
+    /// [`Linear::infer`] call skips the per-call transpose.
+    ///
+    /// Intended for frozen/trained models; a later [`Linear::forward`]
+    /// call (resumed training) discards the packed copy so the training
+    /// path always computes from the live weights — but mutating
+    /// [`Linear::weight`] directly and then calling `infer` leaves the
+    /// packed copy stale (re-run `prepack` after by-hand weight edits).
+    pub fn prepack(&mut self) {
+        let (inf, outf) = (self.in_features(), self.out_features());
+        let mut wt = vec![0.0f32; inf * outf];
+        transpose_into(self.weight.value.data(), outf, inf, &mut wt);
+        self.packed_wt = Some(wt);
+    }
+
+    /// `true` once [`Linear::prepack`] has run.
+    pub fn is_prepacked(&self) -> bool {
+        self.packed_wt.is_some()
     }
 
     /// Input feature count.
@@ -44,25 +70,54 @@ impl Linear {
     ///
     /// Panics when the input is not 2-D with matching feature count.
     pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        // Training mutates the weights, so any prepacked copy is about to
+        // go stale — drop it and compute from the live weights.
+        self.packed_wt = None;
         self.cache_input = Some(x.clone());
-        self.infer(x)
+        self.infer(x, &mut Workspace::new())
     }
 
-    /// Inference-only forward pass from a shared reference: identical
-    /// arithmetic to [`Linear::forward`] with no caching.
+    /// Inference forward pass from a shared reference: identical
+    /// arithmetic to [`Linear::forward`] (bit-equal outputs) with no
+    /// caching; scratch memory comes from `ws`.
     ///
     /// # Panics
     ///
     /// Same conditions as [`Linear::forward`].
-    pub fn infer(&self, x: &Tensor) -> Tensor {
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 2, "linear expects 2-D input");
         assert_eq!(x.shape()[1], self.in_features(), "feature mismatch");
-        let mut y = matmul(x, &transpose(&self.weight.value));
-        let out = self.out_features();
-        for row in y.data_mut().chunks_mut(out) {
-            for (v, b) in row.iter_mut().zip(self.bias.value.data()) {
-                *v += b;
+        let (batch, inf, outf) = (x.shape()[0], self.in_features(), self.out_features());
+
+        let fresh_wt = match &self.packed_wt {
+            Some(_) => None,
+            None => {
+                let mut wt = ws.take_uninit(&[inf, outf]);
+                transpose_into(self.weight.value.data(), outf, inf, wt.data_mut());
+                Some(wt)
             }
+        };
+        let wt: &[f32] = match (&self.packed_wt, &fresh_wt) {
+            (Some(p), _) => p,
+            (None, Some(t)) => t.data(),
+            (None, None) => unreachable!(),
+        };
+
+        let mut panel = ws.take_uninit(&[packed_len(batch, inf)]);
+        pack_a_into(x.data(), batch, inf, panel.data_mut());
+        let mut y = ws.take_uninit(&[batch, outf]);
+        gemm_packed(
+            panel.data(),
+            wt,
+            y.data_mut(),
+            batch,
+            inf,
+            outf,
+            Epilogue::BiasPerCol(self.bias.value.data()),
+        );
+        ws.recycle(panel);
+        if let Some(t) = fresh_wt {
+            ws.recycle(t);
         }
         y
     }

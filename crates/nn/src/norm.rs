@@ -1,4 +1,4 @@
-use crate::{Param, Tensor};
+use crate::{Param, Tensor, Workspace};
 
 /// Group normalisation over NCHW tensors (the DDPM U-Net's normaliser).
 ///
@@ -62,23 +62,53 @@ impl GroupNorm {
         out
     }
 
-    /// Inference-only forward pass from a shared reference: identical
-    /// arithmetic to [`GroupNorm::forward`] with no caching.
+    /// Inference forward pass from a shared reference: identical
+    /// arithmetic to [`GroupNorm::forward`] (bit-equal outputs, same
+    /// accumulation order) with no caching; the output tensor comes from
+    /// `ws`. Fused: the intermediate normalized tensor is never
+    /// materialised.
     ///
     /// # Panics
     ///
     /// Same conditions as [`GroupNorm::forward`].
-    pub fn infer(&self, x: &Tensor) -> Tensor {
-        self.compute(x).0
+    pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (n, c, h, w) = self.check_input(x);
+        let cg = c / self.groups;
+        let hw = h * w;
+        let group_len = (cg * hw) as f32;
+        let mut out = ws.take_uninit(x.shape());
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let start = (ni * c + g * cg) * hw;
+                let xs = &x.data()[start..start + cg * hw];
+                let (mean, inv_std) = group_stats(xs, group_len, self.eps);
+                let os = &mut out.data_mut()[start..start + cg * hw];
+                for (ci, (orow, xrow)) in os.chunks_mut(hw).zip(xs.chunks(hw)).enumerate() {
+                    let gamma = self.gamma.value.data()[g * cg + ci];
+                    let beta = self.beta.value.data()[g * cg + ci];
+                    for (o, &v) in orow.iter_mut().zip(xrow) {
+                        let xhat = (v - mean) * inv_std;
+                        *o = gamma * xhat + beta;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn check_input(&self, x: &Tensor) -> (usize, usize, usize, usize) {
+        assert_eq!(x.shape().len(), 4, "groupnorm expects NCHW input");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.gamma.value.len(), "channel mismatch");
+        (n, c, h, w)
     }
 
     /// Shared normalisation kernel: returns `(out, normalized, inv_std)`.
     fn compute(&self, x: &Tensor) -> (Tensor, Tensor, Vec<f32>) {
-        assert_eq!(x.shape().len(), 4, "groupnorm expects NCHW input");
-        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-        assert_eq!(c, self.gamma.value.len(), "channel mismatch");
+        let (n, c, h, w) = self.check_input(x);
         let cg = c / self.groups;
-        let group_len = (cg * h * w) as f32;
+        let hw = h * w;
+        let group_len = (cg * hw) as f32;
 
         let mut normalized = Tensor::zeros(x.shape());
         let mut out = Tensor::zeros(x.shape());
@@ -86,36 +116,22 @@ impl GroupNorm {
 
         for ni in 0..n {
             for g in 0..self.groups {
-                let mut mean = 0.0f32;
-                for ci in g * cg..(g + 1) * cg {
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            mean += x.at4(ni, ci, hi, wi);
-                        }
-                    }
-                }
-                mean /= group_len;
-                let mut var = 0.0f32;
-                for ci in g * cg..(g + 1) * cg {
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            let d = x.at4(ni, ci, hi, wi) - mean;
-                            var += d * d;
-                        }
-                    }
-                }
-                var /= group_len;
-                let inv_std = 1.0 / (var + self.eps).sqrt();
+                let start = (ni * c + g * cg) * hw;
+                let xs = &x.data()[start..start + cg * hw];
+                let (mean, inv_std) = group_stats(xs, group_len, self.eps);
                 inv_stds[ni * self.groups + g] = inv_std;
-                for ci in g * cg..(g + 1) * cg {
-                    let gamma = self.gamma.value.data()[ci];
-                    let beta = self.beta.value.data()[ci];
-                    for hi in 0..h {
-                        for wi in 0..w {
-                            let xhat = (x.at4(ni, ci, hi, wi) - mean) * inv_std;
-                            normalized.set4(ni, ci, hi, wi, xhat);
-                            out.set4(ni, ci, hi, wi, gamma * xhat + beta);
-                        }
+                for ci in 0..cg {
+                    let gamma = self.gamma.value.data()[g * cg + ci];
+                    let beta = self.beta.value.data()[g * cg + ci];
+                    let span = start + ci * hw..start + (ci + 1) * hw;
+                    for ((nv, ov), &v) in normalized.data_mut()[span.clone()]
+                        .iter_mut()
+                        .zip(&mut out.data_mut()[span])
+                        .zip(&xs[ci * hw..(ci + 1) * hw])
+                    {
+                        let xhat = (v - mean) * inv_std;
+                        *nv = xhat;
+                        *ov = gamma * xhat + beta;
                     }
                 }
             }
@@ -203,11 +219,47 @@ impl GroupNorm {
     }
 }
 
+/// Mean and inverse standard deviation of one `(batch, group)` slice,
+/// accumulated in memory order (the order every code path shares so
+/// `forward` and `infer` stay bit-equal).
+fn group_stats(xs: &[f32], group_len: f32, eps: f32) -> (f32, f32) {
+    let mut mean = 0.0f32;
+    for &v in xs {
+        mean += v;
+    }
+    mean /= group_len;
+    let mut var = 0.0f32;
+    for &v in xs {
+        let d = v - mean;
+        var += d * d;
+    }
+    var /= group_len;
+    (mean, 1.0 / (var + eps).sqrt())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::gradcheck::{assert_close, finite_diff};
     use rand::SeedableRng;
+
+    #[test]
+    fn infer_matches_forward_bit_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut norm = GroupNorm::new(2, 6);
+        for (g, b) in norm
+            .gamma
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip([0.5, -1.0, 2.0, 1.5, 0.1, -0.3])
+        {
+            *g = b;
+        }
+        let x = Tensor::randn(&[2, 6, 4, 4], 2.0, &mut rng);
+        let mut ws = Workspace::new();
+        assert_eq!(norm.infer(&x, &mut ws), norm.forward(&x));
+    }
 
     #[test]
     fn output_is_standardised_per_group() {

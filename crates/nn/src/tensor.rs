@@ -1,6 +1,50 @@
 use rand::Rng;
 use std::fmt;
 
+/// Maximum tensor rank supported by the inline [`Shape`] representation.
+/// NCHW feature maps are the deepest shape this substrate uses.
+const MAX_DIMS: usize = 4;
+
+/// Inline shape storage: dimensions live in the struct itself so tensor
+/// construction (and recycling through [`crate::Workspace`]) performs no
+/// heap allocation for the shape.
+#[derive(Clone, Copy)]
+struct Shape {
+    len: u8,
+    dims: [usize; MAX_DIMS],
+}
+
+impl Shape {
+    fn from_slice(shape: &[usize]) -> Self {
+        assert!(
+            shape.len() <= MAX_DIMS,
+            "tensors support at most {MAX_DIMS} dimensions"
+        );
+        let mut dims = [0usize; MAX_DIMS];
+        dims[..shape.len()].copy_from_slice(shape);
+        Shape {
+            len: shape.len() as u8,
+            dims,
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.len as usize]
+    }
+}
+
+impl PartialEq for Shape {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 /// A dense `f32` tensor in row-major order, used in NCHW layout for feature
 /// maps and `(rows, cols)` layout for matrices.
 ///
@@ -9,7 +53,7 @@ use std::fmt;
 /// conditions).
 #[derive(Clone, PartialEq)]
 pub struct Tensor {
-    shape: Vec<usize>,
+    shape: Shape,
     data: Vec<f32>,
 }
 
@@ -22,7 +66,7 @@ impl Tensor {
     pub fn zeros(shape: &[usize]) -> Self {
         let len = checked_len(shape);
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data: vec![0.0; len],
         }
     }
@@ -35,7 +79,7 @@ impl Tensor {
     pub fn full(shape: &[usize], value: f32) -> Self {
         let len = checked_len(shape);
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data: vec![value; len],
         }
     }
@@ -49,7 +93,7 @@ impl Tensor {
         let len = checked_len(shape);
         let data = (0..len).map(|_| std * normal_sample(rng)).collect();
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
@@ -63,14 +107,14 @@ impl Tensor {
         let len = checked_len(shape);
         assert_eq!(data.len(), len, "data length does not match shape");
         Tensor {
-            shape: shape.to_vec(),
+            shape: Shape::from_slice(shape),
             data,
         }
     }
 
     /// The shape.
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// Total number of elements.
@@ -106,7 +150,7 @@ impl Tensor {
     pub fn reshape(mut self, shape: &[usize]) -> Self {
         let len = checked_len(shape);
         assert_eq!(self.data.len(), len, "reshape changes element count");
-        self.shape = shape.to_vec();
+        self.shape = Shape::from_slice(shape);
         self
     }
 
@@ -130,8 +174,8 @@ impl Tensor {
     }
 
     fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
-        assert_eq!(self.shape.len(), 4, "expected 4-D tensor");
-        let [sn, sc, sh, sw] = [self.shape[0], self.shape[1], self.shape[2], self.shape[3]];
+        assert_eq!(self.shape().len(), 4, "expected 4-D tensor");
+        let [sn, sc, sh, sw] = self.shape.dims;
         assert!(n < sn && c < sc && h < sh && w < sw, "index out of range");
         ((n * sc + c) * sh + h) * sw + w
     }
@@ -150,7 +194,7 @@ impl Tensor {
             .map(|(a, b)| a + b)
             .collect();
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -181,7 +225,7 @@ impl Tensor {
             .map(|(a, b)| a - b)
             .collect();
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data,
         }
     }
@@ -189,7 +233,7 @@ impl Tensor {
     /// Scaled copy `self * s`.
     pub fn scale(&self, s: f32) -> Tensor {
         Tensor {
-            shape: self.shape.clone(),
+            shape: self.shape,
             data: self.data.iter().map(|a| a * s).collect(),
         }
     }
@@ -216,30 +260,24 @@ impl Tensor {
     ///
     /// Panics for non-4-D tensors or `c_split > C`.
     pub fn split_channels(&self, c_split: usize) -> (Tensor, Tensor) {
-        assert_eq!(self.shape.len(), 4, "expected 4-D tensor");
-        let (n, c, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
+        assert_eq!(self.shape().len(), 4, "expected 4-D tensor");
+        let [n, c, h, w] = self.shape.dims;
         assert!(c_split <= c, "split beyond channel count");
-        let mut a = Tensor::zeros(&[n, c_split.max(1), h, w]);
-        let mut b = Tensor::zeros(&[n, (c - c_split).max(1), h, w]);
         if c_split == 0 {
             return (Tensor::zeros(&[n, 1, h, w]), self.clone());
         }
         if c_split == c {
             return (self.clone(), Tensor::zeros(&[n, 1, h, w]));
         }
+        let hw = h * w;
+        let mut a = Tensor::zeros(&[n, c_split, h, w]);
+        let mut b = Tensor::zeros(&[n, c - c_split, h, w]);
         for ni in 0..n {
-            for ci in 0..c {
-                for hi in 0..h {
-                    for wi in 0..w {
-                        let v = self.at4(ni, ci, hi, wi);
-                        if ci < c_split {
-                            a.set4(ni, ci, hi, wi, v);
-                        } else {
-                            b.set4(ni, ci - c_split, hi, wi, v);
-                        }
-                    }
-                }
-            }
+            let src = &self.data[ni * c * hw..(ni + 1) * c * hw];
+            a.data[ni * c_split * hw..(ni + 1) * c_split * hw]
+                .copy_from_slice(&src[..c_split * hw]);
+            b.data[ni * (c - c_split) * hw..(ni + 1) * (c - c_split) * hw]
+                .copy_from_slice(&src[c_split * hw..]);
         }
         (a, b)
     }
@@ -250,29 +288,41 @@ impl Tensor {
     ///
     /// Panics when batch or spatial shapes differ.
     pub fn cat_channels(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.shape.len(), 4, "expected 4-D tensor");
-        assert_eq!(other.shape.len(), 4, "expected 4-D tensor");
-        let (n, c1, h, w) = (self.shape[0], self.shape[1], self.shape[2], self.shape[3]);
-        let c2 = other.shape[1];
-        assert_eq!(
-            (n, h, w),
-            (other.shape[0], other.shape[2], other.shape[3]),
-            "batch/spatial mismatch in cat"
-        );
-        let mut out = Tensor::zeros(&[n, c1 + c2, h, w]);
-        for ni in 0..n {
-            for hi in 0..h {
-                for wi in 0..w {
-                    for ci in 0..c1 {
-                        out.set4(ni, ci, hi, wi, self.at4(ni, ci, hi, wi));
-                    }
-                    for ci in 0..c2 {
-                        out.set4(ni, c1 + ci, hi, wi, other.at4(ni, ci, hi, wi));
-                    }
-                }
-            }
-        }
+        let mut out = Tensor::zeros(&cat_channels_shape(self, other));
+        cat_channels_into(self, other, &mut out);
         out
+    }
+}
+
+/// Output shape of [`Tensor::cat_channels`], shared with the
+/// workspace-backed concatenation in the U-Net inference path.
+///
+/// # Panics
+///
+/// Panics when batch or spatial shapes differ or inputs are not 4-D.
+pub(crate) fn cat_channels_shape(a: &Tensor, b: &Tensor) -> [usize; 4] {
+    assert_eq!(a.shape().len(), 4, "expected 4-D tensor");
+    assert_eq!(b.shape().len(), 4, "expected 4-D tensor");
+    let (n, c1, h, w) = (a.shape()[0], a.shape()[1], a.shape()[2], a.shape()[3]);
+    let c2 = b.shape()[1];
+    assert_eq!(
+        (n, h, w),
+        (b.shape()[0], b.shape()[2], b.shape()[3]),
+        "batch/spatial mismatch in cat"
+    );
+    [n, c1 + c2, h, w]
+}
+
+/// Channel-axis concatenation into a pre-shaped destination tensor.
+pub(crate) fn cat_channels_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let [n, c, h, w] = cat_channels_shape(a, b);
+    assert_eq!(out.shape(), &[n, c, h, w], "cat destination shape");
+    let c1 = a.shape()[1];
+    let hw = h * w;
+    for ni in 0..n {
+        let dst = &mut out.data_mut()[ni * c * hw..(ni + 1) * c * hw];
+        dst[..c1 * hw].copy_from_slice(&a.data()[ni * c1 * hw..(ni + 1) * c1 * hw]);
+        dst[c1 * hw..].copy_from_slice(&b.data()[ni * (c - c1) * hw..(ni + 1) * (c - c1) * hw]);
     }
 }
 
@@ -351,6 +401,18 @@ mod tests {
         assert_eq!(a.shape(), &[2, 2, 3, 3]);
         assert_eq!(b.shape(), &[2, 4, 3, 3]);
         assert_eq!(a.cat_channels(&b), t);
+    }
+
+    #[test]
+    fn split_at_boundaries() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let t = Tensor::randn(&[2, 3, 2, 2], 1.0, &mut rng);
+        let (a, b) = t.split_channels(0);
+        assert_eq!(a.shape(), &[2, 1, 2, 2]);
+        assert_eq!(b, t);
+        let (a, b) = t.split_channels(3);
+        assert_eq!(a, t);
+        assert_eq!(b.shape(), &[2, 1, 2, 2]);
     }
 
     #[test]

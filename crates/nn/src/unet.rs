@@ -1,8 +1,9 @@
-use crate::activation::Silu;
+use crate::activation::{silu_in_place, Silu};
 use crate::dropout::Dropout;
-use crate::embedding::sinusoidal_embedding;
-use crate::upsample::{upsample_nearest2, upsample_nearest2_backward};
-use crate::{Conv2d, GroupNorm, Linear, Param, SelfAttention2d, Tensor};
+use crate::embedding::{sinusoidal_embedding, sinusoidal_embedding_ws};
+use crate::tensor::{cat_channels_into, cat_channels_shape};
+use crate::upsample::{upsample_nearest2, upsample_nearest2_backward, upsample_nearest2_ws};
+use crate::{Conv2d, GroupNorm, Linear, Param, SelfAttention2d, Tensor, Workspace};
 use rand::Rng;
 
 /// Configuration of the DDPM-style U-Net backbone (paper §IV-A).
@@ -114,17 +115,44 @@ impl ResBlock {
     }
 
     /// Inference-only forward from a shared reference: no caches, dropout
-    /// is the identity (evaluation semantics).
-    fn infer(&self, x: &Tensor, temb: &Tensor) -> Tensor {
-        let mut out = self.conv1.infer(&crate::silu(&self.norm1.infer(x)));
-        let t = self.temb_proj.infer(&crate::silu(temb));
+    /// is the identity (evaluation semantics), scratch from `ws`.
+    fn infer(&self, x: &Tensor, temb: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut h = self.norm1.infer(x, ws);
+        silu_in_place(&mut h);
+        let mut out = self.conv1.infer(&h, ws);
+        ws.recycle(h);
+        let mut ts = ws.take_uninit(temb.shape());
+        ts.data_mut().copy_from_slice(temb.data());
+        silu_in_place(&mut ts);
+        let t = self.temb_proj.infer(&ts, ws);
+        ws.recycle(ts);
         add_time_bias(&mut out, &t);
-        let out = self.conv2.infer(&crate::silu(&self.norm2.infer(&out)));
-        let skipped = match &self.skip {
-            Some(proj) => proj.infer(x),
-            None => x.clone(),
-        };
-        out.add(&skipped)
+        ws.recycle(t);
+        let mut h2 = self.norm2.infer(&out, ws);
+        ws.recycle(out);
+        silu_in_place(&mut h2);
+        let mut out = self.conv2.infer(&h2, ws);
+        ws.recycle(h2);
+        match &self.skip {
+            Some(proj) => {
+                let skipped = proj.infer(x, ws);
+                out.add_assign(&skipped);
+                ws.recycle(skipped);
+            }
+            None => out.add_assign(x),
+        }
+        out
+    }
+
+    /// Prepacks the weights of every GEMM-backed sublayer (see
+    /// [`Conv2d::prepack`]).
+    fn prepack(&mut self) {
+        self.conv1.prepack();
+        self.temb_proj.prepack();
+        self.conv2.prepack();
+        if let Some(skip) = &mut self.skip {
+            skip.prepack();
+        }
     }
 
     /// Returns `(grad_x, grad_temb)`.
@@ -191,21 +219,13 @@ impl ResBlock {
 /// Broadcast-adds the `(n, c)` time projection over the HW plane of an
 /// `(n, c, h, w)` feature map.
 fn add_time_bias(out: &mut Tensor, t: &Tensor) {
-    let (n, c, h, w) = (
-        out.shape()[0],
-        out.shape()[1],
-        out.shape()[2],
-        out.shape()[3],
-    );
-    for ni in 0..n {
-        for ci in 0..c {
-            let tv = t.data()[ni * c + ci];
-            for hi in 0..h {
-                for wi in 0..w {
-                    let v = out.at4(ni, ci, hi, wi) + tv;
-                    out.set4(ni, ci, hi, wi, v);
-                }
-            }
+    let (h, w) = (out.shape()[2], out.shape()[3]);
+    let hw = h * w;
+    assert_eq!(out.len(), t.len() * hw, "time bias shape mismatch");
+    for (plane, row) in out.data_mut().chunks_mut(hw).enumerate() {
+        let tv = t.data()[plane]; // planes iterate in (n, c) order
+        for v in row {
+            *v += tv;
         }
     }
 }
@@ -443,17 +463,63 @@ impl UNet {
             .forward(&self.head_silu.forward(&self.head_norm.forward(&h)))
     }
 
+    /// Prepacks every GEMM-backed layer's weights (reshaped/packed weight
+    /// matrices, pre-transposed linear weights) so [`UNet::infer`] skips
+    /// all per-call weight preparation. Idempotent.
+    ///
+    /// Intended for frozen weights — after training or after loading a
+    /// model. Resuming training is safe: every layer's `forward` discards
+    /// its packed copy before computing, so the training path always uses
+    /// the live weights (re-run `prepack` once training ends). Mutating
+    /// parameters directly and then calling [`UNet::infer`] without a
+    /// fresh `prepack`, however, leaves the packed copies stale.
+    pub fn prepack(&mut self) {
+        self.time_lin1.prepack();
+        self.time_lin2.prepack();
+        self.stem.prepack();
+        for stage in &mut self.down {
+            for (res, attn) in &mut stage.blocks {
+                res.prepack();
+                if let Some(attn) = attn {
+                    attn.prepack();
+                }
+            }
+            if let Some(down) = &mut stage.down {
+                down.prepack();
+            }
+        }
+        self.mid1.prepack();
+        self.mid_attn.prepack();
+        self.mid2.prepack();
+        for stage in &mut self.up {
+            for (res, attn) in &mut stage.blocks {
+                res.prepack();
+                if let Some(attn) = attn {
+                    attn.prepack();
+                }
+            }
+            if let Some(upc) = &mut stage.up {
+                upc.prepack();
+            }
+        }
+        self.head_conv.prepack();
+    }
+
     /// Inference-only forward pass from a shared reference.
     ///
     /// Computes exactly what [`UNet::forward`] computes in evaluation mode
-    /// (dropout is the identity), but caches nothing: no backward pass is
-    /// possible and no internal state changes, so a `UNet` can be shared
-    /// across threads (`&self`) for parallel sampling.
+    /// (dropout is the identity; outputs are bit-equal), but caches
+    /// nothing and draws every intermediate tensor from `ws`: no backward
+    /// pass is possible and no internal state changes, so a `UNet` can be
+    /// shared across threads (`&self`) with one [`Workspace`] per thread.
+    /// After the first call warms the workspace, steady-state calls
+    /// perform no heap allocation. The returned tensor is pool-backed —
+    /// recycle it into `ws` when done to keep the pool in steady state.
     ///
     /// # Panics
     ///
     /// Same conditions as [`UNet::forward`].
-    pub fn infer(&self, x: &Tensor, steps: &[usize]) -> Tensor {
+    pub fn infer(&self, x: &Tensor, steps: &[usize], ws: &mut Workspace) -> Tensor {
         assert_eq!(x.shape().len(), 4, "expected NCHW input");
         assert_eq!(x.shape()[0], steps.len(), "batch/steps mismatch");
         let levels = self.config.channel_mults.len();
@@ -462,48 +528,74 @@ impl UNet {
             "spatial side must be divisible by 2^(levels-1)"
         );
 
-        let emb = sinusoidal_embedding(steps, self.config.time_dim);
-        let temb = self
-            .time_lin2
-            .infer(&crate::silu(&self.time_lin1.infer(&emb)));
+        let emb = sinusoidal_embedding_ws(steps, self.config.time_dim, ws);
+        let mut t1 = self.time_lin1.infer(&emb, ws);
+        ws.recycle(emb);
+        silu_in_place(&mut t1);
+        let temb = self.time_lin2.infer(&t1, ws);
+        ws.recycle(t1);
 
-        let mut h = self.stem.infer(x);
-        let mut skips: Vec<Tensor> = vec![h.clone()];
+        // Encoder: each produced feature map doubles as the next stage's
+        // input and a skip connection, so it is pushed (not copied) and
+        // borrowed back from the stack.
+        let mut skips = ws.take_skip_stack();
+        skips.push(self.stem.infer(x, ws));
         for stage in &self.down {
             for (res, attn) in &stage.blocks {
-                h = res.infer(&h, &temb);
+                let mut h = res.infer(skips.last().expect("stem pushed"), &temb, ws);
                 if let Some(attn) = attn {
-                    h = attn.infer(&h);
+                    let a = attn.infer(&h, ws);
+                    ws.recycle(h);
+                    h = a;
                 }
-                skips.push(h.clone());
+                skips.push(h);
             }
             if let Some(down) = &stage.down {
-                h = down.infer(&h);
-                skips.push(h.clone());
+                let h = down.infer(skips.last().expect("blocks pushed"), ws);
+                skips.push(h);
             }
         }
 
-        h = self.mid1.infer(&h, &temb);
-        h = self.mid_attn.infer(&h);
-        h = self.mid2.infer(&h, &temb);
+        let m1 = self
+            .mid1
+            .infer(skips.last().expect("encoder pushed"), &temb, ws);
+        let ma = self.mid_attn.infer(&m1, ws);
+        ws.recycle(m1);
+        let mut h = self.mid2.infer(&ma, &temb, ws);
+        ws.recycle(ma);
 
         for stage in &self.up {
             for (res, attn) in &stage.blocks {
                 let skip = skips.pop().expect("skip stack underflow");
-                let cat = h.cat_channels(&skip);
-                h = res.infer(&cat, &temb);
+                let mut cat = ws.take_uninit(&cat_channels_shape(&h, &skip));
+                cat_channels_into(&h, &skip, &mut cat);
+                ws.recycle(h);
+                ws.recycle(skip);
+                h = res.infer(&cat, &temb, ws);
+                ws.recycle(cat);
                 if let Some(attn) = attn {
-                    h = attn.infer(&h);
+                    let a = attn.infer(&h, ws);
+                    ws.recycle(h);
+                    h = a;
                 }
             }
             if let Some(upc) = &stage.up {
-                h = upc.infer(&upsample_nearest2(&h));
+                let u = upsample_nearest2_ws(&h, ws);
+                ws.recycle(h);
+                h = upc.infer(&u, ws);
+                ws.recycle(u);
             }
         }
         debug_assert!(skips.is_empty());
+        ws.put_skip_stack(skips);
+        ws.recycle(temb);
 
-        self.head_conv
-            .infer(&crate::silu(&self.head_norm.infer(&h)))
+        let mut hn = self.head_norm.infer(&h, ws);
+        ws.recycle(h);
+        silu_in_place(&mut hn);
+        let out = self.head_conv.infer(&hn, ws);
+        ws.recycle(hn);
+        out
     }
 
     /// Backward pass: accumulates every parameter gradient and returns the
@@ -887,11 +979,16 @@ mod tests {
         };
         let mut net = UNet::new(&config, &mut rng);
         let x = Tensor::randn(&[2, 2, 8, 8], 1.0, &mut rng);
-        let via_infer = net.infer(&x, &[1, 77]);
+        let mut ws = Workspace::new();
+        let via_infer = net.infer(&x, &[1, 77], &mut ws);
         let via_forward = net.forward(&x, &[1, 77]);
         assert_eq!(via_infer, via_forward);
-        // infer is stateless: repeated calls agree bit-for-bit.
-        assert_eq!(net.infer(&x, &[1, 77]), via_infer);
+        // infer is stateless: repeated calls agree bit-for-bit, with or
+        // without prepacked weights, warm or cold workspace.
+        assert_eq!(net.infer(&x, &[1, 77], &mut ws), via_infer);
+        net.prepack();
+        assert_eq!(net.infer(&x, &[1, 77], &mut ws), via_infer);
+        assert_eq!(net.infer(&x, &[1, 77], &mut Workspace::new()), via_infer);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::Tensor;
+use crate::{Tensor, Workspace};
 
 /// Nearest-neighbour 2x spatial upsampling of an NCHW tensor (the U-Net
 /// decoder's upsampling step).
@@ -7,23 +7,47 @@ use crate::Tensor;
 ///
 /// Panics when the input is not 4-D.
 pub fn upsample_nearest2(x: &Tensor) -> Tensor {
-    assert_eq!(x.shape().len(), 4, "expected NCHW input");
-    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (n, c, h, w) = check4(x);
     let mut out = Tensor::zeros(&[n, c, h * 2, w * 2]);
-    for ni in 0..n {
-        for ci in 0..c {
-            for hi in 0..h {
-                for wi in 0..w {
-                    let v = x.at4(ni, ci, hi, wi);
-                    out.set4(ni, ci, 2 * hi, 2 * wi, v);
-                    out.set4(ni, ci, 2 * hi + 1, 2 * wi, v);
-                    out.set4(ni, ci, 2 * hi, 2 * wi + 1, v);
-                    out.set4(ni, ci, 2 * hi + 1, 2 * wi + 1, v);
-                }
+    upsample_into(x, &mut out);
+    out
+}
+
+/// [`upsample_nearest2`] drawing its output from a [`Workspace`] — the
+/// allocation-free variant the U-Net inference path uses.
+///
+/// # Panics
+///
+/// Panics when the input is not 4-D.
+pub fn upsample_nearest2_ws(x: &Tensor, ws: &mut Workspace) -> Tensor {
+    let (n, c, h, w) = check4(x);
+    let mut out = ws.take_uninit(&[n, c, h * 2, w * 2]);
+    upsample_into(x, &mut out);
+    out
+}
+
+fn check4(x: &Tensor) -> (usize, usize, usize, usize) {
+    assert_eq!(x.shape().len(), 4, "expected NCHW input");
+    (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3])
+}
+
+/// Row-wise upsample core: every input row becomes two doubled output
+/// rows, fully overwriting the destination.
+fn upsample_into(x: &Tensor, out: &mut Tensor) {
+    let (n, c, h, w) = check4(x);
+    let w2 = 2 * w;
+    for plane in 0..n * c {
+        for hi in 0..h {
+            let src = &x.data()[(plane * h + hi) * w..(plane * h + hi + 1) * w];
+            let base = (plane * h + hi) * 4 * w;
+            let (row0, row1) = out.data_mut()[base..base + 2 * w2].split_at_mut(w2);
+            for (wi, &v) in src.iter().enumerate() {
+                row0[2 * wi] = v;
+                row0[2 * wi + 1] = v;
             }
+            row1.copy_from_slice(row0);
         }
     }
-    out
 }
 
 /// Backward of [`upsample_nearest2`]: sums each 2x2 output block back onto

@@ -1,0 +1,138 @@
+//! Reusable scratch memory for the inference hot path.
+//!
+//! Every `infer` in this crate draws its intermediate tensors from a
+//! [`Workspace`] instead of the global allocator: a buffer is *taken* for
+//! the duration of a computation and *recycled* back into the pool when the
+//! value is no longer needed. Because a fixed network evaluates the same
+//! sequence of shapes on every call, the pool reaches a steady state after
+//! the first evaluation and all subsequent evaluations perform **zero heap
+//! allocations** — the property the diffusion sampler relies on for its
+//! K-step denoising loop (verified by the `alloc_steady_state` integration
+//! test at the workspace root).
+
+use crate::Tensor;
+
+/// A scratch arena of recyclable `f32` buffers (plus the U-Net's skip
+/// stack), sized lazily by the first evaluation that uses it.
+///
+/// Workspaces are cheap to create but only pay off when reused: keep one
+/// per thread and pass it to every `infer` call on that thread. A
+/// `Workspace` is intentionally `!Sync`-shaped (all methods take
+/// `&mut self`); cross-thread sharing is the caller's job via one
+/// workspace per worker.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+    skip_stack: Vec<Tensor>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Takes a tensor of the given shape with **unspecified contents**
+    /// (callers must fully overwrite it). Reuses a pooled buffer when one
+    /// with sufficient capacity exists; otherwise allocates (a one-time
+    /// cost while the pool warms up).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid shape (empty or zero dimension).
+    pub fn take_uninit(&mut self, shape: &[usize]) -> Tensor {
+        let len: usize = shape.iter().product();
+        let mut buf = self.grab(len);
+        buf.resize(len, 0.0);
+        Tensor::from_vec(shape, buf)
+    }
+
+    /// Takes an all-zero tensor of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid shape.
+    pub fn take_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        let mut t = self.take_uninit(shape);
+        t.data_mut().fill(0.0);
+        t
+    }
+
+    /// Returns a tensor's buffer to the pool for reuse.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.push(t.into_vec());
+    }
+
+    /// Borrows the reusable skip-connection stack (empties it first). Pair
+    /// with [`Workspace::put_skip_stack`] so the capacity is retained.
+    pub(crate) fn take_skip_stack(&mut self) -> Vec<Tensor> {
+        let mut stack = std::mem::take(&mut self.skip_stack);
+        stack.clear();
+        stack
+    }
+
+    /// Returns the skip stack taken by [`Workspace::take_skip_stack`].
+    pub(crate) fn put_skip_stack(&mut self, stack: Vec<Tensor>) {
+        self.skip_stack = stack;
+    }
+
+    /// Pops a pooled buffer able to hold `len` elements without
+    /// reallocating, or the best available fallback.
+    fn grab(&mut self, len: usize) -> Vec<f32> {
+        match self.pool.iter().position(|b| b.capacity() >= len) {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                buf.truncate(len);
+                buf
+            }
+            None => Vec::with_capacity(len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_recycle_reuses_capacity() {
+        let mut ws = Workspace::new();
+        let t = ws.take_uninit(&[4, 8]);
+        assert_eq!(t.shape(), &[4, 8]);
+        assert_eq!(t.len(), 32);
+        let ptr = t.data().as_ptr();
+        ws.recycle(t);
+        // Same-size retake reuses the very same buffer.
+        let t2 = ws.take_uninit(&[32]);
+        assert_eq!(t2.data().as_ptr(), ptr);
+        // A smaller request also fits in the pooled buffer.
+        ws.recycle(t2);
+        let t3 = ws.take_uninit(&[2, 2]);
+        assert_eq!(t3.data().as_ptr(), ptr);
+        assert_eq!(t3.len(), 4);
+    }
+
+    #[test]
+    fn take_zeroed_is_zero_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut t = ws.take_uninit(&[8]);
+        t.data_mut().fill(3.5);
+        ws.recycle(t);
+        let z = ws.take_zeroed(&[8]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn steady_state_needs_no_new_buffers() {
+        let mut ws = Workspace::new();
+        // Warm up with a representative shape sequence.
+        let shapes: &[&[usize]] = &[&[16, 256], &[144, 256], &[1, 16, 16, 16]];
+        for _ in 0..3 {
+            let taken: Vec<Tensor> = shapes.iter().map(|s| ws.take_uninit(s)).collect();
+            for t in taken {
+                ws.recycle(t);
+            }
+        }
+        assert_eq!(ws.pool.len(), shapes.len());
+    }
+}

@@ -1,0 +1,383 @@
+//! Golden-reference tests for the packed/blocked inference engine.
+//!
+//! Every optimised `infer` path (panel-packed register-tiled GEMM, fused
+//! bias epilogues, the shifted-copy im2col, fused GroupNorm, zero-copy
+//! attention matrices) is checked against an independent naive
+//! implementation written directly from the math — not against the
+//! production code it shares kernels with — within `1e-5` max-abs-diff on
+//! randomised shapes. The full U-Net is additionally required to be
+//! *bit-identical* between the training-forward reference, the cold
+//! workspace path and the prepacked warm-workspace path.
+
+use dp_nn::{
+    matmul, Conv2d, GroupNorm, Linear, SelfAttention2d, Tensor, UNet, UNetConfig, Workspace,
+};
+use rand::{Rng, SeedableRng};
+
+const TOL: f32 = 1e-5;
+
+fn assert_close(actual: &[f32], expected: &[f32], what: &str) {
+    assert_eq!(actual.len(), expected.len(), "{what}: length");
+    let worst = actual
+        .iter()
+        .zip(expected)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(worst <= TOL, "{what}: max abs diff {worst} > {TOL}");
+}
+
+/// Textbook i-j-k product, no blocking, no packing.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a.data()[i * k + kk] * b.data()[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Direct convolution from the definition: for every output position, sum
+/// the kernel window over the zero-padded input.
+fn naive_conv(conv: &Conv2d, x: &Tensor, stride: usize, padding: usize) -> Vec<f32> {
+    let (n, ic, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oc, k) = (conv.out_channels(), conv.kernel());
+    let (oh, ow) = (conv.out_size(h), conv.out_size(w));
+    let mut out = vec![0.0f32; n * oc * oh * ow];
+    for ni in 0..n {
+        for o in 0..oc {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = conv.bias.value.data()[o] as f64;
+                    for c in 0..ic {
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let iy = oy * stride + ki;
+                                let ix = ox * stride + kj;
+                                if iy < padding || ix < padding {
+                                    continue;
+                                }
+                                let (iy, ix) = (iy - padding, ix - padding);
+                                if iy >= h || ix >= w {
+                                    continue;
+                                }
+                                let wv = conv.weight.value.data()[((o * ic + c) * k + ki) * k + kj];
+                                acc += (wv * x.at4(ni, c, iy, ix)) as f64;
+                            }
+                        }
+                    }
+                    out[((ni * oc + o) * oh + oy) * ow + ox] = acc as f32;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn naive_linear(lin: &Linear, x: &Tensor) -> Vec<f32> {
+    let (batch, inf, outf) = (x.shape()[0], lin.in_features(), lin.out_features());
+    let mut out = vec![0.0f32; batch * outf];
+    for bi in 0..batch {
+        for o in 0..outf {
+            let mut acc = lin.bias.value.data()[o] as f64;
+            for i in 0..inf {
+                acc += (x.data()[bi * inf + i] * lin.weight.value.data()[o * inf + i]) as f64;
+            }
+            out[bi * outf + o] = acc as f32;
+        }
+    }
+    out
+}
+
+fn naive_groupnorm(norm: &GroupNorm, x: &Tensor) -> Vec<f32> {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let groups = norm.groups();
+    let cg = c / groups;
+    let mut out = vec![0.0f32; x.len()];
+    for ni in 0..n {
+        for g in 0..groups {
+            let mut vals = Vec::new();
+            for ci in g * cg..(g + 1) * cg {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        vals.push(x.at4(ni, ci, hi, wi) as f64);
+                    }
+                }
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+            let inv = 1.0 / (var + 1e-5).sqrt();
+            for ci in g * cg..(g + 1) * cg {
+                for hi in 0..h {
+                    for wi in 0..w {
+                        let xhat = (x.at4(ni, ci, hi, wi) as f64 - mean) * inv;
+                        let gamma = norm.gamma.value.data()[ci] as f64;
+                        let beta = norm.beta.value.data()[ci] as f64;
+                        out[((ni * c + ci) * h + hi) * w + wi] = (gamma * xhat + beta) as f32;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn blocked_matmul_matches_naive_on_randomized_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+    for trial in 0..24 {
+        let m = rng.gen_range(1usize..40);
+        let k = rng.gen_range(1usize..80);
+        let n = rng.gen_range(1usize..70);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        assert_close(
+            fast.data(),
+            &naive_matmul(&a, &b),
+            &format!("matmul trial {trial} ({m},{k},{n})"),
+        );
+    }
+}
+
+#[test]
+fn conv_infer_matches_naive_on_randomized_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+    let mut ws = Workspace::new();
+    for trial in 0..20 {
+        let ic = rng.gen_range(1usize..6);
+        let oc = rng.gen_range(1usize..8);
+        let k = [1usize, 3, 3, 5][rng.gen_range(0usize..4)];
+        let stride = rng.gen_range(1usize..3);
+        let padding = rng.gen_range(0usize..=k / 2);
+        let side = rng.gen_range(k.max(4)..14);
+        let batch = rng.gen_range(1usize..3);
+        let mut conv = Conv2d::new(ic, oc, k, stride, padding, &mut rng);
+        for b in conv.bias.value.data_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        let x = Tensor::randn(&[batch, ic, side, side], 1.0, &mut rng);
+        let expected = naive_conv(&conv, &x, stride, padding);
+        let label = format!("conv trial {trial} ic{ic} oc{oc} k{k} s{stride} p{padding}");
+        assert_close(conv.infer(&x, &mut ws).data(), &expected, &label);
+        conv.prepack();
+        assert_close(
+            conv.infer(&x, &mut ws).data(),
+            &expected,
+            &format!("{label} (prepacked)"),
+        );
+    }
+}
+
+#[test]
+fn linear_infer_matches_naive_on_randomized_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+    let mut ws = Workspace::new();
+    for trial in 0..20 {
+        let inf = rng.gen_range(1usize..50);
+        let outf = rng.gen_range(1usize..50);
+        let batch = rng.gen_range(1usize..5);
+        let mut lin = Linear::new(inf, outf, &mut rng);
+        for b in lin.bias.value.data_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        let x = Tensor::randn(&[batch, inf], 1.0, &mut rng);
+        let expected = naive_linear(&lin, &x);
+        let label = format!("linear trial {trial} {inf}->{outf}");
+        assert_close(lin.infer(&x, &mut ws).data(), &expected, &label);
+        lin.prepack();
+        assert_close(
+            lin.infer(&x, &mut ws).data(),
+            &expected,
+            &format!("{label} (prepacked)"),
+        );
+    }
+}
+
+#[test]
+fn groupnorm_infer_matches_naive_on_randomized_shapes() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(103);
+    let mut ws = Workspace::new();
+    for trial in 0..16 {
+        let groups = rng.gen_range(1usize..4);
+        let c = groups * rng.gen_range(1usize..5);
+        let side = rng.gen_range(2usize..10);
+        let batch = rng.gen_range(1usize..3);
+        let mut norm = GroupNorm::new(groups, c);
+        for g in norm.gamma.value.data_mut() {
+            *g = rng.gen_range(0.5..1.5);
+        }
+        for b in norm.beta.value.data_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        let x = Tensor::randn(&[batch, c, side, side], 2.0, &mut rng);
+        assert_close(
+            norm.infer(&x, &mut ws).data(),
+            &naive_groupnorm(&norm, &x),
+            &format!("groupnorm trial {trial} g{groups} c{c}"),
+        );
+    }
+}
+
+#[test]
+fn attention_infer_matches_naive() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(104);
+    let mut ws = Workspace::new();
+    for trial in 0..8 {
+        let groups = rng.gen_range(1usize..3);
+        let c = groups * rng.gen_range(2usize..5);
+        let side = rng.gen_range(2usize..7);
+        let batch = rng.gen_range(1usize..3);
+        let mut attn = SelfAttention2d::new(c, groups, &mut rng);
+        let x = Tensor::randn(&[batch, c, side, side], 1.0, &mut rng);
+        // Naive reference assembled from this file's own primitives:
+        // norm -> 1x1 convs -> softmax(q^T k / sqrt(c)) -> v attn^T ->
+        // proj -> residual. The 1x1 convs are naive_conv calls.
+        let l = side * side;
+        let expected: Vec<f32> = {
+            let normed =
+                Tensor::from_vec(x.shape(), naive_groupnorm(&attn_norm(&attn, groups), &x));
+            let q = naive_conv(&attn_proj(&attn, "q"), &normed, 1, 0);
+            let k = naive_conv(&attn_proj(&attn, "k"), &normed, 1, 0);
+            let v = naive_conv(&attn_proj(&attn, "v"), &normed, 1, 0);
+            let mut attended = vec![0.0f32; batch * c * l];
+            let scale = 1.0 / (c as f32).sqrt();
+            for ni in 0..batch {
+                let qm = &q[ni * c * l..(ni + 1) * c * l];
+                let km = &k[ni * c * l..(ni + 1) * c * l];
+                let vm = &v[ni * c * l..(ni + 1) * c * l];
+                // scores[i][j] = sum_ch q[ch][i] k[ch][j] * scale
+                let mut rows = vec![0.0f64; l * l];
+                for i in 0..l {
+                    for j in 0..l {
+                        let mut acc = 0.0f64;
+                        for ch in 0..c {
+                            acc += (qm[ch * l + i] * km[ch * l + j]) as f64;
+                        }
+                        rows[i * l + j] = acc * scale as f64;
+                    }
+                }
+                // softmax rows
+                for i in 0..l {
+                    let row = &mut rows[i * l..(i + 1) * l];
+                    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let denom: f64 = row.iter().map(|v| (v - max).exp()).sum();
+                    for v in row.iter_mut() {
+                        *v = (*v - max).exp() / denom;
+                    }
+                }
+                // out[ch][i] = sum_j v[ch][j] attn[i][j]
+                for ch in 0..c {
+                    for i in 0..l {
+                        let mut acc = 0.0f64;
+                        for j in 0..l {
+                            acc += vm[ch * l + j] as f64 * rows[i * l + j];
+                        }
+                        attended[(ni * c + ch) * l + i] = acc as f32;
+                    }
+                }
+            }
+            let attended = Tensor::from_vec(x.shape(), attended);
+            let projected = naive_conv(&attn_proj(&attn, "proj"), &attended, 1, 0);
+            x.data()
+                .iter()
+                .zip(&projected)
+                .map(|(a, b)| a + b)
+                .collect()
+        };
+        let label = format!("attention trial {trial} c{c} side{side}");
+        assert_close(attn.infer(&x, &mut ws).data(), &expected, &label);
+        attn.prepack();
+        assert_close(
+            attn.infer(&x, &mut ws).data(),
+            &expected,
+            &format!("{label} (prepacked)"),
+        );
+    }
+}
+
+// SelfAttention2d keeps its sublayers private; rebuild equivalent naive
+// views from the parameter list, whose order is documented (and verified
+// by dp_nn's own tests) as norm(gamma,beta), q(w,b), k(w,b), v(w,b),
+// proj(w,b).
+fn attn_norm(attn: &SelfAttention2d, groups: usize) -> GroupNorm {
+    let params = attn.params();
+    let c = params[0].value.len();
+    let mut norm = GroupNorm::new(groups, c);
+    norm.gamma.value = params[0].value.clone();
+    norm.beta.value = params[1].value.clone();
+    norm
+}
+
+fn attn_proj(attn: &SelfAttention2d, which: &str) -> Conv2d {
+    let params = attn.params();
+    let idx = match which {
+        "q" => 2,
+        "k" => 4,
+        "v" => 6,
+        _ => 8,
+    };
+    let c = params[idx].value.shape()[0];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut conv = Conv2d::new_1x1(c, c, &mut rng);
+    conv.weight.value = params[idx].value.clone();
+    conv.bias.value = params[idx + 1].value.clone();
+    conv
+}
+
+#[test]
+fn full_unet_paths_agree_bit_exactly_on_randomized_configs() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(105);
+    for trial in 0..4 {
+        let base = 2 * rng.gen_range(1usize..4);
+        let levels = rng.gen_range(1usize..3);
+        let config = UNetConfig {
+            in_channels: rng.gen_range(1usize..4),
+            out_channels: rng.gen_range(1usize..5),
+            base_channels: base,
+            channel_mults: (0..levels).map(|i| i + 1).collect(),
+            num_res_blocks: rng.gen_range(1usize..3),
+            attn_resolutions: if rng.gen_bool(0.5) {
+                vec![levels - 1]
+            } else {
+                vec![]
+            },
+            time_dim: 2 * rng.gen_range(2usize..6),
+            groups: 2,
+            dropout: 0.0,
+        };
+        let mut net = UNet::new(&config, &mut rng);
+        let side = 4 << (levels - 1);
+        let batch = rng.gen_range(1usize..3);
+        let x = Tensor::randn(&[batch, config.in_channels, side, side], 1.0, &mut rng);
+        let steps: Vec<usize> = (0..batch).map(|_| rng.gen_range(0usize..1000)).collect();
+
+        let reference = net.forward(&x, &steps);
+        let mut ws = Workspace::new();
+        // Cold workspace, no prepack.
+        assert_eq!(
+            net.infer(&x, &steps, &mut ws),
+            reference,
+            "trial {trial} cold"
+        );
+        // Warm workspace.
+        assert_eq!(
+            net.infer(&x, &steps, &mut ws),
+            reference,
+            "trial {trial} warm"
+        );
+        // Prepacked weights.
+        net.prepack();
+        assert_eq!(
+            net.infer(&x, &steps, &mut ws),
+            reference,
+            "trial {trial} prepacked"
+        );
+    }
+}

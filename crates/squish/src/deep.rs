@@ -146,6 +146,14 @@ impl DeepSquishTensor {
         &self.data
     }
 
+    /// Mutable channel-major raw bits: any value combination is a valid
+    /// tensor of the same shape, so in-place mutation cannot break the
+    /// shape invariants. The diffusion sampler flips entries in place to
+    /// keep its denoising loop allocation-free.
+    pub fn bits_mut(&mut self) -> &mut [bool] {
+        &mut self.data
+    }
+
     /// Total number of bits (`C * M * M`).
     pub fn len(&self) -> usize {
         self.data.len()

@@ -48,6 +48,33 @@ fn batch_generation_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn repeated_batches_are_bit_identical_run_to_run() {
+    // Regression guard for the workspace/prepack engine: reusing a
+    // session (and therefore its workers' warm sampling scratch) across
+    // batches must not change a single bit of what gets generated — at a
+    // fixed seed and thread count, run N equals run 1 exactly.
+    let pipeline = trained_pipeline(51, 4);
+    let model = pipeline.trained_model().unwrap();
+    for threads in [1usize, 3] {
+        let session = pipeline
+            .session_builder(&model)
+            .threads(threads)
+            .seed(7)
+            .build()
+            .unwrap();
+        let first = session.generate(5).unwrap();
+        for run in 0..2 {
+            let again = session.generate(5).unwrap();
+            assert_eq!(
+                first.items, again.items,
+                "repeat {run} at {threads} threads diverged"
+            );
+            assert_eq!(first.report, again.report);
+        }
+    }
+}
+
+#[test]
 fn session_patterns_are_drc_clean_with_provenance() {
     let pipeline = trained_pipeline(51, 5);
     let model = pipeline.trained_model().unwrap();
