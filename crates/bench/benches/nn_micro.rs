@@ -111,5 +111,52 @@ fn unet_infer(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, gemm, conv_infer, attention_infer, unet_infer);
+fn unet_infer_batched(c: &mut Criterion) {
+    // The micro-batched sampler's configuration: the same C4 16x16
+    // prepacked instance evaluated on B lock-step lanes per call. Reported
+    // medians are per *call*; divide by B for the per-item cost the
+    // `topology_per_sample` anchor feels (the B=1 row doubles as the
+    // single-lane baseline).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let config = UNetConfig {
+        in_channels: 4,
+        out_channels: 8,
+        base_channels: 16,
+        channel_mults: vec![1, 2],
+        num_res_blocks: 1,
+        attn_resolutions: vec![1],
+        time_dim: 16,
+        groups: 4,
+        dropout: 0.0,
+    };
+    let mut net = UNet::new(&config, &mut rng);
+    net.prepack();
+    let mut group = c.benchmark_group("nn_micro/unet_infer_batched");
+    group.sample_size(10);
+    for b in [1usize, 4, 8] {
+        let x = Tensor::randn(&[b, 4, 16, 16], 1.0, &mut rng);
+        let steps = vec![10usize; b];
+        let mut ws = Workspace::new();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("C4_16x16_B{b}")),
+            &(),
+            |bch, ()| {
+                bch.iter(|| {
+                    let y = net.infer(&x, &steps, &mut ws);
+                    ws.recycle(y);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    gemm,
+    conv_infer,
+    attention_infer,
+    unet_infer,
+    unet_infer_batched
+);
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 //! ```text
 //! dpgen train   --iters 20000 --model model.dpm [--seed 42]
 //! dpgen gen     --model model.dpm --count 50 --out library/ [--stride 5] [--threads 4]
+//!               [--micro-batch 8]
 //! dpgen demo    [--iters 4000 --count 8 --threads 2]
 //! ```
 //!
@@ -54,6 +55,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dpgen train --iters N --model FILE [--seed N] [--steps K]
   dpgen gen   --model FILE --count N --out DIR [--seed N] [--stride N] [--threads N]
+              [--micro-batch N]
   dpgen demo  [--iters N] [--count N] [--seed N] [--threads N]";
 
 type Options = HashMap<String, String>;
@@ -126,6 +128,7 @@ fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let out = PathBuf::from(options.get("out").ok_or("`gen` needs --out DIR")?);
     let seed = opt_usize(options, "seed", 43) as u64;
     let threads = opt_usize(options, "threads", 0);
+    let micro_batch = opt_usize(options, "micro-batch", 8);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     // The pipeline supplies the dataset (Solving-E donors and config); the
@@ -135,6 +138,7 @@ fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let session = pipeline
         .session_builder(&model)
         .threads(threads)
+        .micro_batch(micro_batch)
         .seed(seed)
         .build()?;
 

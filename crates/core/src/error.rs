@@ -79,6 +79,9 @@ pub enum ConfigError {
     ZeroStride,
     /// The per-item sampling attempt budget must be at least 1.
     ZeroAttempts,
+    /// The sampling micro-batch (denoising lanes per U-Net call) must be
+    /// at least 1.
+    ZeroMicroBatch,
     /// The fold channel count must be a perfect square.
     ChannelsNotSquare {
         /// Offending channel count.
@@ -108,6 +111,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStride => write!(f, "sample stride must be at least 1"),
             ConfigError::ZeroAttempts => {
                 write!(f, "per-item sampling attempt budget must be at least 1")
+            }
+            ConfigError::ZeroMicroBatch => {
+                write!(f, "sampling micro-batch must be at least 1")
             }
             ConfigError::ChannelsNotSquare { channels } => {
                 write!(f, "fold channel count {channels} is not a perfect square")

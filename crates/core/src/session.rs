@@ -3,10 +3,14 @@
 //!
 //! A session borrows an immutable [`TrainedModel`], owns one legalization
 //! [`Solver`] (built once, reused for every pattern), and shards batch
-//! generation across `std::thread::scope` workers. Every batch item draws
-//! its own RNG from `(session seed, item index)`, so the output is
-//! **bit-identical for a given seed regardless of the thread count** —
-//! scaling up workers never changes what gets generated, only how fast.
+//! generation across `std::thread::scope` workers. Workers pull
+//! **micro-batches** of slots and advance their denoising chains in
+//! lock-step — one U-Net evaluation per step for the whole chunk (see
+//! [`SessionBuilder::micro_batch`]). Every batch item still draws its own
+//! RNG from `(session seed, item index)`, so the output is
+//! **bit-identical for a given seed regardless of the thread count or the
+//! micro-batch size** — scaling either knob never changes what gets
+//! generated, only how fast.
 //!
 //! ```no_run
 //! use diffpattern::{GenerationSession, Pipeline, PipelineConfig};
@@ -25,7 +29,7 @@
 //! ```
 
 use crate::{ConfigError, GenerateError, PipelineReport};
-use dp_diffusion::{SampleScratch, Sampler, TrainedModel};
+use dp_diffusion::{BatchScratch, Sampler, TrainedModel};
 use dp_drc::DesignRules;
 use dp_geometry::{bowtie, BitGrid};
 use dp_legalize::{Init, SolveStats, Solver, SolverConfig};
@@ -84,6 +88,7 @@ pub struct SessionBuilder<'m> {
     repair_bowties: bool,
     max_attempts: usize,
     threads: usize,
+    micro_batch: usize,
     seed: u64,
     donors: Vec<SquishPattern>,
 }
@@ -129,6 +134,17 @@ impl<'m> SessionBuilder<'m> {
         self
     }
 
+    /// Sampling micro-batch: how many denoising chains each worker
+    /// advances in lock-step per U-Net call (default: 8, tuned via the
+    /// `nn_micro` batched-infer bench). Larger values amortise each
+    /// layer's weight traffic over more lanes; output is **bit-identical
+    /// at every setting** because every lane keeps its own
+    /// `(seed, index)`-derived RNG stream.
+    pub fn micro_batch(mut self, micro_batch: usize) -> Self {
+        self.micro_batch = micro_batch;
+        self
+    }
+
     /// Batch seed. Together with an item's index it fully determines that
     /// item, independent of thread count (default: 0).
     pub fn seed(mut self, seed: u64) -> Self {
@@ -156,6 +172,9 @@ impl<'m> SessionBuilder<'m> {
         }
         if self.max_attempts == 0 {
             return Err(ConfigError::ZeroAttempts);
+        }
+        if self.micro_batch == 0 {
+            return Err(ConfigError::ZeroMicroBatch);
         }
         let matrix_side = self.model.matrix_side();
         if (matrix_side as i64) > self.solver.target_width
@@ -186,6 +205,7 @@ impl<'m> SessionBuilder<'m> {
             repair_bowties: self.repair_bowties,
             max_attempts: self.max_attempts,
             threads,
+            micro_batch: self.micro_batch,
             seed: self.seed,
             donors: self.donors,
         })
@@ -207,6 +227,7 @@ pub struct GenerationSession<'m> {
     repair_bowties: bool,
     max_attempts: usize,
     threads: usize,
+    micro_batch: usize,
     seed: u64,
     donors: Vec<SquishPattern>,
 }
@@ -222,6 +243,7 @@ impl<'m> GenerationSession<'m> {
             repair_bowties: true,
             max_attempts: 4,
             threads: 0,
+            micro_batch: 8,
             seed: 0,
             donors: Vec::new(),
         }
@@ -245,6 +267,12 @@ impl<'m> GenerationSession<'m> {
     /// Worker thread count used for batches.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Lock-step denoising lanes per U-Net call (see
+    /// [`SessionBuilder::micro_batch`]).
+    pub fn micro_batch(&self) -> usize {
+        self.micro_batch
     }
 
     /// The batch seed.
@@ -281,7 +309,7 @@ impl<'m> GenerationSession<'m> {
     ) -> Result<PipelineReport, GenerateError> {
         self.run_batch(
             count,
-            |index, scratch| self.generate_item(index, scratch),
+            |indices, scratch| self.generate_items(indices, scratch),
             on_item,
         )
     }
@@ -294,7 +322,7 @@ impl<'m> GenerationSession<'m> {
         let report = self
             .run_batch(
                 count,
-                |index, scratch| Ok(self.sample_item(index, scratch)),
+                |indices, scratch| self.sample_items(indices, scratch),
                 |item: (usize, BitGrid)| out.push(item),
             )
             .expect("topology sampling is infallible");
@@ -334,37 +362,61 @@ impl<'m> GenerationSession<'m> {
     /// Runs `count` independent work items across the configured worker
     /// threads, merging their report deltas and streaming their outputs.
     ///
-    /// Each worker owns one [`SampleScratch`] reused across its items, so
-    /// steady-state sampling allocates nothing per denoising step. When
-    /// more than one worker runs, inner GEMM parallelism is disabled
-    /// inside the workers (the batch is already data-parallel; nesting a
-    /// second layer of threads per matrix multiply would oversubscribe
-    /// the machine) — a single-worker batch keeps it enabled so large
-    /// multiplies can still use the whole machine.
+    /// Workers pull **micro-batches** of item indices off an atomic
+    /// counter (chunks of [`GenerationSession::micro_batch`] consecutive
+    /// slots) and advance each chunk's denoising chains in lock-step, so
+    /// every worker evaluates the U-Net once per step for its whole chunk
+    /// instead of once per item. Each worker owns one
+    /// [`BatchScratch`] reused across its chunks, so steady-state sampling
+    /// allocates nothing per denoising step. When more than one worker
+    /// runs, inner GEMM parallelism is disabled inside the workers (the
+    /// batch is already data-parallel; nesting a second layer of threads
+    /// per matrix multiply would oversubscribe the machine) — a
+    /// single-worker batch keeps it enabled so large multiplies can still
+    /// use the whole machine.
+    ///
+    /// `count == 0` and `micro_batch > count` are both well-defined: the
+    /// first chunk simply covers fewer (or zero) slots, no worker blocks,
+    /// and the returned report is all-zero for an empty batch.
     fn run_batch<T: Send>(
         &self,
         count: usize,
-        work: impl Fn(usize, &mut SampleScratch) -> Result<(PipelineReport, Option<T>), GenerateError>
+        work: impl Fn(
+                &[usize],
+                &mut BatchScratch,
+            ) -> Result<Vec<(PipelineReport, Option<T>)>, GenerateError>
             + Sync,
         mut on_item: impl FnMut(T),
     ) -> Result<PipelineReport, GenerateError> {
         let mut report = PipelineReport::default();
-        let workers = self.threads.min(count.max(1));
-        if workers <= 1 {
-            let mut scratch = SampleScratch::new();
-            for index in 0..count {
-                let (delta, item) = work(index, &mut scratch)?;
+        let micro = self.micro_batch.max(1);
+        let chunks = count.div_ceil(micro);
+        let workers = self.threads.min(chunks).max(1);
+        let absorb = |report: &mut PipelineReport,
+                      lanes: Vec<(PipelineReport, Option<T>)>,
+                      on_item: &mut dyn FnMut(T)| {
+            for (delta, item) in lanes {
                 report.merge(&delta);
                 match item {
                     Some(item) => on_item(item),
                     None => report.shortfall += 1,
                 }
             }
+        };
+        if workers <= 1 {
+            let mut scratch = BatchScratch::new();
+            for chunk in 0..chunks {
+                let start = chunk * micro;
+                let indices: Vec<usize> = (start..(start + micro).min(count)).collect();
+                let lanes = work(&indices, &mut scratch)?;
+                absorb(&mut report, lanes, &mut on_item);
+            }
             return Ok(report);
         }
 
         let next = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<Result<(PipelineReport, Option<T>), GenerateError>>();
+        type LaneResults<T> = Result<Vec<(PipelineReport, Option<T>)>, GenerateError>;
+        let (tx, rx) = mpsc::channel::<LaneResults<T>>();
         let mut first_error = None;
         std::thread::scope(|scope| {
             let work = &work;
@@ -373,13 +425,14 @@ impl<'m> GenerationSession<'m> {
                 let tx = tx.clone();
                 scope.spawn(move || {
                     dp_nn::with_inner_gemm_parallelism(false, || {
-                        let mut scratch = SampleScratch::new();
+                        let mut scratch = BatchScratch::new();
                         loop {
-                            let index = next.fetch_add(1, Ordering::Relaxed);
-                            if index >= count {
+                            let start = next.fetch_add(micro, Ordering::Relaxed);
+                            if start >= count {
                                 break;
                             }
-                            if tx.send(work(index, &mut scratch)).is_err() {
+                            let indices: Vec<usize> = (start..(start + micro).min(count)).collect();
+                            if tx.send(work(&indices, &mut scratch)).is_err() {
                                 break;
                             }
                         }
@@ -391,13 +444,7 @@ impl<'m> GenerationSession<'m> {
             // results to the caller as they complete.
             while let Ok(message) = rx.recv() {
                 match message {
-                    Ok((delta, item)) => {
-                        report.merge(&delta);
-                        match item {
-                            Some(item) => on_item(item),
-                            None => report.shortfall += 1,
-                        }
-                    }
+                    Ok(lanes) => absorb(&mut report, lanes, &mut on_item),
                     Err(e) => {
                         if first_error.is_none() {
                             first_error = Some(e);
@@ -412,39 +459,34 @@ impl<'m> GenerationSession<'m> {
         }
     }
 
-    /// Produces one batch item end to end (sample → pre-filter → solve),
-    /// retrying within the attempt budget. `None` means shortfall.
-    fn generate_item(
+    /// Produces a micro-batch of items end to end (lock-step batched
+    /// sampling → per-lane pre-filter → per-lane solve), retrying within
+    /// each lane's attempt budget. A `None` outcome means shortfall.
+    fn generate_items(
         &self,
-        index: usize,
-        scratch: &mut SampleScratch,
-    ) -> Result<(PipelineReport, Option<Generated>), GenerateError> {
-        let seed = item_seed(self.seed, index);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut report = PipelineReport::default();
-        for attempt in 1..=self.max_attempts {
-            let Some((grid, repaired)) = self.sample_filtered(&mut report, &mut rng, scratch)
-            else {
-                continue;
-            };
-            let init_donor = (!self.donors.is_empty())
-                .then(|| &self.donors[rng.gen_range(0..self.donors.len())]);
-            let solve = match init_donor {
-                Some(donor) => {
-                    self.solver
-                        .solve(&grid, Init::Existing(donor.dx(), donor.dy()), &mut rng)
-                }
-                None => self.solver.solve(&grid, Init::Random, &mut rng),
-            };
-            match solve {
-                Ok(solution) => {
-                    let stats = solution.stats;
-                    let pattern = SquishPattern::new(grid, solution.dx, solution.dy)
-                        .map_err(GenerateError::Assembly)?;
-                    report.legal_patterns += 1;
-                    return Ok((
-                        report,
-                        Some(Generated {
+        indices: &[usize],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<(PipelineReport, Option<Generated>)>, GenerateError> {
+        self.micro_batch_core(
+            indices,
+            scratch,
+            |index, seed, attempt, grid, repaired, rng, report| {
+                let init_donor = (!self.donors.is_empty())
+                    .then(|| &self.donors[rng.gen_range(0..self.donors.len())]);
+                let solve = match init_donor {
+                    Some(donor) => {
+                        self.solver
+                            .solve(&grid, Init::Existing(donor.dx(), donor.dy()), rng)
+                    }
+                    None => self.solver.solve(&grid, Init::Random, rng),
+                };
+                match solve {
+                    Ok(solution) => {
+                        let stats = solution.stats;
+                        let pattern = SquishPattern::new(grid, solution.dx, solution.dy)
+                            .map_err(GenerateError::Assembly)?;
+                        report.legal_patterns += 1;
+                        Ok(Some(Generated {
                             pattern,
                             provenance: Provenance {
                                 index,
@@ -453,65 +495,151 @@ impl<'m> GenerationSession<'m> {
                                 repaired,
                                 solve: stats,
                             },
-                        }),
-                    ));
+                        }))
+                    }
+                    Err(_) => {
+                        report.solver_failures += 1;
+                        Ok(None)
+                    }
                 }
-                Err(_) => report.solver_failures += 1,
-            }
-        }
-        Ok((report, None))
+            },
+        )
     }
 
-    /// Topology-only batch item: sample → pre-filter, no solving.
-    fn sample_item(
+    /// Topology-only micro-batch: lock-step sampling → pre-filter, no
+    /// solving.
+    #[allow(clippy::type_complexity)]
+    fn sample_items(
         &self,
-        index: usize,
-        scratch: &mut SampleScratch,
-    ) -> (PipelineReport, Option<(usize, BitGrid)>) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(item_seed(self.seed, index));
-        let mut report = PipelineReport::default();
-        for _ in 0..self.max_attempts {
-            if let Some((grid, _)) = self.sample_filtered(&mut report, &mut rng, scratch) {
-                return (report, Some((index, grid)));
-            }
-        }
-        (report, None)
+        indices: &[usize],
+        scratch: &mut BatchScratch,
+    ) -> Result<Vec<(PipelineReport, Option<(usize, BitGrid)>)>, GenerateError> {
+        self.micro_batch_core(
+            indices,
+            scratch,
+            |index, _seed, _attempt, grid, _repaired, _rng, _report| Ok(Some((index, grid))),
+        )
     }
 
-    /// One sampling attempt through the pre-filter. `None` means the
-    /// sample was rejected (strict mode only).
-    fn sample_filtered(
+    /// The micro-batched retry engine shared by generation and
+    /// topology-only sampling.
+    ///
+    /// Every requested slot becomes a *lane* with its own
+    /// `(session seed, index)`-derived RNG. Per round, all still-active
+    /// lanes draw one topology together through the batched sampler (one
+    /// U-Net evaluation per denoising step for the whole round); each
+    /// lane then runs the bow-tie pre-filter and — when the sample
+    /// survives — the per-lane `finish` stage (donor pick + solve for
+    /// generation, a no-op for raw sampling) on its own RNG. Lanes leave
+    /// the round set when `finish` produces an outcome or their attempt
+    /// budget is spent, so a chunk's denoising batch only ever shrinks.
+    ///
+    /// Because a lane's RNG sees exactly the draw sequence the old
+    /// single-item path consumed (sample bits, then donor/solver draws,
+    /// then the next attempt), outcomes are **bit-identical for every
+    /// `micro_batch` setting**, including 1.
+    fn micro_batch_core<T>(
         &self,
-        report: &mut PipelineReport,
-        rng: &mut impl Rng,
-        scratch: &mut SampleScratch,
-    ) -> Option<(BitGrid, bool)> {
-        report.topologies_sampled += 1;
+        indices: &[usize],
+        scratch: &mut BatchScratch,
+        mut finish: impl FnMut(
+            usize,
+            u64,
+            usize,
+            BitGrid,
+            bool,
+            &mut rand::rngs::StdRng,
+            &mut PipelineReport,
+        ) -> Result<Option<T>, GenerateError>,
+    ) -> Result<Vec<(PipelineReport, Option<T>)>, GenerateError> {
+        struct Lane<T> {
+            index: usize,
+            seed: u64,
+            rng: rand::rngs::StdRng,
+            attempts: usize,
+            report: PipelineReport,
+            outcome: Option<T>,
+            active: bool,
+        }
+        let mut lanes: Vec<Lane<T>> = indices
+            .iter()
+            .map(|&index| {
+                let seed = item_seed(self.seed, index);
+                Lane {
+                    index,
+                    seed,
+                    rng: rand::rngs::StdRng::seed_from_u64(seed),
+                    attempts: 0,
+                    report: PipelineReport::default(),
+                    outcome: None,
+                    active: true,
+                }
+            })
+            .collect();
         let (channels, side) = (self.model.channels(), self.model.side());
-        let tensor = if self.stride <= 1 {
-            self.sampler
-                .sample_one_with(self.model, channels, side, rng, scratch)
-        } else {
-            self.sampler.sample_respaced_with(
-                self.model,
-                channels,
-                side,
-                &self.retained,
-                rng,
-                scratch,
-            )
-        };
-        let mut grid = tensor.unfold();
-        if bowtie::is_bowtie_free(&grid) {
-            Some((grid, false))
-        } else if self.repair_bowties {
-            bowtie::repair_bowties(&mut grid);
-            report.prefilter_repaired += 1;
-            Some((grid, true))
-        } else {
-            report.prefilter_rejected += 1;
-            None
+
+        while lanes.iter().any(|l| l.active) {
+            // One lock-step sampling attempt across every active lane.
+            let mut rngs: Vec<&mut rand::rngs::StdRng> = lanes
+                .iter_mut()
+                .filter(|l| l.active)
+                .map(|l| &mut l.rng)
+                .collect();
+            let tensors = if self.stride <= 1 {
+                self.sampler
+                    .sample_batch_with(self.model, channels, side, &mut rngs, scratch)
+            } else {
+                self.sampler.sample_respaced_batch_with(
+                    self.model,
+                    channels,
+                    side,
+                    &self.retained,
+                    &mut rngs,
+                    scratch,
+                )
+            };
+            drop(rngs);
+
+            let mut tensors = tensors.into_iter();
+            for lane in lanes.iter_mut().filter(|l| l.active) {
+                let tensor = tensors.next().expect("one sample per active lane");
+                lane.attempts += 1;
+                lane.report.topologies_sampled += 1;
+                let mut grid = tensor.unfold();
+                let filtered = if bowtie::is_bowtie_free(&grid) {
+                    Some((grid, false))
+                } else if self.repair_bowties {
+                    bowtie::repair_bowties(&mut grid);
+                    lane.report.prefilter_repaired += 1;
+                    Some((grid, true))
+                } else {
+                    lane.report.prefilter_rejected += 1;
+                    None
+                };
+                if let Some((grid, repaired)) = filtered {
+                    if let Some(outcome) = finish(
+                        lane.index,
+                        lane.seed,
+                        lane.attempts,
+                        grid,
+                        repaired,
+                        &mut lane.rng,
+                        &mut lane.report,
+                    )? {
+                        lane.outcome = Some(outcome);
+                        lane.active = false;
+                        continue;
+                    }
+                }
+                if lane.attempts >= self.max_attempts {
+                    lane.active = false;
+                }
+            }
         }
+        Ok(lanes
+            .into_iter()
+            .map(|lane| (lane.report, lane.outcome))
+            .collect())
     }
 }
 

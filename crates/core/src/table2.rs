@@ -45,8 +45,9 @@ impl std::fmt::Display for EfficiencyRow {
 /// them from the extended training set); with no donors the Solving-E
 /// phase degrades to random initialisation, like the session does.
 /// `samples` controls how many topologies are drawn/solved per
-/// measurement. Sampling runs on the session's configured thread count,
-/// so this also measures the batch engine's throughput.
+/// measurement. Sampling runs on the session's configured thread count
+/// and micro-batch size, so this also measures the batch engine's
+/// throughput.
 pub fn run(
     session: &GenerationSession<'_>,
     donors: &[SquishPattern],

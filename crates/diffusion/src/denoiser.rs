@@ -1,4 +1,4 @@
-use crate::loss::{p1_of_logits, p1_of_logits_into};
+use crate::loss::{p1_of_logits, p1_of_logits_append, p1_of_logits_into};
 use dp_nn::{Tensor, UNet, Workspace};
 use dp_squish::DeepSquishTensor;
 
@@ -43,6 +43,35 @@ pub trait InferenceDenoiser: Sync {
         let p1 = self.infer_p1(std::slice::from_ref(xk), &[k]).swap_remove(0);
         out.clear();
         out.extend_from_slice(&p1);
+    }
+
+    /// Lock-step micro-batch prediction: all of `xks` sit at the **same**
+    /// diffusion step `k`, and the per-entry probabilities of every item
+    /// are written into `out` concatenated in item order (`out.len() ==
+    /// xks.len() * entries`). The contract is that item `i`'s slice is
+    /// **bit-identical** to what [`InferenceDenoiser::infer_p1_into`]
+    /// would produce for that item alone — the batched sampler relies on
+    /// this to keep micro-batched chains equal to sequential ones.
+    ///
+    /// The default implementation loops over [`infer_p1_into`]
+    /// (trivially satisfying the contract, but evaluating the model once
+    /// per item and allocating a temporary); neural implementations
+    /// override it with one stacked model evaluation.
+    ///
+    /// [`infer_p1_into`]: InferenceDenoiser::infer_p1_into
+    fn infer_p1_batch_into(
+        &self,
+        xks: &[DeepSquishTensor],
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let mut lane = Vec::new();
+        for xk in xks {
+            self.infer_p1_into(xk, k, ws, &mut lane);
+            out.extend_from_slice(&lane);
+        }
     }
 }
 
@@ -152,6 +181,42 @@ impl InferenceDenoiser for NeuralDenoiser {
         let logits = self.unet.infer(&input, &[k], ws);
         ws.recycle(input);
         p1_of_logits_into(&logits, 0, self.channels, out);
+        ws.recycle(logits);
+    }
+
+    fn infer_p1_batch_into(
+        &self,
+        xks: &[DeepSquishTensor],
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        let Some(first) = xks.first() else { return };
+        // One stacked evaluation: the U-Net's per-item bit-equality
+        // guarantee (see `dp_nn::UNet::infer`, "Batch invariance") makes
+        // each lane's probabilities equal to a single-item call.
+        let (n, c, side) = (xks.len(), first.channels(), first.side());
+        let mut input = ws.take_uninit(&[n, c, side, side]);
+        let entries = c * side * side;
+        for (ni, xk) in xks.iter().enumerate() {
+            assert_eq!(
+                (xk.channels(), xk.side()),
+                (c, side),
+                "batch shape mismatch"
+            );
+            let lane = &mut input.data_mut()[ni * entries..(ni + 1) * entries];
+            for (v, &b) in lane.iter_mut().zip(xk.bits()) {
+                *v = if b { 1.0 } else { -1.0 };
+            }
+        }
+        let steps = ws.take_steps(k, n);
+        let logits = self.unet.infer(&input, &steps, ws);
+        ws.put_steps(steps);
+        ws.recycle(input);
+        for ni in 0..n {
+            p1_of_logits_append(&logits, ni, self.channels, out);
+        }
         ws.recycle(logits);
     }
 }
@@ -310,6 +375,47 @@ mod tests {
         let shared = d.infer_p1(std::slice::from_ref(&t), &[3]);
         let exclusive = d.predict_p1(std::slice::from_ref(&t), &[3]);
         assert_eq!(shared, exclusive);
+    }
+
+    #[test]
+    fn neural_batched_infer_matches_per_item_infer_bitwise() {
+        // The override must honour the `infer_p1_batch_into` contract:
+        // each lane's slice equals the single-item path bit-for-bit.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let config = UNetConfig {
+            in_channels: 4,
+            out_channels: 8,
+            base_channels: 4,
+            channel_mults: vec![1, 1],
+            num_res_blocks: 1,
+            attn_resolutions: vec![1],
+            time_dim: 8,
+            groups: 2,
+            dropout: 0.0,
+        };
+        let d = NeuralDenoiser::new(dp_nn::UNet::new(&config, &mut rng));
+        for n in [1usize, 3, 8] {
+            let xks: Vec<DeepSquishTensor> = (0..n)
+                .map(|i| {
+                    let bits = (0..64).map(|j| (i * 7 + j) % 3 == 0).collect();
+                    DeepSquishTensor::from_bits(4, 4, bits).unwrap()
+                })
+                .collect();
+            let mut ws = Workspace::new();
+            let mut batched = Vec::new();
+            d.infer_p1_batch_into(&xks, 5, &mut ws, &mut batched);
+            assert_eq!(batched.len(), n * 64);
+            let mut solo = Vec::new();
+            for (li, xk) in xks.iter().enumerate() {
+                d.infer_p1_into(xk, 5, &mut ws, &mut solo);
+                assert_eq!(&batched[li * 64..(li + 1) * 64], &solo[..], "lane {li}");
+            }
+        }
+        // Empty batch: clears the buffer, touches nothing.
+        let mut ws = Workspace::new();
+        let mut out = vec![0.5; 3];
+        d.infer_p1_batch_into(&[], 5, &mut ws, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

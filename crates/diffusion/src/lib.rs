@@ -48,7 +48,7 @@ mod trainer;
 pub use denoiser::{Denoiser, InferenceDenoiser, NeuralDenoiser, OracleDenoiser, UniformDenoiser};
 pub use error::DiffusionError;
 pub use model::TrainedModel;
-pub use sampler::{SampleScratch, SampleTrace, Sampler};
+pub use sampler::{BatchScratch, SampleScratch, SampleTrace, Sampler};
 pub use schedule::{
     flip_between, forward_sample, posterior_jump_same_prob, posterior_same_prob, reverse_jump_prob,
     reverse_step_prob, NoiseSchedule,

@@ -163,10 +163,22 @@ pub fn p1_of_logits(logits: &Tensor, ni: usize, channels: usize) -> Vec<f64> {
 ///
 /// Same conditions as [`p1_of_logits`].
 pub fn p1_of_logits_into(logits: &Tensor, ni: usize, channels: usize, out: &mut Vec<f64>) {
+    out.clear();
+    p1_of_logits_append(logits, ni, channels, out);
+}
+
+/// As [`p1_of_logits_into`] but **appending** to `out` instead of clearing
+/// it first — the batched sampling path concatenates every lane's
+/// probabilities into one buffer with repeated calls (identical per-entry
+/// arithmetic, so lane slices are bit-equal to single-item extraction).
+///
+/// # Panics
+///
+/// Same conditions as [`p1_of_logits`].
+pub fn p1_of_logits_append(logits: &Tensor, ni: usize, channels: usize, out: &mut Vec<f64>) {
     let side = logits.shape()[2];
     assert_eq!(logits.shape()[1], 2 * channels, "logit channel layout");
     let hw = side * side;
-    out.clear();
     out.reserve(channels * hw);
     let base = ni * 2 * channels * hw;
     for ci in 0..channels {

@@ -258,6 +258,16 @@ impl InferenceDenoiser for TrainedModel {
     ) {
         self.denoiser.infer_p1_into(xk, k, ws, out);
     }
+
+    fn infer_p1_batch_into(
+        &self,
+        xks: &[DeepSquishTensor],
+        k: usize,
+        ws: &mut dp_nn::Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        self.denoiser.infer_p1_batch_into(xks, k, ws, out);
+    }
 }
 
 fn bad(reason: &str) -> DiffusionError {

@@ -24,6 +24,25 @@ impl SampleScratch {
     }
 }
 
+/// Reusable scratch for the **micro-batched** sampling loop: one
+/// [`Workspace`] shared by the stacked network evaluation plus the
+/// concatenated per-lane probability buffer
+/// ([`InferenceDenoiser::infer_p1_batch_into`]'s output). Keep one per
+/// worker thread; after the first batch warms it up, every denoising step
+/// runs without heap allocation regardless of the lane count.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    ws: Workspace,
+    p1: Vec<f64>,
+}
+
+impl BatchScratch {
+    /// Creates an empty scratch (sized lazily by its first use).
+    pub fn new() -> Self {
+        BatchScratch::default()
+    }
+}
+
 /// `p_θ(x̃0 = 1 | x_k)` for one state at one step — the only thing the
 /// sampling cores need from a denoiser, whichever mutability flavour it
 /// comes in. Implementations write into the caller's buffer so the
@@ -250,6 +269,128 @@ impl Sampler {
         )
     }
 
+    /// Micro-batched ancestral sampling: advances `rngs.len()` independent
+    /// chains in lock-step, evaluating the denoiser **once per step** on
+    /// the whole batch while drawing every lane's randomness from that
+    /// lane's own RNG. Because each lane consumes exactly the random
+    /// stream a solo chain would, and the batched network evaluation is
+    /// bit-identical per item (see
+    /// [`InferenceDenoiser::infer_p1_batch_into`]), lane `i` of the result
+    /// is **bit-identical** to
+    /// [`Sampler::sample_one_with`] driven by `rngs[i]` alone — batching
+    /// changes the cost, never the samples.
+    ///
+    /// An empty `rngs` slice returns an empty vector without touching the
+    /// denoiser.
+    pub fn sample_batch_with<R: Rng>(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        rngs: &mut [R],
+        scratch: &mut BatchScratch,
+    ) -> Vec<DeepSquishTensor> {
+        let k_max = self.schedule.steps();
+        let mut states: Vec<DeepSquishTensor> = rngs
+            .iter_mut()
+            .map(|rng| uniform_state(channels, side, rng))
+            .collect();
+        if states.is_empty() {
+            return states;
+        }
+        let BatchScratch { ws, p1 } = scratch;
+        let entries = channels * side * side;
+
+        for k in (2..=k_max).rev() {
+            denoiser.infer_p1_batch_into(&states, k, ws, p1);
+            debug_assert_eq!(p1.len(), states.len() * entries);
+            for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
+                let lane = &p1[li * entries..(li + 1) * entries];
+                for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
+                    let p_match = if *bit { p } else { 1.0 - p };
+                    let keep = reverse_step_prob(&self.schedule, k, p_match);
+                    if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
+                        *bit = !*bit;
+                    }
+                }
+            }
+        }
+
+        // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly, per lane.
+        denoiser.infer_p1_batch_into(&states, 1, ws, p1);
+        for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
+            let lane = &p1[li * entries..(li + 1) * entries];
+            for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
+                *bit = rng.gen_bool(p.clamp(0.0, 1.0));
+            }
+        }
+        states
+    }
+
+    /// Micro-batched respaced sampling: the [`Sampler::sample_respaced_with`]
+    /// mathematics advanced across `rngs.len()` lock-step lanes, with the
+    /// same per-lane bit-identity guarantee as
+    /// [`Sampler::sample_batch_with`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Sampler::sample_respaced`] (checked even for
+    /// an empty batch, so a misconfigured schedule never goes unnoticed).
+    pub fn sample_respaced_batch_with<R: Rng>(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        rngs: &mut [R],
+        scratch: &mut BatchScratch,
+    ) -> Vec<DeepSquishTensor> {
+        let k_max = self.schedule.steps();
+        assert!(!retained.is_empty(), "empty step subset");
+        assert!(
+            retained.windows(2).all(|w| w[0] < w[1]),
+            "retained steps must be strictly increasing"
+        );
+        assert!(retained[0] >= 1, "steps are 1-based");
+        assert!(
+            *retained.last().expect("non-empty") <= k_max,
+            "step beyond K"
+        );
+
+        let mut states: Vec<DeepSquishTensor> = rngs
+            .iter_mut()
+            .map(|rng| uniform_state(channels, side, rng))
+            .collect();
+        if states.is_empty() {
+            return states;
+        }
+        let BatchScratch { ws, p1 } = scratch;
+        let entries = channels * side * side;
+
+        for idx in (0..retained.len()).rev() {
+            let k = retained[idx];
+            let j = if idx == 0 { 0 } else { retained[idx - 1] };
+            denoiser.infer_p1_batch_into(&states, k, ws, p1);
+            for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
+                let lane = &p1[li * entries..(li + 1) * entries];
+                if j == 0 {
+                    for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
+                        *bit = rng.gen_bool(p.clamp(0.0, 1.0));
+                    }
+                } else {
+                    for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
+                        let p_match = if *bit { p } else { 1.0 - p };
+                        let keep = reverse_jump_prob(&self.schedule, j, k, p_match);
+                        if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
+                            *bit = !*bit;
+                        }
+                    }
+                }
+            }
+        }
+        states
+    }
+
     fn respaced_core(
         &self,
         predict: &mut dyn Predictor,
@@ -300,14 +441,22 @@ impl Sampler {
 
     /// Builds an evenly strided retained-step subset `[s, 2s, ..., K]` for
     /// [`Sampler::sample_respaced`].
+    ///
+    /// The respacing contract, pinned by unit tests:
+    ///
+    /// * `stride == 0` is clamped to 1, i.e. the full sequence `1..=K`;
+    /// * `stride >= K` keeps only `[K]` — a single direct jump from the
+    ///   stationary distribution to `x̂_0`;
+    /// * `K` itself is always retained (appended when the stride does not
+    ///   divide it), so the chain always starts at the top step and the
+    ///   result is never empty.
     pub fn strided_steps(&self, stride: usize) -> Vec<usize> {
         let k_max = self.schedule.steps();
         let stride = stride.max(1);
         let mut out: Vec<usize> = (1..=k_max).filter(|k| k % stride == 0).collect();
+        // `k_max >= 1` (schedules are non-empty), so this push makes the
+        // result non-empty whenever the filter retained nothing.
         if out.last() != Some(&k_max) {
-            out.push(k_max);
-        }
-        if out.is_empty() {
             out.push(k_max);
         }
         out
@@ -612,6 +761,97 @@ mod tests {
         assert!(steps.windows(2).all(|w| w[0] < w[1]));
         // stride 1 is the full sequence
         assert_eq!(sampler.strided_steps(1).len(), 100);
+    }
+
+    #[test]
+    fn strided_steps_zero_stride_is_full_sequence() {
+        // Pinned contract: stride 0 clamps to 1.
+        let sampler = Sampler::new(schedule());
+        let full: Vec<usize> = (1..=100).collect();
+        assert_eq!(sampler.strided_steps(0), full);
+        assert_eq!(sampler.strided_steps(0), sampler.strided_steps(1));
+    }
+
+    #[test]
+    fn strided_steps_beyond_k_keep_only_the_top_step() {
+        // Pinned contract: stride >= K (even absurdly large) degenerates
+        // to the single direct jump [K]; stride == K hits K exactly.
+        let sampler = Sampler::new(schedule());
+        assert_eq!(sampler.strided_steps(100), vec![100]);
+        assert_eq!(sampler.strided_steps(101), vec![100]);
+        assert_eq!(sampler.strided_steps(usize::MAX), vec![100]);
+        // K = 1: every stride gives [1].
+        let tiny = Sampler::new(NoiseSchedule::linear(1, 0.3, 0.5).unwrap());
+        for stride in [0usize, 1, 2, 50] {
+            assert_eq!(tiny.strided_steps(stride), vec![1]);
+        }
+    }
+
+    #[test]
+    fn batched_chains_match_sequential_chains_bit_for_bit() {
+        // The tentpole contract: B lock-step lanes with per-lane RNGs must
+        // reproduce B sequential single-chain samples exactly, for the
+        // full ancestral chain and the respaced chain alike.
+        let bits: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let oracle = OracleDenoiser::new(x0, 0.9);
+        let sampler = Sampler::new(schedule());
+        let retained = sampler.strided_steps(9);
+        for batch in [1usize, 3, 8] {
+            let seeds: Vec<u64> = (0..batch as u64).map(|i| 1000 + 13 * i).collect();
+            let mut scratch = BatchScratch::new();
+            let mut rngs: Vec<rand::rngs::StdRng> = seeds
+                .iter()
+                .map(|&s| rand::rngs::StdRng::seed_from_u64(s))
+                .collect();
+            let batched = sampler.sample_batch_with(&oracle, 1, 8, &mut rngs, &mut scratch);
+            let mut single_scratch = SampleScratch::new();
+            for (li, &seed) in seeds.iter().enumerate() {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let solo = sampler.sample_one_with(&oracle, 1, 8, &mut rng, &mut single_scratch);
+                assert_eq!(batched[li], solo, "B={batch} lane {li} diverged");
+            }
+            // Respaced flavour, reusing the (now warm) scratches.
+            let mut rngs: Vec<rand::rngs::StdRng> = seeds
+                .iter()
+                .map(|&s| rand::rngs::StdRng::seed_from_u64(s))
+                .collect();
+            let batched = sampler.sample_respaced_batch_with(
+                &oracle,
+                1,
+                8,
+                &retained,
+                &mut rngs,
+                &mut scratch,
+            );
+            for (li, &seed) in seeds.iter().enumerate() {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let solo = sampler.sample_respaced_with(
+                    &oracle,
+                    1,
+                    8,
+                    &retained,
+                    &mut rng,
+                    &mut single_scratch,
+                );
+                assert_eq!(batched[li], solo, "respaced B={batch} lane {li} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let sampler = Sampler::new(schedule());
+        let oracle = UniformDenoiser::new();
+        let mut scratch = BatchScratch::new();
+        let mut rngs: Vec<rand::rngs::StdRng> = Vec::new();
+        assert!(sampler
+            .sample_batch_with(&oracle, 1, 8, &mut rngs, &mut scratch)
+            .is_empty());
+        let retained = sampler.strided_steps(10);
+        assert!(sampler
+            .sample_respaced_batch_with(&oracle, 1, 8, &retained, &mut rngs, &mut scratch)
+            .is_empty());
     }
 
     #[test]

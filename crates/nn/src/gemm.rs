@@ -23,6 +23,7 @@
 
 use crate::Tensor;
 use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Micro-kernel height: rows of A (and of the output) processed together.
@@ -31,23 +32,70 @@ pub(crate) const MR: usize = 4;
 /// Work threshold (`m * k * n`) below which a multiply stays serial.
 const PARALLEL_THRESHOLD: usize = 1 << 18;
 
-/// Process-wide inner-GEMM thread budget:
-/// `min(available_parallelism, DP_MAX_THREADS)`, where an unset, unparsable
-/// or zero `DP_MAX_THREADS` means "no cap".
-fn max_threads() -> usize {
+/// Programmatic thread-cap override; `0` means "no override, use the
+/// env-derived default". See [`set_gemm_thread_cap`].
+static CAP_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Hardware parallelism, looked up once.
+fn hardware_threads() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The env-derived default thread budget:
+/// `min(available_parallelism, DP_MAX_THREADS)`, where an unset,
+/// unparsable or zero `DP_MAX_THREADS` means "no cap".
+///
+/// **Read once per process**: the first GEMM (or cap query) snapshots the
+/// variable, and later `std::env::set_var` calls have no effect. Tests and
+/// embedders that need to change the cap at runtime must use
+/// [`set_gemm_thread_cap`] instead of mutating the environment.
+fn env_default_threads() -> usize {
     static CAP: OnceLock<usize> = OnceLock::new();
     *CAP.get_or_init(|| {
-        let hw = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
         match std::env::var("DP_MAX_THREADS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
         {
-            Some(n) if n > 0 => n.min(hw),
-            _ => hw,
+            Some(n) if n > 0 => n.min(hardware_threads()),
+            _ => hardware_threads(),
         }
     })
+}
+
+/// Overrides the inner-GEMM thread cap for this process; `None` restores
+/// the env-derived default. Unlike `DP_MAX_THREADS` — which is snapshotted
+/// **once per process** at the first multiply — the override takes effect
+/// immediately, so it is the supported way to change the cap after
+/// start-up (the value is still clamped to the hardware parallelism).
+///
+/// `Some(0)` mirrors the env var's "zero means no cap" rule and is
+/// equivalent to `None`; to force serial multiplies pass `Some(1)` (or
+/// scope the region with [`with_inner_gemm_parallelism`]).
+///
+/// Thread-count changes never change results: row partitioning preserves
+/// per-element accumulation order, so GEMM output is bit-identical at
+/// every cap.
+pub fn set_gemm_thread_cap(cap: Option<usize>) {
+    CAP_OVERRIDE.store(cap.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The effective inner-GEMM thread budget currently in force: the
+/// [`set_gemm_thread_cap`] override when one is set, otherwise the
+/// once-per-process `min(available_parallelism, DP_MAX_THREADS)` default.
+pub fn gemm_thread_cap() -> usize {
+    match CAP_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_default_threads(),
+        n => n.min(hardware_threads()),
+    }
+}
+
+fn max_threads() -> usize {
+    gemm_thread_cap()
 }
 
 thread_local! {
@@ -430,6 +478,30 @@ mod tests {
         let c = matmul(&a, &b);
         let serial = with_inner_gemm_parallelism(false, || matmul(&a, &b));
         assert_eq!(c, serial, "thread split must not change results");
+    }
+
+    #[test]
+    fn thread_cap_override_takes_effect_without_env_mutation() {
+        // The env default is snapshotted once per process, so this test
+        // deliberately avoids `std::env::set_var` (its effect would depend
+        // on whether another test already forced the snapshot). The
+        // programmatic override must work regardless of that order.
+        let default = gemm_thread_cap();
+        assert!(default >= 1);
+        set_gemm_thread_cap(Some(1));
+        assert_eq!(gemm_thread_cap(), 1);
+        // Requests beyond the hardware are clamped, never amplified.
+        set_gemm_thread_cap(Some(usize::MAX));
+        assert!(gemm_thread_cap() <= hardware_threads());
+        // Capped runs stay bit-identical to uncapped ones.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let a = Tensor::randn(&[96, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 96], 1.0, &mut rng);
+        set_gemm_thread_cap(Some(1));
+        let capped = matmul(&a, &b);
+        set_gemm_thread_cap(None);
+        assert_eq!(gemm_thread_cap(), default);
+        assert_eq!(matmul(&a, &b), capped);
     }
 
     #[test]

@@ -516,6 +516,17 @@ impl UNet {
     /// perform no heap allocation. The returned tensor is pool-backed —
     /// recycle it into `ws` when done to keep the pool in steady state.
     ///
+    /// # Batch invariance
+    ///
+    /// Every layer processes batch items independently with a fixed
+    /// per-element accumulation order (convolutions and attention run one
+    /// GEMM per item; the linear layers' GEMM grows only its M dimension,
+    /// which never reorders a row's inner product; GroupNorm statistics
+    /// are per `(item, group)`). Item `i` of a batched call is therefore
+    /// **bit-identical** to a single-item call on the same input and
+    /// step — the contract the micro-batched diffusion sampler relies on,
+    /// pinned by `tests/golden_infer.rs`.
+    ///
     /// # Panics
     ///
     /// Same conditions as [`UNet::forward`].

@@ -24,6 +24,7 @@ use crate::Tensor;
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
     skip_stack: Vec<Tensor>,
+    steps: Vec<usize>,
 }
 
 impl Workspace {
@@ -76,6 +77,23 @@ impl Workspace {
         self.skip_stack = stack;
     }
 
+    /// Borrows the reusable step-index buffer, filled with `n` copies of
+    /// `k` — the `steps` argument a lock-step micro-batch passes to
+    /// [`crate::UNet::infer`] (every chain sits at the same diffusion
+    /// step). Return it with [`Workspace::put_steps`] so the capacity is
+    /// retained and steady-state batched inference stays allocation-free.
+    pub fn take_steps(&mut self, k: usize, n: usize) -> Vec<usize> {
+        let mut steps = std::mem::take(&mut self.steps);
+        steps.clear();
+        steps.resize(n, k);
+        steps
+    }
+
+    /// Returns the buffer taken by [`Workspace::take_steps`].
+    pub fn put_steps(&mut self, steps: Vec<usize>) {
+        self.steps = steps;
+    }
+
     /// Pops a pooled buffer able to hold `len` elements without
     /// reallocating, or the best available fallback.
     fn grab(&mut self, len: usize) -> Vec<f32> {
@@ -120,6 +138,22 @@ mod tests {
         ws.recycle(t);
         let z = ws.take_zeroed(&[8]);
         assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn steps_buffer_round_trips_and_keeps_capacity() {
+        let mut ws = Workspace::new();
+        let steps = ws.take_steps(7, 5);
+        assert_eq!(steps, vec![7; 5]);
+        let ptr = steps.as_ptr();
+        let cap = steps.capacity();
+        ws.put_steps(steps);
+        // A same-or-smaller retake reuses the very same allocation.
+        let again = ws.take_steps(3, 4);
+        assert_eq!(again, vec![3; 4]);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.capacity(), cap);
+        ws.put_steps(again);
     }
 
     #[test]

@@ -11,11 +11,24 @@
 //! mean wall-clock times. No statistical regression analysis, plots or
 //! HTML reports. Sample count respects `sample_size` capped at
 //! [`MAX_SAMPLES`], overridable via the `DP_BENCH_SAMPLES` env var.
+//!
+//! # Machine-readable medians
+//!
+//! When `DP_BENCH_JSON` names a file, every completed benchmark also
+//! records its **median** there as JSON (one `"label": {"median_ns": …,
+//! "samples": …}` entry per benchmark). The file is re-merged on every
+//! write: entries produced by *other* bench binaries are preserved, and
+//! entries this process re-measures are replaced — so running several
+//! `cargo bench` targets against the same path accumulates one combined
+//! snapshot (e.g. CI's quick-bench smoke writing `BENCH_pr4.json`). Only
+//! medians are recorded on purpose: single-sample wall clocks on shared
+//! CPUs swing far too much to be comparable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Hard cap on samples per benchmark so `cargo bench` stays quick.
@@ -116,6 +129,72 @@ fn report(label: &str, timings: &[Duration]) {
         "{label:50} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}   ({} samples)",
         sorted.len()
     );
+    if let Ok(path) = std::env::var("DP_BENCH_JSON") {
+        if !path.is_empty() {
+            record_median(&path, label, median.as_nanos(), sorted.len());
+        }
+    }
+}
+
+/// Median entries recorded by this process, in completion order.
+static RECORDED: Mutex<Vec<(String, u128, usize)>> = Mutex::new(Vec::new());
+
+/// Records one benchmark's median and rewrites `path`, merging with
+/// entries recorded there by other processes (ours win on label clashes).
+fn record_median(path: &str, label: &str, median_ns: u128, samples: usize) {
+    let mut recorded = RECORDED.lock().expect("bench results poisoned");
+    recorded.retain(|(l, _, _)| l != label);
+    recorded.push((label.to_string(), median_ns, samples));
+
+    let mut merged: Vec<(String, u128, usize)> = std::fs::read_to_string(path)
+        .map(|existing| parse_medians(&existing))
+        .unwrap_or_default();
+    merged.retain(|(l, _, _)| recorded.iter().all(|(r, _, _)| r != l));
+    merged.extend(recorded.iter().cloned());
+    merged.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut out = String::from(
+        "{\n  \"schema\": \"dp-bench-medians/1\",\n  \"unit\": \"ns\",\n  \"results\": {\n",
+    );
+    for (i, (l, m, s)) in merged.iter().enumerate() {
+        let comma = if i + 1 == merged.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{l}\": {{\"median_ns\": {m}, \"samples\": {s}}}{comma}\n"
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("DP_BENCH_JSON: cannot write {path}: {e}");
+    }
+}
+
+/// Parses the entry lines this shim itself writes (label, median,
+/// samples); anything unrecognised is skipped, so a hand-edited file
+/// degrades gracefully instead of aborting the bench run.
+fn parse_medians(text: &str) -> Vec<(String, u128, usize)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix('"') else {
+            continue;
+        };
+        let Some((label, rest)) = rest.split_once('"') else {
+            continue;
+        };
+        let Some((_, rest)) = rest.split_once("\"median_ns\": ") else {
+            continue;
+        };
+        let Some((median, rest)) = rest.split_once(',') else {
+            continue;
+        };
+        let Some((_, rest)) = rest.split_once("\"samples\": ") else {
+            continue;
+        };
+        let samples: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let (Ok(m), Ok(s)) = (median.trim().parse(), samples.parse()) {
+            out.push((label.to_string(), m, s));
+        }
+    }
+    out
 }
 
 fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
@@ -240,6 +319,35 @@ mod tests {
             recorded = 3;
         });
         assert_eq!(recorded, 3);
+    }
+
+    #[test]
+    fn json_medians_round_trip_and_merge_across_processes() {
+        let dir = std::env::temp_dir().join(format!("dp_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("medians.json");
+        let path_str = path.to_str().unwrap();
+        // Simulate an earlier bench binary's snapshot on disk.
+        record_median(path_str, "other_target/existing", 111, 2);
+        RECORDED.lock().unwrap().clear(); // forget it: now it is "foreign"
+        record_median(path_str, "this_target/a", 500, 10);
+        record_median(path_str, "this_target/b", 700, 10);
+        // Re-measuring a label replaces it instead of duplicating.
+        record_median(path_str, "this_target/a", 600, 10);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = parse_medians(&text);
+        assert_eq!(
+            parsed,
+            vec![
+                ("other_target/existing".to_string(), 111, 2),
+                ("this_target/a".to_string(), 600, 10),
+                ("this_target/b".to_string(), 700, 10),
+            ]
+        );
+        assert!(text.starts_with("{\n"));
+        assert!(text.trim_end().ends_with('}'));
+        RECORDED.lock().unwrap().clear();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

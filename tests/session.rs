@@ -15,6 +15,94 @@ fn trained_pipeline(seed: u64, iters: usize) -> Pipeline {
 }
 
 #[test]
+fn batch_generation_is_bit_identical_across_micro_batch_sizes_and_threads() {
+    // The tentpole contract of the micro-batched engine: neither the
+    // number of lock-step denoising lanes nor the worker count may change
+    // a single bit of the output — only the per-item seeds do.
+    let pipeline = trained_pipeline(60, 4);
+    let model = pipeline.trained_model().unwrap();
+    let run = |micro_batch: usize, threads: usize| {
+        let session = pipeline
+            .session_builder(&model)
+            .micro_batch(micro_batch)
+            .threads(threads)
+            .seed(31)
+            .build()
+            .unwrap();
+        session.generate(6).unwrap()
+    };
+    let reference = run(1, 1);
+    assert_eq!(
+        reference.items.len() + reference.report.shortfall,
+        6,
+        "accounting must be closed"
+    );
+    for micro_batch in [1usize, 3, 8] {
+        for threads in [1usize, 2, 4] {
+            let other = run(micro_batch, threads);
+            assert_eq!(
+                reference.items, other.items,
+                "micro_batch={micro_batch} threads={threads} changed the batch"
+            );
+            assert_eq!(reference.report, other.report);
+        }
+    }
+}
+
+#[test]
+fn empty_and_undersized_batches_are_well_defined() {
+    // Regression tests for the atomic-counter sharding edge cases:
+    // `generate(0)` and `micro_batch > count` must neither panic nor hang,
+    // and an empty batch reports zero work everywhere.
+    let pipeline = trained_pipeline(61, 3);
+    let model = pipeline.trained_model().unwrap();
+    for (micro_batch, threads) in [(1usize, 1usize), (8, 1), (8, 4), (64, 3)] {
+        let session = pipeline
+            .session_builder(&model)
+            .micro_batch(micro_batch)
+            .threads(threads)
+            .seed(5)
+            .build()
+            .unwrap();
+        // Empty batch.
+        let empty = session.generate(0).unwrap();
+        assert!(empty.items.is_empty());
+        assert_eq!(empty.report.shortfall, 0);
+        assert_eq!(empty.report.topologies_sampled, 0);
+        assert_eq!(empty.report.legal_patterns, 0);
+        let (topologies, report) = session.sample_topologies(0);
+        assert!(topologies.is_empty());
+        assert_eq!(report.shortfall, 0);
+        // Batch smaller than one micro-batch (and than the thread count).
+        let small = session.generate(2).unwrap();
+        assert_eq!(small.items.len() + small.report.shortfall, 2);
+        let indices: Vec<usize> = small.items.iter().map(|g| g.provenance.index).collect();
+        assert!(indices.iter().all(|&i| i < 2));
+    }
+    // Undersized batches equal the full-size path item for item.
+    let reference = pipeline
+        .session_builder(&model)
+        .micro_batch(1)
+        .threads(1)
+        .seed(5)
+        .build()
+        .unwrap()
+        .generate(2)
+        .unwrap();
+    let oversized = pipeline
+        .session_builder(&model)
+        .micro_batch(64)
+        .threads(3)
+        .seed(5)
+        .build()
+        .unwrap()
+        .generate(2)
+        .unwrap();
+    assert_eq!(reference.items, oversized.items);
+    assert_eq!(reference.report, oversized.report);
+}
+
+#[test]
 fn batch_generation_is_bit_identical_across_thread_counts() {
     let pipeline = trained_pipeline(50, 4);
     let model = pipeline.trained_model().unwrap();
@@ -201,6 +289,10 @@ fn invalid_session_configs_are_rejected() {
     assert!(matches!(
         pipeline.session_builder(&model).max_attempts(0).build(),
         Err(ConfigError::ZeroAttempts)
+    ));
+    assert!(matches!(
+        pipeline.session_builder(&model).micro_batch(0).build(),
+        Err(ConfigError::ZeroMicroBatch)
     ));
     assert!(matches!(
         pipeline
