@@ -3,7 +3,7 @@
 //! ```text
 //! dpgen train   --iters 20000 --model model.dpm [--seed 42]
 //! dpgen gen     --model model.dpm --count 50 --out library/ [--stride 5] [--threads 4]
-//!               [--micro-batch 8]
+//!               [--micro-batch 8] [--rules standard --rules larger-space ...]
 //! dpgen demo    [--iters 4000 --count 8 --threads 2]
 //! ```
 //!
@@ -11,22 +11,29 @@
 //! synthetic metal layer and saves the frozen [`TrainedModel`] (weights +
 //! schedule + fold geometry in one self-describing file); `gen` reloads it
 //! and emits a DRC-clean pattern library (PGM images + CSV manifest)
-//! through a thread-parallel [`diffpattern::GenerationSession`]; `demo`
-//! does both in one go and prints ASCII art. The argument parser is deliberately
-//! dependency-free (`--key value` pairs only).
+//! through a [`diffpattern::PatternService`] — one model load and one
+//! persistent worker pool, however many rule sets are requested. Passing
+//! `--rules` more than once serves every preset concurrently from that
+//! single engine (the requests fill each other's denoising micro-batches)
+//! and writes one manifest per rule set under `OUT/<preset>/`. `demo`
+//! trains and generates in one go and prints ASCII art. The argument
+//! parser is deliberately dependency-free (`--key value` pairs only).
 //!
 //! `--weights FILE` is accepted as an alias of `--model FILE` for
 //! compatibility with pre-0.2 invocations (the file format changed: old
 //! raw-weight blobs are rejected with a clear error).
 
-use diffpattern::drc::check_pattern;
+use diffpattern::drc::{check_pattern, DesignRules};
 use diffpattern::render::{layout_to_pgm, pattern_to_ascii};
-use diffpattern::{Pipeline, PipelineConfig, TrainedModel};
+use diffpattern::{
+    Generation, PatternService, Pipeline, PipelineConfig, RequestSpec, TrainedModel,
+};
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,10 +62,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   dpgen train --iters N --model FILE [--seed N] [--steps K]
   dpgen gen   --model FILE --count N --out DIR [--seed N] [--stride N] [--threads N]
-              [--micro-batch N]
-  dpgen demo  [--iters N] [--count N] [--seed N] [--threads N]";
+              [--micro-batch N] [--rules PRESET]...
+  dpgen demo  [--iters N] [--count N] [--seed N] [--threads N]
 
-type Options = HashMap<String, String>;
+rule presets: standard, larger-space, smaller-area
+(repeat --rules to serve several rule sets from one engine; each preset
+gets its own manifest under OUT/<preset>/)";
+
+/// Parsed options: every `--key value` pair, with repeated keys collected
+/// in order (`--rules a --rules b`).
+type Options = HashMap<String, Vec<String>>;
 
 fn parse(args: &[String]) -> Option<(String, Options)> {
     let mut it = args.iter();
@@ -67,24 +80,44 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     while let Some(key) = it.next() {
         let key = key.strip_prefix("--")?;
         let value = it.next()?;
-        options.insert(key.to_string(), value.clone());
+        options
+            .entry(key.to_string())
+            .or_default()
+            .push(value.clone());
     }
     Some((command, options))
 }
 
+/// Last occurrence wins for single-valued numeric options.
 fn opt_usize(options: &Options, key: &str, default: usize) -> usize {
     options
         .get(key)
+        .and_then(|v| v.last())
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
 }
 
+fn opt_str<'o>(options: &'o Options, key: &str) -> Option<&'o str> {
+    options.get(key).and_then(|v| v.last()).map(String::as_str)
+}
+
 fn model_path(options: &Options, command: &str) -> Result<String, Box<dyn std::error::Error>> {
-    options
-        .get("model")
-        .or_else(|| options.get("weights"))
-        .cloned()
+    opt_str(options, "model")
+        .or_else(|| opt_str(options, "weights"))
+        .map(str::to_string)
         .ok_or_else(|| format!("`{command}` needs --model FILE").into())
+}
+
+fn rules_preset(name: &str) -> Result<DesignRules, Box<dyn std::error::Error>> {
+    match name {
+        "standard" | "normal" => Ok(DesignRules::standard()),
+        "larger-space" | "larger_space" => Ok(DesignRules::larger_space()),
+        "smaller-area" | "smaller_area" => Ok(DesignRules::smaller_area()),
+        _ => Err(format!(
+            "unknown rules preset `{name}` (expected standard, larger-space or smaller-area)"
+        )
+        .into()),
+    }
 }
 
 fn build_pipeline(
@@ -125,34 +158,83 @@ fn train(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
 fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let model_file = model_path(options, "gen")?;
     let count = opt_usize(options, "count", 50);
-    let out = PathBuf::from(options.get("out").ok_or("`gen` needs --out DIR")?);
+    let out = PathBuf::from(opt_str(options, "out").ok_or("`gen` needs --out DIR")?);
     let seed = opt_usize(options, "seed", 43) as u64;
     let threads = opt_usize(options, "threads", 0);
     let micro_batch = opt_usize(options, "micro-batch", 8);
+    let presets: Vec<String> = options
+        .get("rules")
+        .cloned()
+        .unwrap_or_else(|| vec!["standard".to_string()]);
+    let rule_sets: Vec<(String, DesignRules)> = presets
+        .iter()
+        .map(|p| rules_preset(p).map(|r| (p.clone(), r)))
+        .collect::<Result<_, _>>()?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
 
     // The pipeline supplies the dataset (Solving-E donors and config); the
-    // trained weights come from the frozen model file.
+    // trained weights come from the frozen model file — loaded once and
+    // shared by every rule set's request.
     let pipeline = build_pipeline(options, &mut rng)?;
-    let model = TrainedModel::load(&std::fs::read(&model_file)?)?;
-    let session = pipeline
-        .session_builder(&model)
+    let model = Arc::new(TrainedModel::load(&std::fs::read(&model_file)?)?);
+    let service = PatternService::builder(model)
         .threads(threads)
         .micro_batch(micro_batch)
-        .seed(seed)
         .build()?;
+    let base = pipeline.request_spec(count).seed(seed);
 
-    std::fs::create_dir_all(&out)?;
-    let batch = session.generate(count)?;
-    let mut manifest = std::fs::File::create(out.join("manifest.csv"))?;
+    // Submit every rule set up front: one engine, one pool, and the
+    // requests fill each other's denoising micro-batches.
+    let mut handles = Vec::with_capacity(rule_sets.len());
+    for (preset, rules) in &rule_sets {
+        let spec = RequestSpec {
+            rules: *rules,
+            ..base.clone()
+        };
+        handles.push((preset.clone(), *rules, service.submit(&spec)?));
+    }
+
+    let single = rule_sets.len() == 1;
+    for (preset, rules, handle) in handles {
+        let dir = if single {
+            out.clone()
+        } else {
+            out.join(&preset)
+        };
+        let batch = handle.wait()?;
+        write_library(&dir, &batch, &rules)?;
+        let r = batch.report;
+        eprintln!(
+            "[{preset}] wrote {} patterns to {} with {} threads (sampled {}, repaired {}, \
+             solver failures {}, shortfall {})",
+            batch.items.len(),
+            dir.display(),
+            service.threads(),
+            r.topologies_sampled,
+            r.prefilter_repaired,
+            r.solver_failures,
+            r.shortfall
+        );
+    }
+    Ok(())
+}
+
+/// Writes one rule set's library: PGM images plus a CSV manifest.
+fn write_library(
+    dir: &Path,
+    batch: &Generation,
+    rules: &DesignRules,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::create_dir_all(dir)?;
+    let mut manifest = std::fs::File::create(dir.join("manifest.csv"))?;
     writeln!(manifest, "file,cx,cy,width_nm,height_nm,drc_clean,attempts")?;
     for g in &batch.items {
         let i = g.provenance.index;
         let p = &g.pattern;
         let file = format!("pattern_{i:05}.pgm");
-        layout_to_pgm(&p.decode()?, 256, &out.join(&file))?;
+        layout_to_pgm(&p.decode()?, 256, &dir.join(&file))?;
         let core = diffpattern::squish::squish_to_core(p.topology());
-        let clean = check_pattern(p, session.rules()).is_clean();
+        let clean = check_pattern(p, rules).is_clean();
         writeln!(
             manifest,
             "{file},{},{},{},{},{clean},{}",
@@ -163,18 +245,6 @@ fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             g.provenance.attempts
         )?;
     }
-    let r = batch.report;
-    eprintln!(
-        "wrote {} patterns to {} with {} threads (sampled {}, repaired {}, \
-         solver failures {}, shortfall {})",
-        batch.items.len(),
-        out.display(),
-        session.threads(),
-        r.topologies_sampled,
-        r.prefilter_repaired,
-        r.solver_failures,
-        r.shortfall
-    );
     Ok(())
 }
 

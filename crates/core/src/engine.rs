@@ -1,0 +1,560 @@
+//! The shared generation engine behind [`crate::PatternService`] and
+//! [`crate::GenerationSession`]: a request scheduler whose workers fill
+//! each denoising micro-batch with lanes drawn from **multiple pending
+//! requests**.
+//!
+//! Every requested item is a *lane* with its own RNG derived from
+//! `(request seed, item index)` (splitmix64 finaliser). Because the
+//! batched sampler advances each lane on exactly the random stream a solo
+//! chain would consume, and the stacked U-Net evaluation is bit-identical
+//! per item, a lane's outcome does not depend on which other lanes —
+//! from the same request or any other — happen to share its micro-batch.
+//! That is the whole determinism argument: scheduling (worker count,
+//! admission order, concurrent load, priorities) chooses *when* a lane
+//! runs, never *what* it produces.
+//!
+//! The module is internal; the public faces are [`crate::PatternService`]
+//! (persistent workers over an owned `Arc<TrainedModel>`) and
+//! [`crate::GenerationSession`] (one-shot scoped workers over a borrowed
+//! model). Both run [`run_worker`] verbatim, so every session test also
+//! exercises the service core.
+
+use crate::{GenerateError, Generated, PipelineReport, Provenance};
+use dp_diffusion::{BatchScratch, Sampler, TrainedModel};
+use dp_geometry::{bowtie, BitGrid};
+use dp_legalize::{Init, Solver};
+use dp_squish::SquishPattern;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+/// What a finished lane hands back through its request's channel.
+pub(crate) enum Payload {
+    /// A fully legalized pattern with provenance.
+    Pattern(Generated),
+    /// A pre-filtered topology (no legalization), tagged with its index.
+    Topology(usize, BitGrid),
+}
+
+/// One completed lane: the statistics delta it accumulated plus its
+/// outcome. `Ok(None)` means the lane exhausted its attempt budget —
+/// shortfall, accounted by the receiver.
+pub(crate) struct LaneMsg {
+    pub(crate) delta: PipelineReport,
+    pub(crate) payload: Result<Option<Payload>, GenerateError>,
+}
+
+/// What the lanes of a request produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// Sample → pre-filter → legalize into [`Payload::Pattern`]s.
+    Generate,
+    /// Sample → pre-filter only, into [`Payload::Topology`]s.
+    TopologyOnly,
+}
+
+/// The immutable description of one admitted request, shared between the
+/// scheduler queue and every in-flight lane.
+pub(crate) struct RequestJob {
+    pub(crate) mode: Mode,
+    pub(crate) seed: u64,
+    pub(crate) count: usize,
+    /// Reverse-sampling stride; doubles as the *plan key*: lanes may share
+    /// a lock-step micro-batch only when they traverse the same denoising
+    /// step sequence.
+    pub(crate) stride: usize,
+    /// The retained denoising steps for `stride > 1` (precomputed once).
+    pub(crate) retained: Arc<[usize]>,
+    pub(crate) max_attempts: usize,
+    pub(crate) repair_bowties: bool,
+    pub(crate) solver: Solver,
+    pub(crate) donors: Arc<[SquishPattern]>,
+}
+
+struct Request {
+    job: RequestJob,
+    priority: i32,
+    /// Admission sequence number: the FIFO tie-break within a priority.
+    seq: u64,
+    cancel: Arc<AtomicBool>,
+    tx: mpsc::Sender<LaneMsg>,
+}
+
+/// A claimed work item: one batch slot of one request, with its own RNG
+/// stream and attempt budget.
+struct Lane {
+    req: Arc<Request>,
+    index: usize,
+    seed: u64,
+    rng: rand::rngs::StdRng,
+    attempts: usize,
+    report: PipelineReport,
+    outcome: Option<Payload>,
+    error: Option<GenerateError>,
+    active: bool,
+}
+
+/// A request still holding unclaimed lanes.
+struct PendingRequest {
+    req: Arc<Request>,
+    next_lane: usize,
+}
+
+struct Sched {
+    /// Pending requests, kept sorted by `(priority desc, seq asc)`.
+    queue: Vec<PendingRequest>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// The scheduler: a queue of admitted requests plus the sampling
+/// geometry workers need to draw lanes. Workers block on the condvar in
+/// service mode and exit when idle in one-shot (session) mode.
+pub(crate) struct Engine {
+    sampler: Sampler,
+    channels: usize,
+    side: usize,
+    micro_batch: usize,
+    /// One-shot mode: workers return instead of parking when the queue is
+    /// empty (used by `GenerationSession`'s scoped workers).
+    exit_when_idle: bool,
+    sched: Mutex<Sched>,
+    work: Condvar,
+}
+
+impl Engine {
+    pub(crate) fn new(
+        sampler: Sampler,
+        channels: usize,
+        side: usize,
+        micro_batch: usize,
+        exit_when_idle: bool,
+    ) -> Self {
+        Engine {
+            sampler,
+            channels,
+            side,
+            micro_batch: micro_batch.max(1),
+            exit_when_idle,
+            sched: Mutex::new(Sched {
+                queue: Vec::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    /// The retained-step subset for a request stride (the per-request
+    /// sampling plan).
+    pub(crate) fn strided_steps(&self, stride: usize) -> Vec<usize> {
+        self.sampler.strided_steps(stride)
+    }
+
+    /// Admits a request. The returned receiver yields one [`LaneMsg`] per
+    /// requested item and disconnects when the last lane has been
+    /// delivered (or the engine shuts down / the request is cancelled
+    /// before its lanes are claimed). A zero-count request disconnects
+    /// immediately.
+    pub(crate) fn submit(
+        &self,
+        job: RequestJob,
+        priority: i32,
+        cancel: Arc<AtomicBool>,
+    ) -> mpsc::Receiver<LaneMsg> {
+        let (tx, rx) = mpsc::channel();
+        if job.count == 0 {
+            return rx;
+        }
+        {
+            let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+            let seq = sched.next_seq;
+            sched.next_seq += 1;
+            let req = Arc::new(Request {
+                job,
+                priority,
+                seq,
+                cancel,
+                tx,
+            });
+            // Keep the queue sorted: higher priority first, then admission
+            // order. Scheduling order affects only latency — per-lane RNGs
+            // make every outcome independent of it.
+            use std::cmp::Reverse;
+            let pos = sched
+                .queue
+                .iter()
+                .position(|p| (Reverse(p.req.priority), p.req.seq) > (Reverse(priority), seq))
+                .unwrap_or(sched.queue.len());
+            sched
+                .queue
+                .insert(pos, PendingRequest { req, next_lane: 0 });
+        }
+        self.work.notify_all();
+        rx
+    }
+
+    /// Wakes every parked worker without changing any state. Used after a
+    /// request is cancelled so an otherwise-idle pool runs a claim pass,
+    /// which prunes the cancelled entry (dropping its solver, donors and
+    /// channel sender) instead of retaining it until the next submit.
+    pub(crate) fn nudge(&self) {
+        self.work.notify_all();
+    }
+
+    /// Wakes every worker and makes all future/parked [`Engine::claim`]
+    /// calls return `None`. Queued-but-unclaimed lanes are dropped; their
+    /// requests' channels disconnect.
+    pub(crate) fn shutdown(&self) {
+        let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+        sched.shutdown = true;
+        sched.queue.clear();
+        drop(sched);
+        self.work.notify_all();
+    }
+
+    /// Claims the next micro-batch of lanes, drawing from as many pending
+    /// requests as needed to fill it (the cross-request batching at the
+    /// heart of the service). All claimed lanes share one sampling plan
+    /// (stride); requests on a different plan wait for their own batch.
+    ///
+    /// Returns `None` when the engine is shut down, or — in one-shot mode
+    /// — when no claimable work remains.
+    fn claim(&self) -> Option<Vec<Lane>> {
+        let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+        loop {
+            if sched.shutdown {
+                return None;
+            }
+            // Cancelled requests are pruned at claim time: their unclaimed
+            // lanes simply never run (in-flight lanes drain in the worker
+            // loop).
+            sched
+                .queue
+                .retain(|p| !p.req.cancel.load(Ordering::Relaxed));
+
+            let mut lanes: Vec<Lane> = Vec::new();
+            let mut stride = 0usize;
+            let mut i = 0;
+            while i < sched.queue.len() && lanes.len() < self.micro_batch {
+                let pending = &mut sched.queue[i];
+                if lanes.is_empty() {
+                    stride = pending.req.job.stride;
+                } else if pending.req.job.stride != stride {
+                    i += 1;
+                    continue;
+                }
+                while pending.next_lane < pending.req.job.count && lanes.len() < self.micro_batch {
+                    let index = pending.next_lane;
+                    pending.next_lane += 1;
+                    let seed = item_seed(pending.req.job.seed, index);
+                    lanes.push(Lane {
+                        req: Arc::clone(&pending.req),
+                        index,
+                        seed,
+                        rng: rand::rngs::StdRng::seed_from_u64(seed),
+                        attempts: 0,
+                        report: PipelineReport::default(),
+                        outcome: None,
+                        error: None,
+                        active: true,
+                    });
+                }
+                if pending.next_lane >= pending.req.job.count {
+                    sched.queue.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            if !lanes.is_empty() {
+                return Some(lanes);
+            }
+            if self.exit_when_idle {
+                return None;
+            }
+            sched = self
+                .work
+                .wait(sched)
+                .expect("scheduler lock poisoned while waiting");
+        }
+    }
+
+    /// Runs a claimed chunk to completion: per round, all still-active
+    /// lanes draw one topology together through the batched sampler (one
+    /// U-Net evaluation per denoising step for the whole round); each lane
+    /// then runs its request's bow-tie pre-filter and — when the sample
+    /// survives — its finish stage (donor pick + solve for
+    /// [`Mode::Generate`], a no-op for [`Mode::TopologyOnly`]) on its own
+    /// RNG. Lanes leave the round set on success, error or a spent attempt
+    /// budget, so a chunk's denoising batch only ever shrinks.
+    ///
+    /// A lane's RNG sees exactly the draw sequence a solo run would
+    /// consume (sample bits, then donor/solver draws, then the next
+    /// attempt), so outcomes are bit-identical for every batch
+    /// composition — including the degenerate single-lane one.
+    ///
+    /// Cancellation is observed between rounds: in-flight lanes of a
+    /// cancelled request stop sampling further attempts, and whatever they
+    /// produced is discarded by the dead channel.
+    fn process_chunk(&self, model: &TrainedModel, lanes: &mut [Lane], scratch: &mut BatchScratch) {
+        let (channels, side) = (self.channels, self.side);
+        loop {
+            for lane in lanes.iter_mut().filter(|l| l.active) {
+                if lane.req.cancel.load(Ordering::Relaxed) {
+                    lane.active = false;
+                }
+            }
+            let Some(plan) = lanes
+                .iter()
+                .find(|l| l.active)
+                .map(|l| (l.req.job.stride, Arc::clone(&l.req.job.retained)))
+            else {
+                return;
+            };
+            let (stride, retained) = plan;
+
+            let mut rngs: Vec<&mut rand::rngs::StdRng> = lanes
+                .iter_mut()
+                .filter(|l| l.active)
+                .map(|l| &mut l.rng)
+                .collect();
+            let tensors = if stride <= 1 {
+                self.sampler
+                    .sample_batch_with(model, channels, side, &mut rngs, scratch)
+            } else {
+                self.sampler.sample_respaced_batch_with(
+                    model, channels, side, &retained, &mut rngs, scratch,
+                )
+            };
+            drop(rngs);
+
+            let mut tensors = tensors.into_iter();
+            for lane in lanes.iter_mut().filter(|l| l.active) {
+                let tensor = tensors.next().expect("one sample per active lane");
+                lane.attempts += 1;
+                lane.report.topologies_sampled += 1;
+                let mut grid = tensor.unfold();
+                let filtered = if bowtie::is_bowtie_free(&grid) {
+                    Some((grid, false))
+                } else if lane.req.job.repair_bowties {
+                    bowtie::repair_bowties(&mut grid);
+                    lane.report.prefilter_repaired += 1;
+                    Some((grid, true))
+                } else {
+                    lane.report.prefilter_rejected += 1;
+                    None
+                };
+                if let Some((grid, repaired)) = filtered {
+                    match finish_lane(lane, grid, repaired) {
+                        Ok(Some(payload)) => {
+                            lane.outcome = Some(payload);
+                            lane.active = false;
+                            continue;
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            lane.error = Some(e);
+                            lane.active = false;
+                            continue;
+                        }
+                    }
+                }
+                if lane.attempts >= lane.req.job.max_attempts {
+                    lane.active = false;
+                }
+            }
+        }
+    }
+}
+
+/// The per-lane finish stage after a sample survived the pre-filter.
+fn finish_lane(
+    lane: &mut Lane,
+    grid: BitGrid,
+    repaired: bool,
+) -> Result<Option<Payload>, GenerateError> {
+    match lane.req.job.mode {
+        Mode::TopologyOnly => Ok(Some(Payload::Topology(lane.index, grid))),
+        Mode::Generate => {
+            let job = &lane.req.job;
+            let init_donor = (!job.donors.is_empty())
+                .then(|| &job.donors[lane.rng.gen_range(0..job.donors.len())]);
+            let solve = match init_donor {
+                Some(donor) => {
+                    job.solver
+                        .solve(&grid, Init::Existing(donor.dx(), donor.dy()), &mut lane.rng)
+                }
+                None => job.solver.solve(&grid, Init::Random, &mut lane.rng),
+            };
+            match solve {
+                Ok(solution) => {
+                    let stats = solution.stats;
+                    let pattern = SquishPattern::new(grid, solution.dx, solution.dy)
+                        .map_err(GenerateError::Assembly)?;
+                    lane.report.legal_patterns += 1;
+                    Ok(Some(Payload::Pattern(Generated {
+                        pattern,
+                        provenance: Provenance {
+                            index: lane.index,
+                            seed: lane.seed,
+                            attempts: lane.attempts,
+                            repaired,
+                            solve: stats,
+                        },
+                    })))
+                }
+                Err(_) => {
+                    lane.report.solver_failures += 1;
+                    Ok(None)
+                }
+            }
+        }
+    }
+}
+
+/// The worker loop both engines run: claim a cross-request micro-batch,
+/// drive it to completion with one reused [`BatchScratch`], deliver each
+/// lane's message to its own request, repeat until the engine says stop.
+///
+/// Messages are sent in lane order, so a single worker serving a single
+/// request streams items in index order — the `GenerationSession`
+/// contract PR 2 documented.
+pub(crate) fn run_worker(model: &TrainedModel, engine: &Engine) {
+    run_worker_observed(model, engine, || true);
+}
+
+/// [`run_worker`] with a hook invoked after each chunk's messages are
+/// delivered; returning `false` stops the loop (the session's inline
+/// single-worker path uses it to drain the request channel between
+/// chunks — keeping `generate_streaming` incremental and the channel
+/// short — and to fail fast on the first structural error).
+///
+/// If the loop unwinds (a panic anywhere in sampling or solving), the
+/// engine is shut down on the way out: queued requests' senders drop, so
+/// outstanding `RequestHandle`s disconnect instead of blocking forever
+/// on a pool that lost its worker. The panic still propagates.
+pub(crate) fn run_worker_observed(
+    model: &TrainedModel,
+    engine: &Engine,
+    mut after_chunk: impl FnMut() -> bool,
+) {
+    struct PanicGuard<'e> {
+        engine: &'e Engine,
+        finished: bool,
+    }
+    impl Drop for PanicGuard<'_> {
+        fn drop(&mut self) {
+            if !self.finished {
+                self.engine.shutdown();
+            }
+        }
+    }
+    let mut guard = PanicGuard {
+        engine,
+        finished: false,
+    };
+
+    let mut scratch = BatchScratch::new();
+    while let Some(mut lanes) = engine.claim() {
+        engine.process_chunk(model, &mut lanes, &mut scratch);
+        for lane in lanes {
+            let payload = match lane.error {
+                Some(e) => Err(e),
+                None => Ok(lane.outcome),
+            };
+            // A dead receiver (dropped handle) just discards the message;
+            // the lane's work is already done and nobody is owed it.
+            let _ = lane.req.tx.send(LaneMsg {
+                delta: lane.report,
+                payload,
+            });
+        }
+        if !after_chunk() {
+            break;
+        }
+    }
+    guard.finished = true;
+}
+
+/// Shared request-parameter validation: both `SessionBuilder::build` and
+/// `PatternService::submit` gate on it, so a spec rejected by one path
+/// can never slip through the other.
+pub(crate) fn validate_request(
+    stride: usize,
+    max_attempts: usize,
+    matrix_side: usize,
+    solver: &dp_legalize::SolverConfig,
+) -> Result<(), crate::ConfigError> {
+    if stride == 0 {
+        return Err(crate::ConfigError::ZeroStride);
+    }
+    if max_attempts == 0 {
+        return Err(crate::ConfigError::ZeroAttempts);
+    }
+    if (matrix_side as i64) > solver.target_width || (matrix_side as i64) > solver.target_height {
+        return Err(crate::ConfigError::WindowTooSmall {
+            matrix_side,
+            target_width: solver.target_width,
+            target_height: solver.target_height,
+        });
+    }
+    Ok(())
+}
+
+/// Resolves a `threads` knob: 0 means the machine's available
+/// parallelism (shared by the session and service builders).
+pub(crate) fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Legalizes one topology into up to `variants` distinct patterns with
+/// full failure accounting — shared by
+/// `GenerationSession::legalize_variants` and `DiffusionVariantsSource`.
+pub(crate) fn legalize_variants_with(
+    solver: &Solver,
+    topology: &BitGrid,
+    variants: usize,
+    rng: &mut impl Rng,
+) -> Result<(Vec<SquishPattern>, PipelineReport), GenerateError> {
+    let solve = solver.solve_many_report(topology, variants, rng);
+    let mut report = PipelineReport {
+        solver_failures: solve.failures,
+        ..PipelineReport::default()
+    };
+    let mut patterns = Vec::with_capacity(solve.solutions.len());
+    for s in solve.solutions {
+        let pattern =
+            SquishPattern::new(topology.clone(), s.dx, s.dy).map_err(GenerateError::Assembly)?;
+        report.legal_patterns += 1;
+        patterns.push(pattern);
+    }
+    Ok((patterns, report))
+}
+
+/// Derives the per-item RNG seed from the request seed and item index
+/// (splitmix64 finaliser): items are independent of each other and of the
+/// worker/batch that happens to run them.
+pub(crate) fn item_seed(seed: u64, index: usize) -> u64 {
+    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| item_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+        assert_ne!(item_seed(1, 0), item_seed(2, 0));
+    }
+}

@@ -23,8 +23,15 @@
 //!   (weights + schedule + fold geometry, `TrainedModel::save`/`load` for
 //!   persistence) — every operation takes `&self`, so one model serves any
 //!   number of threads;
-//! * [`GenerationSession`] is the inference engine: builder-configured,
-//!   fallible ([`ConfigError`]/[`GenerateError`]), thread-parallel and
+//! * [`PatternService`] is the serving engine: an owned, long-lived pool
+//!   over an `Arc<TrainedModel>` that multiplexes many concurrent
+//!   requests and fills every denoising micro-batch **across requests**,
+//!   streaming each request's items through a `'static` [`RequestHandle`]
+//!   that cancels on drop — with output bit-identical regardless of
+//!   concurrent load, worker count, or admission order;
+//! * [`GenerationSession`] is the borrowing, single-request flavour of the
+//!   same engine: builder-configured, fallible
+//!   ([`ConfigError`]/[`GenerateError`]), thread-parallel and
 //!   **deterministic per seed regardless of thread count**, streaming
 //!   [`Generated`] items with full [`Provenance`];
 //! * [`PatternSource`] unifies the diffusion path and all four baseline
@@ -61,32 +68,52 @@
 //! # }
 //! ```
 //!
+//! # Serving many requests: `GenerationSession` → `PatternService`
+//!
+//! A session is the right tool for one borrower generating batches; a
+//! service is the right tool for a long-lived process answering many
+//! small requests (per-ruleset libraries, rule sweeps, concurrent
+//! callers). The mapping:
+//!
+//! | `GenerationSession` | `PatternService` |
+//! |---|---|
+//! | `GenerationSession::builder(&model)` | [`PatternService::builder`]`(Arc<TrainedModel>)` |
+//! | builder `rules`/`solver_config`/`sample_stride`/… | per-request [`RequestSpec`] fields |
+//! | builder `threads` / `micro_batch` | service-level pool knobs (shared by all requests) |
+//! | `session.generate(count)` | `service.submit(&spec)?` + [`RequestHandle::wait`] |
+//! | `session.generate_streaming(count, f)` | iterate the [`RequestHandle`] |
+//! | `session.sample_topologies(count)` | [`PatternService::sample_topologies`] |
+//! | fresh worker pool per call | persistent pool, micro-batches filled **across requests** |
+//! | abandon = wait for the call | drop the [`RequestHandle`] = cancel |
+//!
+//! Both run the same scheduler core, so the determinism contract is
+//! shared: a request/batch is fully determined by its seed and spec,
+//! bit-identical at every thread count, micro-batch size, priority, and
+//! concurrent load.
+//!
 //! # Migrating from the monolithic `Pipeline` API
 //!
-//! The pre-0.2 `Pipeline` generation methods still work but are
-//! deprecated shims:
+//! The pre-0.2 `Pipeline` generation shims (deprecated since 0.2) were
+//! removed in 0.3:
 //!
-//! | Deprecated | Replacement |
+//! | Removed | Replacement |
 //! |---|---|
-//! | `Pipeline::generate_legal_patterns` | [`GenerationSession::generate`] |
+//! | `Pipeline::generate_legal_patterns` | [`GenerationSession::generate`] / [`PatternService::generate`] |
 //! | `Pipeline::generate_topologies` | [`GenerationSession::sample_topologies`] |
 //! | `Pipeline::legalize_topologies` | [`GenerationSession::generate`] (one pass) |
 //! | `Pipeline::legalize_variants` | [`GenerationSession::legalize_variants`] |
 //! | `Pipeline::denoiser_mut` + `dp_nn::save_params` | [`TrainedModel::save`] |
 //! | `dp_nn::load_params` + `Pipeline::mark_trained` | [`TrainedModel::load`] |
-//!
-//! Two behavioural improvements ride along: a batch that cannot be filled
-//! reports the gap in [`PipelineReport::shortfall`] instead of silently
-//! returning fewer patterns, and requested-but-unsolved DiffPattern-L
-//! variants are counted in [`PipelineReport::solver_failures`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod engine;
 mod error;
 pub mod metrics;
 mod pipeline;
 pub mod render;
+mod service;
 mod session;
 mod source;
 pub mod table1;
@@ -95,6 +122,7 @@ pub mod table2;
 pub use error::{ConfigError, GenerateError, PipelineError};
 pub use metrics::{evaluate_patterns, MethodRow};
 pub use pipeline::{BackboneConfig, Pipeline, PipelineConfig, PipelineReport};
+pub use service::{PatternService, RequestHandle, RequestSpec, ServiceBuilder};
 pub use session::{Generated, Generation, GenerationSession, Provenance, SessionBuilder};
 pub use source::{
     DiffusionSource, DiffusionVariantsSource, PatternSource, PixelSource, SequenceSource,

@@ -1,13 +1,12 @@
-use crate::{ConfigError, GenerationSession, PipelineError, SessionBuilder};
+use crate::{ConfigError, GenerationSession, PipelineError, RequestSpec, SessionBuilder};
 use dp_datagen::{
     build_dataset, split_into_tiles, Dataset, DatasetConfig, GeneratorConfig, LayoutMapGenerator,
 };
 use dp_diffusion::{TrainConfig, TrainReport, TrainedModel, Trainer};
 use dp_drc::DesignRules;
-use dp_geometry::{bowtie, BitGrid, Coord, Layout};
-use dp_legalize::{Init, Solution, SolveError, Solver, SolverConfig};
+use dp_geometry::{Coord, Layout};
+use dp_legalize::SolverConfig;
 use dp_nn::UNetConfig;
-use dp_squish::SquishPattern;
 use rand::Rng;
 
 /// U-Net backbone hyper-parameters.
@@ -232,20 +231,20 @@ impl PipelineReport {
 /// The DiffPattern pipeline (paper Fig. 4): dataset → discrete diffusion →
 /// pre-filter → white-box legalization.
 ///
-/// `Pipeline` remains the *training* facade: it builds the dataset and
-/// drives the trainer. For inference, freeze the trained state with
-/// [`Pipeline::trained_model`] and generate through a
-/// [`GenerationSession`] (see [`Pipeline::session_builder`]); the
-/// pipeline's own generation methods are deprecated shims kept for
-/// source compatibility.
+/// `Pipeline` is the *training* facade: it builds the dataset and drives
+/// the trainer. For inference, freeze the trained state with
+/// [`Pipeline::trained_model`] (or [`Pipeline::into_trained_model`]) and
+/// generate through a [`GenerationSession`]
+/// (see [`Pipeline::session_builder`]) or a long-lived
+/// [`crate::PatternService`] (see [`Pipeline::request_spec`]). The
+/// pre-0.2 generation shims were removed in 0.3 — the migration table
+/// lives in the [crate docs](crate).
 #[derive(Debug)]
 pub struct Pipeline {
     config: PipelineConfig,
     dataset: Dataset,
     trainer: Trainer,
-    solver: Solver,
     trained: bool,
-    report: PipelineReport,
 }
 
 impl Pipeline {
@@ -281,14 +280,11 @@ impl Pipeline {
             return Err(PipelineError::EmptyDataset);
         }
         let trainer = Trainer::new(&config.unet_config(), config.train.clone(), rng)?;
-        let solver = Solver::new(config.rules, config.solver);
         Ok(Pipeline {
             config,
             dataset,
             trainer,
-            solver,
             trained: false,
-            report: PipelineReport::default(),
         })
     }
 
@@ -302,32 +298,9 @@ impl Pipeline {
         &self.dataset
     }
 
-    /// Cumulative statistics.
-    pub fn report(&self) -> PipelineReport {
-        self.report
-    }
-
     /// The diffusion noise schedule in use.
     pub fn schedule(&self) -> &dp_diffusion::NoiseSchedule {
         self.trainer.schedule()
-    }
-
-    /// Mutable access to the (possibly trained) denoiser.
-    #[deprecated(
-        since = "0.2.0",
-        note = "freeze the trained state with `Pipeline::trained_model` and use its `&self` inference path instead"
-    )]
-    pub fn denoiser_mut(&mut self) -> &mut dp_diffusion::NeuralDenoiser {
-        self.trainer.denoiser_mut()
-    }
-
-    /// Marks the pipeline as trained without running the trainer.
-    #[deprecated(
-        since = "0.2.0",
-        note = "restore a frozen model with `TrainedModel::load` instead of patching weights into a pipeline"
-    )]
-    pub fn mark_trained(&mut self) {
-        self.trained = true;
     }
 
     /// Trains the diffusion model for `iterations` steps.
@@ -389,144 +362,24 @@ impl Pipeline {
             .donors(self.dataset.extended.clone())
     }
 
-    /// Samples `count` topology matrices from the trained model, applying
-    /// the bow-tie pre-filter (paper §III-C). Rejected samples are
-    /// replaced within a bounded attempt budget; if the budget runs out,
-    /// the gap is recorded in [`PipelineReport::shortfall`] instead of
-    /// being silently dropped.
-    ///
-    /// # Errors
-    ///
-    /// [`PipelineError::NotTrained`] before [`Pipeline::train`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `GenerationSession::sample_topologies` (thread-parallel, deterministic per seed)"
-    )]
-    pub fn generate_topologies(
-        &mut self,
-        count: usize,
-        rng: &mut impl Rng,
-    ) -> Result<Vec<BitGrid>, PipelineError> {
-        if !self.trained {
-            return Err(PipelineError::NotTrained);
+    /// Builds a [`RequestSpec`] for `count` patterns, pre-populated with
+    /// this pipeline's rules, solver window, sampling stride, pre-filter
+    /// policy and Solving-E donors — the [`crate::PatternService`]
+    /// counterpart of [`Pipeline::session_builder`].
+    pub fn request_spec(&self, count: usize) -> RequestSpec {
+        RequestSpec {
+            count,
+            rules: self.config.rules,
+            solver: self.config.solver,
+            sample_stride: self.config.sample_stride,
+            repair_bowties: self.config.repair_bowties,
+            donors: self.dataset.extended.clone().into(),
+            ..RequestSpec::new(0)
         }
-        let sampler = dp_diffusion::Sampler::new(self.trainer.schedule().clone());
-        let channels = self.config.dataset.channels;
-        let side = self.config.fold_side();
-        let retained = sampler.strided_steps(self.config.sample_stride);
-        let denoiser = self.trainer.denoiser();
-        let mut out = Vec::with_capacity(count);
-        // Bound replacement attempts so a degenerate model cannot loop
-        // forever.
-        let max_attempts = count.saturating_mul(4).max(16);
-        let mut attempts = 0;
-        while out.len() < count && attempts < max_attempts {
-            attempts += 1;
-            self.report.topologies_sampled += 1;
-            let tensor = if self.config.sample_stride <= 1 {
-                sampler.sample_one_infer(denoiser, channels, side, rng)
-            } else {
-                sampler.sample_respaced_infer(denoiser, channels, side, &retained, rng)
-            };
-            let mut grid = tensor.unfold();
-            if bowtie::is_bowtie_free(&grid) {
-                out.push(grid);
-            } else if self.config.repair_bowties {
-                bowtie::repair_bowties(&mut grid);
-                self.report.prefilter_repaired += 1;
-                out.push(grid);
-            } else {
-                self.report.prefilter_rejected += 1;
-            }
-        }
-        self.report.shortfall += count - out.len();
-        Ok(out)
-    }
-
-    /// Legalizes a batch of topologies (DiffPattern-S: one pattern per
-    /// topology), using Solving-E initialisation from the training set.
-    /// Unsolvable topologies are dropped, as the paper prescribes.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `GenerationSession::generate`, which samples and legalizes in one thread-parallel pass"
-    )]
-    pub fn legalize_topologies(
-        &mut self,
-        topologies: &[BitGrid],
-        rng: &mut impl Rng,
-    ) -> Vec<SquishPattern> {
-        let mut out = Vec::with_capacity(topologies.len());
-        for topo in topologies {
-            match self.solve_with_existing_init(topo, rng) {
-                Ok(solution) => match SquishPattern::new(topo.clone(), solution.dx, solution.dy) {
-                    Ok(pattern) => {
-                        self.report.legal_patterns += 1;
-                        out.push(pattern);
-                    }
-                    Err(_) => self.report.solver_failures += 1,
-                },
-                Err(_) => self.report.solver_failures += 1,
-            }
-        }
-        out
-    }
-
-    /// Legalizes one topology into up to `variants` distinct patterns
-    /// (DiffPattern-L, paper Fig. 7). Requested-but-unsolved variants are
-    /// counted in [`PipelineReport::solver_failures`].
-    #[deprecated(since = "0.2.0", note = "use `GenerationSession::legalize_variants`")]
-    pub fn legalize_variants(
-        &mut self,
-        topology: &BitGrid,
-        variants: usize,
-        rng: &mut impl Rng,
-    ) -> Vec<SquishPattern> {
-        let solve = self.solver.solve_many_report(topology, variants, rng);
-        self.report.solver_failures += solve.failures;
-        let mut out = Vec::with_capacity(solve.solutions.len());
-        for s in solve.solutions {
-            match SquishPattern::new(topology.clone(), s.dx, s.dy) {
-                Ok(pattern) => {
-                    self.report.legal_patterns += 1;
-                    out.push(pattern);
-                }
-                Err(_) => self.report.solver_failures += 1,
-            }
-        }
-        out
-    }
-
-    /// Convenience: sample topologies and legalize them (DiffPattern-S).
-    ///
-    /// # Errors
-    ///
-    /// [`PipelineError::NotTrained`] before [`Pipeline::train`].
-    #[deprecated(since = "0.2.0", note = "use `GenerationSession::generate`")]
-    #[allow(deprecated)]
-    pub fn generate_legal_patterns(
-        &mut self,
-        count: usize,
-        rng: &mut impl Rng,
-    ) -> Result<Vec<SquishPattern>, PipelineError> {
-        let topologies = self.generate_topologies(count, rng)?;
-        Ok(self.legalize_topologies(&topologies, rng))
-    }
-
-    /// Solves with Solving-E initialisation (a random training pattern's Δ
-    /// vectors), the accelerated mode of paper Table II.
-    fn solve_with_existing_init(
-        &self,
-        topology: &BitGrid,
-        rng: &mut impl Rng,
-    ) -> Result<Solution, SolveError> {
-        let donor = &self.dataset.extended[rng.gen_range(0..self.dataset.extended.len())];
-        self.solver
-            .solve(topology, Init::Existing(donor.dx(), donor.dy()), rng)
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
@@ -545,14 +398,14 @@ mod tests {
     }
 
     #[test]
-    fn generation_before_training_errors() {
-        let (mut pipeline, mut rng) = tiny_pipeline(1);
+    fn freezing_before_training_errors() {
+        let (pipeline, _) = tiny_pipeline(1);
         assert!(matches!(
-            pipeline.generate_topologies(1, &mut rng),
+            pipeline.trained_model(),
             Err(PipelineError::NotTrained)
         ));
         assert!(matches!(
-            pipeline.trained_model(),
+            pipeline.into_trained_model(),
             Err(PipelineError::NotTrained)
         ));
     }
@@ -562,36 +415,37 @@ mod tests {
         let (mut pipeline, mut rng) = tiny_pipeline(2);
         let report = pipeline.train(6, &mut rng).unwrap();
         assert_eq!(report.losses.len(), 6);
-        let patterns = pipeline.generate_legal_patterns(3, &mut rng).unwrap();
+        let model = pipeline.trained_model().unwrap();
+        let session = pipeline.session_builder(&model).seed(2).build().unwrap();
+        let batch = session.generate(3).unwrap();
         // Every returned pattern must be DRC-clean: the 100 % legality
         // claim is structural.
-        for p in &patterns {
-            let drc = dp_drc::check_pattern(p, &pipeline.config().rules);
+        for g in &batch.items {
+            let drc = dp_drc::check_pattern(&g.pattern, &pipeline.config().rules);
             assert!(drc.is_clean(), "{:?}", drc.violations());
         }
-        let r = pipeline.report();
-        assert_eq!(r.legal_patterns, patterns.len());
+        let r = batch.report;
+        assert_eq!(r.legal_patterns, batch.items.len());
         assert!(r.topologies_sampled >= 3);
+        assert_eq!(batch.items.len() + r.shortfall, 3);
     }
 
     #[test]
     fn variants_share_topology_and_are_legal() {
         let (mut pipeline, mut rng) = tiny_pipeline(3);
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let topos = pipeline.generate_topologies(1, &mut rng).unwrap();
+        let model = pipeline.trained_model().unwrap();
+        let session = pipeline.session_builder(&model).seed(3).build().unwrap();
+        let (topos, _) = session.sample_topologies(1);
         if topos.is_empty() {
             return; // extremely unlucky sampling; covered by other seeds
         }
-        let variants = pipeline.legalize_variants(&topos[0], 4, &mut rng);
+        let (variants, report) = session.legalize_variants(&topos[0], 4, &mut rng).unwrap();
         for v in &variants {
             assert_eq!(v.topology(), &topos[0]);
             assert!(dp_drc::check_pattern(v, &pipeline.config().rules).is_clean());
         }
-        // Requested-but-unproduced variants are now accounted: solved +
-        // failures + duplicates = requested, and only failures hit the
-        // report.
-        let r = pipeline.report();
-        assert!(variants.len() + r.solver_failures <= topos.len().max(1) * 4 + r.solver_failures);
+        assert_eq!(report.legal_patterns, variants.len());
     }
 
     #[test]
@@ -600,37 +454,46 @@ mod tests {
         // solver failure instead of silently shrinking the result.
         let (mut pipeline, mut rng) = tiny_pipeline(7);
         let _ = pipeline.train(3, &mut rng).unwrap();
-        pipeline.solver = Solver::new(
-            DesignRules::builder()
-                .space_min(900)
-                .width_min(900)
-                .area_range(1, i128::MAX / 4)
-                .build()
-                .unwrap(),
-            SolverConfig {
+        let model = pipeline.trained_model().unwrap();
+        let sampling_session = pipeline.session_builder(&model).seed(7).build().unwrap();
+        let harsh_session = pipeline
+            .session_builder(&model)
+            .rules(
+                DesignRules::builder()
+                    .space_min(900)
+                    .width_min(900)
+                    .area_range(1, i128::MAX / 4)
+                    .build()
+                    .unwrap(),
+            )
+            .solver_config(SolverConfig {
                 max_iterations: 30,
                 max_restarts: 1,
                 ..SolverConfig::for_window(2048, 2048)
-            },
-        );
-        let topo = pipeline.generate_topologies(1, &mut rng).unwrap();
-        if topo.is_empty() || topo[0].count_ones() == 0 {
+            })
+            .build()
+            .unwrap();
+        let (topos, _) = sampling_session.sample_topologies(1);
+        if topos.is_empty() || topos[0].count_ones() == 0 {
             return; // nothing to legalize → nothing to fail
         }
-        let before = pipeline.report().solver_failures;
-        let variants = pipeline.legalize_variants(&topo[0], 3, &mut rng);
-        let after = pipeline.report().solver_failures;
-        assert_eq!(after - before + variants.len(), 3);
+        let (variants, report) = harsh_session
+            .legalize_variants(&topos[0], 3, &mut rng)
+            .unwrap();
+        assert_eq!(report.solver_failures + variants.len(), 3);
     }
 
     #[test]
     fn prefilter_rate_is_tracked() {
         let (mut pipeline, mut rng) = tiny_pipeline(4);
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let topos = pipeline.generate_topologies(4, &mut rng).unwrap();
-        let r = pipeline.report();
+        let model = pipeline.trained_model().unwrap();
+        let session = pipeline.session_builder(&model).seed(4).build().unwrap();
+        let (topos, r) = session.sample_topologies(4);
         assert!(r.prefilter_rate() >= 0.0 && r.prefilter_rate() <= 1.0);
-        assert_eq!(r.topologies_sampled, r.prefilter_rejected + topos.len());
+        // Exact accounting: in topology-only mode every sampled attempt is
+        // either delivered (repaired ones are delivered) or rejected.
+        assert_eq!(r.topologies_sampled, topos.len() + r.prefilter_rejected);
         // The shortfall invariant: whatever was not delivered is recorded.
         assert_eq!(r.shortfall, 4 - topos.len());
     }
@@ -642,11 +505,25 @@ mod tests {
         config.sample_stride = 5;
         let mut pipeline = Pipeline::from_synthetic_map(config, &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let topos = pipeline.generate_topologies(2, &mut rng).unwrap();
+        let model = pipeline.trained_model().unwrap();
+        let session = pipeline.session_builder(&model).seed(5).build().unwrap();
+        let (topos, _) = session.sample_topologies(2);
         assert_eq!(topos.len(), 2);
         for t in &topos {
             assert_eq!((t.width(), t.height()), (32, 32));
         }
+    }
+
+    #[test]
+    fn request_spec_mirrors_the_pipeline_config() {
+        let (pipeline, _) = tiny_pipeline(8);
+        let spec = pipeline.request_spec(5).seed(9);
+        assert_eq!(spec.count, 5);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.rules, pipeline.config().rules);
+        assert_eq!(spec.sample_stride, pipeline.config().sample_stride);
+        assert_eq!(spec.repair_bowties, pipeline.config().repair_bowties);
+        assert_eq!(spec.donors.len(), pipeline.dataset().extended.len());
     }
 
     #[test]

@@ -1,0 +1,522 @@
+//! [`PatternService`]: a long-lived, multi-request generation engine with
+//! **cross-request micro-batching**.
+//!
+//! Where a [`crate::GenerationSession`] borrows a model and spins up a
+//! worker pool per `generate()` call, a service *owns* an
+//! [`Arc<TrainedModel>`] and keeps a **persistent worker pool** that
+//! multiplexes many concurrent requests: every denoising micro-batch is
+//! filled with lanes drawn from as many pending requests as needed, so
+//! eight concurrent `count = 2` requests sample at batch 8 instead of
+//! eight times at batch 2. Handles are `'static` and `Send`, the service
+//! itself is cheaply clonable (clones share the engine), and dropping a
+//! [`RequestHandle`] cancels its remaining work.
+//!
+//! # Determinism under load
+//!
+//! A request's output is **bit-identical regardless of concurrent load,
+//! worker count, or admission order** — the same invariant the session
+//! pinned for intra-call batching, extended across requests. The argument
+//! has three independent layers:
+//!
+//! 1. every lane (batch slot) derives its RNG from
+//!    `splitmix64(request seed, item index)` — nothing it draws depends on
+//!    scheduling;
+//! 2. the stacked U-Net evaluation is bit-identical per item
+//!    (`dp_nn` batch invariance), so a lane's samples do not depend on
+//!    which other lanes share its micro-batch;
+//! 3. solver and donor draws happen per lane on the lane's own RNG, in the
+//!    same order the single-item path used.
+//!
+//! Scheduling — priorities, the worker count, who else is queued — decides
+//! only *when* a lane runs, never *what* it produces.
+//!
+//! ```no_run
+//! use diffpattern::{PatternService, Pipeline, PipelineConfig, RequestSpec};
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::default(), &mut rng)?;
+//! pipeline.train(200, &mut rng)?;
+//! let spec = pipeline.request_spec(16).seed(7);
+//! let model = Arc::new(pipeline.into_trained_model()?);
+//!
+//! // One engine, shared by every request for the process lifetime.
+//! let service = PatternService::builder(model).threads(4).build()?;
+//!
+//! // Submit many requests; they share the worker pool and fill each
+//! // other's micro-batches. Each handle streams its own items.
+//! let fast = service.submit(&RequestSpec { seed: 1, priority: 1, ..spec.clone() })?;
+//! let slow = service.submit(&RequestSpec { seed: 2, ..spec.clone() })?;
+//! for generated in fast {
+//!     println!("pattern {} after {} attempts", generated.provenance.index,
+//!              generated.provenance.attempts);
+//! }
+//! let batch = slow.wait()?;
+//! println!("{} legal patterns, shortfall {}", batch.items.len(), batch.report.shortfall);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::{self, Engine, LaneMsg, Mode, Payload, RequestJob};
+use crate::{ConfigError, GenerateError, Generated, Generation, PipelineError, PipelineReport};
+use dp_diffusion::TrainedModel;
+use dp_drc::DesignRules;
+use dp_geometry::BitGrid;
+use dp_legalize::{Solver, SolverConfig};
+use dp_squish::SquishPattern;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Everything one generation request carries: what to generate, under
+/// which rules, and how urgently. Plain data — build one with
+/// [`RequestSpec::new`] (or [`crate::Pipeline::request_spec`]) and adjust
+/// fields directly or by struct update:
+///
+/// ```
+/// use diffpattern::RequestSpec;
+/// let base = RequestSpec::new(8).seed(42);
+/// let hurried = RequestSpec { priority: 10, ..base.clone() };
+/// assert_eq!(hurried.count, 8);
+/// ```
+///
+/// Validation happens at [`PatternService::submit`], which rejects a zero
+/// stride or attempt budget and a solver window smaller than the model's
+/// topology matrix.
+#[derive(Debug, Clone)]
+pub struct RequestSpec {
+    /// How many legal patterns to generate.
+    pub count: usize,
+    /// The request seed: together with an item's index it fully determines
+    /// that item, independent of everything else the service is doing.
+    pub seed: u64,
+    /// Scheduling priority — higher runs earlier when the pool is
+    /// contended. Affects latency only, never content.
+    pub priority: i32,
+    /// Design rules for legalization.
+    pub rules: DesignRules,
+    /// Legalization solver settings.
+    pub solver: SolverConfig,
+    /// Reverse-sampling stride: 1 runs the full ancestral chain, larger
+    /// values use the respaced sampler with `K / stride` denoiser calls.
+    pub sample_stride: usize,
+    /// Per-item sampling attempt budget before the slot is counted as
+    /// shortfall.
+    pub max_attempts: usize,
+    /// Repair bow-ties instead of rejecting the sample.
+    pub repair_bowties: bool,
+    /// Donor patterns for Solving-E initialisation; empty falls back to
+    /// Solving-R. Shared (`Arc`) so specs clone cheaply.
+    pub donors: Arc<[SquishPattern]>,
+}
+
+impl RequestSpec {
+    /// A spec for `count` patterns with the same defaults as
+    /// [`crate::SessionBuilder`]: standard rules, the paper's 2048 nm
+    /// window, full-chain sampling, 4 attempts, repair on, priority 0,
+    /// seed 0, no donors.
+    pub fn new(count: usize) -> Self {
+        RequestSpec {
+            count,
+            seed: 0,
+            priority: 0,
+            rules: DesignRules::standard(),
+            solver: SolverConfig::for_window(2048, 2048),
+            sample_stride: 1,
+            max_attempts: 4,
+            repair_bowties: true,
+            donors: Arc::from([]),
+        }
+    }
+
+    /// Returns the spec with the given seed (chainable convenience for the
+    /// most commonly varied field).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for RequestSpec {
+    fn default() -> Self {
+        RequestSpec::new(0)
+    }
+}
+
+/// Builder for [`PatternService`].
+#[derive(Debug)]
+pub struct ServiceBuilder {
+    model: Arc<TrainedModel>,
+    threads: usize,
+    micro_batch: usize,
+}
+
+impl ServiceBuilder {
+    /// Persistent worker thread count; 0 (the default) uses the machine's
+    /// available parallelism.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sampling micro-batch: how many denoising lanes each worker advances
+    /// in lock-step per U-Net call (default 8). The scheduler fills each
+    /// micro-batch across requests, so this is the cross-request batching
+    /// knob. Output is bit-identical at every setting.
+    pub fn micro_batch(mut self, micro_batch: usize) -> Self {
+        self.micro_batch = micro_batch;
+        self
+    }
+
+    /// Validates the configuration, builds the engine and spawns the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroMicroBatch`] when `micro_batch` is 0.
+    pub fn build(self) -> Result<PatternService, ConfigError> {
+        if self.micro_batch == 0 {
+            return Err(ConfigError::ZeroMicroBatch);
+        }
+        let threads = engine::resolve_threads(self.threads);
+        let engine = Arc::new(Engine::new(
+            self.model.sampler(),
+            self.model.channels(),
+            self.model.side(),
+            self.micro_batch,
+            false,
+        ));
+        let mut workers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let model = Arc::clone(&self.model);
+            let engine = Arc::clone(&engine);
+            let multi = threads > 1;
+            workers.push(std::thread::spawn(move || {
+                if multi {
+                    // The pool is already data-parallel; nesting GEMM
+                    // threads inside the workers would oversubscribe.
+                    dp_nn::with_inner_gemm_parallelism(false, || {
+                        engine::run_worker(&model, &engine)
+                    })
+                } else {
+                    engine::run_worker(&model, &engine)
+                }
+            }));
+        }
+        Ok(PatternService {
+            core: Arc::new(ServiceCore {
+                model: self.model,
+                engine,
+                threads,
+                micro_batch: self.micro_batch,
+                workers: Mutex::new(workers),
+            }),
+        })
+    }
+}
+
+struct ServiceCore {
+    model: Arc<TrainedModel>,
+    engine: Arc<Engine>,
+    threads: usize,
+    micro_batch: usize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for ServiceCore {
+    fn drop(&mut self) {
+        // Last service handle gone: stop the pool and join every worker,
+        // so dropping a service never leaks threads. Outstanding request
+        // handles see their channels disconnect and terminate early.
+        self.engine.shutdown();
+        for worker in self
+            .workers
+            .lock()
+            .expect("worker registry poisoned")
+            .drain(..)
+        {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// A long-lived, multi-request generation engine over an owned
+/// [`Arc<TrainedModel>`]: submit [`RequestSpec`]s from any thread, stream
+/// results through [`RequestHandle`]s, share the persistent worker pool's
+/// cross-request micro-batches. A request's output is bit-identical
+/// regardless of concurrent load, worker count, or admission order (the
+/// determinism contract laid out at the top of this module's
+/// documentation).
+///
+/// Cloning is cheap and shares the engine; the pool shuts down (and every
+/// worker is joined) when the last clone is dropped.
+#[derive(Clone)]
+pub struct PatternService {
+    core: Arc<ServiceCore>,
+}
+
+impl std::fmt::Debug for PatternService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PatternService")
+            .field("threads", &self.core.threads)
+            .field("micro_batch", &self.core.micro_batch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PatternService {
+    /// Starts a builder over `model` with default settings.
+    pub fn builder(model: Arc<TrainedModel>) -> ServiceBuilder {
+        ServiceBuilder {
+            model,
+            threads: 0,
+            micro_batch: 8,
+        }
+    }
+
+    /// The shared model.
+    pub fn model(&self) -> &Arc<TrainedModel> {
+        &self.core.model
+    }
+
+    /// Persistent worker thread count.
+    pub fn threads(&self) -> usize {
+        self.core.threads
+    }
+
+    /// Lock-step denoising lanes per U-Net call (filled across requests).
+    pub fn micro_batch(&self) -> usize {
+        self.core.micro_batch
+    }
+
+    /// Admits a generation request. Returns immediately; the request's
+    /// lanes are interleaved into the pool's micro-batches alongside every
+    /// other pending request's.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroStride`], [`ConfigError::ZeroAttempts`], or
+    /// [`ConfigError::WindowTooSmall`] when the spec's solver window
+    /// cannot hold the model's topology matrix.
+    pub fn submit(&self, spec: &RequestSpec) -> Result<RequestHandle, ConfigError> {
+        self.submit_mode(spec, Mode::Generate)
+    }
+
+    /// Blocking convenience: [`PatternService::submit`] plus
+    /// [`RequestHandle::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::Config`] for a rejected spec,
+    /// [`PipelineError::Generate`] for structural generation failures.
+    pub fn generate(&self, spec: &RequestSpec) -> Result<Generation, PipelineError> {
+        Ok(self.submit(spec)?.wait()?)
+    }
+
+    /// Samples `spec.count` topology matrices (pre-filtered, no
+    /// legalization) through the shared pool, blocking until done.
+    /// Topologies come back in index order with the aggregated report;
+    /// determinism matches [`PatternService::submit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PatternService::submit`].
+    pub fn sample_topologies(
+        &self,
+        spec: &RequestSpec,
+    ) -> Result<(Vec<BitGrid>, PipelineReport), ConfigError> {
+        let mut handle = self.submit_mode(spec, Mode::TopologyOnly)?;
+        let mut out: Vec<(usize, BitGrid)> = Vec::with_capacity(spec.count);
+        while let Some(payload) = handle.recv_payload() {
+            if let Payload::Topology(index, grid) = payload {
+                out.push((index, grid));
+            }
+        }
+        out.sort_by_key(|(index, _)| *index);
+        Ok((
+            out.into_iter().map(|(_, grid)| grid).collect(),
+            handle.report,
+        ))
+    }
+
+    fn submit_mode(&self, spec: &RequestSpec, mode: Mode) -> Result<RequestHandle, ConfigError> {
+        engine::validate_request(
+            spec.sample_stride,
+            spec.max_attempts,
+            self.core.model.matrix_side(),
+            &spec.solver,
+        )?;
+        let job = RequestJob {
+            mode,
+            seed: spec.seed,
+            count: spec.count,
+            stride: spec.sample_stride,
+            retained: self.core.engine.strided_steps(spec.sample_stride).into(),
+            max_attempts: spec.max_attempts,
+            repair_bowties: spec.repair_bowties,
+            solver: Solver::new(spec.rules, spec.solver),
+            donors: Arc::clone(&spec.donors),
+        };
+        let cancel = Arc::new(AtomicBool::new(false));
+        let rx = self
+            .core
+            .engine
+            .submit(job, spec.priority, Arc::clone(&cancel));
+        Ok(RequestHandle {
+            rx,
+            cancel_flag: cancel,
+            engine: Arc::downgrade(&self.core.engine),
+            count: spec.count,
+            lanes_done: 0,
+            report: PipelineReport::default(),
+            error: None,
+            finished: false,
+        })
+    }
+}
+
+/// The receiving end of one submitted request: stream items with
+/// [`RequestHandle::recv`] or the [`Iterator`] impl, or collect everything
+/// with [`RequestHandle::wait`]. `'static` and `Send`, so it can be moved
+/// to whatever thread consumes the results.
+///
+/// **Dropping the handle cancels the request**: lanes not yet started
+/// never run, in-flight lanes drain (their results are discarded), and
+/// every other request is untouched — by the determinism contract their
+/// outputs do not change by a single bit.
+#[derive(Debug)]
+pub struct RequestHandle {
+    rx: mpsc::Receiver<LaneMsg>,
+    cancel_flag: Arc<AtomicBool>,
+    /// Weak so an outstanding handle never keeps a dropped service's
+    /// engine alive; used to wake parked workers on cancellation so they
+    /// prune the cancelled request instead of retaining it until the next
+    /// submit.
+    engine: std::sync::Weak<Engine>,
+    count: usize,
+    lanes_done: usize,
+    report: PipelineReport,
+    error: Option<GenerateError>,
+    finished: bool,
+}
+
+impl RequestHandle {
+    /// Receives the next generated pattern, blocking until one is ready.
+    /// Returns `None` when the request is complete (every lane delivered
+    /// or counted as shortfall), cancelled, or the service was dropped.
+    /// Items arrive in completion order; [`crate::Provenance::index`]
+    /// gives each item's position in the request.
+    pub fn recv(&mut self) -> Option<Generated> {
+        loop {
+            match self.recv_payload()? {
+                Payload::Pattern(generated) => return Some(generated),
+                // Topology payloads belong to the internal sampling mode
+                // and are consumed by `sample_topologies`.
+                Payload::Topology(..) => continue,
+            }
+        }
+    }
+
+    /// The lane-level receive shared by patterns and topologies.
+    fn recv_payload(&mut self) -> Option<Payload> {
+        loop {
+            if self.finished {
+                return None;
+            }
+            match self.rx.recv() {
+                Ok(msg) => {
+                    self.report.merge(&msg.delta);
+                    self.lanes_done += 1;
+                    if self.lanes_done >= self.count {
+                        self.finished = true;
+                    }
+                    match msg.payload {
+                        Ok(Some(payload)) => return Some(payload),
+                        Ok(None) => self.report.shortfall += 1,
+                        Err(e) => {
+                            if self.error.is_none() {
+                                self.error = Some(e);
+                            }
+                        }
+                    }
+                }
+                Err(mpsc::RecvError) => {
+                    self.finished = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Drains the request to completion and returns the items in index
+    /// order with the aggregated report — the same shape
+    /// [`crate::GenerationSession::generate`] produces.
+    ///
+    /// # Errors
+    ///
+    /// The first structural [`GenerateError`] any lane hit.
+    pub fn wait(mut self) -> Result<Generation, GenerateError> {
+        let mut items = Vec::new();
+        while let Some(generated) = self.recv() {
+            items.push(generated);
+        }
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        items.sort_by_key(|g| g.provenance.index);
+        Ok(Generation {
+            items,
+            report: self.report,
+        })
+    }
+
+    /// Cancels the request now (the destructor does the same): remaining
+    /// lanes stop, already-received items stay valid, subsequent
+    /// [`RequestHandle::recv`] calls return `None`.
+    pub fn cancel(&mut self) {
+        self.cancel_flag.store(true, Ordering::Relaxed);
+        self.finished = true;
+        // Wake parked workers so an idle pool prunes the cancelled
+        // request's queue entry now rather than at the next submit.
+        if let Some(engine) = self.engine.upgrade() {
+            engine.nudge();
+        }
+    }
+
+    /// Statistics accumulated so far (complete once the stream has ended).
+    /// Shortfall counts lanes that exhausted their attempt budget.
+    pub fn report(&self) -> PipelineReport {
+        self.report
+    }
+
+    /// Whether the stream has ended (all lanes accounted, cancelled, or
+    /// disconnected).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The first structural error a lane reported, if any (also surfaced
+    /// by [`RequestHandle::wait`]).
+    pub fn error(&self) -> Option<&GenerateError> {
+        self.error.as_ref()
+    }
+}
+
+impl Iterator for RequestHandle {
+    type Item = Generated;
+
+    fn next(&mut self) -> Option<Generated> {
+        self.recv()
+    }
+}
+
+impl Drop for RequestHandle {
+    fn drop(&mut self) {
+        self.cancel_flag.store(true, Ordering::Relaxed);
+        if let Some(engine) = self.engine.upgrade() {
+            engine.nudge();
+        }
+    }
+}

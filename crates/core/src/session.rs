@@ -2,15 +2,21 @@
 //! split.
 //!
 //! A session borrows an immutable [`TrainedModel`], owns one legalization
-//! [`Solver`] (built once, reused for every pattern), and shards batch
-//! generation across `std::thread::scope` workers. Workers pull
-//! **micro-batches** of slots and advance their denoising chains in
-//! lock-step — one U-Net evaluation per step for the whole chunk (see
-//! [`SessionBuilder::micro_batch`]). Every batch item still draws its own
-//! RNG from `(session seed, item index)`, so the output is
+//! [`Solver`] (built once, reused for every pattern), and runs batch
+//! generation through the same scheduler core as
+//! [`crate::PatternService`] — each `generate()` call is a one-shot
+//! single-request service whose workers live in a `std::thread::scope`.
+//! Workers pull **micro-batches** of lanes and advance their denoising
+//! chains in lock-step — one U-Net evaluation per step for the whole
+//! chunk (see [`SessionBuilder::micro_batch`]). Every batch item still
+//! draws its own RNG from `(session seed, item index)`, so the output is
 //! **bit-identical for a given seed regardless of the thread count or the
 //! micro-batch size** — scaling either knob never changes what gets
 //! generated, only how fast.
+//!
+//! For many small concurrent requests, prefer the owned, long-lived
+//! [`crate::PatternService`], which keeps a persistent pool and fills
+//! micro-batches *across* requests.
 //!
 //! ```no_run
 //! use diffpattern::{GenerationSession, Pipeline, PipelineConfig};
@@ -28,22 +34,23 @@
 //! # }
 //! ```
 
+use crate::engine::{self, Engine, LaneMsg, Mode, Payload, RequestJob};
 use crate::{ConfigError, GenerateError, PipelineReport};
-use dp_diffusion::{BatchScratch, Sampler, TrainedModel};
+use dp_diffusion::{Sampler, TrainedModel};
 use dp_drc::DesignRules;
-use dp_geometry::{bowtie, BitGrid};
-use dp_legalize::{Init, SolveStats, Solver, SolverConfig};
+use dp_geometry::BitGrid;
+use dp_legalize::{SolveStats, Solver, SolverConfig};
 use dp_squish::SquishPattern;
-use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use rand::Rng;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Where a generated pattern came from: enough to reproduce it exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Provenance {
     /// Position of this item in the requested batch.
     pub index: usize,
-    /// The per-item RNG seed (derived from the session seed and `index`).
+    /// The per-item RNG seed (derived from the request seed and `index`).
     pub seed: u64,
     /// Sampling attempts consumed, including the successful one.
     pub attempts: usize,
@@ -64,12 +71,12 @@ pub struct Generated {
 }
 
 /// A completed batch: items in batch-index order plus the aggregated
-/// per-worker reports.
+/// per-lane reports.
 #[derive(Debug, Clone)]
 pub struct Generation {
     /// The generated patterns, sorted by [`Provenance::index`].
     pub items: Vec<Generated>,
-    /// Merged statistics of every worker, including the
+    /// Merged statistics of every lane, including the
     /// [`PipelineReport::shortfall`] count of batch slots that exhausted
     /// their attempt budget.
     pub report: PipelineReport,
@@ -167,34 +174,18 @@ impl<'m> SessionBuilder<'m> {
     /// [`ConfigError::WindowTooSmall`] when the solver window cannot hold
     /// the model's topology matrix.
     pub fn build(self) -> Result<GenerationSession<'m>, ConfigError> {
-        if self.stride == 0 {
-            return Err(ConfigError::ZeroStride);
-        }
-        if self.max_attempts == 0 {
-            return Err(ConfigError::ZeroAttempts);
-        }
         if self.micro_batch == 0 {
             return Err(ConfigError::ZeroMicroBatch);
         }
-        let matrix_side = self.model.matrix_side();
-        if (matrix_side as i64) > self.solver.target_width
-            || (matrix_side as i64) > self.solver.target_height
-        {
-            return Err(ConfigError::WindowTooSmall {
-                matrix_side,
-                target_width: self.solver.target_width,
-                target_height: self.solver.target_height,
-            });
-        }
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
+        engine::validate_request(
+            self.stride,
+            self.max_attempts,
+            self.model.matrix_side(),
+            &self.solver,
+        )?;
+        let threads = engine::resolve_threads(self.threads);
         let sampler = self.model.sampler();
-        let retained = sampler.strided_steps(self.stride);
+        let retained: Arc<[usize]> = sampler.strided_steps(self.stride).into();
         Ok(GenerationSession {
             model: self.model,
             sampler,
@@ -207,7 +198,7 @@ impl<'m> SessionBuilder<'m> {
             threads,
             micro_batch: self.micro_batch,
             seed: self.seed,
-            donors: self.donors,
+            donors: self.donors.into(),
         })
     }
 }
@@ -216,20 +207,24 @@ impl<'m> SessionBuilder<'m> {
 /// topologies, pre-filters bow-ties, legalizes with a reused [`Solver`],
 /// and streams [`Generated`] items — across as many threads as you ask
 /// for, deterministically per seed.
+///
+/// Internally each batch call runs the [`crate::PatternService`]
+/// scheduler core with exactly one request, so the two APIs share one
+/// engine and one determinism contract.
 #[derive(Debug)]
 pub struct GenerationSession<'m> {
     model: &'m TrainedModel,
     sampler: Sampler,
     solver: Solver,
     rules: DesignRules,
-    retained: Vec<usize>,
+    retained: Arc<[usize]>,
     stride: usize,
     repair_bowties: bool,
     max_attempts: usize,
     threads: usize,
     micro_batch: usize,
     seed: u64,
-    donors: Vec<SquishPattern>,
+    donors: Arc<[SquishPattern]>,
 }
 
 impl<'m> GenerationSession<'m> {
@@ -305,13 +300,13 @@ impl<'m> GenerationSession<'m> {
     pub fn generate_streaming(
         &self,
         count: usize,
-        on_item: impl FnMut(Generated),
+        mut on_item: impl FnMut(Generated),
     ) -> Result<PipelineReport, GenerateError> {
-        self.run_batch(
-            count,
-            |indices, scratch| self.generate_items(indices, scratch),
-            on_item,
-        )
+        self.run_request(count, Mode::Generate, |payload| {
+            if let Payload::Pattern(generated) = payload {
+                on_item(generated);
+            }
+        })
     }
 
     /// Samples `count` topology matrices (pre-filtered, no legalization) —
@@ -320,11 +315,11 @@ impl<'m> GenerationSession<'m> {
     pub fn sample_topologies(&self, count: usize) -> (Vec<BitGrid>, PipelineReport) {
         let mut out: Vec<(usize, BitGrid)> = Vec::with_capacity(count);
         let report = self
-            .run_batch(
-                count,
-                |indices, scratch| self.sample_items(indices, scratch),
-                |item: (usize, BitGrid)| out.push(item),
-            )
+            .run_request(count, Mode::TopologyOnly, |payload| {
+                if let Payload::Topology(index, grid) = payload {
+                    out.push((index, grid));
+                }
+            })
             .expect("topology sampling is infallible");
         out.sort_by_key(|(index, _)| *index);
         (out.into_iter().map(|(_, grid)| grid).collect(), report)
@@ -344,323 +339,103 @@ impl<'m> GenerationSession<'m> {
         variants: usize,
         rng: &mut impl Rng,
     ) -> Result<(Vec<SquishPattern>, PipelineReport), GenerateError> {
-        let solve = self.solver.solve_many_report(topology, variants, rng);
-        let mut report = PipelineReport {
-            solver_failures: solve.failures,
-            ..PipelineReport::default()
-        };
-        let mut patterns = Vec::with_capacity(solve.solutions.len());
-        for s in solve.solutions {
-            let pattern = SquishPattern::new(topology.clone(), s.dx, s.dy)
-                .map_err(GenerateError::Assembly)?;
-            report.legal_patterns += 1;
-            patterns.push(pattern);
-        }
-        Ok((patterns, report))
+        engine::legalize_variants_with(&self.solver, topology, variants, rng)
     }
 
-    /// Runs `count` independent work items across the configured worker
-    /// threads, merging their report deltas and streaming their outputs.
-    ///
-    /// Workers pull **micro-batches** of item indices off an atomic
-    /// counter (chunks of [`GenerationSession::micro_batch`] consecutive
-    /// slots) and advance each chunk's denoising chains in lock-step, so
-    /// every worker evaluates the U-Net once per step for its whole chunk
-    /// instead of once per item. Each worker owns one
-    /// [`BatchScratch`] reused across its chunks, so steady-state sampling
-    /// allocates nothing per denoising step. When more than one worker
-    /// runs, inner GEMM parallelism is disabled inside the workers (the
-    /// batch is already data-parallel; nesting a second layer of threads
-    /// per matrix multiply would oversubscribe the machine) — a
-    /// single-worker batch keeps it enabled so large multiplies can still
-    /// use the whole machine.
+    /// Runs one request through the shared scheduler core: a one-shot
+    /// [`Engine`] whose workers exit when the queue drains. With one
+    /// effective worker the loop runs inline on the calling thread (inner
+    /// GEMM parallelism stays enabled, so large multiplies can use the
+    /// whole machine); with more, scoped workers disable inner GEMM
+    /// threads — the batch is already data-parallel — while the calling
+    /// thread drains the stream.
     ///
     /// `count == 0` and `micro_batch > count` are both well-defined: the
-    /// first chunk simply covers fewer (or zero) slots, no worker blocks,
-    /// and the returned report is all-zero for an empty batch.
-    fn run_batch<T: Send>(
+    /// request admits zero lanes (its channel disconnects immediately) or
+    /// one undersized chunk, no worker blocks, and the report is all-zero
+    /// for an empty batch.
+    fn run_request(
         &self,
         count: usize,
-        work: impl Fn(
-                &[usize],
-                &mut BatchScratch,
-            ) -> Result<Vec<(PipelineReport, Option<T>)>, GenerateError>
-            + Sync,
-        mut on_item: impl FnMut(T),
+        mode: Mode,
+        mut on_payload: impl FnMut(Payload),
     ) -> Result<PipelineReport, GenerateError> {
-        let mut report = PipelineReport::default();
-        let micro = self.micro_batch.max(1);
-        let chunks = count.div_ceil(micro);
-        let workers = self.threads.min(chunks).max(1);
-        let absorb = |report: &mut PipelineReport,
-                      lanes: Vec<(PipelineReport, Option<T>)>,
-                      on_item: &mut dyn FnMut(T)| {
-            for (delta, item) in lanes {
-                report.merge(&delta);
-                match item {
-                    Some(item) => on_item(item),
-                    None => report.shortfall += 1,
-                }
-            }
+        let engine = Engine::new(
+            self.sampler.clone(),
+            self.model.channels(),
+            self.model.side(),
+            self.micro_batch,
+            true,
+        );
+        let job = RequestJob {
+            mode,
+            seed: self.seed,
+            count,
+            stride: self.stride,
+            retained: Arc::clone(&self.retained),
+            max_attempts: self.max_attempts,
+            repair_bowties: self.repair_bowties,
+            solver: self.solver.clone(),
+            donors: Arc::clone(&self.donors),
         };
-        if workers <= 1 {
-            let mut scratch = BatchScratch::new();
-            for chunk in 0..chunks {
-                let start = chunk * micro;
-                let indices: Vec<usize> = (start..(start + micro).min(count)).collect();
-                let lanes = work(&indices, &mut scratch)?;
-                absorb(&mut report, lanes, &mut on_item);
-            }
-            return Ok(report);
-        }
+        let rx = engine.submit(job, 0, Arc::new(AtomicBool::new(false)));
 
-        let next = AtomicUsize::new(0);
-        type LaneResults<T> = Result<Vec<(PipelineReport, Option<T>)>, GenerateError>;
-        let (tx, rx) = mpsc::channel::<LaneResults<T>>();
-        let mut first_error = None;
-        std::thread::scope(|scope| {
-            let work = &work;
-            let next = &next;
-            for _ in 0..workers {
-                let tx = tx.clone();
-                scope.spawn(move || {
-                    dp_nn::with_inner_gemm_parallelism(false, || {
-                        let mut scratch = BatchScratch::new();
-                        loop {
-                            let start = next.fetch_add(micro, Ordering::Relaxed);
-                            if start >= count {
-                                break;
-                            }
-                            let indices: Vec<usize> = (start..(start + micro).min(count)).collect();
-                            if tx.send(work(&indices, &mut scratch)).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                });
-            }
-            drop(tx);
-            // Drain on the coordinating thread so `on_item` can stream
-            // results to the caller as they complete.
-            while let Ok(message) = rx.recv() {
-                match message {
-                    Ok(lanes) => absorb(&mut report, lanes, &mut on_item),
-                    Err(e) => {
-                        if first_error.is_none() {
-                            first_error = Some(e);
-                        }
+        let chunks = count.div_ceil(self.micro_batch.max(1));
+        let workers = self.threads.min(chunks).max(1);
+
+        let mut report = PipelineReport::default();
+        let mut first_error: Option<GenerateError> = None;
+        // `first_error` is threaded as an argument (not captured) so the
+        // single-worker loop below can also read it between chunks.
+        let mut absorb = |msg: LaneMsg, first_error: &mut Option<GenerateError>| {
+            report.merge(&msg.delta);
+            match msg.payload {
+                Ok(Some(payload)) => on_payload(payload),
+                Ok(None) => report.shortfall += 1,
+                Err(e) => {
+                    if first_error.is_none() {
+                        *first_error = Some(e);
                     }
                 }
             }
-        });
+        };
+
+        if workers <= 1 {
+            // Drain between chunks so `on_payload` streams as results
+            // complete (index order with one worker) and the channel never
+            // buffers more than one chunk's messages; stop at the first
+            // structural error instead of burning the rest of the batch.
+            engine::run_worker_observed(self.model, &engine, || {
+                for msg in rx.try_iter() {
+                    absorb(msg, &mut first_error);
+                }
+                first_error.is_none()
+            });
+            for msg in rx.try_iter() {
+                absorb(msg, &mut first_error);
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let engine = &engine;
+                let model = self.model;
+                for _ in 0..workers {
+                    scope.spawn(move || {
+                        dp_nn::with_inner_gemm_parallelism(false, || {
+                            engine::run_worker(model, engine)
+                        })
+                    });
+                }
+                // Drain on the coordinating thread so `on_payload` can
+                // stream results to the caller as they complete; the
+                // iterator ends when the last lane's sender is dropped.
+                for msg in rx.iter() {
+                    absorb(msg, &mut first_error);
+                }
+            });
+        }
         match first_error {
             Some(e) => Err(e),
             None => Ok(report),
         }
-    }
-
-    /// Produces a micro-batch of items end to end (lock-step batched
-    /// sampling → per-lane pre-filter → per-lane solve), retrying within
-    /// each lane's attempt budget. A `None` outcome means shortfall.
-    fn generate_items(
-        &self,
-        indices: &[usize],
-        scratch: &mut BatchScratch,
-    ) -> Result<Vec<(PipelineReport, Option<Generated>)>, GenerateError> {
-        self.micro_batch_core(
-            indices,
-            scratch,
-            |index, seed, attempt, grid, repaired, rng, report| {
-                let init_donor = (!self.donors.is_empty())
-                    .then(|| &self.donors[rng.gen_range(0..self.donors.len())]);
-                let solve = match init_donor {
-                    Some(donor) => {
-                        self.solver
-                            .solve(&grid, Init::Existing(donor.dx(), donor.dy()), rng)
-                    }
-                    None => self.solver.solve(&grid, Init::Random, rng),
-                };
-                match solve {
-                    Ok(solution) => {
-                        let stats = solution.stats;
-                        let pattern = SquishPattern::new(grid, solution.dx, solution.dy)
-                            .map_err(GenerateError::Assembly)?;
-                        report.legal_patterns += 1;
-                        Ok(Some(Generated {
-                            pattern,
-                            provenance: Provenance {
-                                index,
-                                seed,
-                                attempts: attempt,
-                                repaired,
-                                solve: stats,
-                            },
-                        }))
-                    }
-                    Err(_) => {
-                        report.solver_failures += 1;
-                        Ok(None)
-                    }
-                }
-            },
-        )
-    }
-
-    /// Topology-only micro-batch: lock-step sampling → pre-filter, no
-    /// solving.
-    #[allow(clippy::type_complexity)]
-    fn sample_items(
-        &self,
-        indices: &[usize],
-        scratch: &mut BatchScratch,
-    ) -> Result<Vec<(PipelineReport, Option<(usize, BitGrid)>)>, GenerateError> {
-        self.micro_batch_core(
-            indices,
-            scratch,
-            |index, _seed, _attempt, grid, _repaired, _rng, _report| Ok(Some((index, grid))),
-        )
-    }
-
-    /// The micro-batched retry engine shared by generation and
-    /// topology-only sampling.
-    ///
-    /// Every requested slot becomes a *lane* with its own
-    /// `(session seed, index)`-derived RNG. Per round, all still-active
-    /// lanes draw one topology together through the batched sampler (one
-    /// U-Net evaluation per denoising step for the whole round); each
-    /// lane then runs the bow-tie pre-filter and — when the sample
-    /// survives — the per-lane `finish` stage (donor pick + solve for
-    /// generation, a no-op for raw sampling) on its own RNG. Lanes leave
-    /// the round set when `finish` produces an outcome or their attempt
-    /// budget is spent, so a chunk's denoising batch only ever shrinks.
-    ///
-    /// Because a lane's RNG sees exactly the draw sequence the old
-    /// single-item path consumed (sample bits, then donor/solver draws,
-    /// then the next attempt), outcomes are **bit-identical for every
-    /// `micro_batch` setting**, including 1.
-    fn micro_batch_core<T>(
-        &self,
-        indices: &[usize],
-        scratch: &mut BatchScratch,
-        mut finish: impl FnMut(
-            usize,
-            u64,
-            usize,
-            BitGrid,
-            bool,
-            &mut rand::rngs::StdRng,
-            &mut PipelineReport,
-        ) -> Result<Option<T>, GenerateError>,
-    ) -> Result<Vec<(PipelineReport, Option<T>)>, GenerateError> {
-        struct Lane<T> {
-            index: usize,
-            seed: u64,
-            rng: rand::rngs::StdRng,
-            attempts: usize,
-            report: PipelineReport,
-            outcome: Option<T>,
-            active: bool,
-        }
-        let mut lanes: Vec<Lane<T>> = indices
-            .iter()
-            .map(|&index| {
-                let seed = item_seed(self.seed, index);
-                Lane {
-                    index,
-                    seed,
-                    rng: rand::rngs::StdRng::seed_from_u64(seed),
-                    attempts: 0,
-                    report: PipelineReport::default(),
-                    outcome: None,
-                    active: true,
-                }
-            })
-            .collect();
-        let (channels, side) = (self.model.channels(), self.model.side());
-
-        while lanes.iter().any(|l| l.active) {
-            // One lock-step sampling attempt across every active lane.
-            let mut rngs: Vec<&mut rand::rngs::StdRng> = lanes
-                .iter_mut()
-                .filter(|l| l.active)
-                .map(|l| &mut l.rng)
-                .collect();
-            let tensors = if self.stride <= 1 {
-                self.sampler
-                    .sample_batch_with(self.model, channels, side, &mut rngs, scratch)
-            } else {
-                self.sampler.sample_respaced_batch_with(
-                    self.model,
-                    channels,
-                    side,
-                    &self.retained,
-                    &mut rngs,
-                    scratch,
-                )
-            };
-            drop(rngs);
-
-            let mut tensors = tensors.into_iter();
-            for lane in lanes.iter_mut().filter(|l| l.active) {
-                let tensor = tensors.next().expect("one sample per active lane");
-                lane.attempts += 1;
-                lane.report.topologies_sampled += 1;
-                let mut grid = tensor.unfold();
-                let filtered = if bowtie::is_bowtie_free(&grid) {
-                    Some((grid, false))
-                } else if self.repair_bowties {
-                    bowtie::repair_bowties(&mut grid);
-                    lane.report.prefilter_repaired += 1;
-                    Some((grid, true))
-                } else {
-                    lane.report.prefilter_rejected += 1;
-                    None
-                };
-                if let Some((grid, repaired)) = filtered {
-                    if let Some(outcome) = finish(
-                        lane.index,
-                        lane.seed,
-                        lane.attempts,
-                        grid,
-                        repaired,
-                        &mut lane.rng,
-                        &mut lane.report,
-                    )? {
-                        lane.outcome = Some(outcome);
-                        lane.active = false;
-                        continue;
-                    }
-                }
-                if lane.attempts >= self.max_attempts {
-                    lane.active = false;
-                }
-            }
-        }
-        Ok(lanes
-            .into_iter()
-            .map(|lane| (lane.report, lane.outcome))
-            .collect())
-    }
-}
-
-/// Derives the per-item RNG seed from the batch seed and item index
-/// (splitmix64 finaliser): items are independent of each other and of the
-/// thread that happens to run them.
-fn item_seed(seed: u64, index: usize) -> u64 {
-    let mut z = seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn item_seeds_are_distinct() {
-        let seeds: std::collections::HashSet<u64> = (0..1000).map(|i| item_seed(42, i)).collect();
-        assert_eq!(seeds.len(), 1000);
-        assert_ne!(item_seed(1, 0), item_seed(2, 0));
     }
 }

@@ -2,18 +2,19 @@
 //!
 //! The Table I comparison, the `dpgen` CLI and the examples all need the
 //! same thing — "give me N squish patterns" — from five very different
-//! engines: the discrete-diffusion [`GenerationSession`] and the four
+//! engines: the discrete-diffusion [`PatternService`] and the four
 //! baseline generators ([`Cae`], [`Vcae`], the LegalGAN-style
 //! [`MorphLegalizer`] post-processor, and the LayouTransformer-style
 //! [`SequenceModel`]). This module unifies them behind one object-safe
 //! trait so harness code iterates a `Vec<Box<dyn PatternSource>>` instead
 //! of hand-wiring each method.
 
-use crate::{GenerateError, GenerationSession};
+use crate::{PatternService, PipelineError, RequestSpec};
 use dp_baselines::{
     assign_borrowed_deltas, AeConfig, Cae, MorphLegalizer, SequenceModel, SequenceModelConfig, Vcae,
 };
 use dp_geometry::{BitGrid, Coord};
+use dp_legalize::Solver;
 use dp_squish::SquishPattern;
 use rand::{Rng, RngCore};
 use std::rc::Rc;
@@ -29,7 +30,7 @@ pub struct SourceBatch {
 }
 
 /// A uniform, object-safe interface over pattern generators: the diffusion
-/// session and all four baselines implement it, so comparison harnesses
+/// service and all four baselines implement it, so comparison harnesses
 /// drive every method through the same loop.
 pub trait PatternSource {
     /// Method name as printed in Table I.
@@ -43,35 +44,41 @@ pub trait PatternSource {
     ///
     /// # Errors
     ///
-    /// [`GenerateError`] on structural failures; methods that can fall
-    /// short return fewer patterns instead.
+    /// [`PipelineError`] on structural or configuration failures; methods
+    /// that can fall short return fewer patterns instead.
     fn generate(
         &mut self,
         count: usize,
         rng: &mut dyn RngCore,
-    ) -> Result<SourceBatch, GenerateError>;
+    ) -> Result<SourceBatch, PipelineError>;
 }
 
-/// DiffPattern-S through a [`GenerationSession`]: one legal pattern per
-/// sampled topology. Ignores the passed RNG — the session's seed fully
-/// determines the batch (that is the determinism contract).
+/// DiffPattern-S through a [`PatternService`]: one legal pattern per
+/// sampled topology. Ignores the passed RNG — the spec's seed fully
+/// determines the batch (that is the determinism contract). Successive
+/// `generate` calls submit independent requests against the shared
+/// engine, so several sources over one service micro-batch together.
 #[derive(Debug)]
-pub struct DiffusionSource<'s, 'm> {
-    session: &'s GenerationSession<'m>,
+pub struct DiffusionSource<'s> {
+    service: &'s PatternService,
+    spec: RequestSpec,
     label: String,
 }
 
-impl<'s, 'm> DiffusionSource<'s, 'm> {
-    /// Wraps a session under the given Table I label.
-    pub fn new(session: &'s GenerationSession<'m>, label: impl Into<String>) -> Self {
+impl<'s> DiffusionSource<'s> {
+    /// Wraps a service under the given Table I label; `spec` supplies
+    /// rules, seed, stride and donors (its `count` is overridden per
+    /// call).
+    pub fn new(service: &'s PatternService, spec: RequestSpec, label: impl Into<String>) -> Self {
         DiffusionSource {
-            session,
+            service,
+            spec,
             label: label.into(),
         }
     }
 }
 
-impl PatternSource for DiffusionSource<'_, '_> {
+impl PatternSource for DiffusionSource<'_> {
     fn name(&self) -> String {
         self.label.clone()
     }
@@ -80,8 +87,12 @@ impl PatternSource for DiffusionSource<'_, '_> {
         &mut self,
         count: usize,
         _rng: &mut dyn RngCore,
-    ) -> Result<SourceBatch, GenerateError> {
-        let batch = self.session.generate(count)?;
+    ) -> Result<SourceBatch, PipelineError> {
+        let spec = RequestSpec {
+            count,
+            ..self.spec.clone()
+        };
+        let batch = self.service.generate(&spec)?;
         Ok(SourceBatch {
             topologies: Some(batch.items.len()),
             patterns: batch.items.into_iter().map(|g| g.pattern).collect(),
@@ -89,32 +100,39 @@ impl PatternSource for DiffusionSource<'_, '_> {
     }
 }
 
-/// DiffPattern-L: `count` topologies from the session (same seed ⇒ the
+/// DiffPattern-L: `count` topologies from the service (same seed ⇒ the
 /// same topologies as [`DiffusionSource`]), each legalized into up to
-/// `variants_per_topology` distinct patterns.
+/// `variants_per_topology` distinct patterns by a solver built from the
+/// spec's rules.
 #[derive(Debug)]
-pub struct DiffusionVariantsSource<'s, 'm> {
-    session: &'s GenerationSession<'m>,
+pub struct DiffusionVariantsSource<'s> {
+    service: &'s PatternService,
+    spec: RequestSpec,
+    solver: Solver,
     variants_per_topology: usize,
     label: String,
 }
 
-impl<'s, 'm> DiffusionVariantsSource<'s, 'm> {
-    /// Wraps a session under the given label.
+impl<'s> DiffusionVariantsSource<'s> {
+    /// Wraps a service under the given label.
     pub fn new(
-        session: &'s GenerationSession<'m>,
+        service: &'s PatternService,
+        spec: RequestSpec,
         variants_per_topology: usize,
         label: impl Into<String>,
     ) -> Self {
+        let solver = Solver::new(spec.rules, spec.solver);
         DiffusionVariantsSource {
-            session,
+            service,
+            spec,
+            solver,
             variants_per_topology,
             label: label.into(),
         }
     }
 }
 
-impl PatternSource for DiffusionVariantsSource<'_, '_> {
+impl PatternSource for DiffusionVariantsSource<'_> {
     fn name(&self) -> String {
         self.label.clone()
     }
@@ -123,13 +141,20 @@ impl PatternSource for DiffusionVariantsSource<'_, '_> {
         &mut self,
         count: usize,
         rng: &mut dyn RngCore,
-    ) -> Result<SourceBatch, GenerateError> {
-        let (topologies, _) = self.session.sample_topologies(count);
+    ) -> Result<SourceBatch, PipelineError> {
+        let spec = RequestSpec {
+            count,
+            ..self.spec.clone()
+        };
+        let (topologies, _) = self.service.sample_topologies(&spec)?;
         let mut patterns = Vec::new();
         for topo in &topologies {
-            let (mut variants, _) =
-                self.session
-                    .legalize_variants(topo, self.variants_per_topology, &mut &mut *rng)?;
+            let (mut variants, _report) = crate::engine::legalize_variants_with(
+                &self.solver,
+                topo,
+                self.variants_per_topology,
+                &mut &mut *rng,
+            )?;
             patterns.append(&mut variants);
         }
         Ok(SourceBatch {
@@ -232,7 +257,7 @@ impl PatternSource for PixelSource {
         &mut self,
         count: usize,
         rng: &mut dyn RngCore,
-    ) -> Result<SourceBatch, GenerateError> {
+    ) -> Result<SourceBatch, PipelineError> {
         let mut patterns = Vec::with_capacity(count);
         for _ in 0..count {
             let mut topo = match &mut self.model {
@@ -292,7 +317,7 @@ impl PatternSource for SequenceSource {
         &mut self,
         count: usize,
         rng: &mut dyn RngCore,
-    ) -> Result<SourceBatch, GenerateError> {
+    ) -> Result<SourceBatch, PipelineError> {
         let patterns = (0..count)
             .map(|_| SquishPattern::encode(&self.model.generate(&mut &mut *rng)))
             .collect();

@@ -24,7 +24,7 @@ use crate::metrics::{evaluate_patterns, MethodRow};
 use crate::source::{
     DiffusionSource, DiffusionVariantsSource, PatternSource, PixelSource, SequenceSource,
 };
-use crate::{GenerationSession, PipelineError};
+use crate::{PatternService, PipelineError, RequestSpec};
 use dp_baselines::{AeConfig, MorphLegalizer};
 use dp_datagen::{Dataset, PatternLibrary};
 use dp_geometry::BitGrid;
@@ -72,8 +72,10 @@ impl Table1Config {
     }
 }
 
-/// Runs every row of Table I: the session supplies the trained diffusion
-/// model, `dataset` the shared training data every baseline fits on.
+/// Runs every row of Table I: the service supplies the trained diffusion
+/// model and its worker pool, `spec` the rules/seed/stride every
+/// DiffPattern row uses, `dataset` the shared training data every
+/// baseline fits on.
 ///
 /// # Errors
 ///
@@ -84,14 +86,15 @@ impl Table1Config {
 /// Panics when `config.ae.side` does not match the dataset matrix side
 /// (a harness misconfiguration, not a data error).
 pub fn run(
-    session: &GenerationSession<'_>,
+    service: &PatternService,
+    spec: &RequestSpec,
     dataset: &Dataset,
     config: Table1Config,
     rng: &mut impl Rng,
 ) -> Result<Vec<MethodRow>, PipelineError> {
-    let rules = *session.rules();
-    let window = session.solver().config().target_width;
-    let matrix_side = session.model().matrix_side();
+    let rules = spec.rules;
+    let window = spec.solver.target_width;
+    let matrix_side = service.model().matrix_side();
     assert_eq!(
         config.ae.side, matrix_side,
         "AE baseline side must match the dataset matrix side"
@@ -152,12 +155,13 @@ pub fn run(
         (Box::new(vcae_legal), config.generate),
         (Box::new(seq), config.generate),
         (
-            Box::new(DiffusionSource::new(session, "DiffPattern-S")),
+            Box::new(DiffusionSource::new(service, spec.clone(), "DiffPattern-S")),
             config.generate,
         ),
         (
             Box::new(DiffusionVariantsSource::new(
-                session,
+                service,
+                spec.clone(),
                 config.variants_per_topology,
                 "DiffPattern-L",
             )),
@@ -189,14 +193,20 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let model = pipeline.trained_model().unwrap();
-        let session = pipeline
-            .session_builder(&model)
+        let model = std::sync::Arc::new(pipeline.trained_model().unwrap());
+        let service = crate::PatternService::builder(model)
             .threads(1)
-            .seed(1)
             .build()
             .unwrap();
-        let rows = run(&session, pipeline.dataset(), Table1Config::tiny(), &mut rng).unwrap();
+        let spec = pipeline.request_spec(0).seed(1);
+        let rows = run(
+            &service,
+            &spec,
+            pipeline.dataset(),
+            Table1Config::tiny(),
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(rows.len(), 8);
         let names: Vec<&str> = rows.iter().map(|r| r.name.as_str()).collect();
         assert!(names.contains(&"Real Patterns"));

@@ -5,8 +5,8 @@
 //! for one topology, with random (Solving-R) versus existing-vector
 //! (Solving-E) initialisation — the latter 2.30x faster in the paper.
 
-use crate::GenerationSession;
-use dp_legalize::Init;
+use crate::{ConfigError, PatternService, RequestSpec};
+use dp_legalize::{Init, Solver};
 use dp_squish::SquishPattern;
 use rand::Rng;
 use std::time::Instant;
@@ -39,30 +39,38 @@ impl std::fmt::Display for EfficiencyRow {
     }
 }
 
-/// Measures the three rows of Table II through a [`GenerationSession`].
+/// Measures the three rows of Table II through a [`PatternService`].
 ///
-/// `donors` supply the existing Δ vectors for Solving-E (the paper draws
-/// them from the extended training set); with no donors the Solving-E
-/// phase degrades to random initialisation, like the session does.
-/// `samples` controls how many topologies are drawn/solved per
-/// measurement. Sampling runs on the session's configured thread count
-/// and micro-batch size, so this also measures the batch engine's
+/// `spec` supplies the rules, seed and stride (its `count` is overridden
+/// by `samples`); `donors` supply the existing Δ vectors for Solving-E
+/// (the paper draws them from the extended training set) — with no donors
+/// the Solving-E phase degrades to random initialisation, like the
+/// service does. Sampling runs through the service's persistent pool at
+/// its configured micro-batch, so this also measures the serving engine's
 /// throughput.
+///
+/// # Errors
+///
+/// [`ConfigError`] when the spec is rejected by the service.
 pub fn run(
-    session: &GenerationSession<'_>,
+    service: &PatternService,
+    spec: &RequestSpec,
     donors: &[SquishPattern],
     samples: usize,
     rng: &mut impl Rng,
-) -> Vec<EfficiencyRow> {
+) -> Result<Vec<EfficiencyRow>, ConfigError> {
     // Phase 1: topology sampling.
     let start = Instant::now();
-    let (topologies, _) = session.sample_topologies(samples);
+    let (topologies, _) = service.sample_topologies(&RequestSpec {
+        count: samples,
+        ..spec.clone()
+    })?;
     let sampling = start.elapsed().as_secs_f64() / samples.max(1) as f64;
 
     // Phase 2: solving with random vs existing initialisation on the SAME
-    // topologies, so the comparison is paired. The session's solver is
-    // reused for every solve — no per-call construction.
-    let solver = session.solver();
+    // topologies, so the comparison is paired. One solver is built from
+    // the spec and reused for every solve — no per-call construction.
+    let solver = Solver::new(spec.rules, spec.solver);
 
     let start = Instant::now();
     let mut iters_r = 0usize;
@@ -89,7 +97,7 @@ pub fn run(
     let solving_e = start.elapsed().as_secs_f64() / topologies.len().max(1) as f64;
     let n_topo = topologies.len().max(1) as f64;
 
-    vec![
+    Ok(vec![
         EfficiencyRow {
             phase: "Sampling".into(),
             seconds: sampling,
@@ -112,7 +120,7 @@ pub fn run(
             }),
             mean_iterations: Some(iters_e as f64 / n_topo),
         },
-    ]
+    ])
 }
 
 #[cfg(test)]
@@ -126,9 +134,13 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
         let _ = pipeline.train(4, &mut rng).unwrap();
-        let model = pipeline.trained_model().unwrap();
-        let session = pipeline.session_builder(&model).threads(1).build().unwrap();
-        let rows = run(&session, &pipeline.dataset().extended, 3, &mut rng);
+        let model = std::sync::Arc::new(pipeline.trained_model().unwrap());
+        let service = crate::PatternService::builder(model)
+            .threads(1)
+            .build()
+            .unwrap();
+        let spec = pipeline.request_spec(0);
+        let rows = run(&service, &spec, &pipeline.dataset().extended, 3, &mut rng).unwrap();
         assert_eq!(rows.len(), 3);
         assert_eq!(rows[0].phase, "Sampling");
         assert!(rows[0].seconds > 0.0);

@@ -13,8 +13,9 @@
 //! `DP_THREADS` (default 0 = all cores), `DP_SEED`.
 
 use diffpattern::table1::{self, Table1Config};
-use diffpattern::{metrics, Pipeline, PipelineConfig};
+use diffpattern::{metrics, PatternService, Pipeline, PipelineConfig};
 use diffpattern_suite::{env_knob, example_rng};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = example_rng();
@@ -36,12 +37,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.tail_mean(20)
     );
 
-    let model = pipeline.trained_model()?;
-    let session = pipeline
-        .session_builder(&model)
+    let model = Arc::new(pipeline.trained_model()?);
+    let service = PatternService::builder(model)
         .threads(env_knob("DP_THREADS", 0))
-        .seed(env_knob("DP_SEED", 42) as u64)
         .build()?;
+    let spec = pipeline
+        .request_spec(0)
+        .seed(env_knob("DP_SEED", 42) as u64);
 
     let config = Table1Config {
         generate,
@@ -54,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         variants_per_topology: env_knob("DP_VARIANTS", 10),
     };
     println!("running all Table I rows ({generate} patterns per method)...\n");
-    let rows = table1::run(&session, pipeline.dataset(), config, &mut rng)?;
+    let rows = table1::run(&service, &spec, pipeline.dataset(), config, &mut rng)?;
 
     println!("{}", metrics::table_header());
     for row in &rows {

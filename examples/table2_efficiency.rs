@@ -11,8 +11,9 @@
 //! serial anchor; raise it to measure batch throughput), `DP_SEED`.
 
 use diffpattern::table2;
-use diffpattern::{Pipeline, PipelineConfig};
+use diffpattern::{PatternService, Pipeline, PipelineConfig};
 use diffpattern_suite::{env_knob, example_rng};
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = example_rng();
@@ -22,18 +23,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
-    let model = pipeline.trained_model()?;
-    let session = pipeline
-        .session_builder(&model)
+    let model = Arc::new(pipeline.trained_model()?);
+    let service = PatternService::builder(model)
         .threads(env_knob("DP_THREADS", 1))
-        .seed(env_knob("DP_SEED", 42) as u64)
         .build()?;
+    let spec = pipeline
+        .request_spec(0)
+        .seed(env_knob("DP_SEED", 42) as u64);
 
     println!(
         "measuring over {samples} samples on {} threads...\n",
-        session.threads()
+        service.threads()
     );
-    let rows = table2::run(&session, &pipeline.dataset().extended, samples, &mut rng);
+    let rows = table2::run(
+        &service,
+        &spec,
+        &pipeline.dataset().extended,
+        samples,
+        &mut rng,
+    )?;
     println!("{:<12} {:>14} {:>9}", "Phase", "Cost Time", "Accel.");
     for row in &rows {
         println!("{row}");

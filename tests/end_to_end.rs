@@ -1,10 +1,11 @@
 //! Cross-crate integration: the full DiffPattern pipeline from synthetic
-//! map to DRC-clean patterns, through both the new session API and the
-//! deprecated `Pipeline` shims (which must keep working).
+//! map to DRC-clean patterns, through both the borrowing session API and
+//! the owned `PatternService`.
 
 use diffpattern::drc::check_pattern;
-use diffpattern::{Pipeline, PipelineConfig};
+use diffpattern::{PatternService, Pipeline, PipelineConfig};
 use rand::SeedableRng;
+use std::sync::Arc;
 
 #[test]
 fn pipeline_produces_only_legal_patterns() {
@@ -25,23 +26,28 @@ fn pipeline_produces_only_legal_patterns() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn legacy_shim_report_is_consistent() {
+fn service_report_is_consistent() {
+    // The serving path keeps the closed accounting the old shim test
+    // pinned: every requested slot is a pattern or a counted shortfall,
+    // and the per-request report adds up.
     let mut rng = rand::rngs::StdRng::seed_from_u64(12);
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
     let _ = pipeline.train(5, &mut rng).unwrap();
-    let topos = pipeline.generate_topologies(5, &mut rng).unwrap();
-    let patterns = pipeline.legalize_topologies(&topos, &mut rng);
-    let r = pipeline.report();
-    assert_eq!(
-        r.topologies_sampled,
-        topos.len() + r.prefilter_rejected,
-        "sampled = returned + rejected (repaired ones are returned)"
+    let spec = pipeline.request_spec(5).seed(12);
+    let model = Arc::new(pipeline.into_trained_model().unwrap());
+    let service = PatternService::builder(model).threads(2).build().unwrap();
+    let batch = service.generate(&spec).unwrap();
+    let r = batch.report;
+    assert_eq!(batch.items.len() + r.shortfall, 5);
+    assert_eq!(r.legal_patterns, batch.items.len());
+    assert!(
+        r.topologies_sampled >= batch.items.len(),
+        "every delivered pattern consumed at least one sample"
     );
-    assert_eq!(r.legal_patterns, patterns.len());
-    assert_eq!(r.solver_failures + patterns.len(), topos.len());
-    // The shortfall fix: what was requested but not delivered is counted.
-    assert_eq!(r.shortfall, 5 - topos.len());
+    assert!(
+        r.topologies_sampled <= 5 * 4,
+        "attempt budget bounds the sampling volume"
+    );
 }
 
 #[test]

@@ -1,0 +1,342 @@
+//! Integration tests for the [`PatternService`] serving engine: the
+//! cross-request determinism contract (load-, worker-count- and
+//! admission-order-independence), cancellation semantics, handle
+//! streaming, and the session ↔ service equivalence that makes
+//! `GenerationSession` a thin adapter over the same core.
+
+use diffpattern::drc::check_pattern;
+use diffpattern::{
+    ConfigError, Generated, PatternService, Pipeline, PipelineConfig, RequestSpec, TrainedModel,
+};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// One trained tiny model plus the pipeline-derived base spec.
+fn trained(seed: u64, iters: usize) -> (Arc<TrainedModel>, RequestSpec, Pipeline) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+    let _ = pipeline.train(iters, &mut rng).unwrap();
+    let model = Arc::new(pipeline.trained_model().unwrap());
+    let spec = pipeline.request_spec(0);
+    (model, spec, pipeline)
+}
+
+fn service(model: &Arc<TrainedModel>, threads: usize) -> PatternService {
+    PatternService::builder(Arc::clone(model))
+        .threads(threads)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn request_output_is_independent_of_load_workers_and_order() {
+    // The tentpole contract: a fixed RequestSpec produces bit-identical
+    // output when run alone, alongside concurrent requests, at worker
+    // counts {1, 2, 4}, and regardless of submission order or priority.
+    let (model, base, _) = trained(70, 4);
+    let spec = RequestSpec {
+        count: 4,
+        ..base.clone()
+    }
+    .seed(31);
+
+    // Reference: alone, one worker.
+    let reference = service(&model, 1).generate(&spec).unwrap();
+    assert_eq!(
+        reference.items.len() + reference.report.shortfall,
+        4,
+        "accounting must be closed"
+    );
+
+    for workers in [1usize, 2, 4] {
+        let svc = service(&model, workers);
+
+        // Alone at this worker count.
+        let alone = svc.generate(&spec).unwrap();
+        assert_eq!(reference.items, alone.items, "{workers} workers (alone)");
+        assert_eq!(reference.report, alone.report);
+
+        // Alongside three concurrent requests with different seeds and
+        // priorities, submitted *before* the probe (admission order and
+        // queue pressure must not matter).
+        let decoys: Vec<RequestSpec> = (0..3)
+            .map(|i| {
+                RequestSpec {
+                    count: 3,
+                    priority: i as i32 - 1,
+                    ..base.clone()
+                }
+                .seed(100 + i)
+            })
+            .collect();
+        let decoy_handles: Vec<_> = decoys.iter().map(|d| svc.submit(d).unwrap()).collect();
+        let contended = svc.submit(&spec).unwrap().wait().unwrap();
+        assert_eq!(
+            reference.items, contended.items,
+            "{workers} workers (contended) changed the request"
+        );
+        assert_eq!(reference.report, contended.report);
+
+        // The concurrent requests are themselves deterministic: each must
+        // equal its own uncontended single-worker run.
+        for (decoy_spec, handle) in decoys.iter().zip(decoy_handles) {
+            let contended = handle.wait().unwrap();
+            let solo = service(&model, 1).generate(decoy_spec).unwrap();
+            assert_eq!(
+                solo.items, contended.items,
+                "decoy seed {}",
+                decoy_spec.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn session_and_service_share_one_engine_bit_for_bit() {
+    // `GenerationSession::generate` is a thin adapter over the service
+    // core, so the same seed and config must produce the same bytes
+    // through either API.
+    let (model, base, pipeline) = trained(71, 4);
+    let session = pipeline
+        .session_builder(&model)
+        .threads(2)
+        .seed(45)
+        .build()
+        .unwrap();
+    let via_session = session.generate(5).unwrap();
+
+    let svc = service(&model, 2);
+    let via_service = svc
+        .generate(
+            &RequestSpec {
+                count: 5,
+                ..base.clone()
+            }
+            .seed(45),
+        )
+        .unwrap();
+    assert_eq!(via_session.items, via_service.items);
+    assert_eq!(via_session.report, via_service.report);
+
+    // Topology sampling agrees too.
+    let (topo_session, _) = session.sample_topologies(3);
+    let (topo_service, _) = svc
+        .sample_topologies(
+            &RequestSpec {
+                count: 3,
+                ..base.clone()
+            }
+            .seed(45),
+        )
+        .unwrap();
+    assert_eq!(topo_session, topo_service);
+}
+
+#[test]
+fn dropping_a_handle_cancels_without_disturbing_neighbours() {
+    let (model, base, _) = trained(72, 4);
+
+    // Uncontended witness run first.
+    let witness_spec = RequestSpec {
+        count: 3,
+        ..base.clone()
+    }
+    .seed(7);
+    let expected = service(&model, 1).generate(&witness_spec).unwrap();
+
+    let svc = service(&model, 2);
+    // A large victim request to cancel mid-stream...
+    let victim_spec = RequestSpec {
+        count: 16,
+        ..base.clone()
+    }
+    .seed(8);
+    let mut victim = svc.submit(&victim_spec).unwrap();
+    // ...and the witness competing with it for the same pool.
+    let witness = svc.submit(&witness_spec).unwrap();
+
+    // Pull one item off the victim, then drop it mid-stream.
+    let first = victim.recv();
+    let victim_report = victim.report();
+    drop(victim);
+    if let Some(g) = &first {
+        assert!(g.provenance.index < 16);
+        assert!(victim_report.legal_patterns >= 1);
+    }
+
+    // The witness must be byte-identical to its uncontended run.
+    let contended = witness.wait().unwrap();
+    assert_eq!(expected.items, contended.items);
+    assert_eq!(expected.report, contended.report);
+
+    // The pool survives cancellation: fresh requests still complete, and
+    // repeated submit-and-drop cycles neither wedge nor leak workers.
+    for _ in 0..3 {
+        let h = svc.submit(&victim_spec).unwrap();
+        drop(h);
+    }
+    let after = svc.generate(&witness_spec).unwrap();
+    assert_eq!(expected.items, after.items);
+
+    // Explicit cancel() ends the stream immediately.
+    let mut cancelled = svc.submit(&victim_spec).unwrap();
+    cancelled.cancel();
+    assert!(cancelled.is_finished());
+    assert!(cancelled.recv().is_none());
+}
+
+#[test]
+fn handles_stream_every_item_with_closed_accounting() {
+    let (model, base, _) = trained(73, 4);
+    let svc = service(&model, 2);
+    let spec = RequestSpec {
+        count: 5,
+        ..base.clone()
+    }
+    .seed(3);
+
+    // recv() streams items (completion order); the iterator is equivalent.
+    let mut handle = svc.submit(&spec).unwrap();
+    let mut streamed: Vec<Generated> = Vec::new();
+    while let Some(g) = handle.recv() {
+        streamed.push(g);
+    }
+    assert!(handle.is_finished());
+    assert!(handle.error().is_none());
+    let report = handle.report();
+    assert_eq!(streamed.len() + report.shortfall, 5);
+    assert_eq!(report.legal_patterns, streamed.len());
+    for g in &streamed {
+        assert!(check_pattern(&g.pattern, &spec.rules).is_clean());
+        assert!(g.provenance.attempts >= 1 && g.provenance.attempts <= spec.max_attempts);
+    }
+
+    // The iterator and wait() see the same items.
+    let collected: Vec<Generated> = svc.submit(&spec).unwrap().collect();
+    assert_eq!(collected.len(), streamed.len());
+    let waited = svc.submit(&spec).unwrap().wait().unwrap();
+    let mut sorted = streamed;
+    sorted.sort_by_key(|g| g.provenance.index);
+    assert_eq!(waited.items, sorted);
+
+    // Zero-count requests are well-defined.
+    let empty = svc
+        .generate(&RequestSpec {
+            count: 0,
+            ..base.clone()
+        })
+        .unwrap();
+    assert!(empty.items.is_empty());
+    assert_eq!(empty.report, diffpattern::PipelineReport::default());
+}
+
+#[test]
+fn requests_with_different_strides_share_one_service() {
+    // Lanes may only share a lock-step micro-batch when they traverse the
+    // same denoising plan; requests on different strides must still be
+    // served correctly (in their own batches) and deterministically.
+    let (model, base, _) = trained(74, 3);
+    let svc = service(&model, 2);
+    let full = RequestSpec {
+        count: 3,
+        sample_stride: 1,
+        ..base.clone()
+    }
+    .seed(21);
+    let respaced = RequestSpec {
+        count: 3,
+        sample_stride: 5,
+        ..base.clone()
+    }
+    .seed(21);
+
+    let h_full = svc.submit(&full).unwrap();
+    let h_respaced = svc.submit(&respaced).unwrap();
+    let got_full = h_full.wait().unwrap();
+    let got_respaced = h_respaced.wait().unwrap();
+
+    assert_eq!(got_full.items.len() + got_full.report.shortfall, 3);
+    assert_eq!(got_respaced.items.len() + got_respaced.report.shortfall, 3);
+    // Different plans genuinely sample differently...
+    assert_ne!(got_full.items, got_respaced.items);
+    // ...but each equals its solo run.
+    assert_eq!(
+        got_full.items,
+        service(&model, 1).generate(&full).unwrap().items
+    );
+    assert_eq!(
+        got_respaced.items,
+        service(&model, 1).generate(&respaced).unwrap().items
+    );
+}
+
+#[test]
+fn service_clones_share_the_engine_and_join_cleanly() {
+    let (model, base, _) = trained(75, 3);
+    let spec = RequestSpec {
+        count: 2,
+        ..base.clone()
+    }
+    .seed(9);
+    let expected = service(&model, 1).generate(&spec).unwrap();
+
+    let svc = service(&model, 2);
+    let clone = svc.clone();
+    // Submit through the clone, drop the original: the pool stays alive
+    // until the last clone goes.
+    let handle = clone.submit(&spec).unwrap();
+    drop(svc);
+    let got = handle.wait().unwrap();
+    assert_eq!(expected.items, got.items);
+    drop(clone); // joins the workers; returning from the test proves it
+}
+
+#[test]
+fn invalid_specs_are_rejected_at_submit() {
+    let (model, base, _) = trained(76, 3);
+    let svc = service(&model, 1);
+    assert!(matches!(
+        svc.submit(&RequestSpec {
+            sample_stride: 0,
+            ..base.clone()
+        }),
+        Err(ConfigError::ZeroStride)
+    ));
+    assert!(matches!(
+        svc.submit(&RequestSpec {
+            max_attempts: 0,
+            ..base.clone()
+        }),
+        Err(ConfigError::ZeroAttempts)
+    ));
+    assert!(matches!(
+        svc.submit(&RequestSpec {
+            solver: diffpattern::legalize::SolverConfig::for_window(8, 2048),
+            ..base.clone()
+        }),
+        Err(ConfigError::WindowTooSmall { .. })
+    ));
+    assert!(matches!(
+        PatternService::builder(Arc::clone(&model))
+            .micro_batch(0)
+            .build(),
+        Err(ConfigError::ZeroMicroBatch)
+    ));
+}
+
+#[test]
+fn dropping_the_service_terminates_outstanding_handles() {
+    let (model, base, _) = trained(77, 3);
+    let svc = service(&model, 1);
+    let handle = svc
+        .submit(&RequestSpec {
+            count: 32,
+            ..base.clone()
+        })
+        .unwrap();
+    drop(svc);
+    // With the pool gone, the stream must end (possibly after in-flight
+    // lanes drained) instead of blocking forever.
+    let drained: Vec<Generated> = handle.collect();
+    assert!(drained.len() <= 32);
+}

@@ -190,6 +190,28 @@ fn session_patterns_are_drc_clean_with_provenance() {
 }
 
 #[test]
+fn single_worker_streaming_is_in_index_order() {
+    // With one worker the engine claims chunks in index order and the
+    // inline path drains the channel between chunks, so the streaming
+    // callback sees items in index order as they complete.
+    let pipeline = trained_pipeline(57, 4);
+    let model = pipeline.trained_model().unwrap();
+    let session = pipeline
+        .session_builder(&model)
+        .threads(1)
+        .micro_batch(2)
+        .seed(6)
+        .build()
+        .unwrap();
+    let mut indices = Vec::new();
+    let report = session
+        .generate_streaming(5, |g| indices.push(g.provenance.index))
+        .unwrap();
+    assert_eq!(indices.len() + report.shortfall, 5);
+    assert!(indices.windows(2).all(|w| w[0] < w[1]), "{indices:?}");
+}
+
+#[test]
 fn streaming_delivers_every_item() {
     let pipeline = trained_pipeline(52, 4);
     let model = pipeline.trained_model().unwrap();
@@ -257,23 +279,23 @@ fn model_save_load_round_trip_generates_identically() {
 }
 
 #[test]
-fn pattern_source_interface_drives_the_session() {
+fn pattern_source_interface_drives_the_service() {
     let pipeline = trained_pipeline(55, 4);
-    let model = pipeline.trained_model().unwrap();
-    let session = pipeline
-        .session_builder(&model)
+    let model = std::sync::Arc::new(pipeline.trained_model().unwrap());
+    let service = diffpattern::PatternService::builder(model)
         .threads(1)
-        .seed(2)
         .build()
         .unwrap();
+    let spec = pipeline.request_spec(0).seed(2);
+    let rules = spec.rules;
     let mut source: Box<dyn PatternSource + '_> =
-        Box::new(DiffusionSource::new(&session, "DiffPattern-S"));
+        Box::new(DiffusionSource::new(&service, spec, "DiffPattern-S"));
     let mut rng = rand::rngs::StdRng::seed_from_u64(0);
     let batch = source.generate(3, &mut rng).unwrap();
     assert_eq!(source.name(), "DiffPattern-S");
     assert_eq!(batch.topologies, Some(batch.patterns.len()));
     for p in &batch.patterns {
-        assert!(check_pattern(p, session.rules()).is_clean());
+        assert!(check_pattern(p, &rules).is_clean());
     }
 }
 
