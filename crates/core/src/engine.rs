@@ -25,8 +25,9 @@ use dp_geometry::{bowtie, BitGrid};
 use dp_legalize::{Init, Solver};
 use dp_squish::SquishPattern;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// What a finished lane hands back through its request's channel.
 pub(crate) enum Payload {
@@ -69,6 +70,10 @@ pub(crate) struct RequestJob {
     pub(crate) repair_bowties: bool,
     pub(crate) solver: Solver,
     pub(crate) donors: Arc<[SquishPattern]>,
+    /// Absolute deadline. Lanes not delivered by this instant are
+    /// converted to shortfall: unclaimed lanes at claim time, in-flight
+    /// lanes between denoising rounds. `None` never expires.
+    pub(crate) deadline: Option<Instant>,
 }
 
 struct Request {
@@ -118,8 +123,29 @@ pub(crate) struct Engine {
     /// One-shot mode: workers return instead of parking when the queue is
     /// empty (used by `GenerationSession`'s scoped workers).
     exit_when_idle: bool,
+    /// Admission bound on *pending* (not yet fully claimed) requests;
+    /// 0 means unbounded.
+    max_queued: usize,
+    /// Lanes claimed by workers whose result message has not been
+    /// delivered yet — the live load figure `/metrics` exposes.
+    lanes_in_flight: AtomicUsize,
     sched: Mutex<Sched>,
     work: Condvar,
+}
+
+/// A point-in-time view of the scheduler, surfaced as
+/// [`crate::ServiceStats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct EngineStats {
+    pub(crate) queued_requests: usize,
+    pub(crate) queued_lanes: usize,
+    pub(crate) lanes_in_flight: usize,
+}
+
+/// Admission rejected: the pending-request queue is at its bound.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QueueFull {
+    pub(crate) queued: usize,
 }
 
 impl Engine {
@@ -129,6 +155,7 @@ impl Engine {
         side: usize,
         micro_batch: usize,
         exit_when_idle: bool,
+        max_queued: usize,
     ) -> Self {
         Engine {
             sampler,
@@ -136,12 +163,30 @@ impl Engine {
             side,
             micro_batch: micro_batch.max(1),
             exit_when_idle,
+            max_queued,
+            lanes_in_flight: AtomicUsize::new(0),
             sched: Mutex::new(Sched {
                 queue: Vec::new(),
                 next_seq: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
+        }
+    }
+
+    /// Queue depth and in-flight lane count right now. The two reads are
+    /// not one atomic snapshot — a lane can move from queued to in-flight
+    /// between them — but each figure is individually exact.
+    pub(crate) fn stats(&self) -> EngineStats {
+        let sched = self.sched.lock().expect("scheduler lock poisoned");
+        EngineStats {
+            queued_requests: sched.queue.len(),
+            queued_lanes: sched
+                .queue
+                .iter()
+                .map(|p| p.req.job.count - p.next_lane)
+                .sum(),
+            lanes_in_flight: self.lanes_in_flight.load(Ordering::Relaxed),
         }
     }
 
@@ -156,18 +201,36 @@ impl Engine {
     /// delivered (or the engine shuts down / the request is cancelled
     /// before its lanes are claimed). A zero-count request disconnects
     /// immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the engine was built with a pending-request
+    /// bound and that many requests are already waiting — the admission
+    /// backpressure the serving layer maps to HTTP 429.
     pub(crate) fn submit(
         &self,
         job: RequestJob,
         priority: i32,
         cancel: Arc<AtomicBool>,
-    ) -> mpsc::Receiver<LaneMsg> {
+    ) -> Result<mpsc::Receiver<LaneMsg>, QueueFull> {
         let (tx, rx) = mpsc::channel();
         if job.count == 0 {
-            return rx;
+            return Ok(rx);
         }
         {
             let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+            // Cancelled entries do not count against the bound (they are
+            // dead weight a claim pass will drop), expired ones neither —
+            // sweep both before judging fullness.
+            sched
+                .queue
+                .retain(|p| !p.req.cancel.load(Ordering::Relaxed));
+            Self::expire_due(&mut sched);
+            if self.max_queued != 0 && sched.queue.len() >= self.max_queued {
+                return Err(QueueFull {
+                    queued: sched.queue.len(),
+                });
+            }
             let seq = sched.next_seq;
             sched.next_seq += 1;
             let req = Arc::new(Request {
@@ -191,7 +254,34 @@ impl Engine {
                 .insert(pos, PendingRequest { req, next_lane: 0 });
         }
         self.work.notify_all();
-        rx
+        Ok(rx)
+    }
+
+    /// Converts every queued request whose deadline has passed into
+    /// shortfall: each unclaimed lane gets an `Ok(None)` message (counted
+    /// by the receiver exactly like an exhausted attempt budget) and the
+    /// entry leaves the queue. Returns the nearest *future* deadline among
+    /// the survivors, so parked workers know how long they may sleep.
+    fn expire_due(sched: &mut Sched) -> Option<Instant> {
+        let now = Instant::now();
+        let mut nearest: Option<Instant> = None;
+        sched.queue.retain_mut(|p| {
+            let Some(deadline) = p.req.job.deadline else {
+                return true;
+            };
+            if deadline > now {
+                nearest = Some(nearest.map_or(deadline, |n| n.min(deadline)));
+                return true;
+            }
+            for _ in p.next_lane..p.req.job.count {
+                let _ = p.req.tx.send(LaneMsg {
+                    delta: PipelineReport::default(),
+                    payload: Ok(None),
+                });
+            }
+            false
+        });
+        nearest
     }
 
     /// Wakes every parked worker without changing any state. Used after a
@@ -228,10 +318,12 @@ impl Engine {
             }
             // Cancelled requests are pruned at claim time: their unclaimed
             // lanes simply never run (in-flight lanes drain in the worker
-            // loop).
+            // loop). Deadline-expired requests are converted to shortfall
+            // in the same pass.
             sched
                 .queue
                 .retain(|p| !p.req.cancel.load(Ordering::Relaxed));
+            let nearest_deadline = Self::expire_due(&mut sched);
 
             let mut lanes: Vec<Lane> = Vec::new();
             let mut stride = 0usize;
@@ -267,15 +359,29 @@ impl Engine {
                 }
             }
             if !lanes.is_empty() {
+                self.lanes_in_flight
+                    .fetch_add(lanes.len(), Ordering::Relaxed);
                 return Some(lanes);
             }
             if self.exit_when_idle {
                 return None;
             }
-            sched = self
-                .work
-                .wait(sched)
-                .expect("scheduler lock poisoned while waiting");
+            // Park until new work arrives — or, when some queued request
+            // carries a deadline, at most until that deadline, so expiry
+            // is observed by an otherwise idle pool.
+            sched = match nearest_deadline {
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(Instant::now());
+                    self.work
+                        .wait_timeout(sched, wait)
+                        .expect("scheduler lock poisoned while waiting")
+                        .0
+                }
+                None => self
+                    .work
+                    .wait(sched)
+                    .expect("scheduler lock poisoned while waiting"),
+            };
         }
     }
 
@@ -299,8 +405,15 @@ impl Engine {
     fn process_chunk(&self, model: &TrainedModel, lanes: &mut [Lane], scratch: &mut BatchScratch) {
         let (channels, side) = (self.channels, self.side);
         loop {
+            let now = Instant::now();
             for lane in lanes.iter_mut().filter(|l| l.active) {
-                if lane.req.cancel.load(Ordering::Relaxed) {
+                // Cancellation and deadline expiry share an exit: the lane
+                // stops sampling with `outcome = None`. A cancelled lane's
+                // message lands in a dead channel; an expired one is
+                // delivered and counted as shortfall by the receiver.
+                if lane.req.cancel.load(Ordering::Relaxed)
+                    || lane.req.job.deadline.is_some_and(|d| d <= now)
+                {
                     lane.active = false;
                 }
             }
@@ -468,6 +581,7 @@ pub(crate) fn run_worker_observed(
                 delta: lane.report,
                 payload,
             });
+            engine.lanes_in_flight.fetch_sub(1, Ordering::Relaxed);
         }
         if !after_chunk() {
             break;

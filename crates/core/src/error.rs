@@ -94,6 +94,16 @@ pub enum ConfigError {
         /// Fold patch side `√C`.
         patch: usize,
     },
+    /// Admission backpressure: the service's pending-request queue is at
+    /// its [`crate::ServiceBuilder::max_queued_requests`] bound. Not a
+    /// misconfiguration of the spec — retry after the queue drains (a
+    /// serving front-end maps this to HTTP 429).
+    QueueFull {
+        /// Requests pending when admission was refused.
+        queued: usize,
+        /// The configured bound.
+        max_queued: usize,
+    },
     /// The solver window is smaller than the topology's scan-line count.
     WindowTooSmall {
         /// Unfolded topology matrix side (scan lines per axis).
@@ -118,6 +128,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ChannelsNotSquare { channels } => {
                 write!(f, "fold channel count {channels} is not a perfect square")
             }
+            ConfigError::QueueFull { queued, max_queued } => write!(
+                f,
+                "admission queue is full ({queued} pending, bound {max_queued}); retry later"
+            ),
             ConfigError::SideNotDivisible { matrix_side, patch } => write!(
                 f,
                 "matrix side {matrix_side} is not divisible by the fold patch {patch}"

@@ -122,7 +122,9 @@ pub mod table2;
 pub use error::{ConfigError, GenerateError, PipelineError};
 pub use metrics::{evaluate_patterns, MethodRow};
 pub use pipeline::{BackboneConfig, Pipeline, PipelineConfig, PipelineReport};
-pub use service::{PatternService, RequestHandle, RequestSpec, ServiceBuilder};
+pub use service::{
+    PatternService, RecvPoll, RequestHandle, RequestSpec, ServiceBuilder, ServiceStats,
+};
 pub use session::{Generated, Generation, GenerationSession, Provenance, SessionBuilder};
 pub use source::{
     DiffusionSource, DiffusionVariantsSource, PatternSource, PixelSource, SequenceSource,

@@ -69,6 +69,7 @@ use dp_squish::SquishPattern;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Everything one generation request carries: what to generate, under
 /// which rules, and how urgently. Plain data — build one with
@@ -110,6 +111,16 @@ pub struct RequestSpec {
     /// Donor patterns for Solving-E initialisation; empty falls back to
     /// Solving-R. Shared (`Arc`) so specs clone cheaply.
     pub donors: Arc<[SquishPattern]>,
+    /// Wall-clock budget measured from [`PatternService::submit`]. Lanes
+    /// not delivered in time are converted to shortfall — unclaimed lanes
+    /// at the next scheduling pass, in-flight lanes between denoising
+    /// rounds — so the request still terminates with a complete, partial
+    /// report (`items delivered + shortfall == count`). Items that *do*
+    /// complete in time keep the bit-exact determinism contract; the
+    /// deadline only decides how many of them there are. `None` (the
+    /// default) never expires; [`ServiceBuilder::default_deadline`] fills
+    /// it service-wide.
+    pub deadline: Option<Duration>,
 }
 
 impl RequestSpec {
@@ -128,6 +139,7 @@ impl RequestSpec {
             max_attempts: 4,
             repair_bowties: true,
             donors: Arc::from([]),
+            deadline: None,
         }
     }
 
@@ -135,6 +147,13 @@ impl RequestSpec {
     /// most commonly varied field).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the spec with the given wall-clock deadline (see the
+    /// [`RequestSpec::deadline`] field for the expiry semantics).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -151,6 +170,8 @@ pub struct ServiceBuilder {
     model: Arc<TrainedModel>,
     threads: usize,
     micro_batch: usize,
+    max_queued: usize,
+    default_deadline: Option<Duration>,
 }
 
 impl ServiceBuilder {
@@ -167,6 +188,25 @@ impl ServiceBuilder {
     /// knob. Output is bit-identical at every setting.
     pub fn micro_batch(mut self, micro_batch: usize) -> Self {
         self.micro_batch = micro_batch;
+        self
+    }
+
+    /// Bounds the admission queue: at most this many requests may be
+    /// pending (admitted but not yet fully claimed by workers) at once;
+    /// further [`PatternService::submit`] calls are rejected with
+    /// [`ConfigError::QueueFull`] instead of queueing unboundedly — the
+    /// backpressure signal a serving front-end maps to HTTP 429. The
+    /// default 0 means unbounded, the pre-0.4 behaviour.
+    pub fn max_queued_requests(mut self, max_queued: usize) -> Self {
+        self.max_queued = max_queued;
+        self
+    }
+
+    /// Wall-clock deadline applied to every submitted spec whose
+    /// [`RequestSpec::deadline`] is `None` (a per-request deadline always
+    /// wins). Default: no deadline.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
         self
     }
 
@@ -187,6 +227,7 @@ impl ServiceBuilder {
             self.model.side(),
             self.micro_batch,
             false,
+            self.max_queued,
         ));
         let mut workers = Vec::with_capacity(threads);
         for _ in 0..threads {
@@ -211,6 +252,8 @@ impl ServiceBuilder {
                 engine,
                 threads,
                 micro_batch: self.micro_batch,
+                max_queued: self.max_queued,
+                default_deadline: self.default_deadline,
                 workers: Mutex::new(workers),
             }),
         })
@@ -222,6 +265,8 @@ struct ServiceCore {
     engine: Arc<Engine>,
     threads: usize,
     micro_batch: usize,
+    max_queued: usize,
+    default_deadline: Option<Duration>,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -273,6 +318,8 @@ impl PatternService {
             model,
             threads: 0,
             micro_batch: 8,
+            max_queued: 0,
+            default_deadline: None,
         }
     }
 
@@ -289,6 +336,22 @@ impl PatternService {
     /// Lock-step denoising lanes per U-Net call (filled across requests).
     pub fn micro_batch(&self) -> usize {
         self.core.micro_batch
+    }
+
+    /// Admission bound on pending requests (0 = unbounded).
+    pub fn max_queued_requests(&self) -> usize {
+        self.core.max_queued
+    }
+
+    /// A point-in-time load snapshot of the shared scheduler — the
+    /// figures a `/metrics` endpoint exposes.
+    pub fn stats(&self) -> ServiceStats {
+        let stats = self.core.engine.stats();
+        ServiceStats {
+            queued_requests: stats.queued_requests,
+            queued_lanes: stats.queued_lanes,
+            lanes_in_flight: stats.lanes_in_flight,
+        }
     }
 
     /// Admits a generation request. Returns immediately; the request's
@@ -348,6 +411,10 @@ impl PatternService {
             self.core.model.matrix_side(),
             &spec.solver,
         )?;
+        let deadline = spec
+            .deadline
+            .or(self.core.default_deadline)
+            .map(|d| Instant::now() + d);
         let job = RequestJob {
             mode,
             seed: spec.seed,
@@ -358,12 +425,17 @@ impl PatternService {
             repair_bowties: spec.repair_bowties,
             solver: Solver::new(spec.rules, spec.solver),
             donors: Arc::clone(&spec.donors),
+            deadline,
         };
         let cancel = Arc::new(AtomicBool::new(false));
         let rx = self
             .core
             .engine
-            .submit(job, spec.priority, Arc::clone(&cancel));
+            .submit(job, spec.priority, Arc::clone(&cancel))
+            .map_err(|full| ConfigError::QueueFull {
+                queued: full.queued,
+                max_queued: self.core.max_queued,
+            })?;
         Ok(RequestHandle {
             rx,
             cancel_flag: cancel,
@@ -375,6 +447,32 @@ impl PatternService {
             finished: false,
         })
     }
+}
+
+/// A point-in-time load snapshot of a [`PatternService`] scheduler,
+/// from [`PatternService::stats`] — the queue-depth and in-flight
+/// figures a `/metrics` endpoint exposes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Requests admitted but not yet fully claimed by workers.
+    pub queued_requests: usize,
+    /// Lanes (requested items) waiting to be claimed.
+    pub queued_lanes: usize,
+    /// Lanes claimed by workers whose result has not been delivered yet.
+    pub lanes_in_flight: usize,
+}
+
+/// Outcome of one [`RequestHandle::recv_timeout`] poll.
+#[derive(Debug)]
+pub enum RecvPoll {
+    /// The next generated item.
+    Item(Generated),
+    /// The stream has ended: every lane accounted, cancelled, or the
+    /// service was dropped. Subsequent polls return this immediately.
+    Finished,
+    /// Nothing arrived within the timeout; the request is still running.
+    TimedOut,
 }
 
 /// The receiving end of one submitted request: stream items with
@@ -419,6 +517,32 @@ impl RequestHandle {
         }
     }
 
+    /// Like [`RequestHandle::recv`], but gives up after `timeout` instead
+    /// of blocking indefinitely — the polling primitive a network server
+    /// needs to interleave item delivery with client-liveness checks.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> RecvPoll {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.finished {
+                return RecvPoll::Finished;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.rx.recv_timeout(remaining) {
+                Ok(msg) => match self.absorb(msg) {
+                    Some(Payload::Pattern(generated)) => return RecvPoll::Item(generated),
+                    // Topology payloads belong to the internal sampling
+                    // mode (`sample_topologies` drains them itself).
+                    Some(Payload::Topology(..)) | None => continue,
+                },
+                Err(mpsc::RecvTimeoutError::Timeout) => return RecvPoll::TimedOut,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    self.finished = true;
+                    return RecvPoll::Finished;
+                }
+            }
+        }
+    }
+
     /// The lane-level receive shared by patterns and topologies.
     fn recv_payload(&mut self) -> Option<Payload> {
         loop {
@@ -427,25 +551,37 @@ impl RequestHandle {
             }
             match self.rx.recv() {
                 Ok(msg) => {
-                    self.report.merge(&msg.delta);
-                    self.lanes_done += 1;
-                    if self.lanes_done >= self.count {
-                        self.finished = true;
-                    }
-                    match msg.payload {
-                        Ok(Some(payload)) => return Some(payload),
-                        Ok(None) => self.report.shortfall += 1,
-                        Err(e) => {
-                            if self.error.is_none() {
-                                self.error = Some(e);
-                            }
-                        }
+                    if let Some(payload) = self.absorb(msg) {
+                        return Some(payload);
                     }
                 }
                 Err(mpsc::RecvError) => {
                     self.finished = true;
                     return None;
                 }
+            }
+        }
+    }
+
+    /// Folds one lane message into the running report; returns its
+    /// payload when it carried one.
+    fn absorb(&mut self, msg: LaneMsg) -> Option<Payload> {
+        self.report.merge(&msg.delta);
+        self.lanes_done += 1;
+        if self.lanes_done >= self.count {
+            self.finished = true;
+        }
+        match msg.payload {
+            Ok(Some(payload)) => Some(payload),
+            Ok(None) => {
+                self.report.shortfall += 1;
+                None
+            }
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e);
+                }
+                None
             }
         }
     }

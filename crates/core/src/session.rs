@@ -366,6 +366,7 @@ impl<'m> GenerationSession<'m> {
             self.model.side(),
             self.micro_batch,
             true,
+            0,
         );
         let job = RequestJob {
             mode,
@@ -377,8 +378,11 @@ impl<'m> GenerationSession<'m> {
             repair_bowties: self.repair_bowties,
             solver: self.solver.clone(),
             donors: Arc::clone(&self.donors),
+            deadline: None,
         };
-        let rx = engine.submit(job, 0, Arc::new(AtomicBool::new(false)));
+        let rx = engine
+            .submit(job, 0, Arc::new(AtomicBool::new(false)))
+            .expect("a session engine has no admission bound");
 
         let chunks = count.div_ceil(self.micro_batch.max(1));
         let workers = self.threads.min(chunks).max(1);

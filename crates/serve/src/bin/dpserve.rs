@@ -1,0 +1,142 @@
+//! `dpserve` — the DiffPattern network front-end.
+//!
+//! ```text
+//! dpserve --model model.dpm [--addr 127.0.0.1:7878] [--threads N]
+//!         [--micro-batch N] [--max-queued N] [--default-deadline-ms N]
+//!         [--max-body-kib N]
+//! dpserve --demo [--iters N] [--seed N] [...same serving flags]
+//! ```
+//!
+//! Loads a frozen model (or, with `--demo`, trains a tiny one in
+//! process), builds one long-lived [`PatternService`], and serves the
+//! JSON protocol documented in `dp_serve::proto`:
+//!
+//! * `POST /v1/generate` — NDJSON stream of generated patterns plus a
+//!   closing report record;
+//! * `GET /metrics` — counters, latency histograms, scheduler state;
+//! * `GET /healthz` — liveness.
+//!
+//! The bound address is printed to stdout as `listening on ADDR` once
+//! the listener is up (with `--addr` port 0 the line is how scripts
+//! learn the real port). The process serves until killed.
+
+use diffpattern::{PatternService, Pipeline, PipelineConfig, TrainedModel};
+use dp_serve::{serve, ServeConfig};
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  dpserve --model FILE [serving flags]
+  dpserve --demo [--iters N] [--seed N] [serving flags]
+
+serving flags:
+  --addr HOST:PORT         bind address (default 127.0.0.1:7878; port 0 picks a free port)
+  --threads N              generation worker threads (default: available parallelism)
+  --micro-batch N          denoising lanes per U-Net call (default 8)
+  --max-queued N           admission bound; further requests get HTTP 429 (default 0 = unbounded)
+  --default-deadline-ms N  deadline for requests that set none (default: none)
+  --max-body-kib N         largest accepted request body (default 1024)
+
+endpoints: POST /v1/generate (NDJSON stream), GET /metrics, GET /healthz";
+
+type Options = HashMap<String, Vec<String>>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(options) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--key value` pairs, except `--demo` which is a bare flag.
+fn parse(args: &[String]) -> Option<Options> {
+    let mut options = Options::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key.strip_prefix("--")?;
+        if key == "demo" {
+            options.entry(key.to_string()).or_default();
+            continue;
+        }
+        let value = it.next()?;
+        options
+            .entry(key.to_string())
+            .or_default()
+            .push(value.clone());
+    }
+    Some(options)
+}
+
+fn opt_usize(options: &Options, key: &str, default: usize) -> usize {
+    options
+        .get(key)
+        .and_then(|v| v.last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn opt_str<'o>(options: &'o Options, key: &str) -> Option<&'o str> {
+    options.get(key).and_then(|v| v.last()).map(String::as_str)
+}
+
+fn load_model(options: &Options) -> Result<Arc<TrainedModel>, Box<dyn std::error::Error>> {
+    if let Some(path) = opt_str(options, "model") {
+        return Ok(Arc::new(TrainedModel::load(&std::fs::read(path)?)?));
+    }
+    if !options.contains_key("demo") {
+        return Err("pass --model FILE or --demo (see --help)".into());
+    }
+    let iters = opt_usize(options, "iters", 300);
+    let seed = opt_usize(options, "seed", 42) as u64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    eprintln!("demo mode: training a tiny model for {iters} iterations...");
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;
+    pipeline.train(iters, &mut rng)?;
+    Ok(Arc::new(pipeline.into_trained_model()?))
+}
+
+fn run(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let model = load_model(options)?;
+    let mut builder = PatternService::builder(model)
+        .threads(opt_usize(options, "threads", 0))
+        .micro_batch(opt_usize(options, "micro-batch", 8))
+        .max_queued_requests(opt_usize(options, "max-queued", 0));
+    if let Some(ms) = options
+        .get("default-deadline-ms")
+        .and_then(|v| v.last())
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        builder = builder.default_deadline(Duration::from_millis(ms));
+    }
+    let service = builder.build()?;
+    let config = ServeConfig {
+        max_body_bytes: opt_usize(options, "max-body-kib", 1024) * 1024,
+        ..ServeConfig::default()
+    };
+    let addr = opt_str(options, "addr").unwrap_or("127.0.0.1:7878");
+    let handle = serve(service, addr, config)?;
+    // Scripts (the CI smoke step, the load generator) wait for this
+    // exact line to learn the bound port; keep it stable and flushed.
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush()?;
+    eprintln!("endpoints: POST /v1/generate, GET /metrics, GET /healthz (ctrl-c to stop)");
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

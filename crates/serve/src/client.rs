@@ -1,0 +1,317 @@
+//! A small blocking client for the `dpserve` protocol — what the test
+//! suite, the CI smoke example and the load generator talk through.
+//!
+//! One [`Client`] owns one keep-alive connection; `generate` calls can
+//! be issued back to back (pipelining is exercised by the raw helpers
+//! in `tests/serve.rs`, not this convenience layer).
+
+use crate::http::{Conn, HttpError};
+use crate::json::{self, Json};
+use crate::proto::{self, ProtoError};
+use diffpattern::{Generated, PipelineReport, RequestSpec};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Everything a finished generation stream said, decoded back into
+/// in-process types — directly comparable against a local
+/// [`diffpattern::PatternService::generate`].
+#[derive(Debug)]
+pub struct WireOutcome {
+    /// Streamed items in arrival (completion) order.
+    pub items: Vec<Generated>,
+    /// The aggregated pipeline report from the closing record.
+    pub report: PipelineReport,
+    /// `count` as the server echoed it.
+    pub requested: usize,
+    /// Whether the server attributed the shortfall to deadline expiry.
+    pub deadline_expired: bool,
+    /// A structural generation error, if any lane hit one.
+    pub error: Option<String>,
+}
+
+/// How a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Http(HttpError),
+    /// The server refused the request; `(status, code, message)` from
+    /// the structured error body.
+    Rejected {
+        /// HTTP status.
+        status: u16,
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+    /// A stream record did not decode.
+    Protocol(ProtoError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Http(e) => write!(f, "http error: {e}"),
+            ClientError::Rejected {
+                status,
+                code,
+                message,
+            } => write!(f, "server rejected request ({status} {code}): {message}"),
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Http(HttpError::from(e))
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+impl From<json::ParseError> for ClientError {
+    fn from(e: json::ParseError) -> Self {
+        ClientError::Protocol(ProtoError::Json(e))
+    }
+}
+
+/// A blocking dpserve client over one keep-alive connection.
+#[derive(Debug)]
+pub struct Client {
+    conn: Conn<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the connect error.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let socket = TcpStream::connect(addr)?;
+        socket.set_nodelay(true)?;
+        Ok(Client {
+            conn: Conn::new(socket),
+        })
+    }
+
+    /// Sets a read timeout on the underlying socket (None blocks
+    /// forever, the default).
+    ///
+    /// # Errors
+    ///
+    /// Forwards the socket option error.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.conn.stream().set_read_timeout(timeout)
+    }
+
+    /// Submits `spec` and drains the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] with the server's structured error for
+    /// refused requests, [`ClientError::Http`] for transport failures.
+    pub fn generate(&mut self, spec: &RequestSpec) -> Result<WireOutcome, ClientError> {
+        self.generate_streaming(spec, |_| {})
+    }
+
+    /// Submits `spec`, invoking `on_item` as each item record arrives
+    /// (before it is stored in the outcome).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::generate`].
+    pub fn generate_streaming(
+        &mut self,
+        spec: &RequestSpec,
+        mut on_item: impl FnMut(&Generated),
+    ) -> Result<WireOutcome, ClientError> {
+        let body = proto::spec_to_json(spec).to_string();
+        self.conn
+            .write_request("POST", "/v1/generate", body.as_bytes())?;
+        let (status, headers) = self.conn.read_response_head()?;
+        if status != 200 {
+            let body = self.conn.read_body(&headers)?;
+            return Err(rejection(status, &body));
+        }
+        let mut items = Vec::new();
+        let mut closing = None;
+        let mut lines = LineBuf::default();
+        'stream: while let Some(chunk) = self.conn.next_chunk()? {
+            for line in lines.push(&chunk) {
+                let record = json::parse(&line)?;
+                match record.get("type").and_then(Json::as_str) {
+                    Some("item") => {
+                        let generated = proto::item_from_json(&record)?;
+                        on_item(&generated);
+                        items.push(generated);
+                    }
+                    Some("report") => {
+                        closing = Some(proto::report_from_json(&record)?);
+                        break 'stream;
+                    }
+                    _ => {
+                        return Err(ClientError::Protocol(ProtoError::WrongType {
+                            field: "type",
+                            expected: "\"item\" or \"report\"",
+                        }))
+                    }
+                }
+            }
+        }
+        // Drain the terminating chunk if the report arrived mid-stream.
+        if closing.is_some() {
+            while self.conn.next_chunk()?.is_some() {}
+        }
+        let (requested, delivered, deadline_expired, report, error) =
+            closing.ok_or(ClientError::Http(HttpError::TruncatedMessage))?;
+        debug_assert_eq!(delivered, items.len());
+        Ok(WireOutcome {
+            items,
+            report,
+            requested,
+            deadline_expired,
+            error,
+        })
+    }
+
+    /// Fetches and parses `/metrics`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::generate`].
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        let (status, body) = self.get_raw("/metrics")?;
+        if status != 200 {
+            return Err(rejection(status, &body));
+        }
+        Ok(json::parse(std::str::from_utf8(&body).map_err(|_| {
+            ClientError::Protocol(ProtoError::Json(json::ParseError {
+                offset: 0,
+                message: "metrics body is not UTF-8",
+            }))
+        })?)?)
+    }
+
+    /// Issues a `GET` and returns `(status, body)` — conformance-test
+    /// plumbing.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; non-200 statuses are returned, not errors.
+    pub fn get_raw(&mut self, target: &str) -> Result<(u16, Vec<u8>), ClientError> {
+        self.conn.write_request("GET", target, b"")?;
+        let (status, headers) = self.conn.read_response_head()?;
+        let body = self.conn.read_body(&headers)?;
+        Ok((status, body))
+    }
+
+    /// Issues a `POST` with an arbitrary body and returns
+    /// `(status, body)`, draining chunked bodies fully — conformance-test
+    /// plumbing for malformed and rejected requests.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; non-200 statuses are returned, not errors.
+    pub fn post_raw(&mut self, target: &str, body: &[u8]) -> Result<(u16, Vec<u8>), ClientError> {
+        self.conn.write_request("POST", target, body)?;
+        let (status, headers) = self.conn.read_response_head()?;
+        let body = self.conn.read_body(&headers)?;
+        Ok((status, body))
+    }
+
+    /// Sends raw bytes down the connection (deliberately broken framing).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), ClientError> {
+        self.conn.write_raw(bytes)?;
+        Ok(())
+    }
+
+    /// Reads one response after [`Client::send_raw`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn read_response(&mut self) -> Result<(u16, Vec<u8>), ClientError> {
+        let (status, headers) = self.conn.read_response_head()?;
+        let body = self.conn.read_body(&headers)?;
+        Ok((status, body))
+    }
+}
+
+/// Decodes a structured error body into [`ClientError::Rejected`].
+fn rejection(status: u16, body: &[u8]) -> ClientError {
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| json::parse(t).ok());
+    let field = |name: &str| {
+        parsed
+            .as_ref()
+            .and_then(|v| v.get(name))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_string()
+    };
+    ClientError::Rejected {
+        status,
+        code: field("code"),
+        message: field("message"),
+    }
+}
+
+/// Reassembles NDJSON lines from arbitrarily-split chunks.
+#[derive(Debug, Default)]
+struct LineBuf {
+    pending: String,
+}
+
+impl LineBuf {
+    /// Feeds chunk bytes; returns the complete lines they finished.
+    fn push(&mut self, chunk: &[u8]) -> Vec<String> {
+        self.pending.push_str(&String::from_utf8_lossy(chunk));
+        let mut lines = Vec::new();
+        while let Some(newline) = self.pending.find('\n') {
+            let rest = self.pending.split_off(newline + 1);
+            let mut line = std::mem::replace(&mut self.pending, rest);
+            line.pop(); // the newline
+            if !line.trim().is_empty() {
+                lines.push(line);
+            }
+        }
+        lines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_buffer_reassembles_split_records() {
+        let mut buf = LineBuf::default();
+        assert!(buf.push(b"{\"a\":").is_empty());
+        assert_eq!(buf.push(b"1}\n{\"b\"").len(), 1);
+        let lines = buf.push(b":2}\n{\"c\":3}\n");
+        assert_eq!(
+            lines,
+            vec!["{\"b\":2}".to_string(), "{\"c\":3}".to_string()]
+        );
+    }
+}

@@ -1,0 +1,583 @@
+//! A deliberately small HTTP/1.1 implementation over any `Read + Write`
+//! transport — just enough protocol for `dpserve` and its client:
+//!
+//! * request heads up to 8 KiB, bodies framed by `Content-Length` only
+//!   (a request body in `Transfer-Encoding: chunked` is rejected);
+//! * responses framed by `Content-Length` *or* `chunked` (the NDJSON
+//!   stream uses one chunk per record so items reach the client as soon
+//!   as they are generated);
+//! * keep-alive with pipelining: bytes past the current message stay in
+//!   the connection buffer and seed the next parse;
+//! * timeout-tolerant reads: when the transport's read timeout fires
+//!   mid-message the parser returns [`HttpError::Timeout`] with all
+//!   partial data retained, so the caller can check a shutdown flag and
+//!   simply call again.
+//!
+//! Not implemented on purpose: TLS, HTTP/2, trailers, multi-line
+//! headers, `Expect: continue`, content codings. The protocol surface is
+//! pinned by `tests/serve.rs` at the workspace root.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a request/response head (start line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// How the byte stream failed to yield a message.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport error other than a read timeout.
+    Io(io::Error),
+    /// The transport's read timeout fired. Partial data is retained;
+    /// calling the parse method again resumes where it left off.
+    Timeout,
+    /// Clean EOF between messages (the peer hung up while idle).
+    Closed,
+    /// EOF in the middle of a message.
+    TruncatedMessage,
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared body exceeds the caller's limit. The body was *not*
+    /// consumed; the connection must be closed after the error response.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The head was not parseable HTTP/1.x, or used an unsupported
+    /// feature (e.g. a chunked request body).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "transport error: {e}"),
+            HttpError::Timeout => write!(f, "read timed out"),
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::TruncatedMessage => write!(f, "connection closed mid-message"),
+            HttpError::HeadTooLarge => write!(f, "message head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(f, "declared body of {declared} bytes exceeds limit {limit}")
+            }
+            HttpError::Malformed(what) => write!(f, "malformed message: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            HttpError::Timeout
+        } else {
+            HttpError::Io(e)
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target, query string included, undecoded.
+    pub target: String,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// One parsed (non-streaming) response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body, de-chunked when the response was chunked.
+    pub body: Vec<u8>,
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// A buffered HTTP/1.1 connection over `S`. Both `dpserve` (parsing
+/// requests, writing responses) and the test client (the reverse) run on
+/// this one type; which methods are used decides the role.
+#[derive(Debug)]
+pub struct Conn<S> {
+    stream: S,
+    /// Bytes read but not yet consumed; `buf[pos..]` is live. Survives
+    /// [`HttpError::Timeout`] so partial messages resume, and holds
+    /// pipelined follow-up messages between parses.
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl<S: Read + Write> Conn<S> {
+    /// Wraps a transport. Set any read timeout on the transport itself
+    /// (e.g. [`std::net::TcpStream::set_read_timeout`]) before wrapping.
+    pub fn new(stream: S) -> Self {
+        Conn {
+            stream,
+            buf: Vec::with_capacity(1024),
+            pos: 0,
+        }
+    }
+
+    /// The underlying transport (for socket-level operations like `peek`
+    /// or shutdown).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Whether unconsumed bytes are buffered (a pipelined next message).
+    pub fn has_buffered(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    fn live(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Reads more bytes from the transport into the buffer.
+    fn fill(&mut self) -> Result<(), HttpError> {
+        // Periodically drop the consumed prefix so a long-lived
+        // keep-alive connection does not grow its buffer forever.
+        if self.pos > 16 * 1024 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(if self.live().is_empty() {
+                HttpError::Closed
+            } else {
+                HttpError::TruncatedMessage
+            });
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Ensures at least `n` live bytes, filling as needed.
+    fn want(&mut self, n: usize) -> Result<(), HttpError> {
+        while self.live().len() < n {
+            self.fill()?;
+        }
+        Ok(())
+    }
+
+    /// Finds `\r\n\r\n` in the live buffer, filling until it appears;
+    /// returns the head length including the terminator.
+    fn read_head(&mut self) -> Result<usize, HttpError> {
+        loop {
+            if let Some(i) = find(self.live(), b"\r\n\r\n") {
+                if i + 4 > MAX_HEAD_BYTES {
+                    return Err(HttpError::HeadTooLarge);
+                }
+                return Ok(i + 4);
+            }
+            if self.live().len() > MAX_HEAD_BYTES {
+                return Err(HttpError::HeadTooLarge);
+            }
+            self.fill()?;
+        }
+    }
+
+    /// Splits a head into its start line and header pairs.
+    fn parse_head(head: &[u8]) -> Result<(String, Vec<(String, String)>), HttpError> {
+        let text = std::str::from_utf8(head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+        let mut lines = text.split("\r\n");
+        let start = lines
+            .next()
+            .ok_or(HttpError::Malformed("empty head"))?
+            .to_string();
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::Malformed("header line without a colon"))?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(HttpError::Malformed("invalid header name"));
+            }
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+        Ok((start, headers))
+    }
+
+    /// Parses the next request off the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`HttpError::Timeout`] when the transport's read timeout fires
+    /// (call again to resume), [`HttpError::Closed`] on idle EOF,
+    /// [`HttpError::BodyTooLarge`] when the declared body exceeds
+    /// `max_body` (the connection is then poisoned: respond and close).
+    pub fn read_request(&mut self, max_body: usize) -> Result<Request, HttpError> {
+        let head_len = self.read_head()?;
+        let (start, headers) = Self::parse_head(&self.live()[..head_len - 4])?;
+        let mut parts = start.split(' ');
+        let (method, target, version) =
+            match (parts.next(), parts.next(), parts.next(), parts.next()) {
+                (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+                _ => return Err(HttpError::Malformed("bad request line")),
+            };
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::Malformed("unsupported HTTP version"));
+        }
+        if header(&headers, "transfer-encoding").is_some() {
+            return Err(HttpError::Malformed("chunked request bodies not supported"));
+        }
+        let content_length = match header(&headers, "content-length") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?,
+            None => 0,
+        };
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge {
+                declared: content_length,
+                limit: max_body,
+            });
+        }
+        let request = Request {
+            method: method.to_string(),
+            target: target.to_string(),
+            headers,
+            body: Vec::new(),
+        };
+        self.want(head_len + content_length)?;
+        self.pos += head_len;
+        let body = self.live()[..content_length].to_vec();
+        self.pos += content_length;
+        Ok(Request { body, ..request })
+    }
+
+    /// Parses a response head; returns `(status, headers)`. The body must
+    /// then be read with [`Conn::read_body`] or [`Conn::next_chunk`].
+    pub fn read_response_head(&mut self) -> Result<(u16, Vec<(String, String)>), HttpError> {
+        let head_len = self.read_head()?;
+        let (start, headers) = Self::parse_head(&self.live()[..head_len - 4])?;
+        self.pos += head_len;
+        let mut parts = start.split(' ');
+        let (version, code) = (parts.next(), parts.next());
+        if !version.is_some_and(|v| v.starts_with("HTTP/1.")) {
+            return Err(HttpError::Malformed("bad status line"));
+        }
+        let status = code
+            .and_then(|c| c.parse::<u16>().ok())
+            .ok_or(HttpError::Malformed("bad status code"))?;
+        Ok((status, headers))
+    }
+
+    /// Reads a full response body described by `headers` (either framing).
+    pub fn read_body(&mut self, headers: &[(String, String)]) -> Result<Vec<u8>, HttpError> {
+        if header(headers, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+            let mut body = Vec::new();
+            while let Some(chunk) = self.next_chunk()? {
+                body.extend_from_slice(&chunk);
+            }
+            return Ok(body);
+        }
+        let n = match header(headers, "content-length") {
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))?,
+            None => 0,
+        };
+        self.want(n)?;
+        let body = self.live()[..n].to_vec();
+        self.pos += n;
+        Ok(body)
+    }
+
+    /// Reads one chunk of a chunked response body; `Ok(None)` is the
+    /// terminating zero-length chunk (stream complete).
+    pub fn next_chunk(&mut self) -> Result<Option<Vec<u8>>, HttpError> {
+        let line_end = loop {
+            if let Some(i) = find(self.live(), b"\r\n") {
+                break i;
+            }
+            if self.live().len() > 32 {
+                return Err(HttpError::Malformed("over-long chunk-size line"));
+            }
+            self.fill()?;
+        };
+        let size_text = std::str::from_utf8(&self.live()[..line_end])
+            .map_err(|_| HttpError::Malformed("non-UTF-8 chunk size"))?;
+        // Chunk extensions (";...") are allowed by the RFC; ignore them.
+        let size_text = size_text.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| HttpError::Malformed("bad chunk size"))?;
+        self.pos += line_end + 2;
+        self.want(size + 2)?;
+        let chunk = self.live()[..size].to_vec();
+        if &self.live()[size..size + 2] != b"\r\n" {
+            return Err(HttpError::Malformed("chunk not CRLF-terminated"));
+        }
+        self.pos += size + 2;
+        if size == 0 {
+            return Ok(None);
+        }
+        Ok(Some(chunk))
+    }
+
+    // -- writing ------------------------------------------------------
+
+    /// Writes a complete `Content-Length`-framed response.
+    pub fn write_response(&mut self, status: u16, body: &[u8]) -> io::Result<()> {
+        self.write_response_with(status, &[], body)
+    }
+
+    /// Like [`Conn::write_response`] with extra headers (e.g.
+    /// `Retry-After`). `content-type` defaults to `application/json`.
+    pub fn write_response_with(
+        &mut self,
+        status: u16,
+        extra_headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+            reason(status),
+            body.len()
+        );
+        for (name, value) in extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()
+    }
+
+    /// Starts a chunked response; follow with [`Conn::write_chunk`] and
+    /// [`Conn::finish_chunked`].
+    pub fn start_chunked(&mut self, status: u16, content_type: &str) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ntransfer-encoding: chunked\r\n\r\n",
+            reason(status)
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.flush()
+    }
+
+    /// Writes one chunk and flushes, so streamed records are delivered
+    /// immediately rather than at stream end.
+    pub fn write_chunk(&mut self, data: &[u8]) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.stream, "{:X}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates a chunked response.
+    pub fn finish_chunked(&mut self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Writes a request (client side). A body is framed by
+    /// `Content-Length`; `GET`-style requests pass an empty body.
+    pub fn write_request(&mut self, method: &str, target: &str, body: &[u8]) -> io::Result<()> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nhost: dpserve\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()
+    }
+
+    /// Writes raw bytes straight through (for malformed-input tests).
+    pub fn write_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+}
+
+/// Standard reason phrase for the handful of codes dpserve emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory transport: `input` is what the peer sent, `output`
+    /// collects what we write.
+    struct Pipe {
+        input: io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl Pipe {
+        fn new(input: &[u8]) -> Self {
+            Pipe {
+                input: io::Cursor::new(input.to_vec()),
+                output: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Pipe {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.input.read(buf)
+        }
+    }
+
+    impl Write for Pipe {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.output.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn parses_request_with_body_and_pipelined_followup() {
+        let wire = b"POST /v1/generate HTTP/1.1\r\nContent-Length: 4\r\n\r\n\
+                     {\"a\"GET /metrics HTTP/1.1\r\n\r\n";
+        let mut conn = Conn::new(Pipe::new(wire));
+        let first = conn.read_request(1024).unwrap();
+        assert_eq!(first.method, "POST");
+        assert_eq!(first.target, "/v1/generate");
+        assert_eq!(first.body, b"{\"a\"");
+        assert!(conn.has_buffered());
+        let second = conn.read_request(1024).unwrap();
+        assert_eq!(second.method, "GET");
+        assert_eq!(second.target, "/metrics");
+        assert!(second.body.is_empty());
+        assert!(matches!(conn.read_request(1024), Err(HttpError::Closed)));
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body_without_reading_it() {
+        let wire = b"POST /v1/generate HTTP/1.1\r\ncontent-length: 999999\r\n\r\n";
+        let mut conn = Conn::new(Pipe::new(wire));
+        match conn.read_request(100) {
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                assert_eq!((declared, limit), (999999, 100));
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for wire in [
+            &b"NOT-HTTP\r\n\r\n"[..],
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbad header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+            b"POST /x HTTP/1.1\r\ncontent-length: hello\r\n\r\n",
+        ] {
+            let mut conn = Conn::new(Pipe::new(wire));
+            assert!(
+                matches!(conn.read_request(1024), Err(HttpError::Malformed(_))),
+                "{}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn head_size_is_capped() {
+        let mut wire = b"GET /x HTTP/1.1\r\n".to_vec();
+        wire.extend_from_slice(format!("x-pad: {}\r\n\r\n", "y".repeat(MAX_HEAD_BYTES)).as_bytes());
+        let mut conn = Conn::new(Pipe::new(&wire));
+        assert!(matches!(
+            conn.read_request(1024),
+            Err(HttpError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn chunked_response_round_trips() {
+        // Write a chunked response through one Conn, parse it with another.
+        let mut writer = Conn::new(Pipe::new(b""));
+        writer.start_chunked(200, "application/x-ndjson").unwrap();
+        writer.write_chunk(b"{\"n\":1}\n").unwrap();
+        writer.write_chunk(b"{\"n\":2}\n").unwrap();
+        writer.finish_chunked().unwrap();
+        let wire = writer.stream.output.clone();
+
+        let mut reader = Conn::new(Pipe::new(&wire));
+        let (status, headers) = reader.read_response_head().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(reader.next_chunk().unwrap().unwrap(), b"{\"n\":1}\n");
+        assert_eq!(reader.next_chunk().unwrap().unwrap(), b"{\"n\":2}\n");
+        assert!(reader.next_chunk().unwrap().is_none());
+        // And the all-at-once body path sees the concatenation.
+        let mut reader = Conn::new(Pipe::new(&wire));
+        let (_, headers2) = reader.read_response_head().unwrap();
+        assert_eq!(headers, headers2);
+        assert_eq!(
+            reader.read_body(&headers2).unwrap(),
+            b"{\"n\":1}\n{\"n\":2}\n"
+        );
+    }
+
+    #[test]
+    fn content_length_response_round_trips() {
+        let mut writer = Conn::new(Pipe::new(b""));
+        writer
+            .write_response_with(429, &[("retry-after", "1")], b"{}")
+            .unwrap();
+        let wire = writer.stream.output.clone();
+        let mut reader = Conn::new(Pipe::new(&wire));
+        let (status, headers) = reader.read_response_head().unwrap();
+        assert_eq!(status, 429);
+        assert_eq!(header(&headers, "retry-after"), Some("1"));
+        assert_eq!(reader.read_body(&headers).unwrap(), b"{}");
+    }
+
+    #[test]
+    fn truncated_message_is_distinguished_from_idle_close() {
+        let mut conn = Conn::new(Pipe::new(b"GET /x HT"));
+        assert!(matches!(
+            conn.read_request(1024),
+            Err(HttpError::TruncatedMessage)
+        ));
+    }
+}

@@ -1,0 +1,545 @@
+//! A minimal, dependency-free JSON value, parser and writer.
+//!
+//! The build environment has no cargo-registry access (see the workspace
+//! root `Cargo.toml`), so the wire codec cannot use `serde_json`; this
+//! module provides the subset the `dpserve` protocol needs, written the
+//! same way the `rand`/`proptest`/`criterion` shims were: std only, small
+//! surface, explicit limits.
+//!
+//! Two deliberate deviations from a general-purpose JSON library:
+//!
+//! * numbers are kept in two lanes — [`Json::Int`] (`i128`, which covers
+//!   every integer field on the wire including `u64` seeds and `i128`
+//!   area bounds losslessly) and [`Json::Float`] (`f64`) — so integer
+//!   round-trips are exact, not `f64`-approximate;
+//! * objects preserve insertion order in a `Vec` (no hashing), which
+//!   keeps serialisation deterministic — the byte-equality tests rely on
+//!   it.
+//!
+//! Parsing is hardened for untrusted input: a nesting-depth cap, no
+//! recursion on attacker-controlled depth beyond that cap, and precise
+//! error offsets for diagnostics.
+
+use std::fmt;
+
+/// Maximum container nesting depth the parser accepts. The protocol
+/// needs 4; 32 leaves headroom without letting a hostile body recurse
+/// the stack away.
+const MAX_DEPTH: usize = 32;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without `.`/`e` that fits `i128`.
+    Int(i128),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered, duplicate keys rejected at parse.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i128` when it is an integer (floats do not coerce).
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`; integers coerce (a JSON writer is free to emit
+    /// `2` for `2.0`, the two are the same number on the wire).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Float(f) => {
+                if f.is_finite() {
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // `Display` for f64 is the shortest round-tripping
+                    // form, which drops the fraction for whole numbers;
+                    // keep the token a float so re-parsing is type-stable.
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    // JSON has no NaN/Inf token; `null` keeps the
+                    // document well-formed (the codec never emits these).
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Serialises the value to compact JSON (no whitespace), the exact
+/// byte sequence the wire tests pin. `to_string()` goes through this.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure, with the byte offset it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &'static str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn literal(&mut self, word: &str, message: &'static str) -> Result<(), ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting depth limit exceeded"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", "expected `null`").map(|()| Json::Null),
+            Some(b't') => self
+                .literal("true", "expected `true`")
+                .map(|()| Json::Bool(true)),
+            Some(b'f') => self
+                .literal("false", "expected `false`")
+                .map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'[', "expected `[`")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.expect(b'{', "expected `{`")?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key_offset = self.pos;
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(ParseError {
+                    offset: key_offset,
+                    message: "duplicate object key",
+                });
+            }
+            self.skip_ws();
+            self.expect(b':', "expected `:` after object key")?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                self.literal("\\u", "expected low surrogate escape")?;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through; the input is a
+                    // `&str`, so the bytes are already valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits()?;
+        if int_digits > 1 && self.bytes[start + usize::from(self.bytes[start] == b'-')] == b'0' {
+            return Err(ParseError {
+                offset: start,
+                message: "leading zero in number",
+            });
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        if !is_float {
+            // Integers that overflow i128 (39+ digits) degrade to f64
+            // rather than failing — the codec rejects them later with a
+            // range error if they reach a typed field.
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "invalid number",
+            })
+    }
+
+    fn digits(&mut self) -> Result<usize, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected digits"));
+        }
+        Ok(self.pos - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Int(0)),
+            ("-7", Json::Int(-7)),
+            ("18446744073709551615", Json::Int(u64::MAX as i128)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(parse(text).unwrap(), value, "{text}");
+            assert_eq!(parse(&value.to_string()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn floats_stay_floats_across_round_trips() {
+        let v = Json::Float(2.0);
+        assert_eq!(v.to_string(), "2.0");
+        assert_eq!(parse("2.0").unwrap(), v);
+        assert_eq!(parse("1e3").unwrap(), Json::Float(1000.0));
+        // Shortest-form printing must re-parse to the identical bits.
+        for f in [0.1, 1.5e-300, 123456.789, f64::MIN_POSITIVE] {
+            let Json::Float(back) = parse(&Json::Float(f).to_string()).unwrap() else {
+                panic!("float did not stay a float");
+            };
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_and_escapes() {
+        let text = r#"{"a":[1,2.5,"x\n\"\u00e9\ud83d\ude00"],"b":{"c":null}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str().unwrap(),
+            "x\n\"é😀"
+        );
+        // Round trip through the writer.
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_offsets() {
+        for text in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,\"a\":2}",
+            "01",
+            "1.",
+            "\"\\q\"",
+            "\"unterminated",
+            "nulL",
+            "[1] trailing",
+            "\"\\ud800\"",
+            "{\"a\" 1}",
+        ] {
+            let e = parse(text).unwrap_err();
+            assert!(e.offset <= text.len(), "{text}: {e}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(parse(&deep).is_err());
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_floats() {
+        let text = "170141183460469231731687303715884105728"; // i128::MAX + 1
+        assert!(matches!(parse(text).unwrap(), Json::Float(_)));
+    }
+}

@@ -1,0 +1,51 @@
+//! `dp_serve`: a registry-free network front-end for the DiffPattern
+//! [`PatternService`](diffpattern::PatternService) engine.
+//!
+//! The crate turns the in-process service API into a wire protocol
+//! without adding any dependency beyond `std`: a hand-rolled HTTP/1.1
+//! layer ([`http`]), a strict JSON codec ([`json`], [`proto`]), a
+//! thread-per-connection server ([`server`]) with counters and latency
+//! histograms ([`metrics`]), and a blocking client ([`client`]) used by
+//! the test suite, the CI smoke example and the load generator.
+//!
+//! # Protocol in one paragraph
+//!
+//! `POST /v1/generate` with a JSON request body (see [`proto`] for the
+//! field reference) answers with a chunked `application/x-ndjson`
+//! stream: one `item` record per generated pattern in completion order,
+//! then one `report` record with the aggregated
+//! [`PipelineReport`](diffpattern::PipelineReport). `GET /metrics`
+//! returns a JSON snapshot of server counters, latency histograms and
+//! the live scheduler state; `GET /healthz` answers trivially. Invalid
+//! input gets a structured `{"type":"error","code":...,"message":...}`
+//! body with 400/404/405/413/422 status; admission-queue saturation
+//! gets 429 plus `retry-after`.
+//!
+//! # The two serving contracts
+//!
+//! * **Determinism**: the server is a transparent transport. A spec
+//!   submitted over the wire produces patterns *byte-identical* to the
+//!   same spec through [`PatternService::generate`](diffpattern::PatternService::generate)
+//!   (`tests/serve.rs` pins this end to end), because the engine's
+//!   determinism does not depend on scheduling and the codec is
+//!   lossless for every generation-relevant field.
+//! * **Cancellation**: a client that disconnects mid-stream cancels its
+//!   request — the handler notices within one poll interval, drops the
+//!   [`RequestHandle`](diffpattern::RequestHandle), and the engine
+//!   abandons the remaining lanes (observable as `lanes_in_flight`
+//!   draining in `/metrics`). Deadlines ride the same mechanism
+//!   server-side: an expired request closes its stream with a partial
+//!   report whose `shortfall` accounts for every undelivered item.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, WireOutcome};
+pub use json::Json;
+pub use metrics::{Histogram, ServerMetrics};
+pub use proto::ProtoError;
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,260 @@
+//! Server-side observability: lock-free counters and log₂ latency
+//! histograms, snapshotted as JSON by the `/metrics` endpoint.
+//!
+//! Everything here is atomics, so the hot paths (item streamed, request
+//! admitted) never take a lock, and a `/metrics` scrape never blocks a
+//! stream. Scheduler-level figures (queue depth, lanes in flight) are
+//! *not* stored here — they come live from
+//! [`diffpattern::PatternService::stats`] at snapshot time, so the two
+//! sources cannot drift.
+
+use crate::json::Json;
+use diffpattern::ServiceStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram over microseconds: bucket `i`
+/// counts observations with `us < 2^i` (and at least `2^(i-1)`); the
+/// last bucket absorbs everything larger. Fixed-size, allocation-free,
+/// and recordable from any thread.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An approximate quantile (`q` in `[0, 1]`) from the bucket upper
+    /// bounds — coarse (within 2×) but monotone, enough for saturation
+    /// curves. `None` when nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(if i == 0 { 0 } else { 1u64 << (i - 1) });
+            }
+        }
+        Some(1u64 << (BUCKETS - 2))
+    }
+
+    /// Snapshot as `{count, sum_us, mean_us, p50_us, p99_us, buckets}`;
+    /// `buckets` lists only occupied buckets as `[le_us, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        let count = self.count();
+        let sum = self.sum_us.load(Ordering::Relaxed);
+        let mean = sum.checked_div(count).unwrap_or(0);
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, bucket)| {
+                let n = bucket.load(Ordering::Relaxed);
+                (n > 0).then(|| {
+                    let le = if i >= BUCKETS - 1 {
+                        u64::MAX
+                    } else {
+                        (1u64 << i).saturating_sub(1)
+                    };
+                    Json::Arr(vec![Json::Int(le as i128), Json::Int(n as i128)])
+                })
+            })
+            .collect();
+        Json::Obj(vec![
+            ("count".to_string(), Json::Int(count as i128)),
+            ("sum_us".to_string(), Json::Int(sum as i128)),
+            ("mean_us".to_string(), Json::Int(mean as i128)),
+            (
+                "p50_us".to_string(),
+                self.quantile_us(0.5)
+                    .map_or(Json::Null, |v| Json::Int(v as i128)),
+            ),
+            (
+                "p99_us".to_string(),
+                self.quantile_us(0.99)
+                    .map_or(Json::Null, |v| Json::Int(v as i128)),
+            ),
+            ("buckets".to_string(), Json::Arr(buckets)),
+        ])
+    }
+}
+
+/// All counters the server maintains. One instance per server, shared
+/// (`Arc`) across connection threads.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections accepted over the server's lifetime.
+    pub connections_total: AtomicU64,
+    /// Connections currently open.
+    pub active_connections: AtomicU64,
+    /// Requests parsed (any endpoint, before validation).
+    pub requests_total: AtomicU64,
+    /// Generation streams that ran to completion (report record sent).
+    pub requests_completed: AtomicU64,
+    /// Rejections: unparseable HTTP or JSON.
+    pub rejected_malformed: AtomicU64,
+    /// Rejections: well-formed but semantically invalid specs.
+    pub rejected_invalid: AtomicU64,
+    /// Rejections: declared body over the configured cap.
+    pub rejected_too_large: AtomicU64,
+    /// Rejections: admission queue at its bound (the HTTP 429 path).
+    pub rejected_queue_full: AtomicU64,
+    /// Streams aborted because the client vanished; each one cancelled
+    /// its request's remaining lanes.
+    pub disconnect_cancelled: AtomicU64,
+    /// Streams whose deadline expired before the full count was
+    /// delivered (the report still closed the stream).
+    pub deadline_expired: AtomicU64,
+    /// Item records streamed to clients.
+    pub items_streamed: AtomicU64,
+    /// Latency from request receipt to spec admission.
+    pub admit_latency: Histogram,
+    /// Latency from admission to the first streamed item.
+    pub first_item_latency: Histogram,
+    /// Full stream duration (admission to report record).
+    pub stream_latency: Histogram,
+}
+
+impl ServerMetrics {
+    /// Relaxed increment helper.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Relaxed decrement helper (for gauges).
+    pub fn drop_gauge(counter: &AtomicU64) {
+        counter.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The `/metrics` document: server counters, latency histograms, and
+    /// the live scheduler snapshot.
+    pub fn to_json(&self, scheduler: ServiceStats) -> Json {
+        let c = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed) as i128);
+        Json::Obj(vec![
+            ("connections_total".to_string(), c(&self.connections_total)),
+            (
+                "active_connections".to_string(),
+                c(&self.active_connections),
+            ),
+            ("requests_total".to_string(), c(&self.requests_total)),
+            (
+                "requests_completed".to_string(),
+                c(&self.requests_completed),
+            ),
+            (
+                "rejected_malformed".to_string(),
+                c(&self.rejected_malformed),
+            ),
+            ("rejected_invalid".to_string(), c(&self.rejected_invalid)),
+            (
+                "rejected_too_large".to_string(),
+                c(&self.rejected_too_large),
+            ),
+            (
+                "rejected_queue_full".to_string(),
+                c(&self.rejected_queue_full),
+            ),
+            (
+                "disconnect_cancelled".to_string(),
+                c(&self.disconnect_cancelled),
+            ),
+            ("deadline_expired".to_string(), c(&self.deadline_expired)),
+            ("items_streamed".to_string(), c(&self.items_streamed)),
+            (
+                "scheduler".to_string(),
+                Json::Obj(vec![
+                    (
+                        "queued_requests".to_string(),
+                        Json::Int(scheduler.queued_requests as i128),
+                    ),
+                    (
+                        "queued_lanes".to_string(),
+                        Json::Int(scheduler.queued_lanes as i128),
+                    ),
+                    (
+                        "lanes_in_flight".to_string(),
+                        Json::Int(scheduler.lanes_in_flight as i128),
+                    ),
+                ]),
+            ),
+            (
+                "latency".to_string(),
+                Json::Obj(vec![
+                    ("admit".to_string(), self.admit_latency.to_json()),
+                    ("first_item".to_string(), self.first_item_latency.to_json()),
+                    ("stream".to_string(), self.stream_latency.to_json()),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for us in [1u64, 2, 3, 100, 1000, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        let p50 = h.quantile_us(0.5).unwrap();
+        assert!((2..=4).contains(&p50), "{p50}");
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!(p99 >= 65_536, "{p99}");
+        // Snapshot parses back and carries the count through.
+        let snap = crate::json::parse(&h.to_json().to_string()).unwrap();
+        assert_eq!(snap.get("count").and_then(Json::as_int), Some(6));
+    }
+
+    #[test]
+    fn metrics_document_round_trips_and_reflects_counters() {
+        let m = ServerMetrics::default();
+        ServerMetrics::bump(&m.items_streamed);
+        ServerMetrics::bump(&m.items_streamed);
+        m.stream_latency.record(Duration::from_millis(5));
+        let doc = m.to_json(ServiceStats::default()).to_string();
+        let parsed = crate::json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("items_streamed").and_then(Json::as_int), Some(2));
+        assert_eq!(
+            parsed
+                .get("scheduler")
+                .and_then(|s| s.get("lanes_in_flight"))
+                .and_then(Json::as_int),
+            Some(0)
+        );
+        assert_eq!(
+            parsed
+                .get("latency")
+                .and_then(|l| l.get("stream"))
+                .and_then(|s| s.get("count"))
+                .and_then(Json::as_int),
+            Some(1)
+        );
+    }
+}

@@ -1,0 +1,793 @@
+//! The `dpserve` wire codec: [`RequestSpec`] and result records as JSON.
+//!
+//! # Protocol reference
+//!
+//! A generation request (`POST /v1/generate`) is one JSON object mapping
+//! 1:1 onto [`RequestSpec`]. Every field except `count` is optional and
+//! defaults to the [`RequestSpec::new`] value; **unknown fields are
+//! rejected**, so a typo cannot silently fall back to a default:
+//!
+//! ```json
+//! {
+//!   "count": 4,
+//!   "seed": 7,
+//!   "priority": 0,
+//!   "deadline_ms": 5000,
+//!   "sample_stride": 1,
+//!   "max_attempts": 4,
+//!   "repair_bowties": true,
+//!   "rules": {"space_min": 60, "width_min": 60, "area_min": 4000,
+//!             "area_max": 1500000, "exempt_border": true},
+//!   "solver": {"target_width": 2048, "target_height": 2048,
+//!              "max_iterations": 500, "max_restarts": 8, "margin": 2.0},
+//!   "donors": [{"topology": ["0110", "1111"], "dx": [512, 512, 512, 512],
+//!               "dy": [1024, 1024]}]
+//! }
+//! ```
+//!
+//! The response is a newline-delimited JSON (NDJSON) stream: one
+//! `{"type":"item", ...}` record per generated pattern in completion
+//! order, then exactly one `{"type":"report", ...}` record. A pattern's
+//! topology is encoded as rows of `0`/`1` characters, first row = top
+//! (the same orientation as the paper figures and
+//! `BitGrid::from_ascii`).
+//!
+//! Deadlines travel as whole milliseconds (`deadline_ms`), so a spec
+//! whose deadline is not a whole number of milliseconds does not survive
+//! a round-trip exactly; every other field is lossless, which the
+//! proptest round-trip suite pins.
+
+use crate::json::{self, Json};
+use diffpattern::drc::DesignRules;
+use diffpattern::geometry::BitGrid;
+use diffpattern::legalize::{SolveStats, SolverConfig};
+use diffpattern::squish::SquishPattern;
+use diffpattern::{Generated, PipelineReport, Provenance, RequestSpec};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A wire-format violation: malformed JSON or a structurally invalid
+/// document. Semantic spec problems (bad ruleset, zero count) are
+/// [`ProtoError::InvalidSpec`] so the server can map them to a different
+/// status code than syntax errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtoError {
+    /// The body was not valid JSON.
+    Json(json::ParseError),
+    /// The document or one of its fields had the wrong JSON type.
+    WrongType {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// What the protocol expects there.
+        expected: &'static str,
+    },
+    /// A field name the protocol does not know (typo protection).
+    UnknownField {
+        /// Dotted path of the object the field appeared in (empty for
+        /// the top level).
+        at: &'static str,
+        /// The offending name.
+        field: String,
+    },
+    /// A required field was absent.
+    MissingField {
+        /// Dotted path of the absent field.
+        field: &'static str,
+    },
+    /// A numeric field was outside its type's range.
+    OutOfRange {
+        /// Dotted path of the offending field.
+        field: &'static str,
+    },
+    /// The spec parsed but is semantically invalid (zero count, a
+    /// ruleset the DRC layer rejects, a donor that is not a valid squish
+    /// pattern, ...). The string is the underlying error's display form.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Json(e) => write!(f, "malformed JSON: {e}"),
+            ProtoError::WrongType { field, expected } => {
+                write!(f, "field `{field}` must be {expected}")
+            }
+            ProtoError::UnknownField { at, field } => {
+                if at.is_empty() {
+                    write!(f, "unknown field `{field}`")
+                } else {
+                    write!(f, "unknown field `{field}` in `{at}`")
+                }
+            }
+            ProtoError::MissingField { field } => write!(f, "missing required field `{field}`"),
+            ProtoError::OutOfRange { field } => write!(f, "field `{field}` is out of range"),
+            ProtoError::InvalidSpec(message) => write!(f, "invalid spec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<json::ParseError> for ProtoError {
+    fn from(e: json::ParseError) -> Self {
+        ProtoError::Json(e)
+    }
+}
+
+impl ProtoError {
+    /// The machine-readable error code the server puts on the wire.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ProtoError::Json(_) => "malformed_json",
+            ProtoError::UnknownField { .. } => "unknown_field",
+            ProtoError::WrongType { .. } | ProtoError::MissingField { .. } => "bad_request",
+            ProtoError::OutOfRange { .. } => "bad_request",
+            ProtoError::InvalidSpec(_) => "invalid_spec",
+        }
+    }
+
+    /// Whether the failure is semantic (HTTP 422) rather than syntactic
+    /// (HTTP 400).
+    pub fn is_semantic(&self) -> bool {
+        matches!(self, ProtoError::InvalidSpec(_))
+    }
+}
+
+// ---------------------------------------------------------------------
+// RequestSpec
+// ---------------------------------------------------------------------
+
+/// Serialises a spec to its canonical wire object (every field present,
+/// donors included).
+pub fn spec_to_json(spec: &RequestSpec) -> Json {
+    let mut fields = vec![
+        ("count".to_string(), Json::Int(spec.count as i128)),
+        ("seed".to_string(), Json::Int(spec.seed as i128)),
+        ("priority".to_string(), Json::Int(spec.priority as i128)),
+        (
+            "sample_stride".to_string(),
+            Json::Int(spec.sample_stride as i128),
+        ),
+        (
+            "max_attempts".to_string(),
+            Json::Int(spec.max_attempts as i128),
+        ),
+        (
+            "repair_bowties".to_string(),
+            Json::Bool(spec.repair_bowties),
+        ),
+        ("rules".to_string(), rules_to_json(&spec.rules)),
+        ("solver".to_string(), solver_to_json(&spec.solver)),
+        (
+            "donors".to_string(),
+            Json::Arr(spec.donors.iter().map(pattern_to_json).collect()),
+        ),
+    ];
+    if let Some(deadline) = spec.deadline {
+        fields.push((
+            "deadline_ms".to_string(),
+            Json::Int(deadline.as_millis() as i128),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+/// Parses a wire object into a spec. Strict: unknown fields error, and
+/// `count` must be present and at least 1 (the in-process API tolerates
+/// `count == 0`; the protocol treats it as a caller mistake).
+pub fn spec_from_json(v: &Json) -> Result<RequestSpec, ProtoError> {
+    let Json::Obj(fields) = v else {
+        return Err(ProtoError::WrongType {
+            field: "(request)",
+            expected: "an object",
+        });
+    };
+    let mut spec = RequestSpec::new(0);
+    let mut saw_count = false;
+    for (key, value) in fields {
+        match key.as_str() {
+            "count" => {
+                spec.count = usize_field(value, "count")?;
+                saw_count = true;
+            }
+            "seed" => spec.seed = u64_field(value, "seed")?,
+            "priority" => spec.priority = i32_field(value, "priority")?,
+            "deadline_ms" => {
+                spec.deadline = Some(Duration::from_millis(u64_field(value, "deadline_ms")?));
+            }
+            "sample_stride" => spec.sample_stride = usize_field(value, "sample_stride")?,
+            "max_attempts" => spec.max_attempts = usize_field(value, "max_attempts")?,
+            "repair_bowties" => spec.repair_bowties = bool_field(value, "repair_bowties")?,
+            "rules" => spec.rules = rules_from_json(value)?,
+            "solver" => spec.solver = solver_from_json(value)?,
+            "donors" => {
+                let items = value.as_arr().ok_or(ProtoError::WrongType {
+                    field: "donors",
+                    expected: "an array",
+                })?;
+                let donors: Vec<SquishPattern> = items
+                    .iter()
+                    .map(pattern_from_json)
+                    .collect::<Result<_, _>>()?;
+                spec.donors = Arc::from(donors.into_boxed_slice());
+            }
+            other => {
+                return Err(ProtoError::UnknownField {
+                    at: "",
+                    field: other.to_string(),
+                })
+            }
+        }
+    }
+    if !saw_count {
+        return Err(ProtoError::MissingField { field: "count" });
+    }
+    if spec.count == 0 {
+        return Err(ProtoError::InvalidSpec(
+            "count must be at least 1".to_string(),
+        ));
+    }
+    Ok(spec)
+}
+
+fn rules_to_json(rules: &DesignRules) -> Json {
+    Json::Obj(vec![
+        (
+            "space_min".to_string(),
+            Json::Int(rules.space_min() as i128),
+        ),
+        (
+            "width_min".to_string(),
+            Json::Int(rules.width_min() as i128),
+        ),
+        ("area_min".to_string(), Json::Int(rules.area_min())),
+        ("area_max".to_string(), Json::Int(rules.area_max())),
+        (
+            "exempt_border".to_string(),
+            Json::Bool(rules.exempt_border()),
+        ),
+    ])
+}
+
+fn rules_from_json(v: &Json) -> Result<DesignRules, ProtoError> {
+    let Json::Obj(fields) = v else {
+        return Err(ProtoError::WrongType {
+            field: "rules",
+            expected: "an object",
+        });
+    };
+    let mut builder = DesignRules::builder();
+    let (mut area_min, mut area_max) = {
+        let std = DesignRules::standard();
+        (std.area_min(), std.area_max())
+    };
+    for (key, value) in fields {
+        match key.as_str() {
+            "space_min" => builder = builder.space_min(i64_field(value, "rules.space_min")?),
+            "width_min" => builder = builder.width_min(i64_field(value, "rules.width_min")?),
+            "area_min" => {
+                area_min = value.as_int().ok_or(ProtoError::WrongType {
+                    field: "rules.area_min",
+                    expected: "an integer",
+                })?;
+            }
+            "area_max" => {
+                area_max = value.as_int().ok_or(ProtoError::WrongType {
+                    field: "rules.area_max",
+                    expected: "an integer",
+                })?;
+            }
+            "exempt_border" => {
+                builder = builder.exempt_border(bool_field(value, "rules.exempt_border")?)
+            }
+            other => {
+                return Err(ProtoError::UnknownField {
+                    at: "rules",
+                    field: other.to_string(),
+                })
+            }
+        }
+    }
+    builder
+        .area_range(area_min, area_max)
+        .build()
+        .map_err(|e| ProtoError::InvalidSpec(e.to_string()))
+}
+
+fn solver_to_json(solver: &SolverConfig) -> Json {
+    Json::Obj(vec![
+        (
+            "target_width".to_string(),
+            Json::Int(solver.target_width as i128),
+        ),
+        (
+            "target_height".to_string(),
+            Json::Int(solver.target_height as i128),
+        ),
+        (
+            "max_iterations".to_string(),
+            Json::Int(solver.max_iterations as i128),
+        ),
+        (
+            "max_restarts".to_string(),
+            Json::Int(solver.max_restarts as i128),
+        ),
+        ("margin".to_string(), Json::Float(solver.margin)),
+    ])
+}
+
+fn solver_from_json(v: &Json) -> Result<SolverConfig, ProtoError> {
+    let Json::Obj(fields) = v else {
+        return Err(ProtoError::WrongType {
+            field: "solver",
+            expected: "an object",
+        });
+    };
+    let mut solver = SolverConfig::for_window(2048, 2048);
+    for (key, value) in fields {
+        match key.as_str() {
+            "target_width" => solver.target_width = i64_field(value, "solver.target_width")?,
+            "target_height" => solver.target_height = i64_field(value, "solver.target_height")?,
+            "max_iterations" => {
+                solver.max_iterations = usize_field(value, "solver.max_iterations")?
+            }
+            "max_restarts" => solver.max_restarts = usize_field(value, "solver.max_restarts")?,
+            "margin" => {
+                solver.margin = value.as_f64().ok_or(ProtoError::WrongType {
+                    field: "solver.margin",
+                    expected: "a number",
+                })?;
+            }
+            other => {
+                return Err(ProtoError::UnknownField {
+                    at: "solver",
+                    field: other.to_string(),
+                })
+            }
+        }
+    }
+    Ok(solver)
+}
+
+// ---------------------------------------------------------------------
+// Patterns
+// ---------------------------------------------------------------------
+
+/// Encodes a pattern: topology rows top-first as `0`/`1` strings, plus
+/// the Δx/Δy interval vectors in nm.
+pub fn pattern_to_json(pattern: &SquishPattern) -> Json {
+    let grid = pattern.topology();
+    let rows: Vec<Json> = (0..grid.height())
+        .rev() // first wire row = top row, like `BitGrid::from_ascii`
+        .map(|row| {
+            Json::Str(
+                (0..grid.width())
+                    .map(|col| if grid.get(col, row) { '1' } else { '0' })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("topology".to_string(), Json::Arr(rows)),
+        (
+            "dx".to_string(),
+            Json::Arr(pattern.dx().iter().map(|&d| Json::Int(d as i128)).collect()),
+        ),
+        (
+            "dy".to_string(),
+            Json::Arr(pattern.dy().iter().map(|&d| Json::Int(d as i128)).collect()),
+        ),
+    ])
+}
+
+/// Decodes a pattern, re-validating through [`SquishPattern::new`] so a
+/// malformed donor (ragged rows, non-positive Δ, shape mismatch) is a
+/// typed error, never a panic downstream.
+pub fn pattern_from_json(v: &Json) -> Result<SquishPattern, ProtoError> {
+    let Json::Obj(fields) = v else {
+        return Err(ProtoError::WrongType {
+            field: "pattern",
+            expected: "an object",
+        });
+    };
+    let mut rows: Option<&[Json]> = None;
+    let mut dx: Option<Vec<i64>> = None;
+    let mut dy: Option<Vec<i64>> = None;
+    for (key, value) in fields {
+        match key.as_str() {
+            "topology" => {
+                rows = Some(value.as_arr().ok_or(ProtoError::WrongType {
+                    field: "pattern.topology",
+                    expected: "an array of row strings",
+                })?);
+            }
+            "dx" => dx = Some(coord_vec(value, "pattern.dx")?),
+            "dy" => dy = Some(coord_vec(value, "pattern.dy")?),
+            other => {
+                return Err(ProtoError::UnknownField {
+                    at: "pattern",
+                    field: other.to_string(),
+                })
+            }
+        }
+    }
+    let rows = rows.ok_or(ProtoError::MissingField {
+        field: "pattern.topology",
+    })?;
+    let dx = dx.ok_or(ProtoError::MissingField {
+        field: "pattern.dx",
+    })?;
+    let dy = dy.ok_or(ProtoError::MissingField {
+        field: "pattern.dy",
+    })?;
+    let mut art = String::new();
+    for row in rows {
+        let row = row.as_str().ok_or(ProtoError::WrongType {
+            field: "pattern.topology",
+            expected: "an array of row strings",
+        })?;
+        if row.is_empty() || !row.bytes().all(|b| b == b'0' || b == b'1') {
+            return Err(ProtoError::InvalidSpec(
+                "topology rows must be non-empty strings of 0/1".to_string(),
+            ));
+        }
+        art.push_str(row);
+        art.push('\n');
+    }
+    let grid = BitGrid::from_ascii(&art).map_err(|e| ProtoError::InvalidSpec(e.to_string()))?;
+    SquishPattern::new(grid, dx, dy).map_err(|e| ProtoError::InvalidSpec(e.to_string()))
+}
+
+fn coord_vec(v: &Json, field: &'static str) -> Result<Vec<i64>, ProtoError> {
+    v.as_arr()
+        .ok_or(ProtoError::WrongType {
+            field,
+            expected: "an array of integers",
+        })?
+        .iter()
+        .map(|item| i64_field(item, field))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Stream records
+// ---------------------------------------------------------------------
+
+/// One NDJSON `item` record.
+pub fn item_to_json(generated: &Generated) -> Json {
+    let p = &generated.provenance;
+    Json::Obj(vec![
+        ("type".to_string(), Json::Str("item".to_string())),
+        ("index".to_string(), Json::Int(p.index as i128)),
+        ("seed".to_string(), Json::Int(p.seed as i128)),
+        ("attempts".to_string(), Json::Int(p.attempts as i128)),
+        ("repaired".to_string(), Json::Bool(p.repaired)),
+        (
+            "solve".to_string(),
+            Json::Obj(vec![
+                (
+                    "iterations".to_string(),
+                    Json::Int(p.solve.iterations as i128),
+                ),
+                ("restarts".to_string(), Json::Int(p.solve.restarts as i128)),
+            ]),
+        ),
+        ("pattern".to_string(), pattern_to_json(&generated.pattern)),
+    ])
+}
+
+/// Decodes an `item` record back into the in-process type — the half the
+/// byte-equality tests use to compare wire output with
+/// `PatternService::generate`.
+pub fn item_from_json(v: &Json) -> Result<Generated, ProtoError> {
+    if v.get("type").and_then(Json::as_str) != Some("item") {
+        return Err(ProtoError::WrongType {
+            field: "type",
+            expected: "\"item\"",
+        });
+    }
+    let pattern = pattern_from_json(
+        v.get("pattern")
+            .ok_or(ProtoError::MissingField { field: "pattern" })?,
+    )?;
+    let solve = v
+        .get("solve")
+        .ok_or(ProtoError::MissingField { field: "solve" })?;
+    let provenance = Provenance {
+        index: usize_field(
+            v.get("index")
+                .ok_or(ProtoError::MissingField { field: "index" })?,
+            "index",
+        )?,
+        seed: u64_field(
+            v.get("seed")
+                .ok_or(ProtoError::MissingField { field: "seed" })?,
+            "seed",
+        )?,
+        attempts: usize_field(
+            v.get("attempts")
+                .ok_or(ProtoError::MissingField { field: "attempts" })?,
+            "attempts",
+        )?,
+        repaired: bool_field(
+            v.get("repaired")
+                .ok_or(ProtoError::MissingField { field: "repaired" })?,
+            "repaired",
+        )?,
+        solve: SolveStats {
+            iterations: usize_field(
+                solve.get("iterations").ok_or(ProtoError::MissingField {
+                    field: "solve.iterations",
+                })?,
+                "solve.iterations",
+            )?,
+            restarts: usize_field(
+                solve.get("restarts").ok_or(ProtoError::MissingField {
+                    field: "solve.restarts",
+                })?,
+                "solve.restarts",
+            )?,
+        },
+    };
+    Ok(Generated {
+        pattern,
+        provenance,
+    })
+}
+
+/// The final NDJSON `report` record closing every stream.
+pub fn report_to_json(
+    requested: usize,
+    delivered: usize,
+    deadline_expired: bool,
+    report: &PipelineReport,
+    error: Option<&str>,
+) -> Json {
+    let mut fields = vec![
+        ("type".to_string(), Json::Str("report".to_string())),
+        ("requested".to_string(), Json::Int(requested as i128)),
+        ("delivered".to_string(), Json::Int(delivered as i128)),
+        ("deadline_expired".to_string(), Json::Bool(deadline_expired)),
+        (
+            "report".to_string(),
+            Json::Obj(vec![
+                (
+                    "topologies_sampled".to_string(),
+                    Json::Int(report.topologies_sampled as i128),
+                ),
+                (
+                    "prefilter_rejected".to_string(),
+                    Json::Int(report.prefilter_rejected as i128),
+                ),
+                (
+                    "prefilter_repaired".to_string(),
+                    Json::Int(report.prefilter_repaired as i128),
+                ),
+                (
+                    "solver_failures".to_string(),
+                    Json::Int(report.solver_failures as i128),
+                ),
+                (
+                    "legal_patterns".to_string(),
+                    Json::Int(report.legal_patterns as i128),
+                ),
+                ("shortfall".to_string(), Json::Int(report.shortfall as i128)),
+            ]),
+        ),
+    ];
+    if let Some(error) = error {
+        fields.push(("error".to_string(), Json::Str(error.to_string())));
+    }
+    Json::Obj(fields)
+}
+
+/// Decodes a `report` record: `(requested, delivered, deadline_expired,
+/// report, error)`.
+pub fn report_from_json(
+    v: &Json,
+) -> Result<(usize, usize, bool, PipelineReport, Option<String>), ProtoError> {
+    if v.get("type").and_then(Json::as_str) != Some("report") {
+        return Err(ProtoError::WrongType {
+            field: "type",
+            expected: "\"report\"",
+        });
+    }
+    let inner = v
+        .get("report")
+        .ok_or(ProtoError::MissingField { field: "report" })?;
+    let field = |name: &'static str| -> Result<usize, ProtoError> {
+        usize_field(
+            inner
+                .get(name)
+                .ok_or(ProtoError::MissingField { field: "report.*" })?,
+            "report.*",
+        )
+    };
+    let report = PipelineReport {
+        topologies_sampled: field("topologies_sampled")?,
+        prefilter_rejected: field("prefilter_rejected")?,
+        prefilter_repaired: field("prefilter_repaired")?,
+        solver_failures: field("solver_failures")?,
+        legal_patterns: field("legal_patterns")?,
+        shortfall: field("shortfall")?,
+    };
+    Ok((
+        usize_field(
+            v.get("requested")
+                .ok_or(ProtoError::MissingField { field: "requested" })?,
+            "requested",
+        )?,
+        usize_field(
+            v.get("delivered")
+                .ok_or(ProtoError::MissingField { field: "delivered" })?,
+            "delivered",
+        )?,
+        bool_field(
+            v.get("deadline_expired").ok_or(ProtoError::MissingField {
+                field: "deadline_expired",
+            })?,
+            "deadline_expired",
+        )?,
+        report,
+        v.get("error").and_then(Json::as_str).map(str::to_string),
+    ))
+}
+
+/// A structured error body (`{"type":"error","code":...,"message":...}`).
+pub fn error_to_json(code: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("type".to_string(), Json::Str("error".to_string())),
+        ("code".to_string(), Json::Str(code.to_string())),
+        ("message".to_string(), Json::Str(message.to_string())),
+    ])
+}
+
+// ---------------------------------------------------------------------
+// Typed field extraction
+// ---------------------------------------------------------------------
+
+fn int_in_range(v: &Json, field: &'static str, min: i128, max: i128) -> Result<i128, ProtoError> {
+    let i = v.as_int().ok_or(ProtoError::WrongType {
+        field,
+        expected: "an integer",
+    })?;
+    if i < min || i > max {
+        return Err(ProtoError::OutOfRange { field });
+    }
+    Ok(i)
+}
+
+fn usize_field(v: &Json, field: &'static str) -> Result<usize, ProtoError> {
+    Ok(int_in_range(v, field, 0, usize::MAX as i128)? as usize)
+}
+
+fn u64_field(v: &Json, field: &'static str) -> Result<u64, ProtoError> {
+    Ok(int_in_range(v, field, 0, u64::MAX as i128)? as u64)
+}
+
+fn i64_field(v: &Json, field: &'static str) -> Result<i64, ProtoError> {
+    Ok(int_in_range(v, field, i64::MIN as i128, i64::MAX as i128)? as i64)
+}
+
+fn i32_field(v: &Json, field: &'static str) -> Result<i32, ProtoError> {
+    Ok(int_in_range(v, field, i32::MIN as i128, i32::MAX as i128)? as i32)
+}
+
+fn bool_field(v: &Json, field: &'static str) -> Result<bool, ProtoError> {
+    v.as_bool().ok_or(ProtoError::WrongType {
+        field,
+        expected: "a boolean",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_eq(a: &RequestSpec, b: &RequestSpec) {
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.priority, b.priority);
+        assert_eq!(a.deadline, b.deadline);
+        assert_eq!(a.sample_stride, b.sample_stride);
+        assert_eq!(a.max_attempts, b.max_attempts);
+        assert_eq!(a.repair_bowties, b.repair_bowties);
+        assert_eq!(a.rules, b.rules);
+        assert_eq!(a.solver.target_width, b.solver.target_width);
+        assert_eq!(a.solver.target_height, b.solver.target_height);
+        assert_eq!(a.solver.max_iterations, b.solver.max_iterations);
+        assert_eq!(a.solver.max_restarts, b.solver.max_restarts);
+        assert_eq!(a.solver.margin.to_bits(), b.solver.margin.to_bits());
+        assert_eq!(a.donors.as_ref(), b.donors.as_ref());
+    }
+
+    #[test]
+    fn default_spec_round_trips() {
+        let spec = RequestSpec::new(3).seed(u64::MAX);
+        let wire = spec_to_json(&spec).to_string();
+        let back = spec_from_json(&json::parse(&wire).unwrap()).unwrap();
+        spec_eq(&spec, &back);
+    }
+
+    #[test]
+    fn spec_with_deadline_and_donor_round_trips() {
+        let grid = BitGrid::from_ascii("0110\n1111").unwrap();
+        let donor = SquishPattern::new(grid, vec![512; 4], vec![1024; 2]).unwrap();
+        let mut spec = RequestSpec::new(2).deadline(Duration::from_millis(750));
+        spec.donors = Arc::from([donor]);
+        let wire = spec_to_json(&spec).to_string();
+        let back = spec_from_json(&json::parse(&wire).unwrap()).unwrap();
+        spec_eq(&spec, &back);
+    }
+
+    #[test]
+    fn minimal_request_uses_defaults() {
+        let spec = spec_from_json(&json::parse(r#"{"count": 5}"#).unwrap()).unwrap();
+        let default = RequestSpec::new(5);
+        spec_eq(&spec, &default);
+    }
+
+    #[test]
+    fn unknown_and_invalid_fields_are_typed_errors() {
+        let cases = [
+            (r#"{"count": 1, "cuont": 2}"#, "unknown_field"),
+            (
+                r#"{"count": 1, "rules": {"spcae_min": 60}}"#,
+                "unknown_field",
+            ),
+            (r#"{"seed": 3}"#, "bad_request"),
+            (r#"{"count": 0}"#, "invalid_spec"),
+            (r#"{"count": -1}"#, "bad_request"),
+            (r#"{"count": 1, "seed": "seven"}"#, "bad_request"),
+            (
+                r#"{"count": 1, "rules": {"space_min": -5}}"#,
+                "invalid_spec",
+            ),
+            (
+                r#"{"count": 1, "donors": [{"topology": ["01", "0"], "dx": [1, 1], "dy": [1, 1]}]}"#,
+                "invalid_spec",
+            ),
+        ];
+        for (body, code) in cases {
+            let e = spec_from_json(&json::parse(body).unwrap()).unwrap_err();
+            assert_eq!(e.code(), code, "{body} -> {e}");
+        }
+    }
+
+    #[test]
+    fn item_and_report_records_round_trip() {
+        let grid = BitGrid::from_ascii("10\n01").unwrap();
+        let generated = Generated {
+            pattern: SquishPattern::new(grid, vec![7, 9], vec![3, 5]).unwrap(),
+            provenance: Provenance {
+                index: 4,
+                seed: 0xDEAD_BEEF,
+                attempts: 2,
+                repaired: true,
+                solve: SolveStats {
+                    iterations: 17,
+                    restarts: 1,
+                },
+            },
+        };
+        let back =
+            item_from_json(&json::parse(&item_to_json(&generated).to_string()).unwrap()).unwrap();
+        assert_eq!(generated, back);
+
+        let report = PipelineReport {
+            topologies_sampled: 9,
+            prefilter_rejected: 1,
+            prefilter_repaired: 2,
+            solver_failures: 3,
+            legal_patterns: 4,
+            shortfall: 5,
+        };
+        let wire = report_to_json(6, 4, true, &report, Some("boom")).to_string();
+        let (requested, delivered, expired, back, error) =
+            report_from_json(&json::parse(&wire).unwrap()).unwrap();
+        assert_eq!((requested, delivered, expired), (6, 4, true));
+        assert_eq!(back, report);
+        assert_eq!(error.as_deref(), Some("boom"));
+    }
+}

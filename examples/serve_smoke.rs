@@ -1,0 +1,107 @@
+//! End-to-end smoke test of the **real** `dpserve` binary — what the CI
+//! serving step runs. Spawns the binary in demo mode on an ephemeral
+//! port, waits for its `listening on ADDR` line, drives one generation
+//! stream and a `/metrics` scrape through the client module, and exits
+//! non-zero on any failure.
+//!
+//! ```text
+//! cargo build --release --bin dpserve
+//! cargo run --release --example serve_smoke
+//! DPSERVE_BIN=target/release/dpserve cargo run --release --example serve_smoke
+//! ```
+
+use diffpattern::RequestSpec;
+use dp_serve::{Client, Json};
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Kills the child on every exit path (including panics).
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bin = std::env::var("DPSERVE_BIN").unwrap_or_else(|_| {
+        let profile = if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        };
+        format!("target/{profile}/dpserve")
+    });
+    eprintln!("spawning {bin} --demo ...");
+    let mut child = Command::new(&bin)
+        .args(["--demo", "--iters", "60", "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {bin}: {e} (build the dpserve binary first)"))?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    let child = Reaper(child);
+
+    // The binary prints exactly one `listening on ADDR` line once bound.
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .ok_or("dpserve exited before announcing its address")??;
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            break rest.trim().parse::<std::net::SocketAddr>()?;
+        }
+    };
+    eprintln!("server up on {addr}; submitting a request...");
+
+    let mut client = Client::connect(addr)?;
+    client.set_read_timeout(Some(Duration::from_secs(300)))?;
+    let spec = RequestSpec::new(2).seed(7);
+    let outcome = client.generate(&spec)?;
+    assert_eq!(outcome.requested, 2, "server must echo the requested count");
+    assert_eq!(
+        outcome.items.len() + outcome.report.shortfall,
+        2,
+        "stream accounting must close: {:?}",
+        outcome.report
+    );
+    assert!(outcome.error.is_none(), "{:?}", outcome.error);
+
+    // The client sees the terminal chunk before the engine worker's
+    // bookkeeping settles (lanes_in_flight decrement, requests_completed
+    // bump happen just after the flush), so poll rather than scrape once.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let metrics = loop {
+        let metrics = client.metrics()?;
+        let completed = metrics
+            .get("requests_completed")
+            .and_then(Json::as_int)
+            .ok_or("metrics missing requests_completed")?;
+        let in_flight = metrics
+            .get("scheduler")
+            .and_then(|s| s.get("lanes_in_flight"))
+            .and_then(Json::as_int)
+            .ok_or("metrics missing scheduler.lanes_in_flight")?;
+        if completed == 1 && in_flight == 0 {
+            break metrics;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "server never settled to completed=1 / in-flight=0: {metrics:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let streamed = metrics.get("items_streamed").and_then(Json::as_int);
+    assert_eq!(streamed, Some(outcome.items.len() as i128), "{metrics:?}");
+
+    eprintln!(
+        "smoke OK: {} items streamed, shortfall {}, metrics parsed",
+        outcome.items.len(),
+        outcome.report.shortfall
+    );
+    drop(child); // kill + reap
+    Ok(())
+}

@@ -340,3 +340,132 @@ fn dropping_the_service_terminates_outstanding_handles() {
     let drained: Vec<Generated> = handle.collect();
     assert!(drained.len() <= 32);
 }
+
+#[test]
+fn admission_bound_rejects_with_typed_queue_full_and_recovers() {
+    let (model, base, _) = trained(78, 3);
+    // One worker claiming one lane at a time keeps a multi-lane request
+    // in the admission queue for its whole lifetime.
+    let svc = PatternService::builder(Arc::clone(&model))
+        .threads(1)
+        .micro_batch(1)
+        .max_queued_requests(1)
+        .build()
+        .unwrap();
+    assert_eq!(svc.max_queued_requests(), 1);
+
+    let occupant = svc
+        .submit(&RequestSpec {
+            count: 32,
+            ..base.clone()
+        })
+        .unwrap();
+
+    // The queue is at its bound: the next submit is refused with the
+    // typed backpressure error, carrying the observed depth.
+    match svc.submit(&RequestSpec {
+        count: 1,
+        ..base.clone()
+    }) {
+        Err(ConfigError::QueueFull { queued, max_queued }) => {
+            assert_eq!(queued, 1);
+            assert_eq!(max_queued, 1);
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    // Cancelling the occupant drains the queue; the same spec is then
+    // admitted (poll briefly — the prune happens on the next sweep).
+    drop(occupant);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let generation = loop {
+        match svc.generate(&RequestSpec {
+            count: 1,
+            ..base.clone()
+        }) {
+            Ok(generation) => break generation,
+            Err(diffpattern::PipelineError::Config(ConfigError::QueueFull { .. }))
+                if std::time::Instant::now() < deadline =>
+            {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected error while recovering: {other}"),
+        }
+    };
+    assert_eq!(generation.items.len() + generation.report.shortfall, 1);
+}
+
+#[test]
+fn service_stats_track_queue_and_drain_to_zero() {
+    let (model, base, _) = trained(79, 3);
+    let svc = PatternService::builder(Arc::clone(&model))
+        .threads(1)
+        .micro_batch(1)
+        .build()
+        .unwrap();
+    let idle = svc.stats();
+    assert_eq!(idle, diffpattern::ServiceStats::default());
+
+    let handle = svc
+        .submit(&RequestSpec {
+            count: 8,
+            ..base.clone()
+        })
+        .unwrap();
+    // While the request runs, the scheduler reports work somewhere
+    // (queued or in flight); when the handle completes, everything
+    // drains back to zero.
+    let busy = svc.stats();
+    assert!(
+        busy.queued_requests + busy.queued_lanes + busy.lanes_in_flight > 0,
+        "{busy:?}"
+    );
+    let generation = handle.wait().unwrap();
+    assert_eq!(generation.items.len() + generation.report.shortfall, 8);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let drained = svc.stats();
+        if drained == diffpattern::ServiceStats::default() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stats never drained: {drained:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn in_process_deadline_expires_to_accounted_shortfall() {
+    let (model, base, _) = trained(80, 3);
+    let svc = service(&model, 1);
+
+    // Already-expired deadline: all lanes become shortfall, nothing is
+    // generated, the stream closes immediately.
+    let expired = svc
+        .generate(
+            &RequestSpec {
+                count: 5,
+                ..base.clone()
+            }
+            .deadline(std::time::Duration::ZERO),
+        )
+        .unwrap();
+    assert_eq!(expired.items.len(), 0);
+    assert_eq!(expired.report.shortfall, 5);
+
+    // A service-wide default deadline applies when the spec sets none.
+    let svc = PatternService::builder(Arc::clone(&model))
+        .threads(1)
+        .default_deadline(std::time::Duration::ZERO)
+        .build()
+        .unwrap();
+    let defaulted = svc
+        .generate(&RequestSpec {
+            count: 3,
+            ..base.clone()
+        })
+        .unwrap();
+    assert_eq!(defaulted.report.shortfall, 3);
+}
