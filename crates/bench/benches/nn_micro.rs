@@ -10,7 +10,10 @@
 //! loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dp_nn::{matmul, Conv2d, SelfAttention2d, Tensor, UNet, UNetConfig, Workspace};
+use dp_nn::{
+    matmul, silu_in_place, softmax_rows_in_place, upsample_nearest2_ws, Conv2d, GroupNorm, Linear,
+    SelfAttention2d, Tensor, UNet, UNetConfig, Workspace,
+};
 use rand::SeedableRng;
 
 fn gemm(c: &mut Criterion) {
@@ -78,6 +81,71 @@ fn attention_infer(c: &mut Criterion) {
             ws.recycle(y);
         })
     });
+    group.finish();
+}
+
+fn layers(c: &mut Criterion) {
+    // Per-layer accounting for the non-GEMM layers of the C4 16x16
+    // U-Net, at the exact shapes its forward pass issues. Together with
+    // `gemm`/`conv_infer`/`attention_infer` this splits a
+    // `unet_infer` regression into named layer budgets instead of one
+    // opaque end-to-end number.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut ws = Workspace::new();
+    let mut group = c.benchmark_group("nn_micro/layers");
+    group.sample_size(10);
+
+    // GroupNorm at the level-0 (16ch 16x16) and level-1 (32ch 8x8)
+    // feature maps.
+    for (label, channels, side) in [
+        ("groupnorm_16ch_16x16", 16usize, 16usize),
+        ("groupnorm_32ch_8x8", 32, 8),
+    ] {
+        let norm = GroupNorm::new(4, channels);
+        let x = Tensor::randn(&[1, channels, side, side], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |bch, ()| {
+            bch.iter(|| {
+                let y = norm.infer(&x, &mut ws);
+                ws.recycle(y);
+            })
+        });
+    }
+
+    // SiLU over the widest activation (decoder concat, 32ch 16x16).
+    // Element-wise with value-independent cost, so re-applying in place
+    // measures the same work as a fresh tensor without realloc noise.
+    let mut silu_x = Tensor::randn(&[1, 32, 16, 16], 1.0, &mut rng);
+    group.bench_function("silu_32ch_16x16", |bch| {
+        bch.iter(|| silu_in_place(&mut silu_x))
+    });
+
+    // Attention softmax at the 8x8 map: 64 rows (head-major positions)
+    // of 64 logits. Softmax output is a valid input, so in-place
+    // re-application is steady-state.
+    let mut softmax_rows = vec![0.5f32; 64 * 64];
+    group.bench_function("softmax_rows_64x64", |bch| {
+        bch.iter(|| softmax_rows_in_place(&mut softmax_rows, 64))
+    });
+
+    // The time-embedding MLP layers (time_dim 16).
+    let linear = Linear::new(16, 64, &mut rng);
+    let t = Tensor::randn(&[1, 16], 1.0, &mut rng);
+    group.bench_function("linear_time_16to64", |bch| {
+        bch.iter(|| {
+            let y = linear.infer(&t, &mut ws);
+            ws.recycle(y);
+        })
+    });
+
+    // Decoder upsample from the 8x8 bottleneck back to 16x16.
+    let up_in = Tensor::randn(&[1, 32, 8, 8], 1.0, &mut rng);
+    group.bench_function("upsample2_32ch_8to16", |bch| {
+        bch.iter(|| {
+            let y = upsample_nearest2_ws(&up_in, &mut ws);
+            ws.recycle(y);
+        })
+    });
+
     group.finish();
 }
 
@@ -156,6 +224,7 @@ criterion_group!(
     gemm,
     conv_infer,
     attention_infer,
+    layers,
     unet_infer,
     unet_infer_batched
 );

@@ -24,9 +24,10 @@
 //! raw-weight blobs are rejected with a clear error).
 
 use diffpattern::drc::{check_pattern, DesignRules};
+use diffpattern::library::{merge_libraries, Library, LibraryConfig, LibraryWriter};
 use diffpattern::render::{layout_to_pgm, pattern_to_ascii};
 use diffpattern::{
-    Generation, PatternService, Pipeline, PipelineConfig, RequestSpec, TrainedModel,
+    Generation, LibrarySink, PatternService, Pipeline, PipelineConfig, RequestSpec, TrainedModel,
 };
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -37,6 +38,17 @@ use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `library` carries a positional sub-action (`build`/`stat`/`merge`)
+    // before its `--key value` pairs, so it parses its own tail.
+    if args.first().map(String::as_str) == Some("library") {
+        return match library_cmd(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let Some((command, options)) = parse(&args) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -64,10 +76,20 @@ const USAGE: &str = "usage:
   dpgen gen   --model FILE --count N --out DIR [--seed N] [--stride N] [--threads N]
               [--micro-batch N] [--rules PRESET]...
   dpgen demo  [--iters N] [--count N] [--seed N] [--threads N]
+  dpgen library build --model FILE --out DIR [--count N] [--seed N] [--rules PRESET]...
+              [--first-index N] [--segment-bytes N] [--stop-after N] [--threads N]
+  dpgen library stat  --dir DIR
+  dpgen library merge --out DIR --shard DIR [--shard DIR]...
 
 rule presets: standard, larger-space, smaller-area
 (repeat --rules to serve several rule sets from one engine; each preset
-gets its own manifest under OUT/<preset>/)";
+gets its own manifest under OUT/<preset>/)
+
+`library build` appends to a durable content-addressed store (resumable:
+re-running continues from the last valid record). --stop-after N dies
+with exit code 3 after N settled slots, simulating a crash for recovery
+testing. `stat` prints a deterministic, timestamp-free summary; `merge`
+combines disjoint-index shard builds into a fresh store.";
 
 /// Parsed options: every `--key value` pair, with repeated keys collected
 /// in order (`--rules a --rules b`).
@@ -245,6 +267,168 @@ fn write_library(
             g.provenance.attempts
         )?;
     }
+    Ok(())
+}
+
+fn library_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some((action, options)) = parse(args) else {
+        return Err(format!("`library` needs an action\n{USAGE}").into());
+    };
+    match action.as_str() {
+        "build" => library_build(&options),
+        "stat" => library_stat(&options),
+        "merge" => library_merge(&options),
+        _ => Err(format!("unknown library action `{action}`\n{USAGE}").into()),
+    }
+}
+
+/// Deterministic (timestamp-free) store summary, printed to stdout so CI
+/// can diff the output of resumed vs uninterrupted builds.
+fn print_stat(lib: &Library) {
+    println!("segments: {}", lib.segment_count());
+    println!("records: {}", lib.len());
+    println!("content_hash: {:016x}", lib.content_hash());
+    let keys: Vec<(String, String)> = lib
+        .buckets()
+        .map(|(m, r)| (m.to_string(), r.to_string()))
+        .collect();
+    for (m, r) in keys {
+        let s = lib.stats(&m, &r).expect("listed bucket");
+        println!(
+            "bucket {m}/{r}: base {} next {} accepted {} dup {} skip {} legal {} \
+             topologies {} distinct {} diversity {:.6} bits ({:016x})",
+            s.base,
+            s.next_index,
+            s.accepted,
+            s.duplicates,
+            s.skipped,
+            s.legal,
+            s.topologies,
+            s.distinct_complexities,
+            s.diversity,
+            s.diversity.to_bits()
+        );
+    }
+}
+
+fn library_build(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let model_file = model_path(options, "library build")?;
+    let out = PathBuf::from(opt_str(options, "out").ok_or("`library build` needs --out DIR")?);
+    let count = opt_usize(options, "count", 50);
+    let first_index = opt_usize(options, "first-index", 0);
+    let seed = opt_usize(options, "seed", 43) as u64;
+    let threads = opt_usize(options, "threads", 0);
+    let micro_batch = opt_usize(options, "micro-batch", 8);
+    let segment_bytes = opt_usize(options, "segment-bytes", 256 * 1024) as u64;
+    let stop_after: Option<u64> = opt_str(options, "stop-after").map(str::parse).transpose()?;
+    let presets: Vec<String> = options
+        .get("rules")
+        .cloned()
+        .unwrap_or_else(|| vec!["standard".to_string()]);
+    let rule_sets: Vec<(String, DesignRules)> = presets
+        .iter()
+        .map(|p| rules_preset(p).map(|r| (p.clone(), r)))
+        .collect::<Result<_, _>>()?;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pipeline = build_pipeline(options, &mut rng)?;
+    // Train-or-load: a missing model file is trained in place so shard
+    // and resume invocations can share it afterwards.
+    let model = if Path::new(&model_file).exists() {
+        Arc::new(TrainedModel::load(&std::fs::read(&model_file)?)?)
+    } else {
+        let iters = opt_usize(options, "iters", 4_000);
+        eprintln!("model {model_file} not found; training {iters} iterations first...");
+        let mut train_rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut train_pipeline = build_pipeline(options, &mut train_rng)?;
+        train_pipeline.train(iters, &mut train_rng)?;
+        let trained = train_pipeline.into_trained_model()?;
+        std::fs::write(&model_file, trained.save())?;
+        Arc::new(trained)
+    };
+    let service = PatternService::builder(model)
+        .threads(threads)
+        .micro_batch(micro_batch)
+        .build()?;
+    let mut writer = LibraryWriter::open(
+        &out,
+        LibraryConfig {
+            segment_bytes,
+            ..LibraryConfig::default()
+        },
+    )?;
+    let base_spec = pipeline.request_spec(count).seed(seed);
+
+    // Open every bucket first and submit all remainders up front: one
+    // engine, one pool, requests fill each other's micro-batches; a
+    // resumed build only asks for the sub-range past its cursor.
+    let end = (first_index + count) as u64;
+    let mut jobs = Vec::with_capacity(rule_sets.len());
+    for (preset, rules) in &rule_sets {
+        let cursor = writer.open_bucket("diffpattern", preset, first_index as u64)?;
+        if cursor < end {
+            let spec = RequestSpec {
+                rules: *rules,
+                count: (end - cursor) as usize,
+                first_index: cursor as usize,
+                ..base_spec.clone()
+            };
+            jobs.push((preset.clone(), Some(service.submit(&spec)?)));
+        } else {
+            jobs.push((preset.clone(), None));
+        }
+    }
+
+    let mut settled = 0u64;
+    for (preset, handle) in jobs {
+        let Some(handle) = handle else {
+            eprintln!("[{preset}] already complete (cursor at {end})");
+            continue;
+        };
+        let mut sink = LibrarySink::new(&mut writer, "diffpattern", &preset);
+        let report = sink.drain_with(handle, |_| {
+            settled += 1;
+            if stop_after.is_some_and(|n| settled >= n) {
+                eprintln!("--stop-after {settled}: simulating a crash (no checkpoint flush)");
+                std::process::exit(3);
+            }
+        })?;
+        eprintln!(
+            "[{preset}] +{} patterns ({} duplicates, {} skipped), cursor now {}",
+            report.accepted, report.duplicates, report.skipped, report.next_index
+        );
+    }
+    let lib = writer.finish()?;
+    print_stat(&lib);
+    Ok(())
+}
+
+fn library_stat(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let dir = opt_str(options, "dir").ok_or("`library stat` needs --dir DIR")?;
+    print_stat(&Library::open(dir)?);
+    Ok(())
+}
+
+fn library_merge(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let out = opt_str(options, "out").ok_or("`library merge` needs --out DIR")?;
+    let shard_dirs = options
+        .get("shard")
+        .filter(|v| !v.is_empty())
+        .ok_or("`library merge` needs --shard DIR (repeatable)")?;
+    let shards: Vec<Library> = shard_dirs
+        .iter()
+        .map(Library::open)
+        .collect::<Result<_, _>>()?;
+    let segment_bytes = opt_usize(options, "segment-bytes", 256 * 1024) as u64;
+    let merged = merge_libraries(
+        out,
+        &shards,
+        LibraryConfig {
+            segment_bytes,
+            ..LibraryConfig::default()
+        },
+    )?;
+    print_stat(&merged);
     Ok(())
 }
 

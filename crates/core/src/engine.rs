@@ -60,6 +60,10 @@ pub(crate) struct RequestJob {
     pub(crate) mode: Mode,
     pub(crate) seed: u64,
     pub(crate) count: usize,
+    /// Absolute index of the request's first item: lane `i` derives its
+    /// RNG stream from `item_seed(seed, first_index + i)`, so a request
+    /// is an exact sub-range of the `(seed, index)` item space.
+    pub(crate) first_index: usize,
     /// Reverse-sampling stride; doubles as the *plan key*: lanes may share
     /// a lock-step micro-batch only when they traverse the same denoising
     /// step sequence.
@@ -339,7 +343,7 @@ impl Engine {
                 while pending.next_lane < pending.req.job.count && lanes.len() < self.micro_batch {
                     let index = pending.next_lane;
                     pending.next_lane += 1;
-                    let seed = item_seed(pending.req.job.seed, index);
+                    let seed = item_seed(pending.req.job.seed, pending.req.job.first_index + index);
                     lanes.push(Lane {
                         req: Arc::clone(&pending.req),
                         index,

@@ -104,6 +104,14 @@ pub enum ConfigError {
         /// The configured bound.
         max_queued: usize,
     },
+    /// `first_index + count` overflows `usize` — the request's absolute
+    /// item-index range is unrepresentable.
+    IndexOverflow {
+        /// The spec's `first_index`.
+        first_index: usize,
+        /// The spec's `count`.
+        count: usize,
+    },
     /// The solver window is smaller than the topology's scan-line count.
     WindowTooSmall {
         /// Unfolded topology matrix side (scan lines per axis).
@@ -131,6 +139,10 @@ impl fmt::Display for ConfigError {
             ConfigError::QueueFull { queued, max_queued } => write!(
                 f,
                 "admission queue is full ({queued} pending, bound {max_queued}); retry later"
+            ),
+            ConfigError::IndexOverflow { first_index, count } => write!(
+                f,
+                "first_index {first_index} + count {count} overflows the item index space"
             ),
             ConfigError::SideNotDivisible { matrix_side, patch } => write!(
                 f,

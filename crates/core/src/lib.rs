@@ -110,6 +110,7 @@
 
 mod engine;
 mod error;
+pub mod library_sink;
 pub mod metrics;
 mod pipeline;
 pub mod render;
@@ -120,6 +121,7 @@ pub mod table1;
 pub mod table2;
 
 pub use error::{ConfigError, GenerateError, PipelineError};
+pub use library_sink::{LibrarySink, SinkError, SinkReport};
 pub use metrics::{evaluate_patterns, MethodRow};
 pub use pipeline::{BackboneConfig, Pipeline, PipelineConfig, PipelineReport};
 pub use service::{
@@ -139,5 +141,6 @@ pub use dp_diffusion as diffusion;
 pub use dp_drc as drc;
 pub use dp_geometry as geometry;
 pub use dp_legalize as legalize;
+pub use dp_library as library;
 pub use dp_nn as nn;
 pub use dp_squish as squish;

@@ -93,6 +93,15 @@ pub struct RequestSpec {
     /// The request seed: together with an item's index it fully determines
     /// that item, independent of everything else the service is doing.
     pub seed: u64,
+    /// Offset into the request's item-index space: item `i` of this
+    /// request is generated exactly as item `first_index + i` of an
+    /// equivalent request with `first_index: 0` (same derived per-item
+    /// seed, bit-identical content). This is what makes resumed library
+    /// builds and seed-space shards exact sub-ranges of one logical
+    /// stream rather than approximations of it. Streamed
+    /// [`crate::Provenance::index`] values stay `0..count`-relative; add
+    /// `first_index` to recover the absolute index.
+    pub first_index: usize,
     /// Scheduling priority — higher runs earlier when the pool is
     /// contended. Affects latency only, never content.
     pub priority: i32,
@@ -132,6 +141,7 @@ impl RequestSpec {
         RequestSpec {
             count,
             seed: 0,
+            first_index: 0,
             priority: 0,
             rules: DesignRules::standard(),
             solver: SolverConfig::for_window(2048, 2048),
@@ -154,6 +164,14 @@ impl RequestSpec {
     /// [`RequestSpec::deadline`] field for the expiry semantics).
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns the spec offset to start at absolute item index
+    /// `first_index` (see the [`RequestSpec::first_index`] field for the
+    /// sub-range determinism contract).
+    pub fn first_index(mut self, first_index: usize) -> Self {
+        self.first_index = first_index;
         self
     }
 }
@@ -411,6 +429,12 @@ impl PatternService {
             self.core.model.matrix_side(),
             &spec.solver,
         )?;
+        if spec.first_index.checked_add(spec.count).is_none() {
+            return Err(ConfigError::IndexOverflow {
+                first_index: spec.first_index,
+                count: spec.count,
+            });
+        }
         let deadline = spec
             .deadline
             .or(self.core.default_deadline)
@@ -419,6 +443,7 @@ impl PatternService {
             mode,
             seed: spec.seed,
             count: spec.count,
+            first_index: spec.first_index,
             stride: spec.sample_stride,
             retained: self.core.engine.strided_steps(spec.sample_stride).into(),
             max_attempts: spec.max_attempts,
@@ -441,6 +466,7 @@ impl PatternService {
             cancel_flag: cancel,
             engine: Arc::downgrade(&self.core.engine),
             count: spec.count,
+            first_index: spec.first_index,
             lanes_done: 0,
             report: PipelineReport::default(),
             error: None,
@@ -494,6 +520,7 @@ pub struct RequestHandle {
     /// submit.
     engine: std::sync::Weak<Engine>,
     count: usize,
+    first_index: usize,
     lanes_done: usize,
     report: PipelineReport,
     error: Option<GenerateError>,
@@ -631,6 +658,13 @@ impl RequestHandle {
     /// disconnected).
     pub fn is_finished(&self) -> bool {
         self.finished
+    }
+
+    /// The spec's [`RequestSpec::first_index`]: streamed
+    /// [`crate::Provenance::index`] values are `0..count`-relative;
+    /// `first_index + index` is the absolute item index.
+    pub fn first_index(&self) -> usize {
+        self.first_index
     }
 
     /// The first structural error a lane reported, if any (also surfaced

@@ -372,6 +372,7 @@ impl<'m> GenerationSession<'m> {
             mode,
             seed: self.seed,
             count,
+            first_index: 0,
             stride: self.stride,
             retained: Arc::clone(&self.retained),
             max_attempts: self.max_attempts,

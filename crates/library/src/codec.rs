@@ -1,0 +1,445 @@
+//! The on-disk record codec: length-prefixed, CRC32-checksummed frames
+//! holding self-describing pattern records.
+//!
+//! Every fact the store needs — index, dedup state, complexity
+//! histograms, counters — is derivable from the record stream alone, so
+//! a library opens correctly even if its checkpoint file is missing
+//! (the checkpoint is an accelerator and a durability marker, not the
+//! source of truth).
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! [payload_len: u32][crc32(payload): u32][payload]
+//! ```
+//!
+//! Payload v1:
+//!
+//! ```text
+//! version:u8  method_len:u8 method  ruleset_len:u8 ruleset
+//! source_index:u64  dups_since_prev:u32  skips_since_prev:u32
+//! flags:u8 (bit0 = legal)  cx:u16 cy:u16  width:u16 height:u16
+//! topology bits (row-major, LSB-first, ceil(w*h/8) bytes)
+//! dx: width × i32   dy: height × i32
+//! ```
+//!
+//! `dups_since_prev` / `skips_since_prev` make dedup and shortfall
+//! accounting durable without writing a record per dropped item: each
+//! accepted record carries the number of duplicate and skipped source
+//! indices since the previous accepted record in its bucket.
+
+use crate::error::LibraryError;
+use dp_geometry::BitGrid;
+use dp_squish::SquishPattern;
+
+/// Codec version written into every payload.
+pub const RECORD_VERSION: u8 = 1;
+
+/// Upper bound on a sane payload length; anything larger during a scan
+/// is treated as a torn or corrupt frame.
+pub const MAX_PAYLOAD: usize = 16 << 20;
+
+/// Bytes of frame overhead preceding each payload.
+pub const FRAME_HEADER: usize = 8;
+
+// CRC-32 (IEEE 802.3, reflected) with a compile-time table.
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// FNV-1a 64-bit seed.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Absorbs bytes into an FNV-1a 64-bit state.
+pub fn fnv1a(mut state: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x1000_0000_01b3);
+    }
+    state
+}
+
+/// Content hash of a topology: FNV-1a over `(width, height, packed bits)`.
+pub fn topology_hash(grid: &BitGrid) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, &(grid.width() as u32).to_le_bytes());
+    h = fnv1a(h, &(grid.height() as u32).to_le_bytes());
+    fnv1a(h, &pack_bits(grid))
+}
+
+/// Content hash of a record's Δ vectors: FNV-1a over `dx ++ dy`.
+pub fn variant_hash(dx: &[i64], dy: &[i64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &v in dx {
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    h = fnv1a(h, &[0xFF]);
+    for &v in dy {
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    h
+}
+
+/// Packs a topology row-major, LSB-first, into `ceil(w*h/8)` bytes.
+pub fn pack_bits(grid: &BitGrid) -> Vec<u8> {
+    let cells = grid.cells();
+    let mut out = vec![0u8; cells.len().div_ceil(8)];
+    for (i, &bit) in cells.iter().enumerate() {
+        if bit {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// A fully decoded record: one stored pattern plus its bucket identity
+/// and the dedup/skip deltas that make the accounting durable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Generator identity (e.g. `diffpattern`, `real`).
+    pub method: String,
+    /// Ruleset identity (e.g. a preset name).
+    pub ruleset: String,
+    /// Index of this pattern in its bucket's generation stream.
+    pub source_index: u64,
+    /// Duplicate items dropped since the previous record in this bucket.
+    pub dups_since_prev: u32,
+    /// Skipped (shortfall) indices since the previous record.
+    pub skips_since_prev: u32,
+    /// Whether the pattern passed DRC at ingest time.
+    pub legal: bool,
+    /// Complexity of the squished core (paper Definition 1 statistic).
+    pub complexity: (u16, u16),
+    /// The stored squish pattern.
+    pub pattern: SquishPattern,
+}
+
+impl Record {
+    /// Encodes the payload (no frame header).
+    pub fn encode(&self) -> Result<Vec<u8>, LibraryError> {
+        let topo = self.pattern.topology();
+        let w = topo.width();
+        let h = topo.height();
+        let invalid = |d: &str| LibraryError::Invalid {
+            detail: d.to_string(),
+        };
+        if self.method.len() > 255 || self.ruleset.len() > 255 {
+            return Err(invalid("method/ruleset labels are limited to 255 bytes"));
+        }
+        let (w16, h16) = (
+            u16::try_from(w).map_err(|_| invalid("topology wider than u16"))?,
+            u16::try_from(h).map_err(|_| invalid("topology taller than u16"))?,
+        );
+        let mut out = Vec::with_capacity(64 + w * h / 8 + 4 * (w + h));
+        out.push(RECORD_VERSION);
+        out.push(self.method.len() as u8);
+        out.extend_from_slice(self.method.as_bytes());
+        out.push(self.ruleset.len() as u8);
+        out.extend_from_slice(self.ruleset.as_bytes());
+        out.extend_from_slice(&self.source_index.to_le_bytes());
+        out.extend_from_slice(&self.dups_since_prev.to_le_bytes());
+        out.extend_from_slice(&self.skips_since_prev.to_le_bytes());
+        out.push(self.legal as u8);
+        out.extend_from_slice(&self.complexity.0.to_le_bytes());
+        out.extend_from_slice(&self.complexity.1.to_le_bytes());
+        out.extend_from_slice(&w16.to_le_bytes());
+        out.extend_from_slice(&h16.to_le_bytes());
+        out.extend_from_slice(&pack_bits(topo));
+        for &d in self.pattern.dx().iter().chain(self.pattern.dy()) {
+            let d32 = i32::try_from(d).map_err(|_| invalid("delta out of i32 range"))?;
+            out.extend_from_slice(&d32.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    /// Encodes the payload and wraps it in a `[len][crc]` frame.
+    pub fn frame(&self) -> Result<Vec<u8>, LibraryError> {
+        let payload = self.encode()?;
+        let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    /// Decodes a payload produced by [`Record::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Record, LibraryError> {
+        let mut r = Cursor::new(payload);
+        let version = r.u8()?;
+        if version != RECORD_VERSION {
+            return Err(corrupt(format!("unknown record version {version}")));
+        }
+        let method = r.label()?;
+        let ruleset = r.label()?;
+        let source_index = r.u64()?;
+        let dups_since_prev = r.u32()?;
+        let skips_since_prev = r.u32()?;
+        let flags = r.u8()?;
+        if flags & !1 != 0 {
+            return Err(corrupt(format!("unknown record flags {flags:#x}")));
+        }
+        let cx = r.u16()?;
+        let cy = r.u16()?;
+        let w = r.u16()? as usize;
+        let h = r.u16()? as usize;
+        let bits = r.take((w * h).div_ceil(8))?;
+        let cells: Vec<bool> = (0..w * h)
+            .map(|i| bits[i / 8] >> (i % 8) & 1 != 0)
+            .collect();
+        let topology = BitGrid::from_cells(w, h, cells)
+            .map_err(|e| corrupt(format!("stored topology invalid: {e}")))?;
+        let dx: Vec<i64> = (0..w)
+            .map(|_| r.i32().map(i64::from))
+            .collect::<Result<_, _>>()?;
+        let dy: Vec<i64> = (0..h)
+            .map(|_| r.i32().map(i64::from))
+            .collect::<Result<_, _>>()?;
+        r.finish()?;
+        let pattern = SquishPattern::new(topology, dx, dy)
+            .map_err(|e| corrupt(format!("stored pattern invalid: {e}")))?;
+        Ok(Record {
+            method,
+            ruleset,
+            source_index,
+            dups_since_prev,
+            skips_since_prev,
+            legal: flags & 1 != 0,
+            complexity: (cx, cy),
+            pattern,
+        })
+    }
+}
+
+fn corrupt(detail: String) -> LibraryError {
+    LibraryError::Corrupt { detail }
+}
+
+/// A bounds-checked little-endian payload reader, shared by the record
+/// and checkpoint decoders.
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LibraryError> {
+        if self.buf.len() - self.at < n {
+            return Err(corrupt("payload truncated".to_string()));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, LibraryError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, LibraryError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, LibraryError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i32(&mut self) -> Result<i32, LibraryError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, LibraryError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn label(&mut self) -> Result<String, LibraryError> {
+        let n = self.u8()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("label is not UTF-8".to_string()))
+    }
+
+    pub(crate) fn finish(&self) -> Result<(), LibraryError> {
+        if self.at != self.buf.len() {
+            return Err(corrupt(format!(
+                "payload has {} trailing bytes",
+                self.buf.len() - self.at
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of scanning one frame at an offset inside a segment buffer.
+#[derive(Debug)]
+pub enum FrameScan {
+    /// A frame whose checksum verified; `payload` borrows the buffer and
+    /// `next` is the offset one past the frame.
+    Valid {
+        /// Payload byte range within the segment buffer.
+        payload: std::ops::Range<usize>,
+        /// Stored CRC32 of the payload.
+        crc: u32,
+        /// Offset of the byte after this frame.
+        next: usize,
+    },
+    /// The bytes at this offset are not a valid frame (torn tail or
+    /// corruption — the caller decides which based on the checkpoint).
+    Invalid {
+        /// Human-readable reason, for diagnostics.
+        reason: String,
+    },
+    /// The offset is exactly at end-of-buffer: a clean boundary.
+    End,
+}
+
+/// Scans one frame starting at `offset` in `buf`.
+pub fn scan_frame(buf: &[u8], offset: usize) -> FrameScan {
+    if offset == buf.len() {
+        return FrameScan::End;
+    }
+    if buf.len() - offset < FRAME_HEADER {
+        return FrameScan::Invalid {
+            reason: "truncated frame header".to_string(),
+        };
+    }
+    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().unwrap());
+    if len == 0 || len > MAX_PAYLOAD {
+        return FrameScan::Invalid {
+            reason: format!("implausible payload length {len}"),
+        };
+    }
+    let start = offset + FRAME_HEADER;
+    if buf.len() - start < len {
+        return FrameScan::Invalid {
+            reason: "frame extends past end of segment".to_string(),
+        };
+    }
+    let payload = start..start + len;
+    if crc32(&buf[payload.clone()]) != crc {
+        return FrameScan::Invalid {
+            reason: "payload checksum mismatch".to_string(),
+        };
+    }
+    FrameScan::Valid {
+        payload,
+        crc,
+        next: start + len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pattern() -> SquishPattern {
+        let topo = BitGrid::from_ascii(".#.\n#.#\n.#.\n###").unwrap();
+        SquishPattern::new(topo, vec![60, 70, 80], vec![60, 61, 62, 63]).unwrap()
+    }
+
+    fn sample_record() -> Record {
+        let pattern = sample_pattern();
+        let complexity = {
+            let (cx, cy) = dp_squish::complexity_of_grid(pattern.topology());
+            (cx as u16, cy as u16)
+        };
+        Record {
+            method: "diffpattern".to_string(),
+            ruleset: "standard".to_string(),
+            source_index: 42,
+            dups_since_prev: 3,
+            skips_since_prev: 1,
+            legal: true,
+            complexity,
+            pattern,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let record = sample_record();
+        let payload = record.encode().unwrap();
+        let back = Record::decode(&payload).unwrap();
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frame_scan_accepts_valid_and_rejects_flipped_bit() {
+        let record = sample_record();
+        let mut bytes = record.frame().unwrap();
+        match scan_frame(&bytes, 0) {
+            FrameScan::Valid { payload, next, .. } => {
+                assert_eq!(next, bytes.len());
+                assert_eq!(Record::decode(&bytes[payload]).unwrap(), record);
+            }
+            other => panic!("expected valid frame, got {other:?}"),
+        }
+        let last = bytes.len() - 1;
+        bytes[last] ^= 1;
+        assert!(matches!(scan_frame(&bytes, 0), FrameScan::Invalid { .. }));
+    }
+
+    #[test]
+    fn frame_scan_flags_torn_tails() {
+        let record = sample_record();
+        let bytes = record.frame().unwrap();
+        for cut in 1..bytes.len() {
+            assert!(
+                matches!(scan_frame(&bytes[..cut], 0), FrameScan::Invalid { .. }),
+                "cut at {cut} should be torn"
+            );
+        }
+        assert!(matches!(scan_frame(&bytes, bytes.len()), FrameScan::End));
+    }
+
+    #[test]
+    fn topology_hash_distinguishes_shape_from_content() {
+        let a = BitGrid::from_ascii("##\n..").unwrap();
+        let b = BitGrid::from_ascii("#.\n#.").unwrap();
+        let c = BitGrid::from_ascii("##..").unwrap();
+        assert_ne!(topology_hash(&a), topology_hash(&b));
+        assert_ne!(topology_hash(&a), topology_hash(&c));
+        assert_eq!(topology_hash(&a), topology_hash(&a.clone()));
+    }
+
+    #[test]
+    fn variant_hash_separates_dx_dy_boundary() {
+        assert_ne!(variant_hash(&[1, 2], &[3]), variant_hash(&[1], &[2, 3]));
+        assert_eq!(variant_hash(&[1, 2], &[3]), variant_hash(&[1, 2], &[3]));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type for the pattern library store.
+
+use std::fmt;
+
+/// Everything that can go wrong opening, reading or appending to a
+/// pattern library.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum LibraryError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Bytes that should never be damaged (sealed segments, committed
+    /// prefixes, record payloads that passed their checksum) failed to
+    /// parse — the store is corrupt beyond safe tail truncation.
+    Corrupt {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// Data the checkpoint recorded as durably committed is missing or
+    /// damaged. Unlike a torn tail (which is silently discarded), loss
+    /// of committed data is never recovered from automatically.
+    DataLoss {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// An ingest arrived out of stream order for its bucket. Builds and
+    /// merges feed each bucket in ascending `source_index` order so that
+    /// first-occurrence-wins dedup is deterministic.
+    OutOfOrder {
+        /// Bucket method label.
+        method: String,
+        /// Bucket ruleset label.
+        ruleset: String,
+        /// The next index the bucket cursor expected.
+        expected: u64,
+        /// The index that actually arrived.
+        got: u64,
+    },
+    /// The caller passed something unencodable or inconsistent.
+    Invalid {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LibraryError::Io(e) => write!(f, "library I/O error: {e}"),
+            LibraryError::Corrupt { detail } => write!(f, "library corrupt: {detail}"),
+            LibraryError::DataLoss { detail } => {
+                write!(f, "library lost committed data: {detail}")
+            }
+            LibraryError::OutOfOrder {
+                method,
+                ruleset,
+                expected,
+                got,
+            } => write!(
+                f,
+                "out-of-order ingest into {method}/{ruleset}: expected index {expected}, got {got}"
+            ),
+            LibraryError::Invalid { detail } => write!(f, "invalid library input: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LibraryError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LibraryError {
+    fn from(e: std::io::Error) -> Self {
+        LibraryError::Io(e)
+    }
+}

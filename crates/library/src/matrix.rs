@@ -1,0 +1,175 @@
+//! The persistent timestamped results matrix (`results.md`).
+//!
+//! Every checkpoint regenerates a human-readable matrix of
+//! method × ruleset rows — count, dedup rate, diversity, legality —
+//! in the timestamped `results.md` idiom of long-running benchmark
+//! repositories: each row keeps the timestamp of the last run that
+//! *changed* it, so a reader can tell fresh figures from stale ones at
+//! a glance. The matrix is derived entirely from the store (the store
+//! is the source of truth); rewriting it is idempotent.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One row of the results matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixRow {
+    /// Generator identity.
+    pub method: String,
+    /// Ruleset identity (rows are grouped into one table per ruleset).
+    pub ruleset: String,
+    /// Timestamp of the last change to this bucket (UTC).
+    pub updated: String,
+    /// Stored (post-dedup) pattern count.
+    pub patterns: u64,
+    /// Distinct stored topologies.
+    pub topologies: u64,
+    /// Duplicates dropped at ingest.
+    pub duplicates: u64,
+    /// Items the generator never delivered (shortfall).
+    pub skipped: u64,
+    /// Diversity (Shannon entropy of the complexity distribution), bits.
+    pub diversity: f64,
+    /// Fraction of stored patterns that passed DRC, in `[0, 1]`.
+    pub legality: f64,
+}
+
+impl MatrixRow {
+    fn dedup_rate(&self) -> f64 {
+        let seen = self.patterns + self.duplicates;
+        if seen == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / seen as f64
+        }
+    }
+}
+
+/// Renders the matrix to a string (exposed for tests).
+pub fn render_matrix(rows: &[MatrixRow]) -> String {
+    let mut out = String::new();
+    out.push_str("# Pattern library results\n\n");
+    out.push_str(
+        "Diversity is the Shannon entropy of the complexity distribution\n\
+         (paper Definition 1), in bits, over the *stored* (post-dedup)\n\
+         patterns. A row's timestamp is the last run that changed its\n\
+         bucket; untouched rows keep their old timestamp. This file is\n\
+         regenerated from the store at every checkpoint — the store is\n\
+         the source of truth.\n",
+    );
+    let mut rulesets: Vec<&str> = rows.iter().map(|r| r.ruleset.as_str()).collect();
+    rulesets.sort_unstable();
+    rulesets.dedup();
+    for ruleset in rulesets {
+        out.push_str(&format!("\n## Ruleset `{ruleset}`\n\n"));
+        out.push_str(
+            "| Time (UTC+00:00) | Method | Patterns | Topologies | Dedup rate | \
+             Skipped | Diversity (bits) | Legality |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        let mut section: Vec<&MatrixRow> = rows.iter().filter(|r| r.ruleset == ruleset).collect();
+        section.sort_by(|a, b| a.method.cmp(&b.method));
+        for r in section {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {:.2}% | {} | {:.6} | {:.2}% |\n",
+                r.updated,
+                r.method,
+                r.patterns,
+                r.topologies,
+                r.dedup_rate() * 100.0,
+                r.skipped,
+                r.diversity,
+                r.legality * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+/// Writes the matrix to `<dir>/results.md` atomically (tmp + rename).
+pub fn write_matrix(dir: &Path, rows: &[MatrixRow]) -> io::Result<PathBuf> {
+    let path = dir.join("results.md");
+    let tmp = dir.join("results.md.tmp");
+    std::fs::write(&tmp, render_matrix(rows))?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Formats seconds-since-Unix-epoch as `YYYY-MM-DD - HH:MM:SS` (UTC).
+pub fn format_utc_timestamp(secs: u64) -> String {
+    let days = secs / 86_400;
+    let rem = secs % 86_400;
+    let (h, m, s) = (rem / 3600, rem % 3600 / 60, rem % 60);
+    // Civil-from-days (Howard Hinnant's algorithm), valid for the whole
+    // u64 range we care about.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { y + 1 } else { y };
+    format!("{year:04}-{month:02}-{d:02} - {h:02}:{m:02}:{s:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_formatting_matches_known_dates() {
+        assert_eq!(format_utc_timestamp(0), "1970-01-01 - 00:00:00");
+        // 2000-03-01 00:00:00 UTC (leap-century boundary).
+        assert_eq!(format_utc_timestamp(951_868_800), "2000-03-01 - 00:00:00");
+        // 2023-07-09 12:34:56 UTC.
+        assert_eq!(format_utc_timestamp(1_688_906_096), "2023-07-09 - 12:34:56");
+    }
+
+    #[test]
+    fn matrix_groups_by_ruleset_and_sorts_methods() {
+        let row = |method: &str, ruleset: &str| MatrixRow {
+            method: method.to_string(),
+            ruleset: ruleset.to_string(),
+            updated: "2026-01-01 - 00:00:00".to_string(),
+            patterns: 10,
+            topologies: 8,
+            duplicates: 2,
+            skipped: 1,
+            diversity: 2.5,
+            legality: 1.0,
+        };
+        let text = render_matrix(&[row("b", "s2"), row("a", "s1"), row("c", "s1")]);
+        let s1 = text.find("## Ruleset `s1`").unwrap();
+        let s2 = text.find("## Ruleset `s2`").unwrap();
+        assert!(s1 < s2);
+        let a = text.find("| a |").unwrap();
+        let c = text.find("| c |").unwrap();
+        assert!(s1 < a && a < c && c < s2);
+        assert!(text.contains("16.67%"), "2 dups of 12 seen:\n{text}");
+    }
+
+    #[test]
+    fn write_is_atomic_and_idempotent() {
+        let dir = std::env::temp_dir().join(format!("dp_library_matrix_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let rows = [MatrixRow {
+            method: "m".to_string(),
+            ruleset: "r".to_string(),
+            updated: "2026-01-01 - 00:00:00".to_string(),
+            patterns: 1,
+            topologies: 1,
+            duplicates: 0,
+            skipped: 0,
+            diversity: 0.0,
+            legality: 1.0,
+        }];
+        let p1 = write_matrix(&dir, &rows).unwrap();
+        let first = std::fs::read_to_string(&p1).unwrap();
+        let p2 = write_matrix(&dir, &rows).unwrap();
+        assert_eq!(first, std::fs::read_to_string(&p2).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

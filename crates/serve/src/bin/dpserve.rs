@@ -20,8 +20,9 @@
 //! the listener is up (with `--addr` port 0 the line is how scripts
 //! learn the real port). The process serves until killed.
 
+use diffpattern::library::LibraryConfig;
 use diffpattern::{PatternService, Pipeline, PipelineConfig, TrainedModel};
-use dp_serve::{serve, ServeConfig};
+use dp_serve::{serve, ServeConfig, ServeLibrary};
 use rand::SeedableRng;
 use std::collections::HashMap;
 use std::io::Write;
@@ -40,6 +41,9 @@ serving flags:
   --max-queued N           admission bound; further requests get HTTP 429 (default 0 = unbounded)
   --default-deadline-ms N  deadline for requests that set none (default: none)
   --max-body-kib N         largest accepted request body (default 1024)
+  --library DIR            also append every streamed pattern to the durable
+                           library at DIR (created if missing, resumed if
+                           present); ingest counters appear in /metrics
 
 endpoints: POST /v1/generate (NDJSON stream), GET /metrics, GET /healthz";
 
@@ -125,8 +129,17 @@ fn run(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         builder = builder.default_deadline(Duration::from_millis(ms));
     }
     let service = builder.build()?;
+    let library = match opt_str(options, "library") {
+        Some(dir) => {
+            let lib = ServeLibrary::open(dir, LibraryConfig::default())?;
+            eprintln!("library sink: {dir} ({:?})", lib.counters());
+            Some(Arc::new(lib))
+        }
+        None => None,
+    };
     let config = ServeConfig {
         max_body_bytes: opt_usize(options, "max-body-kib", 1024) * 1024,
+        library,
         ..ServeConfig::default()
     };
     let addr = opt_str(options, "addr").unwrap_or("127.0.0.1:7878");

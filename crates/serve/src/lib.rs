@@ -46,6 +46,6 @@ pub mod server;
 
 pub use client::{Client, ClientError, WireOutcome};
 pub use json::Json;
-pub use metrics::{Histogram, ServerMetrics};
+pub use metrics::{Histogram, LibraryCounters, ServerMetrics};
 pub use proto::ProtoError;
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use server::{serve, ServeConfig, ServeLibrary, ServerHandle};

@@ -137,6 +137,18 @@ pub struct ServerMetrics {
     pub stream_latency: Histogram,
 }
 
+/// Snapshot of the attached pattern library's ingest counters (present
+/// in `/metrics` only when the server runs with a library sink).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LibraryCounters {
+    /// Patterns appended to the store.
+    pub accepted: u64,
+    /// Byte-identical patterns dropped by streaming dedup.
+    pub deduplicated: u64,
+    /// Bytes appended to segment files.
+    pub bytes_written: u64,
+}
+
 impl ServerMetrics {
     /// Relaxed increment helper.
     pub fn bump(counter: &AtomicU64) {
@@ -148,11 +160,12 @@ impl ServerMetrics {
         counter.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// The `/metrics` document: server counters, latency histograms, and
-    /// the live scheduler snapshot.
-    pub fn to_json(&self, scheduler: ServiceStats) -> Json {
+    /// The `/metrics` document: server counters, latency histograms, the
+    /// live scheduler snapshot, and (when a library sink is attached)
+    /// the store's ingest counters.
+    pub fn to_json(&self, scheduler: ServiceStats, library: Option<LibraryCounters>) -> Json {
         let c = |a: &AtomicU64| Json::Int(a.load(Ordering::Relaxed) as i128);
-        Json::Obj(vec![
+        let mut fields = vec![
             ("connections_total".to_string(), c(&self.connections_total)),
             (
                 "active_connections".to_string(),
@@ -207,7 +220,24 @@ impl ServerMetrics {
                     ("stream".to_string(), self.stream_latency.to_json()),
                 ]),
             ),
-        ])
+        ];
+        if let Some(lib) = library {
+            fields.push((
+                "library".to_string(),
+                Json::Obj(vec![
+                    ("accepted".to_string(), Json::Int(lib.accepted as i128)),
+                    (
+                        "deduplicated".to_string(),
+                        Json::Int(lib.deduplicated as i128),
+                    ),
+                    (
+                        "bytes_written".to_string(),
+                        Json::Int(lib.bytes_written as i128),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -238,9 +268,25 @@ mod tests {
         ServerMetrics::bump(&m.items_streamed);
         ServerMetrics::bump(&m.items_streamed);
         m.stream_latency.record(Duration::from_millis(5));
-        let doc = m.to_json(ServiceStats::default()).to_string();
+        let doc = m.to_json(ServiceStats::default(), None).to_string();
         let parsed = crate::json::parse(&doc).unwrap();
         assert_eq!(parsed.get("items_streamed").and_then(Json::as_int), Some(2));
+        assert!(parsed.get("library").is_none());
+        let doc = m
+            .to_json(
+                ServiceStats::default(),
+                Some(LibraryCounters {
+                    accepted: 7,
+                    deduplicated: 3,
+                    bytes_written: 4096,
+                }),
+            )
+            .to_string();
+        let parsed = crate::json::parse(&doc).unwrap();
+        let lib = parsed.get("library").expect("library section");
+        assert_eq!(lib.get("accepted").and_then(Json::as_int), Some(7));
+        assert_eq!(lib.get("deduplicated").and_then(Json::as_int), Some(3));
+        assert_eq!(lib.get("bytes_written").and_then(Json::as_int), Some(4096));
         assert_eq!(
             parsed
                 .get("scheduler")

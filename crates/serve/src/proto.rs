@@ -10,6 +10,7 @@
 //! ```json
 //! {
 //!   "count": 4,
+//!   "first_index": 0,
 //!   "seed": 7,
 //!   "priority": 0,
 //!   "deadline_ms": 5000,
@@ -143,6 +144,10 @@ impl ProtoError {
 pub fn spec_to_json(spec: &RequestSpec) -> Json {
     let mut fields = vec![
         ("count".to_string(), Json::Int(spec.count as i128)),
+        (
+            "first_index".to_string(),
+            Json::Int(spec.first_index as i128),
+        ),
         ("seed".to_string(), Json::Int(spec.seed as i128)),
         ("priority".to_string(), Json::Int(spec.priority as i128)),
         (
@@ -191,6 +196,7 @@ pub fn spec_from_json(v: &Json) -> Result<RequestSpec, ProtoError> {
                 spec.count = usize_field(value, "count")?;
                 saw_count = true;
             }
+            "first_index" => spec.first_index = usize_field(value, "first_index")?,
             "seed" => spec.seed = u64_field(value, "seed")?,
             "priority" => spec.priority = i32_field(value, "priority")?,
             "deadline_ms" => {
@@ -687,6 +693,7 @@ mod tests {
 
     fn spec_eq(a: &RequestSpec, b: &RequestSpec) {
         assert_eq!(a.count, b.count);
+        assert_eq!(a.first_index, b.first_index);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.priority, b.priority);
         assert_eq!(a.deadline, b.deadline);
@@ -714,7 +721,9 @@ mod tests {
     fn spec_with_deadline_and_donor_round_trips() {
         let grid = BitGrid::from_ascii("0110\n1111").unwrap();
         let donor = SquishPattern::new(grid, vec![512; 4], vec![1024; 2]).unwrap();
-        let mut spec = RequestSpec::new(2).deadline(Duration::from_millis(750));
+        let mut spec = RequestSpec::new(2)
+            .deadline(Duration::from_millis(750))
+            .first_index(40);
         spec.donors = Arc::from([donor]);
         let wire = spec_to_json(&spec).to_string();
         let back = spec_from_json(&json::parse(&wire).unwrap()).unwrap();

@@ -22,15 +22,119 @@
 
 use crate::http::{Conn, HttpError, Request};
 use crate::json;
-use crate::metrics::ServerMetrics;
+use crate::metrics::{LibraryCounters, ServerMetrics};
 use crate::proto::{self, ProtoError};
+use diffpattern::drc::DesignRules;
+use diffpattern::library::{LibraryConfig, LibraryError, LibraryWriter};
+use diffpattern::squish::SquishPattern;
 use diffpattern::{ConfigError, PatternService, RecvPoll, RequestSpec};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// A durable pattern library attached to the server: every item
+/// streamed to any client is also appended (through the store's
+/// streaming dedup) to one shared [`LibraryWriter`], and the ingest
+/// counters surface in `/metrics` under `"library"`.
+///
+/// Patterns land in a per-ruleset bucket (method `"diffpattern"`,
+/// ruleset label synthesized from the request's design rules) in
+/// arrival order across all connections. Ingest failures are absorbed —
+/// a sick disk must not fail a generation stream — but the counters
+/// stop advancing, which is the observable symptom.
+pub struct ServeLibrary {
+    writer: Mutex<LibraryWriter>,
+    accepted: AtomicU64,
+    deduplicated: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl std::fmt::Debug for ServeLibrary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.counters();
+        f.debug_struct("ServeLibrary")
+            .field("accepted", &c.accepted)
+            .field("deduplicated", &c.deduplicated)
+            .field("bytes_written", &c.bytes_written)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeLibrary {
+    /// Opens (or creates) the library at `dir` for server-side ingest.
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`LibraryWriter::open`] failures (I/O, corruption,
+    /// data-loss detection).
+    pub fn open(dir: impl AsRef<Path>, config: LibraryConfig) -> Result<Self, LibraryError> {
+        let writer = LibraryWriter::open(dir, config)?;
+        let totals = writer.totals();
+        Ok(ServeLibrary {
+            writer: Mutex::new(writer),
+            accepted: AtomicU64::new(totals.accepted),
+            deduplicated: AtomicU64::new(totals.duplicates),
+            bytes_written: AtomicU64::new(totals.bytes_written),
+        })
+    }
+
+    /// Lock-free snapshot of the ingest counters (for `/metrics`).
+    pub fn counters(&self) -> LibraryCounters {
+        LibraryCounters {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Appends one streamed pattern in arrival order; errors are
+    /// absorbed (see the type-level contract).
+    fn ingest(&self, ruleset: &str, pattern: &SquishPattern) {
+        let mut writer = match self.writer.lock() {
+            Ok(writer) => writer,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = writer.ingest_arrival("diffpattern", ruleset, pattern, true);
+        let totals = writer.totals();
+        self.accepted.store(totals.accepted, Ordering::Relaxed);
+        self.deduplicated
+            .store(totals.duplicates, Ordering::Relaxed);
+        self.bytes_written
+            .store(totals.bytes_written, Ordering::Relaxed);
+    }
+
+    /// Flushes a durable checkpoint (called by [`ServerHandle::stop`];
+    /// callers running long may also invoke it on a timer).
+    ///
+    /// # Errors
+    ///
+    /// Forwards the store's checkpoint failure (I/O).
+    pub fn checkpoint(&self) -> Result<(), LibraryError> {
+        let mut writer = match self.writer.lock() {
+            Ok(writer) => writer,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        writer.checkpoint()
+    }
+}
+
+/// The bucket label for a request's design rules: compact, readable,
+/// and injective over the rule fields, so distinct rulesets never share
+/// a dedup domain.
+fn ruleset_label(rules: &DesignRules) -> String {
+    format!(
+        "s{}w{}a{}-{}{}",
+        rules.space_min(),
+        rules.width_min(),
+        rules.area_min(),
+        rules.area_max(),
+        if rules.exempt_border() { "x" } else { "b" }
+    )
+}
 
 /// Tuning knobs for [`serve`]. `Default` suits tests and the demo
 /// binary; production would mostly raise `max_body_bytes`.
@@ -46,6 +150,10 @@ pub struct ServeConfig {
     /// keep-alive connection (also bounds shutdown latency for idle
     /// connections). Default 250 ms.
     pub read_timeout: Duration,
+    /// When set, every streamed item is also ingested into this
+    /// library, and `/metrics` grows a `"library"` section. Default
+    /// `None` (the server stores nothing).
+    pub library: Option<Arc<ServeLibrary>>,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +162,7 @@ impl Default for ServeConfig {
             max_body_bytes: 1024 * 1024,
             poll_interval: Duration::from_millis(50),
             read_timeout: Duration::from_millis(250),
+            library: None,
         }
     }
 }
@@ -66,6 +175,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    library: Option<Arc<ServeLibrary>>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -83,12 +193,18 @@ impl ServerHandle {
     /// Signals shutdown and joins the accept thread. Connection threads
     /// exit on their next poll tick; they hold their own service clone,
     /// so in-flight streams terminate cleanly even after this returns.
+    /// An attached library gets a durable checkpoint (best effort) so a
+    /// clean stop commits the dedup/diversity accelerator alongside the
+    /// records.
     pub fn stop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
+        }
+        if let Some(library) = self.library.take() {
+            let _ = library.checkpoint();
         }
     }
 }
@@ -109,6 +225,7 @@ pub fn serve(service: PatternService, addr: &str, config: ServeConfig) -> io::Re
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let metrics = Arc::new(ServerMetrics::default());
+    let library = config.library.clone();
     let accept_stop = Arc::clone(&stop);
     let accept_metrics = Arc::clone(&metrics);
     let accept_thread = std::thread::spawn(move || {
@@ -118,6 +235,7 @@ pub fn serve(service: PatternService, addr: &str, config: ServeConfig) -> io::Re
         addr,
         stop,
         metrics,
+        library,
         accept_thread: Some(accept_thread),
     })
 }
@@ -213,7 +331,8 @@ fn route(
     match (request.method.as_str(), path) {
         ("POST", "/v1/generate") => handle_generate(conn, &request, service, config, stop, metrics),
         ("GET", "/metrics") => {
-            let body = metrics.to_json(service.stats()).to_string();
+            let counters = config.library.as_deref().map(ServeLibrary::counters);
+            let body = metrics.to_json(service.stats(), counters).to_string();
             conn.write_response(200, body.as_bytes())?;
             Ok(true)
         }
@@ -302,12 +421,19 @@ fn stream_items(
 ) -> io::Result<bool> {
     let started = Instant::now();
     conn.start_chunked(200, "application/x-ndjson")?;
+    let bucket = config
+        .library
+        .as_deref()
+        .map(|library| (library, ruleset_label(&spec.rules)));
     let mut delivered = 0usize;
     loop {
         match handle.recv_timeout(config.poll_interval) {
             RecvPoll::Item(generated) => {
                 if delivered == 0 {
                     metrics.first_item_latency.record(started.elapsed());
+                }
+                if let Some((library, ruleset)) = &bucket {
+                    library.ingest(ruleset, &generated.pattern);
                 }
                 let mut line = proto::item_to_json(&generated).to_string();
                 line.push('\n');

@@ -2,17 +2,29 @@
 //! of the real pattern library versus DiffPattern's generated library,
 //! printed as ASCII heat maps and written as CSV for external plotting.
 //!
+//! The generated side is built through the durable pattern store
+//! (`dp_library`): legal patterns are ingested (deduplicated, CRC-framed)
+//! into `DP_LIBRARY` and the figure is derived from the store's own
+//! incremental complexity histogram — the same numbers `dpgen library
+//! stat` and `results.md` report, so the figure and the accounting can
+//! never disagree. Rerunning resumes the store instead of regenerating.
+//!
 //! ```text
 //! cargo run --release --example fig9_complexity_distribution
 //! ```
 //!
 //! Environment knobs: `DP_TRAIN_ITERS` (default 200), `DP_GENERATE`
-//! (default 64), `DP_CSV` (output path, default `fig9_complexity.csv`).
+//! (default 64), `DP_CSV` (output path, default `fig9_complexity.csv`),
+//! `DP_LIBRARY` (store directory, default `fig9_library/`).
 
 use diffpattern::datagen::PatternLibrary;
+use diffpattern::library::{LibraryConfig, LibraryWriter};
 use diffpattern::{Pipeline, PipelineConfig};
 use diffpattern_suite::{env_knob, example_rng};
 use std::io::Write;
+
+const METHOD: &str = "diffpattern";
+const RULESET: &str = "tiny";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = example_rng();
@@ -29,20 +41,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
-    println!("generating {generate} topologies...");
-    let model = pipeline.trained_model()?;
-    let session = pipeline
-        .session_builder(&model)
-        .seed(env_knob("DP_SEED", 42) as u64)
-        .build()?;
-    let (topologies, _) = session.sample_topologies(generate);
-    let mut generated = PatternLibrary::new();
-    for t in &topologies {
-        generated.add_topology(t);
+    let lib_dir = std::env::var("DP_LIBRARY").unwrap_or_else(|_| "fig9_library".into());
+    let mut writer = LibraryWriter::open(&lib_dir, LibraryConfig::default())?;
+    let cursor = writer.open_bucket(METHOD, RULESET, 0)? as usize;
+    if cursor < generate {
+        println!("generating items {cursor}..{generate} into {lib_dir}...");
+        let model = pipeline.trained_model()?;
+        let session = pipeline
+            .session_builder(&model)
+            .seed(env_knob("DP_SEED", 42) as u64)
+            .build()?;
+        let batch = session.generate(generate)?;
+        for generated in batch.items.iter().skip(cursor) {
+            writer.ingest_arrival(METHOD, RULESET, &generated.pattern, true)?;
+        }
+    } else {
+        println!("{lib_dir} already holds items 0..{cursor}; nothing to generate");
     }
+    let store = writer.finish()?;
+    let stats = store.stats(METHOD, RULESET).expect("bucket exists");
+    let generated = store.histogram(METHOD, RULESET).expect("bucket exists");
     println!(
-        "generated library: {} topologies, H = {:.4} bits",
-        generated.len(),
+        "generated library: {} stored patterns ({} duplicates absorbed), H = {:.4} bits",
+        stats.accepted,
+        stats.duplicates,
         generated.diversity()
     );
 
@@ -50,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nReal Patterns (log density):");
     print_heatmap(&real, max_side);
     println!("\nDiffPattern (log density):");
-    print_heatmap(&generated, max_side);
+    print_heatmap(generated, max_side);
 
     // CSV: library,cx,cy,count
     let path = std::env::var("DP_CSV").unwrap_or_else(|_| "fig9_complexity.csv".into());

@@ -3,25 +3,34 @@
 //! paper's introduction motivates (DFM teams need large, diverse, *legal*
 //! pattern libraries to train hotspot detectors).
 //!
-//! The example generates a DiffPattern library, labels each pattern with a
-//! simple lithography-stress proxy (minimum interior space and width over
-//! the tile — patterns sitting close to the rule limits print worst), and
-//! writes the library as PGM images plus a CSV manifest, the typical input
-//! format of an ML hotspot-detection pipeline.
+//! The example generates a DiffPattern library into the durable
+//! content-addressed store (`dp_library`) — deduplicated at ingest,
+//! resumable across runs — then reads it **back from disk**, labels each
+//! stored pattern with a simple lithography-stress proxy (minimum
+//! interior space and width over the tile — patterns sitting close to
+//! the rule limits print worst), and writes PGM images plus a CSV
+//! manifest, the typical input format of an ML hotspot-detection
+//! pipeline.
 //!
 //! ```text
 //! cargo run --release --example hotspot_library
 //! ```
 //!
 //! Environment knobs: `DP_TRAIN_ITERS` (default 200), `DP_GENERATE`
-//! (default 12), `DP_OUT_DIR` (default `hotspot_library/`).
+//! (default 12), `DP_OUT_DIR` (default `hotspot_library/`). The store
+//! lives at `DP_OUT_DIR/library/`; rerunning with a larger
+//! `DP_GENERATE` resumes it instead of starting over.
 
 use diffpattern::geometry::runs;
+use diffpattern::library::{LibraryConfig, LibraryWriter};
 use diffpattern::squish::SquishPattern;
 use diffpattern::{Pipeline, PipelineConfig};
 use diffpattern_suite::{env_knob, example_rng};
 use std::io::Write;
 use std::path::PathBuf;
+
+const METHOD: &str = "diffpattern";
+const RULESET: &str = "tiny";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = example_rng();
@@ -34,22 +43,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng)?;
     println!("training for {train_iters} iterations...");
     let _ = pipeline.train(train_iters, &mut rng)?;
-    println!("generating {generate} legal patterns...");
-    let model = pipeline.trained_model()?;
-    let session = pipeline
-        .session_builder(&model)
-        .seed(env_knob("DP_SEED", 42) as u64)
-        .build()?;
-    let batch = session.generate(generate)?;
-    let patterns: Vec<SquishPattern> = batch.items.into_iter().map(|g| g.pattern).collect();
     let rules = pipeline.config().rules;
 
+    // Phase 1: build (or resume) the durable library. The bucket cursor
+    // tells us where the last run stopped; generation restarts from that
+    // item index, so the store converges on the same content no matter
+    // how many runs it took to get there.
+    let mut writer = LibraryWriter::open(out_dir.join("library"), LibraryConfig::default())?;
+    let cursor = writer.open_bucket(METHOD, RULESET, 0)? as usize;
+    if cursor < generate {
+        println!("generating items {cursor}..{generate} into the store...");
+        let model = pipeline.trained_model()?;
+        let session = pipeline
+            .session_builder(&model)
+            .seed(env_knob("DP_SEED", 42) as u64)
+            .build()?;
+        let batch = session.generate(generate)?;
+        for generated in batch.items.iter().skip(cursor) {
+            writer.ingest_arrival(METHOD, RULESET, &generated.pattern, true)?;
+        }
+    } else {
+        println!("store already holds items 0..{cursor}; nothing to generate");
+    }
+    let store = writer.finish()?;
+
+    // Phase 2: read the library back from disk and derive the artifacts
+    // from the *stored* records (post-dedup, checksum-verified).
+    let stats = store.stats(METHOD, RULESET).expect("bucket exists");
+    println!(
+        "store: {} patterns ({} duplicates absorbed), H = {:.4} bits",
+        stats.accepted, stats.duplicates, stats.diversity
+    );
     let manifest_path = out_dir.join("manifest.csv");
     let mut manifest = std::fs::File::create(&manifest_path)?;
     writeln!(manifest, "file,cx,cy,min_space,min_width,stress,label")?;
 
+    let mut scratch = Vec::new();
     let mut hotspots = 0usize;
-    for (i, pattern) in patterns.iter().enumerate() {
+    let mut written = 0usize;
+    for record_ref in store.records(METHOD, RULESET).expect("bucket exists") {
+        let record = store.read(record_ref, &mut scratch)?;
+        let pattern = &record.pattern;
         let (min_space, min_width) = stress_metrics(pattern);
         // Proxy label: a pattern whose tightest feature sits within 25 % of
         // the rule limit is "hotspot-suspect".
@@ -61,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hotspots += 1;
         }
 
-        let file = format!("pattern_{i:04}.pgm");
+        let file = format!("pattern_{:04}.pgm", record.source_index);
         let layout = pattern.decode()?;
         diffpattern::render::layout_to_pgm(&layout, 256, &out_dir.join(&file))?;
         let (cx, cy) = pattern.complexity();
@@ -69,10 +103,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             manifest,
             "{file},{cx},{cy},{min_space},{min_width},{stress:.3},{label}"
         )?;
+        written += 1;
     }
     println!(
         "wrote {} patterns ({} hotspot-suspect) to {} with manifest {}",
-        patterns.len(),
+        written,
         hotspots,
         out_dir.display(),
         manifest_path.display()

@@ -16,13 +16,14 @@
 use diffpattern::drc::DesignRules;
 use diffpattern::geometry::BitGrid;
 use diffpattern::legalize::{SolveStats, SolverConfig};
+use diffpattern::library::{Library, LibraryConfig};
 use diffpattern::squish::SquishPattern;
 use diffpattern::{
     Generated, PatternService, Pipeline, PipelineConfig, Provenance, RequestSpec, TrainedModel,
 };
 use dp_serve::http::Conn;
 use dp_serve::json::{self, Json};
-use dp_serve::{serve, Client, ClientError, ServeConfig, ServerHandle};
+use dp_serve::{serve, Client, ClientError, ServeConfig, ServeLibrary, ServerHandle};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use std::net::TcpStream;
@@ -501,6 +502,92 @@ fn metrics_reflect_served_traffic() {
         .and_then(Json::as_int)
         .unwrap();
     assert_eq!(stream_count, 1);
+    // No library sink attached → no library section.
+    assert!(snapshot.get("library").is_none());
+}
+
+/// Self-cleaning scratch directory for the library-sink test.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("dpserve-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn library_counter(snapshot: &Json, field: &str) -> i128 {
+    snapshot
+        .get("library")
+        .expect("library section")
+        .get(field)
+        .and_then(Json::as_int)
+        .unwrap()
+}
+
+#[test]
+fn attached_library_ingests_streamed_items_and_surfaces_counters() {
+    let (model, base) = trained(79, 3);
+    let tmp = TempDir::new("library-sink");
+    let library = Arc::new(ServeLibrary::open(&tmp.0, LibraryConfig::default()).unwrap());
+    let config = ServeConfig {
+        library: Some(Arc::clone(&library)),
+        ..ServeConfig::default()
+    };
+    let (mut server, _) = start(&model, 1, 4, 0, config);
+
+    // Before any traffic the section exists and reads zero.
+    let snapshot = client(&server).metrics().unwrap();
+    assert_eq!(library_counter(&snapshot, "accepted"), 0);
+    assert_eq!(library_counter(&snapshot, "deduplicated"), 0);
+
+    // One stream: every delivered item lands in the store (accepted or
+    // deduplicated — nothing vanishes).
+    let spec = RequestSpec {
+        count: 6,
+        ..base.clone()
+    }
+    .seed(17);
+    let outcome = client(&server).generate(&spec).unwrap();
+    let delivered = outcome.items.len() as i128;
+    assert!(delivered > 0, "need at least one item for the test to bite");
+    let snapshot = client(&server).metrics().unwrap();
+    let accepted = library_counter(&snapshot, "accepted");
+    let deduplicated = library_counter(&snapshot, "deduplicated");
+    assert_eq!(accepted + deduplicated, delivered, "{snapshot:?}");
+    assert!(accepted >= 1);
+    assert!(library_counter(&snapshot, "bytes_written") > 0);
+
+    // Replaying the identical spec streams identical patterns: the
+    // dedup layer absorbs all of them, accepted stays put.
+    let again = client(&server).generate(&spec).unwrap();
+    assert_eq!(again.items.len() as i128, delivered);
+    let snapshot = client(&server).metrics().unwrap();
+    assert_eq!(library_counter(&snapshot, "accepted"), accepted);
+    assert_eq!(
+        library_counter(&snapshot, "deduplicated"),
+        deduplicated + delivered
+    );
+
+    // A clean stop checkpoints the store; reopening read-only sees every
+    // accepted pattern under the synthesized ruleset bucket.
+    server.stop();
+    assert!(tmp.0.join("checkpoint.dpl").is_file());
+    let store = Library::open(&tmp.0).unwrap();
+    let buckets: Vec<(&str, &str)> = store.buckets().collect();
+    assert_eq!(buckets.len(), 1, "{buckets:?}");
+    assert_eq!(buckets[0].0, "diffpattern");
+    let stats = store.stats(buckets[0].0, buckets[0].1).unwrap();
+    assert_eq!(stats.accepted as i128, accepted);
+    assert_eq!(stats.duplicates as i128, deduplicated + delivered);
 }
 
 // ---------------------------------------------------------------------
@@ -527,6 +614,7 @@ proptest! {
     #[test]
     fn request_spec_round_trips_through_the_wire_codec(
         count in 1usize..100_000,
+        first_index in 0usize..1_000_000,
         seed in any::<u64>(),
         priority in any::<i32>(),
         stride in 1usize..64,
@@ -563,6 +651,7 @@ proptest! {
             .collect();
         let spec = RequestSpec {
             count,
+            first_index,
             seed,
             priority,
             rules,
@@ -578,6 +667,7 @@ proptest! {
         let back = dp_serve::proto::spec_from_json(&json::parse(&wire).unwrap()).unwrap();
 
         prop_assert_eq!(spec.count, back.count);
+        prop_assert_eq!(spec.first_index, back.first_index);
         prop_assert_eq!(spec.seed, back.seed);
         prop_assert_eq!(spec.priority, back.priority);
         prop_assert_eq!(spec.rules, back.rules);

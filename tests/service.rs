@@ -469,3 +469,64 @@ fn in_process_deadline_expires_to_accounted_shortfall() {
         .unwrap();
     assert_eq!(defaulted.report.shortfall, 3);
 }
+
+#[test]
+fn first_index_subrange_is_bit_identical_to_the_full_request_slice() {
+    // The sub-range determinism contract behind resumable library
+    // builds: item `i` of a `first_index: F` request is the same item as
+    // item `F + i` of a full request with the same seed — same pattern
+    // bits, same per-item seed, same solve provenance. Only the
+    // request-relative `index` differs.
+    let (model, base, _) = trained(81, 4);
+    let svc = service(&model, 2);
+
+    let full = svc
+        .generate(
+            &RequestSpec {
+                count: 10,
+                ..base.clone()
+            }
+            .seed(23),
+        )
+        .unwrap();
+    let sub = svc
+        .generate(
+            &RequestSpec {
+                count: 6,
+                ..base.clone()
+            }
+            .seed(23)
+            .first_index(4),
+        )
+        .unwrap();
+    assert_eq!(
+        sub.items.len() + sub.report.shortfall,
+        6,
+        "accounting must be closed"
+    );
+
+    for item in &sub.items {
+        let reference = full
+            .items
+            .iter()
+            .find(|g| g.provenance.index == item.provenance.index + 4)
+            .expect("the full run must contain every sub-range item");
+        assert_eq!(reference.pattern, item.pattern, "pattern bits must match");
+        assert_eq!(reference.provenance.seed, item.provenance.seed);
+        assert_eq!(reference.provenance.attempts, item.provenance.attempts);
+        assert_eq!(reference.provenance.repaired, item.provenance.repaired);
+        assert_eq!(reference.provenance.solve, item.provenance.solve);
+    }
+
+    // Overflowing the index space is a typed config error, not a panic.
+    let err = svc
+        .submit(
+            &RequestSpec {
+                count: 2,
+                ..base.clone()
+            }
+            .first_index(usize::MAX),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ConfigError::IndexOverflow { .. }), "{err:?}");
+}
