@@ -10,6 +10,9 @@
 //! loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_diffusion::{
+    categorical_draw_in_place, posterior_same_prob, reverse_update_in_place, NoiseSchedule,
+};
 use dp_nn::{
     matmul, silu_in_place, softmax_rows_in_place, upsample_nearest2_ws, Conv2d, GroupNorm, Linear,
     SelfAttention2d, Tensor, UNet, UNetConfig, Workspace,
@@ -219,6 +222,31 @@ fn unet_infer_batched(c: &mut Criterion) {
     group.finish();
 }
 
+fn sampler(c: &mut Criterion) {
+    // The per-pixel tail of every denoising step, at the C4 16x16
+    // topology size (4 x 16 x 16 = 1024 bits per lane). `posterior_step`
+    // is the Eq. 12 mixing + draw the reverse chain runs K times per
+    // sample; `categorical_draw` is the bare Bernoulli draw it bottoms
+    // out in (and the chain's k = 1 final step).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let schedule = NoiseSchedule::linear(1000, 0.01, 0.5).unwrap();
+    let n = 4 * 16 * 16;
+    let p1: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+    let mut bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let mut group = c.benchmark_group("nn_micro/sampler");
+    group.sample_size(10);
+    group.bench_function("categorical_draw", |bch| {
+        bch.iter(|| categorical_draw_in_place(&mut bits, &p1, &mut rng))
+    });
+    let k = 500;
+    let eq = posterior_same_prob(&schedule, k, true);
+    let ne = posterior_same_prob(&schedule, k, false);
+    group.bench_function("posterior_step", |bch| {
+        bch.iter(|| reverse_update_in_place(eq, ne, &mut bits, &p1, &mut rng))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     gemm,
@@ -226,6 +254,7 @@ criterion_group!(
     attention_infer,
     layers,
     unet_infer,
-    unet_infer_batched
+    unet_infer_batched,
+    sampler
 );
 criterion_main!(benches);

@@ -10,7 +10,7 @@ use dp_bench::{bench_patterns, bench_topology};
 use dp_diffusion::{BatchScratch, NoiseSchedule, Sampler, UniformDenoiser};
 use dp_drc::DesignRules;
 use dp_legalize::{Init, Solver, SolverConfig};
-use dp_nn::{UNet, UNetConfig};
+use dp_nn::{Precision, UNet, UNetConfig};
 use rand::SeedableRng;
 
 fn sampling(c: &mut Criterion) {
@@ -33,15 +33,28 @@ fn sampling(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("table2/sampling");
     group.sample_size(10);
-    group.bench_function("topology_per_sample", |b| {
+    // Cold path for reference: unpacked weights, no workspace reuse. No
+    // production path runs this configuration — it exists to show what
+    // prepacking buys.
+    group.bench_function("topology_per_sample_unpacked", |b| {
         b.iter(|| sampler.sample_one(&mut denoiser, 16, 8, &mut rng))
+    });
+    // The headline row: prepacked weights and a warm scratch, exactly the
+    // steady-state a `PatternService` worker runs a single-lane chunk in.
+    denoiser.unet_mut().prepack();
+    let mut scratch = BatchScratch::new();
+    group.bench_function("topology_per_sample", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut rngs = vec![rand::rngs::StdRng::seed_from_u64(round)];
+            sampler.sample_batch_with(&denoiser, 16, 8, &mut rngs, &mut scratch)
+        })
     });
     // The micro-batched inference path `GenerationSession` actually runs:
     // 8 lock-step chains per U-Net call, prepacked weights, warm scratch.
     // The reported time is per *call* — divide by 8 for the per-topology
     // cost comparable to `topology_per_sample`.
-    denoiser.unet_mut().prepack();
-    let mut scratch = BatchScratch::new();
     group.bench_function("topology_batched8_per_call", |b| {
         let mut round = 0u64;
         b.iter(|| {
@@ -50,6 +63,20 @@ fn sampling(c: &mut Criterion) {
                 .map(|i| rand::rngs::StdRng::seed_from_u64(round * 8 + i))
                 .collect();
             sampler.sample_batch_with(&denoiser, 16, 8, &mut rngs, &mut scratch)
+        })
+    });
+    // The reduced-precision opt-in (`Precision::Bf16`): bf16-rounded
+    // packed weights on the same single-lane steady-state path. The
+    // architecture is identical, so any delta is pure memory-bandwidth
+    // effect on the packed panels.
+    let mut bf16_denoiser = dp_diffusion::NeuralDenoiser::new(UNet::new(&config, &mut rng));
+    bf16_denoiser.unet_mut().prepack_with(Precision::Bf16);
+    group.bench_function("topology_per_sample_bf16", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut rngs = vec![rand::rngs::StdRng::seed_from_u64(round)];
+            sampler.sample_batch_with(&bf16_denoiser, 16, 8, &mut rngs, &mut scratch)
         })
     });
     // Null-model baseline showing the network cost dominates the chain.

@@ -1,0 +1,185 @@
+//! `bench_diff` — compares two benchmark median snapshots
+//! (`BENCH_*.json`, the `dp-bench-medians/1` files the criterion shim
+//! writes under `DP_BENCH_JSON`).
+//!
+//! ```text
+//! bench_diff OLD.json NEW.json [--tolerance PCT]
+//! ```
+//!
+//! Prints a per-benchmark delta table over the labels both snapshots
+//! contain, lists labels only one side has, and exits non-zero when any
+//! shared benchmark slowed down by more than `--tolerance` percent
+//! (default 50 — wide enough for shared-CI jitter, tight enough to catch
+//! a path accidentally falling off its fast implementation). Speed-ups
+//! never fail the diff.
+//!
+//! The parser is deliberately lenient — any line shaped like
+//! `"label": {"median_ns": N, ...}` counts — so snapshots survive manual
+//! edits and future schema additions.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--tolerance PCT]";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut files: Vec<&str> = Vec::new();
+    let mut tolerance = 50.0f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            let v = it.next().ok_or_else(|| USAGE.to_string())?;
+            tolerance = v
+                .parse()
+                .map_err(|_| format!("--tolerance expects a number, got `{v}`"))?;
+        } else {
+            files.push(arg);
+        }
+    }
+    let [old_path, new_path] = files[..] else {
+        return Err(USAGE.to_string());
+    };
+    let old = load_medians(old_path)?;
+    let new = load_medians(new_path)?;
+
+    let width = old
+        .keys()
+        .chain(new.keys())
+        .map(String::len)
+        .max()
+        .unwrap_or(9)
+        .max("benchmark".len());
+    println!(
+        "{:<width$} {:>14} {:>14} {:>9}",
+        "benchmark", "old (ns)", "new (ns)", "delta"
+    );
+
+    let mut regressions = Vec::new();
+    for (label, &old_ns) in &old {
+        let Some(&new_ns) = new.get(label) else {
+            continue;
+        };
+        let pct = if old_ns > 0.0 {
+            100.0 * (new_ns - old_ns) / old_ns
+        } else {
+            0.0
+        };
+        println!("{label:<width$} {old_ns:>14.0} {new_ns:>14.0} {pct:>+8.1}%");
+        if pct > tolerance {
+            regressions.push((label.clone(), pct));
+        }
+    }
+    for label in new.keys().filter(|l| !old.contains_key(*l)) {
+        println!(
+            "{label:<width$} {:>14} {:>14.0} {:>9}",
+            "-", new[label], "added"
+        );
+    }
+    for label in old.keys().filter(|l| !new.contains_key(*l)) {
+        println!(
+            "{label:<width$} {:>14.0} {:>14} {:>9}",
+            old[label], "-", "removed"
+        );
+    }
+
+    if regressions.is_empty() {
+        println!("ok: no benchmark regressed beyond {tolerance}%");
+        return Ok(true);
+    }
+    for (label, pct) in &regressions {
+        eprintln!("regression: {label} slowed by {pct:.1}% (tolerance {tolerance}%)");
+    }
+    Ok(false)
+}
+
+fn load_medians(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let medians = parse_medians(&text);
+    if medians.is_empty() {
+        return Err(format!(
+            "{path}: no `\"label\": {{\"median_ns\": N}}` lines found"
+        ));
+    }
+    Ok(medians)
+}
+
+/// Extracts `"label": {"median_ns": N, ...}` pairs, one per line.
+fn parse_medians(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some((label, rest)) = quoted_prefix(line) else {
+            continue;
+        };
+        let Some(idx) = rest.find("\"median_ns\"") else {
+            continue;
+        };
+        let tail = rest[idx + "\"median_ns\"".len()..]
+            .trim_start()
+            .strip_prefix(':')
+            .unwrap_or("")
+            .trim_start();
+        let digits: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(v) = digits.parse::<f64>() {
+            out.insert(label.to_string(), v);
+        }
+    }
+    out
+}
+
+/// Returns the first double-quoted string on the line and the remainder
+/// after its closing quote.
+fn quoted_prefix(line: &str) -> Option<(&str, &str)> {
+    let start = line.find('"')? + 1;
+    let len = line[start..].find('"')?;
+    Some((&line[start..start + len], &line[start + len + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SNAPSHOT: &str = r#"{
+  "schema": "dp-bench-medians/1",
+  "results": {
+    "a/b": {"median_ns": 100, "samples": 10},
+    "c/d": {"median_ns": 2500, "samples": 10}
+  }
+}"#;
+
+    #[test]
+    fn parses_median_lines_and_skips_everything_else() {
+        let medians = parse_medians(SNAPSHOT);
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians["a/b"], 100.0);
+        assert_eq!(medians["c/d"], 2500.0);
+    }
+
+    #[test]
+    fn regression_detection_respects_tolerance() {
+        let old = parse_medians(SNAPSHOT);
+        let fast = parse_medians(&SNAPSHOT.replace("2500", "2400"));
+        let slow = parse_medians(&SNAPSHOT.replace("2500", "9999"));
+        let worst = |new: &BTreeMap<String, f64>| {
+            old.iter()
+                .filter_map(|(k, &o)| new.get(k).map(|&n| 100.0 * (n - o) / o))
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(worst(&fast) <= 50.0);
+        assert!(worst(&slow) > 50.0);
+    }
+}

@@ -20,13 +20,13 @@
 //! exercises the service core.
 
 use crate::{GenerateError, Generated, PipelineReport, Provenance};
-use dp_diffusion::{BatchScratch, Sampler, TrainedModel};
+use dp_diffusion::{BatchScratch, Precision, Sampler, TrainedModel};
 use dp_geometry::{bowtie, BitGrid};
 use dp_legalize::{Init, Solver};
 use dp_squish::SquishPattern;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// What a finished lane hands back through its request's channel.
@@ -64,10 +64,15 @@ pub(crate) struct RequestJob {
     /// RNG stream from `item_seed(seed, first_index + i)`, so a request
     /// is an exact sub-range of the `(seed, index)` item space.
     pub(crate) first_index: usize,
-    /// Reverse-sampling stride; doubles as the *plan key*: lanes may share
-    /// a lock-step micro-batch only when they traverse the same denoising
-    /// step sequence.
+    /// Reverse-sampling stride; with `precision` it forms the *plan key*:
+    /// lanes may share a lock-step micro-batch only when they traverse the
+    /// same denoising step sequence through the same model.
     pub(crate) stride: usize,
+    /// Which prepacked model variant evaluates this request's lanes
+    /// ([`Precision::Exact`] keeps the bit-exact contract; `Bf16` runs the
+    /// engine's lazily-built reduced-precision copy). Part of the plan
+    /// key alongside `stride`.
+    pub(crate) precision: Precision,
     /// The retained denoising steps for `stride > 1` (precomputed once).
     pub(crate) retained: Arc<[usize]>,
     pub(crate) max_attempts: usize,
@@ -133,6 +138,11 @@ pub(crate) struct Engine {
     /// Lanes claimed by workers whose result message has not been
     /// delivered yet — the live load figure `/metrics` exposes.
     lanes_in_flight: AtomicUsize,
+    /// The bf16-prepacked model copy, built from the workers' exact model
+    /// on the first [`Precision::Bf16`] chunk and shared by every worker
+    /// thereafter (the master weights are identical, only the packed GEMM
+    /// panels differ — see [`TrainedModel::with_precision`]).
+    bf16_model: OnceLock<TrainedModel>,
     sched: Mutex<Sched>,
     work: Condvar,
 }
@@ -169,6 +179,7 @@ impl Engine {
             exit_when_idle,
             max_queued,
             lanes_in_flight: AtomicUsize::new(0),
+            bf16_model: OnceLock::new(),
             sched: Mutex::new(Sched {
                 queue: Vec::new(),
                 next_seq: 0,
@@ -310,7 +321,8 @@ impl Engine {
     /// Claims the next micro-batch of lanes, drawing from as many pending
     /// requests as needed to fill it (the cross-request batching at the
     /// heart of the service). All claimed lanes share one sampling plan
-    /// (stride); requests on a different plan wait for their own batch.
+    /// (stride and precision); requests on a different plan wait for
+    /// their own batch.
     ///
     /// Returns `None` when the engine is shut down, or — in one-shot mode
     /// — when no claimable work remains.
@@ -330,13 +342,13 @@ impl Engine {
             let nearest_deadline = Self::expire_due(&mut sched);
 
             let mut lanes: Vec<Lane> = Vec::new();
-            let mut stride = 0usize;
+            let mut plan = (0usize, Precision::Exact);
             let mut i = 0;
             while i < sched.queue.len() && lanes.len() < self.micro_batch {
                 let pending = &mut sched.queue[i];
                 if lanes.is_empty() {
-                    stride = pending.req.job.stride;
-                } else if pending.req.job.stride != stride {
+                    plan = (pending.req.job.stride, pending.req.job.precision);
+                } else if (pending.req.job.stride, pending.req.job.precision) != plan {
                     i += 1;
                     continue;
                 }
@@ -408,6 +420,15 @@ impl Engine {
     /// produced is discarded by the dead channel.
     fn process_chunk(&self, model: &TrainedModel, lanes: &mut [Lane], scratch: &mut BatchScratch) {
         let (channels, side) = (self.channels, self.side);
+        // All lanes of a chunk share one plan (claim's invariant), so the
+        // model variant is a per-chunk choice. The bf16 copy is built once
+        // per engine, on first use, and shared by every worker.
+        let model = match lanes.first().map(|l| l.req.job.precision) {
+            Some(Precision::Bf16) => self
+                .bf16_model
+                .get_or_init(|| model.with_precision(Precision::Bf16)),
+            _ => model,
+        };
         loop {
             let now = Instant::now();
             for lane in lanes.iter_mut().filter(|l| l.active) {

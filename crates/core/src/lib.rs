@@ -133,7 +133,7 @@ pub use source::{
     SourceBatch,
 };
 
-pub use dp_diffusion::TrainedModel;
+pub use dp_diffusion::{Precision, TrainedModel};
 
 pub use dp_baselines as baselines;
 pub use dp_datagen as datagen;

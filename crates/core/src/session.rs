@@ -36,7 +36,7 @@
 
 use crate::engine::{self, Engine, LaneMsg, Mode, Payload, RequestJob};
 use crate::{ConfigError, GenerateError, PipelineReport};
-use dp_diffusion::{Sampler, TrainedModel};
+use dp_diffusion::{Precision, Sampler, TrainedModel};
 use dp_drc::DesignRules;
 use dp_geometry::BitGrid;
 use dp_legalize::{SolveStats, Solver, SolverConfig};
@@ -374,6 +374,9 @@ impl<'m> GenerationSession<'m> {
             count,
             first_index: 0,
             stride: self.stride,
+            // Sessions borrow a caller-prepacked model and always run it
+            // as-is; the precision knob is a service/request-level feature.
+            precision: Precision::Exact,
             retained: Arc::clone(&self.retained),
             max_attempts: self.max_attempts,
             repair_bowties: self.repair_bowties,

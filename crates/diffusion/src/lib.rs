@@ -48,11 +48,17 @@ mod trainer;
 pub use denoiser::{Denoiser, InferenceDenoiser, NeuralDenoiser, OracleDenoiser, UniformDenoiser};
 pub use error::DiffusionError;
 pub use model::TrainedModel;
-pub use sampler::{BatchScratch, SampleScratch, SampleTrace, Sampler};
+pub use sampler::{
+    categorical_draw_in_place, reverse_update_in_place, BatchScratch, SampleScratch, SampleTrace,
+    Sampler,
+};
 pub use schedule::{
     flip_between, forward_sample, posterior_jump_same_prob, posterior_same_prob, reverse_jump_prob,
     reverse_step_prob, NoiseSchedule,
 };
 pub use trainer::{TrainConfig, TrainReport, Trainer};
 
+/// Re-exported so downstream crates can pick a [`TrainedModel`] prepack
+/// precision without depending on `dp_nn` directly.
+pub use dp_nn::Precision;
 pub use dp_squish::DeepSquishTensor;

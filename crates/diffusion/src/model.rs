@@ -10,14 +10,15 @@
 //! pipeline, `load_params`, `mark_trained`" dance.
 
 use crate::{DiffusionError, InferenceDenoiser, NeuralDenoiser, NoiseSchedule, Sampler};
-use dp_nn::{load_params, save_params, UNet, UNetConfig};
+use dp_nn::{load_params, save_params, Precision, UNet, UNetConfig};
 use dp_squish::DeepSquishTensor;
 use rand::{Rng, SeedableRng};
 
 /// Magic bytes identifying a serialised model blob.
 const MAGIC: &[u8; 8] = b"DPMODEL\x01";
-/// Blob format version.
-const VERSION: u32 = 1;
+/// Blob format version. Version 2 added the prepack precision field
+/// (version-1 blobs load as [`Precision::Exact`]).
+const VERSION: u32 = 2;
 
 /// A trained discrete-diffusion model: U-Net weights, noise schedule and
 /// fold geometry, frozen into an immutable value.
@@ -34,6 +35,7 @@ pub struct TrainedModel {
     denoiser: NeuralDenoiser,
     schedule: NoiseSchedule,
     side: usize,
+    precision: Precision,
 }
 
 impl TrainedModel {
@@ -45,9 +47,27 @@ impl TrainedModel {
     /// Returns [`DiffusionError::BadModelBlob`] when `side` is zero or the
     /// fold channel count is not a perfect square.
     pub fn new(
+        denoiser: NeuralDenoiser,
+        schedule: NoiseSchedule,
+        side: usize,
+    ) -> Result<Self, DiffusionError> {
+        Self::new_with_precision(denoiser, schedule, side, Precision::Exact)
+    }
+
+    /// [`TrainedModel::new`] with an explicit prepack precision (see
+    /// [`Precision`]): `Exact` keeps inference bit-identical to the
+    /// training forward pass; `Bf16` rounds the frozen packed weight
+    /// copies to bfloat16 for faster, slightly lossy sampling. The master
+    /// weights stay f32 either way, so [`TrainedModel::save`] is lossless.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TrainedModel::new`].
+    pub fn new_with_precision(
         mut denoiser: NeuralDenoiser,
         schedule: NoiseSchedule,
         side: usize,
+        precision: Precision,
     ) -> Result<Self, DiffusionError> {
         if side == 0 {
             return Err(DiffusionError::BadModelBlob {
@@ -64,12 +84,31 @@ impl TrainedModel {
         // Freeze point: the weights are final, so precompute every
         // layer's packed/transposed GEMM operand once. Sampling then
         // never re-reshapes a kernel tensor.
-        denoiser.unet_mut().prepack();
+        denoiser.unet_mut().prepack_with(precision);
         Ok(TrainedModel {
             denoiser,
             schedule,
             side,
+            precision,
         })
+    }
+
+    /// The precision the packed inference weights were built at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// A copy of this model re-prepacked at `precision`. The underlying
+    /// f32 master weights are shared history — only the frozen packed GEMM
+    /// operands are rebuilt — so converting `Bf16 -> Exact` recovers the
+    /// bit-exact model.
+    pub fn with_precision(&self, precision: Precision) -> TrainedModel {
+        let mut copy = self.clone();
+        if precision != self.precision {
+            copy.denoiser.unet_mut().prepack_with(precision);
+            copy.precision = precision;
+        }
+        copy
     }
 
     /// Fold channel count `C` of the Deep Squish tensors.
@@ -134,6 +173,13 @@ impl TrainedModel {
         push(&mut buf, config.groups);
         buf.extend_from_slice(&config.dropout.to_le_bytes());
         push(&mut buf, self.side);
+        push(
+            &mut buf,
+            match self.precision {
+                Precision::Exact => 0,
+                Precision::Bf16 => 1,
+            },
+        );
         push(&mut buf, self.schedule.steps());
         for &b in self.schedule.betas() {
             buf.extend_from_slice(&b.to_le_bytes());
@@ -156,7 +202,8 @@ impl TrainedModel {
             return Err(bad("missing DPMODEL header"));
         }
         r.skip(8);
-        if r.u32()? != VERSION {
+        let version = r.u32()?;
+        if version == 0 || version > VERSION {
             return Err(bad("unsupported format version"));
         }
         let in_channels = r.u32()? as usize;
@@ -210,6 +257,16 @@ impl TrainedModel {
         if side == 0 || side > 65_536 {
             return Err(bad("implausible spatial side"));
         }
+        // Version 1 predates the precision field and always meant exact.
+        let precision = if version >= 2 {
+            match r.u32()? {
+                0 => Precision::Exact,
+                1 => Precision::Bf16,
+                other => return Err(bad(&format!("unknown precision tag {other}"))),
+            }
+        } else {
+            Precision::Exact
+        };
         let steps = r.u32()? as usize;
         if steps == 0 || steps > 1 << 20 {
             return Err(bad("implausible diffusion step count"));
@@ -240,7 +297,7 @@ impl TrainedModel {
         }))
         .map_err(|_| bad("architecture declared by the blob is inconsistent"))?;
         load_params(&mut unet.params_mut(), r.rest())?;
-        TrainedModel::new(NeuralDenoiser::new(unet), schedule, side)
+        TrainedModel::new_with_precision(NeuralDenoiser::new(unet), schedule, side, precision)
     }
 }
 
@@ -370,6 +427,58 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let b = restored.sample_one(&mut rng);
         assert_eq!(a, b, "round-tripped model must sample identically");
+    }
+
+    #[test]
+    fn bf16_model_round_trips_and_recovers_exact() {
+        let model = trained_tiny_model(7);
+        assert_eq!(model.precision(), Precision::Exact);
+        let bf16 = model.with_precision(Precision::Bf16);
+        assert_eq!(bf16.precision(), Precision::Bf16);
+
+        let restored = TrainedModel::load(&bf16.save()).unwrap();
+        assert_eq!(restored.precision(), Precision::Bf16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let a = bf16.sample_one(&mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let b = restored.sample_one(&mut rng);
+        assert_eq!(a, b, "bf16 model must survive a save/load round trip");
+
+        // The blob stores f32 master weights, so converting the restored
+        // bf16 model back to exact recovers the original bit-for-bit.
+        let back = restored.with_precision(Precision::Exact);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let c = back.sample_one(&mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let d = model.sample_one(&mut rng);
+        assert_eq!(c, d, "exact model must be recoverable from a bf16 blob");
+    }
+
+    #[test]
+    fn version1_blob_without_precision_field_loads_as_exact() {
+        // tiny_unet(1) layout: ... dropout 56..60, side 60..64,
+        // precision 64..68 (v2 only). A v1 blob is the v2 blob with the
+        // version field rewritten and the precision word removed.
+        let model = trained_tiny_model(6);
+        let blob = model.save();
+        let mut v1 = blob.clone();
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        v1.drain(64..68);
+        let restored = TrainedModel::load(&v1).unwrap();
+        assert_eq!(restored.precision(), Precision::Exact);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let a = model.sample_one(&mut rng);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let b = restored.sample_one(&mut rng);
+        assert_eq!(a, b, "v1 blob must load as the exact model");
+
+        // An unknown precision tag in a v2 blob is rejected cleanly.
+        let mut tagged = blob;
+        tagged[64..68].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            TrainedModel::load(&tagged),
+            Err(DiffusionError::BadModelBlob { .. })
+        ));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::schedule::{reverse_jump_prob, reverse_step_prob, NoiseSchedule};
+use crate::schedule::{posterior_jump_same_prob, posterior_same_prob, NoiseSchedule};
 use crate::{Denoiser, InferenceDenoiser};
 use dp_nn::Workspace;
 use dp_squish::DeepSquishTensor;
@@ -304,15 +304,11 @@ impl Sampler {
         for k in (2..=k_max).rev() {
             denoiser.infer_p1_batch_into(&states, k, ws, p1);
             debug_assert_eq!(p1.len(), states.len() * entries);
+            let eq = posterior_same_prob(&self.schedule, k, true);
+            let ne = posterior_same_prob(&self.schedule, k, false);
             for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
                 let lane = &p1[li * entries..(li + 1) * entries];
-                for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
-                    let p_match = if *bit { p } else { 1.0 - p };
-                    let keep = reverse_step_prob(&self.schedule, k, p_match);
-                    if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
-                        *bit = !*bit;
-                    }
-                }
+                reverse_update_in_place(eq, ne, state.bits_mut(), lane, rng);
             }
         }
 
@@ -320,9 +316,7 @@ impl Sampler {
         denoiser.infer_p1_batch_into(&states, 1, ws, p1);
         for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
             let lane = &p1[li * entries..(li + 1) * entries];
-            for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
-                *bit = rng.gen_bool(p.clamp(0.0, 1.0));
-            }
+            categorical_draw_in_place(state.bits_mut(), lane, rng);
         }
         states
     }
@@ -371,20 +365,17 @@ impl Sampler {
             let k = retained[idx];
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
             denoiser.infer_p1_batch_into(&states, k, ws, p1);
+            let coeffs = (j > 0).then(|| {
+                (
+                    posterior_jump_same_prob(&self.schedule, j, k, true),
+                    posterior_jump_same_prob(&self.schedule, j, k, false),
+                )
+            });
             for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
                 let lane = &p1[li * entries..(li + 1) * entries];
-                if j == 0 {
-                    for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
-                        *bit = rng.gen_bool(p.clamp(0.0, 1.0));
-                    }
-                } else {
-                    for (bit, &p) in state.bits_mut().iter_mut().zip(lane) {
-                        let p_match = if *bit { p } else { 1.0 - p };
-                        let keep = reverse_jump_prob(&self.schedule, j, k, p_match);
-                        if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
-                            *bit = !*bit;
-                        }
-                    }
+                match coeffs {
+                    Some((eq, ne)) => reverse_update_in_place(eq, ne, state.bits_mut(), lane, rng),
+                    None => categorical_draw_in_place(state.bits_mut(), lane, rng),
                 }
             }
         }
@@ -423,17 +414,11 @@ impl Sampler {
             predict.predict_into(&state, k, ws, p1);
             if j == 0 {
                 // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly.
-                for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
-                    *bit = rng.gen_bool(p.clamp(0.0, 1.0));
-                }
+                categorical_draw_in_place(state.bits_mut(), p1, rng);
             } else {
-                for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
-                    let p_match = if *bit { p } else { 1.0 - p };
-                    let keep = reverse_jump_prob(&self.schedule, j, k, p_match);
-                    if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
-                        *bit = !*bit;
-                    }
-                }
+                let eq = posterior_jump_same_prob(&self.schedule, j, k, true);
+                let ne = posterior_jump_same_prob(&self.schedule, j, k, false);
+                reverse_update_in_place(eq, ne, state.bits_mut(), p1, rng);
             }
         }
         state
@@ -516,22 +501,14 @@ impl Sampler {
 
         for k in (2..=k_max).rev() {
             predict.predict_into(&state, k, ws, p1);
-            for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
-                // Probability the network gives to x̃0 equalling the
-                // current state of this entry.
-                let p_match = if *bit { p } else { 1.0 - p };
-                let keep = reverse_step_prob(&self.schedule, k, p_match);
-                if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
-                    *bit = !*bit;
-                }
-            }
+            let eq = posterior_same_prob(&self.schedule, k, true);
+            let ne = posterior_same_prob(&self.schedule, k, false);
+            reverse_update_in_place(eq, ne, state.bits_mut(), p1, rng);
         }
 
         // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly.
         predict.predict_into(&state, 1, ws, p1);
-        for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
-            *bit = rng.gen_bool(p.clamp(0.0, 1.0));
-        }
+        categorical_draw_in_place(state.bits_mut(), p1, rng);
         state
     }
 
@@ -554,28 +531,61 @@ impl Sampler {
         let mut snapshots = vec![(k_max, state.clone())];
         for k in (2..=k_max).rev() {
             predict.predict_into(&state, k, ws, p1);
-            for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
-                let p_match = if *bit { p } else { 1.0 - p };
-                let keep = reverse_step_prob(&self.schedule, k, p_match);
-                if !rng.gen_bool(keep.clamp(0.0, 1.0)) {
-                    *bit = !*bit;
-                }
-            }
+            let eq = posterior_same_prob(&self.schedule, k, true);
+            let ne = posterior_same_prob(&self.schedule, k, false);
+            reverse_update_in_place(eq, ne, state.bits_mut(), p1, rng);
             if snapshot_steps.contains(&(k - 1)) {
                 snapshots.push((k - 1, state.clone()));
             }
         }
 
         predict.predict_into(&state, 1, ws, p1);
-        for (bit, &p) in state.bits_mut().iter_mut().zip(p1.iter()) {
-            *bit = rng.gen_bool(p.clamp(0.0, 1.0));
-        }
+        categorical_draw_in_place(state.bits_mut(), p1, rng);
         snapshots.push((0, state.clone()));
 
         SampleTrace {
             snapshots,
             sample: state,
         }
+    }
+}
+
+/// Applies one reverse denoising step to a lane in place: every entry is
+/// kept or flipped with keep-probability `pm·eq + (1−pm)·ne`, where `pm`
+/// is the network's probability that `x̃_0` matches the entry's current
+/// value and `(eq, ne)` are the step's two posterior coefficients
+/// ([`posterior_same_prob`] / [`posterior_jump_same_prob`] at
+/// `xk_equals_x0 ∈ {true, false}`). The coefficients depend only on the
+/// schedule and the step — never on the state — so callers hoist them out
+/// of the element loop instead of re-deriving the posterior per entry.
+///
+/// Exactly one RNG draw per entry, in entry order, and the same f64
+/// operation sequence as evaluating the per-element posterior mixture, so
+/// the hoisted form is bit-exact against the scalar one. Public so the
+/// micro-benchmarks can time the sampler's non-network floor directly.
+pub fn reverse_update_in_place(
+    eq: f64,
+    ne: f64,
+    bits: &mut [bool],
+    p1: &[f64],
+    rng: &mut impl Rng,
+) {
+    for (bit, &p) in bits.iter_mut().zip(p1) {
+        // Probability the network gives to x̃0 equalling the current
+        // state of this entry.
+        let pm = if *bit { p } else { 1.0 - p };
+        let keep = (pm * eq + (1.0 - pm) * ne).clamp(0.0, 1.0);
+        // gen_bool(keep) == false means "flip"; XNOR avoids the branch.
+        *bit = *bit == rng.gen_bool(keep);
+    }
+}
+
+/// The chain's terminal draw `x̂_0 ~ Bernoulli(p1)` per entry — one RNG
+/// draw per entry, in entry order. Public for the same micro-benchmark
+/// reason as [`reverse_update_in_place`].
+pub fn categorical_draw_in_place(bits: &mut [bool], p1: &[f64], rng: &mut impl Rng) {
+    for (bit, &p) in bits.iter_mut().zip(p1) {
+        *bit = rng.gen_bool(p.clamp(0.0, 1.0));
     }
 }
 

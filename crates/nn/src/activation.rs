@@ -11,8 +11,16 @@ pub fn silu(x: &Tensor) -> Tensor {
 /// path.
 pub fn silu_in_place(x: &mut Tensor) {
     for v in x.data_mut() {
-        *v *= sigmoid(*v);
+        *v = silu_val(*v);
     }
+}
+
+/// Scalar SiLU, shared by every activation path (including the fused GEMM
+/// epilogues) so they all stay bit-equal: `v * sigmoid(v)` with `sigmoid`
+/// evaluated exactly as the layer-level code always has.
+#[inline]
+pub(crate) fn silu_val(v: f32) -> f32 {
+    v * sigmoid(v)
 }
 
 /// Gradient of SiLU: given the forward input `x` and upstream gradient
@@ -89,16 +97,58 @@ pub fn softmax_rows_in_place(data: &mut [f32], cols: usize) {
         "data length must be a multiple of the column count"
     );
     for row in data.chunks_mut(cols) {
-        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let mut denom = 0.0;
+        softmax_row(row);
+    }
+}
+
+/// Row-wise softmax fused with a uniform logit scale: equivalent to
+/// multiplying every element by `scale` and then calling
+/// [`softmax_rows_in_place`], bit for bit, but the scale rides along in
+/// the max pass instead of needing its own sweep. This is the attention
+/// score path (`softmax(q^T k / sqrt(c))`).
+///
+/// # Panics
+///
+/// Panics when the data length is not a multiple of `cols`.
+pub fn scale_and_softmax_rows_in_place(data: &mut [f32], cols: usize, scale: f32) {
+    assert!(
+        cols > 0 && data.len().is_multiple_of(cols),
+        "data length must be a multiple of the column count"
+    );
+    for row in data.chunks_mut(cols) {
+        let mut max = f32::NEG_INFINITY;
         for v in row.iter_mut() {
-            let e = (*v - max).exp();
-            *v = e;
-            denom += e;
+            *v *= scale;
+            max = max.max(*v);
         }
-        for v in row.iter_mut() {
-            *v /= denom;
-        }
+        exp_and_normalise(row, max);
+    }
+}
+
+/// One softmax row, split into three slice passes (max, exp, divide) so
+/// each loop body is branch-free and a straight-line candidate for the
+/// autovectoriser. The accumulation order of every pass matches the
+/// original single-loop form (sequential left-to-right), so results are
+/// bit-identical.
+#[inline]
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    exp_and_normalise(row, max);
+}
+
+#[inline]
+fn exp_and_normalise(row: &mut [f32], max: f32) {
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let mut denom = 0.0f32;
+    for &v in row.iter() {
+        denom += v;
+    }
+    // Division (not multiplication by the reciprocal) keeps the exact
+    // rounding of the historical implementation.
+    for v in row.iter_mut() {
+        *v /= denom;
     }
 }
 
@@ -164,6 +214,21 @@ mod tests {
             let s: f32 = y.data()[r * 9..(r + 1) * 9].iter().sum();
             assert!((s - 1.0).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn scaled_softmax_matches_scale_then_softmax_bit_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Tensor::randn(&[6, 17], 2.0, &mut rng);
+        let scale = 0.37f32;
+        let mut fused: Vec<f32> = x.data().to_vec();
+        scale_and_softmax_rows_in_place(&mut fused, 17, scale);
+        let mut reference: Vec<f32> = x.data().to_vec();
+        for v in reference.iter_mut() {
+            *v *= scale;
+        }
+        softmax_rows_in_place(&mut reference, 17);
+        assert_eq!(fused, reference);
     }
 
     #[test]

@@ -1,5 +1,8 @@
-use crate::gemm::{gemm_packed, matmul, pack_a_into, packed_len, transpose, Epilogue};
-use crate::{Param, Tensor, Workspace};
+use crate::gemm::{
+    gemm_packed, matmul, pack_a_into, packed_len, transpose, Epilogue, GroupNormSilu,
+};
+use crate::precision::bf16_round_slice;
+use crate::{GroupNorm, Param, Precision, Tensor, Workspace};
 use rand::Rng;
 
 /// 2-D convolution over NCHW tensors, implemented as im2col + GEMM.
@@ -85,6 +88,14 @@ impl Conv2d {
     /// [`Conv2d::weight`] directly and then calling `infer` leaves the
     /// packed copy stale (re-run `prepack` after by-hand weight edits).
     pub fn prepack(&mut self) {
+        self.prepack_with(Precision::Exact);
+    }
+
+    /// [`Conv2d::prepack`] with an explicit weight precision: `Exact`
+    /// stores the packed weights bit-for-bit, `Bf16` rounds each packed
+    /// value to bfloat16 (see [`crate::bf16_round`]; the bias stays f32
+    /// and accumulation is unchanged).
+    pub fn prepack_with(&mut self, precision: Precision) {
         let (oc, ckk) = (
             self.out_channels(),
             self.in_channels() * self.kernel() * self.kernel(),
@@ -93,6 +104,9 @@ impl Conv2d {
         // (oc, ic*kh*kw) matrix — no reshape copy needed, only packing.
         let mut panel = vec![0.0f32; packed_len(oc, ckk)];
         pack_a_into(self.weight.value.data(), oc, ckk, &mut panel);
+        if precision == Precision::Bf16 {
+            bf16_round_slice(&mut panel);
+        }
         self.packed = Some(panel);
     }
 
@@ -124,6 +138,42 @@ impl Conv2d {
     ///
     /// Same conditions as [`Conv2d::forward`].
     pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.infer_impl(x, None, ws)
+    }
+
+    /// Convolution with the residual-block mid-section fused into the GEMM
+    /// epilogue: per batch item, the conv output has `row_extra`'s `(n,
+    /// out_c)` row broadcast-added (the time-embedding projection), is
+    /// group-normalised with `norm`'s parameters per `(item, group)`, and
+    /// passed through SiLU — all while the `(out_c, L)` product block is
+    /// still hot. Bit-identical to `infer` + `add_time_bias` +
+    /// `norm.infer` + `silu_in_place` (pinned by `tests/golden_infer.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Conv2d::forward`], plus mismatched
+    /// `row_extra`/`norm` shapes.
+    pub fn infer_bias_norm_silu(
+        &self,
+        x: &Tensor,
+        row_extra: &Tensor,
+        norm: &GroupNorm,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        assert_eq!(
+            row_extra.shape(),
+            &[x.shape()[0], self.out_channels()],
+            "row extra must be (batch, out_channels)"
+        );
+        self.infer_impl(x, Some((row_extra, norm)), ws)
+    }
+
+    fn infer_impl(
+        &self,
+        x: &Tensor,
+        fused: Option<(&Tensor, &GroupNorm)>,
+        ws: &mut Workspace,
+    ) -> Tensor {
         assert_eq!(x.shape().len(), 4, "conv expects NCHW input");
         assert_eq!(x.shape()[1], self.in_channels(), "channel mismatch");
         let (n, ic, h, w) = shape4(x);
@@ -160,7 +210,7 @@ impl Conv2d {
                     oc,
                     ckk,
                     l,
-                    Epilogue::BiasPerRow(self.bias.value.data()),
+                    self.item_epilogue(fused, ni, oc),
                 );
             }
         } else {
@@ -180,8 +230,8 @@ impl Conv2d {
                     cols.data_mut(),
                 );
                 // The (oc, L) product block is exactly the (oc, oh, ow)
-                // output slice of this batch item; bias is fused into the
-                // epilogue.
+                // output slice of this batch item; bias (and, when fused,
+                // the whole bias/norm/SiLU finish) rides in the epilogue.
                 gemm_packed(
                     panel,
                     cols.data(),
@@ -189,7 +239,7 @@ impl Conv2d {
                     oc,
                     ckk,
                     l,
-                    Epilogue::BiasPerRow(self.bias.value.data()),
+                    self.item_epilogue(fused, ni, oc),
                 );
             }
             ws.recycle(cols);
@@ -198,6 +248,28 @@ impl Conv2d {
             ws.recycle(t);
         }
         out
+    }
+
+    /// The per-item GEMM epilogue: plain per-row bias, or the fused
+    /// bias + time-extra + GroupNorm + SiLU finish with this item's slice
+    /// of the `(n, out_c)` extra matrix.
+    fn item_epilogue<'a>(
+        &'a self,
+        fused: Option<(&'a Tensor, &'a GroupNorm)>,
+        ni: usize,
+        oc: usize,
+    ) -> Epilogue<'a> {
+        match fused {
+            None => Epilogue::BiasPerRow(self.bias.value.data()),
+            Some((extra, norm)) => Epilogue::BiasGroupNormSilu(GroupNormSilu {
+                bias: self.bias.value.data(),
+                row_extra: Some(&extra.data()[ni * oc..(ni + 1) * oc]),
+                gamma: norm.gamma.value.data(),
+                beta: norm.beta.value.data(),
+                groups: norm.groups(),
+                eps: norm.eps(),
+            }),
+        }
     }
 
     /// Backward pass: accumulates weight/bias gradients, returns grad wrt
@@ -393,29 +465,67 @@ fn im2col_into(
         }
         return;
     }
+    // Generic strided path: the same clamped-span idea as the fast path
+    // above — the output positions whose sampled input index clears the
+    // padding form one contiguous range per axis, computed once per
+    // (ki, kj), so each destination row is two zero fills plus one
+    // branch-free copy (contiguous for stride 1, strided gather
+    // otherwise) instead of a per-element padding test.
     for c in 0..ic {
         for ki in 0..k {
+            let oy0 = valid_start(ki, p, s);
+            let oy1 = valid_end(ki, p, s, h, oh).max(oy0);
             for kj in 0..k {
                 let row = (c * k + ki) * k + kj;
-                for oy in 0..oh {
-                    let dst = &mut cols[row * l + oy * ow..row * l + (oy + 1) * ow];
-                    let iy = oy * s + ki;
-                    if iy < p || iy >= h + p {
-                        dst.fill(0.0);
+                let base = row * l;
+                let ox0 = valid_start(kj, p, s);
+                let ox1 = valid_end(kj, p, s, w, ow).max(ox0);
+                cols[base..base + oy0 * ow].fill(0.0);
+                cols[base + oy1 * ow..base + l].fill(0.0);
+                for oy in oy0..oy1 {
+                    let dst = &mut cols[base + oy * ow..base + (oy + 1) * ow];
+                    dst[..ox0].fill(0.0);
+                    dst[ox1..].fill(0.0);
+                    if ox0 == ox1 {
                         continue;
                     }
-                    let src_row = &item[(c * h + (iy - p)) * w..(c * h + (iy - p) + 1) * w];
-                    for (ox, d) in dst.iter_mut().enumerate() {
-                        let ix = ox * s + kj;
-                        *d = if ix < p || ix >= w + p {
-                            0.0
-                        } else {
-                            src_row[ix - p]
-                        };
+                    let iy = oy * s + ki - p;
+                    let src_row = &item[(c * h + iy) * w..(c * h + iy + 1) * w];
+                    let sx0 = ox0 * s + kj - p;
+                    if s == 1 {
+                        dst[ox0..ox1].copy_from_slice(&src_row[sx0..sx0 + (ox1 - ox0)]);
+                    } else {
+                        for (d, &v) in dst[ox0..ox1]
+                            .iter_mut()
+                            .zip(src_row[sx0..].iter().step_by(s))
+                        {
+                            *d = v;
+                        }
                     }
                 }
             }
         }
+    }
+}
+
+/// First output index along one axis whose sampled input position
+/// `o * stride + kk` clears the left padding.
+fn valid_start(kk: usize, p: usize, s: usize) -> usize {
+    if kk >= p {
+        0
+    } else {
+        (p - kk).div_ceil(s)
+    }
+}
+
+/// One past the last output index along one axis whose sampled input
+/// position lands inside the (unpadded) input, clamped to the output size.
+fn valid_end(kk: usize, p: usize, s: usize, size: usize, osize: usize) -> usize {
+    let span = (size + p).saturating_sub(kk);
+    if span == 0 {
+        0
+    } else {
+        ((span - 1) / s + 1).min(osize)
     }
 }
 
@@ -474,6 +584,53 @@ mod tests {
         let x = Tensor::randn(&[2, 2, 8, 8], 1.0, &mut rng);
         let mut ws = Workspace::new();
         assert_eq!(conv.infer(&x, &mut ws), conv.forward(&x));
+    }
+
+    #[test]
+    fn im2col_spans_match_per_element_reference() {
+        // The span-based im2col must place exactly the same values as the
+        // textbook per-element gather, across strides, paddings and kernel
+        // sizes (including ones where whole rows/columns are padding).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for (ic, h, w, k, s, p) in [
+            (2usize, 6usize, 6usize, 3usize, 1usize, 1usize),
+            (1, 5, 7, 3, 2, 1),
+            (3, 8, 8, 3, 2, 1),
+            (1, 4, 4, 1, 2, 0),
+            (2, 6, 6, 5, 1, 2),
+            (1, 3, 3, 3, 3, 2),
+            (1, 4, 6, 3, 1, 0),
+        ] {
+            let oh = (h + 2 * p - k) / s + 1;
+            let ow = (w + 2 * p - k) / s + 1;
+            let item = Tensor::randn(&[ic, h, w], 1.0, &mut rng);
+            let l = oh * ow;
+            let mut cols = vec![f32::NAN; ic * k * k * l];
+            im2col_into(item.data(), ic, h, w, k, s, p, oh, ow, &mut cols);
+            for c in 0..ic {
+                for ki in 0..k {
+                    for kj in 0..k {
+                        let row = (c * k + ki) * k + kj;
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let (iy, ix) = (oy * s + ki, ox * s + kj);
+                                let expect = if iy < p || iy >= h + p || ix < p || ix >= w + p {
+                                    0.0
+                                } else {
+                                    item.data()[(c * h + iy - p) * w + (ix - p)]
+                                };
+                                let got = cols[row * l + oy * ow + ox];
+                                assert_eq!(
+                                    got.to_bits(),
+                                    expect.to_bits(),
+                                    "(ic {ic} h {h} w {w} k {k} s {s} p {p}) row {row} oy {oy} ox {ox}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,7 @@ mod gemm;
 mod linear;
 mod norm;
 mod param;
+mod precision;
 mod tensor;
 mod unet;
 mod upsample;
@@ -78,7 +79,8 @@ mod weights;
 mod workspace;
 
 pub use activation::{
-    silu, silu_backward, silu_in_place, softmax_rows, softmax_rows_in_place, Silu,
+    scale_and_softmax_rows_in_place, silu, silu_backward, silu_in_place, softmax_rows,
+    softmax_rows_in_place, Silu,
 };
 pub use adam::{Adam, AdamConfig};
 pub use attention::SelfAttention2d;
@@ -91,6 +93,7 @@ pub use gemm::{
 pub use linear::Linear;
 pub use norm::GroupNorm;
 pub use param::Param;
+pub use precision::{bf16_round, Precision};
 pub use tensor::Tensor;
 pub use unet::{UNet, UNetConfig};
 pub use upsample::{upsample_nearest2, upsample_nearest2_backward, upsample_nearest2_ws};

@@ -1,7 +1,8 @@
 use crate::gemm::{
     gemm_packed, matmul, pack_a_into, packed_len, transpose, transpose_into, Epilogue,
 };
-use crate::{Param, Tensor, Workspace};
+use crate::precision::bf16_round_slice;
+use crate::{Param, Precision, Tensor, Workspace};
 use rand::Rng;
 
 /// A fully connected layer `y = x W^T + b` over 2-D inputs `(batch, in)`.
@@ -42,9 +43,20 @@ impl Linear {
     /// [`Linear::weight`] directly and then calling `infer` leaves the
     /// packed copy stale (re-run `prepack` after by-hand weight edits).
     pub fn prepack(&mut self) {
+        self.prepack_with(Precision::Exact);
+    }
+
+    /// [`Linear::prepack`] with an explicit weight precision: `Exact`
+    /// stores the transposed weights bit-for-bit, `Bf16` rounds each value
+    /// to bfloat16 (see [`crate::bf16_round`]; the bias stays f32 and
+    /// accumulation is unchanged).
+    pub fn prepack_with(&mut self, precision: Precision) {
         let (inf, outf) = (self.in_features(), self.out_features());
         let mut wt = vec![0.0f32; inf * outf];
         transpose_into(self.weight.value.data(), outf, inf, &mut wt);
+        if precision == Precision::Bf16 {
+            bf16_round_slice(&mut wt);
+        }
         self.packed_wt = Some(wt);
     }
 
@@ -85,6 +97,22 @@ impl Linear {
     ///
     /// Same conditions as [`Linear::forward`].
     pub fn infer(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.infer_impl(x, ws, false)
+    }
+
+    /// Linear layer with SiLU fused into the GEMM epilogue:
+    /// bit-identical to [`Linear::infer`] + [`crate::silu_in_place`] (the
+    /// biased accumulator value is the same f32 the activation reads),
+    /// without the extra pass — the time-embedding MLP's hidden layer.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Linear::forward`].
+    pub fn infer_silu(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.infer_impl(x, ws, true)
+    }
+
+    fn infer_impl(&self, x: &Tensor, ws: &mut Workspace, fuse_silu: bool) -> Tensor {
         assert_eq!(x.shape().len(), 2, "linear expects 2-D input");
         assert_eq!(x.shape()[1], self.in_features(), "feature mismatch");
         let (batch, inf, outf) = (x.shape()[0], self.in_features(), self.out_features());
@@ -106,15 +134,13 @@ impl Linear {
         let mut panel = ws.take_uninit(&[packed_len(batch, inf)]);
         pack_a_into(x.data(), batch, inf, panel.data_mut());
         let mut y = ws.take_uninit(&[batch, outf]);
-        gemm_packed(
-            panel.data(),
-            wt,
-            y.data_mut(),
-            batch,
-            inf,
-            outf,
-            Epilogue::BiasPerCol(self.bias.value.data()),
-        );
+        let bias = self.bias.value.data();
+        let epilogue = if fuse_silu {
+            Epilogue::BiasSiluPerCol(bias)
+        } else {
+            Epilogue::BiasPerCol(bias)
+        };
+        gemm_packed(panel.data(), wt, y.data_mut(), batch, inf, outf, epilogue);
         ws.recycle(panel);
         if let Some(t) = fresh_wt {
             ws.recycle(t);
@@ -179,6 +205,26 @@ mod tests {
         let y = layer.forward(&x);
         assert_eq!(y.shape(), &[2, 5]);
         assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn infer_silu_matches_infer_then_silu_bit_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut layer = Linear::new(5, 9, &mut rng);
+        for (i, b) in layer.bias.value.data_mut().iter_mut().enumerate() {
+            *b = i as f32 * 0.1 - 0.4;
+        }
+        let x = Tensor::randn(&[3, 5], 1.5, &mut rng);
+        let mut ws = Workspace::new();
+        for prepacked in [false, true] {
+            if prepacked {
+                layer.prepack();
+            }
+            let fused = layer.infer_silu(&x, &mut ws);
+            let mut reference = layer.infer(&x, &mut ws);
+            crate::silu_in_place(&mut reference);
+            assert_eq!(fused, reference, "prepacked={prepacked}");
+        }
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::activation::silu_val;
 use crate::{Param, Tensor, Workspace};
 
 /// Group normalisation over NCHW tensors (the DDPM U-Net's normaliser).
@@ -47,6 +48,12 @@ impl GroupNorm {
         self.groups
     }
 
+    /// The variance stabiliser, for fused kernels that replicate this
+    /// layer's arithmetic outside it.
+    pub(crate) fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Forward pass (training mode: caches what `backward` needs).
     ///
     /// # Panics
@@ -89,6 +96,41 @@ impl GroupNorm {
                     for (o, &v) in orow.iter_mut().zip(xrow) {
                         let xhat = (v - mean) * inv_std;
                         *o = gamma * xhat + beta;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// GroupNorm immediately followed by SiLU, in one pass: bit-identical
+    /// to [`GroupNorm::infer`] + [`crate::silu_in_place`] (the normalised
+    /// affine value is materialised as the same f32 before the activation
+    /// reads it), but the intermediate tensor is never written out cold.
+    /// This is the norm-SiLU prefix of every residual block and of the
+    /// output head.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`GroupNorm::forward`].
+    pub fn infer_silu(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (n, c, h, w) = self.check_input(x);
+        let cg = c / self.groups;
+        let hw = h * w;
+        let group_len = (cg * hw) as f32;
+        let mut out = ws.take_uninit(x.shape());
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let start = (ni * c + g * cg) * hw;
+                let xs = &x.data()[start..start + cg * hw];
+                let (mean, inv_std) = group_stats(xs, group_len, self.eps);
+                let os = &mut out.data_mut()[start..start + cg * hw];
+                for (ci, (orow, xrow)) in os.chunks_mut(hw).zip(xs.chunks(hw)).enumerate() {
+                    let gamma = self.gamma.value.data()[g * cg + ci];
+                    let beta = self.beta.value.data()[g * cg + ci];
+                    for (o, &v) in orow.iter_mut().zip(xrow) {
+                        let xhat = (v - mean) * inv_std;
+                        *o = silu_val(gamma * xhat + beta);
                     }
                 }
             }
@@ -221,8 +263,8 @@ impl GroupNorm {
 
 /// Mean and inverse standard deviation of one `(batch, group)` slice,
 /// accumulated in memory order (the order every code path shares so
-/// `forward` and `infer` stay bit-equal).
-fn group_stats(xs: &[f32], group_len: f32, eps: f32) -> (f32, f32) {
+/// `forward`, `infer` and the fused GEMM epilogues stay bit-equal).
+pub(crate) fn group_stats(xs: &[f32], group_len: f32, eps: f32) -> (f32, f32) {
     let mut mean = 0.0f32;
     for &v in xs {
         mean += v;
@@ -259,6 +301,27 @@ mod tests {
         let x = Tensor::randn(&[2, 6, 4, 4], 2.0, &mut rng);
         let mut ws = Workspace::new();
         assert_eq!(norm.infer(&x, &mut ws), norm.forward(&x));
+    }
+
+    #[test]
+    fn infer_silu_matches_infer_then_silu_bit_exactly() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut norm = GroupNorm::new(2, 6);
+        for (g, b) in norm
+            .gamma
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip([0.5, -1.0, 2.0, 1.5, 0.1, -0.3])
+        {
+            *g = b;
+        }
+        let x = Tensor::randn(&[3, 6, 4, 4], 2.0, &mut rng);
+        let mut ws = Workspace::new();
+        let fused = norm.infer_silu(&x, &mut ws);
+        let mut reference = norm.infer(&x, &mut ws);
+        crate::silu_in_place(&mut reference);
+        assert_eq!(fused, reference);
     }
 
     #[test]

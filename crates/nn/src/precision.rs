@@ -1,0 +1,119 @@
+//! Numeric precision of prepacked inference weights.
+//!
+//! The GEMM kernels always accumulate in f32; the knob here controls only
+//! the representation of the *frozen packed weight copies* built by the
+//! `prepack_with` family. [`Precision::Bf16`] rounds every packed weight
+//! value to its nearest bfloat16 (round-to-nearest-even) and stores it
+//! re-widened to f32, halving the effective weight mantissa while keeping
+//! the kernels, layouts and accumulation order untouched. Biases and
+//! normalisation parameters stay exact — they are O(channels), not
+//! O(channels²), so rounding them buys nothing.
+//!
+//! The accuracy contract: [`Precision::Exact`] (the default everywhere)
+//! is bit-identical to the unpacked path. `Bf16` changes sampled outputs
+//! — it is opt-in, and downstream legality is still guaranteed because
+//! the pattern solver operates on whatever the sampler emits.
+
+/// Weight precision of the prepacked inference path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Packed weights are exact f32 copies: inference is bit-identical to
+    /// the unpacked path. The default.
+    #[default]
+    Exact,
+    /// Packed weights are rounded to bfloat16 (stored widened to f32, so
+    /// the kernels are unchanged); accumulation stays f32.
+    Bf16,
+}
+
+impl Precision {
+    /// Stable lowercase name, used by CLIs and the wire codec.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Exact => "exact",
+            Precision::Bf16 => "bf16",
+        }
+    }
+
+    /// Parses the stable name produced by [`Precision::name`].
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "exact" => Some(Precision::Exact),
+            "bf16" => Some(Precision::Bf16),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Rounds an f32 to its nearest bfloat16 value (round-to-nearest-even)
+/// and returns it widened back to f32 — i.e. the low 16 mantissa bits are
+/// cleared after rounding. Infinities pass through; NaNs stay NaN (the
+/// payload may change).
+pub fn bf16_round(v: f32) -> f32 {
+    let bits = v.to_bits();
+    if v.is_nan() {
+        // Force a quiet NaN without letting the rounding add wrap the
+        // payload into an infinity bit pattern.
+        return f32::from_bits((bits | 0x0040_0000) & 0xFFFF_0000);
+    }
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    f32::from_bits(rounded & 0xFFFF_0000)
+}
+
+/// Rounds a slice in place with [`bf16_round`].
+pub(crate) fn bf16_round_slice(values: &mut [f32]) {
+    for v in values {
+        *v = bf16_round(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for p in [Precision::Exact, Precision::Bf16] {
+            assert_eq!(Precision::parse(p.name()), Some(p));
+        }
+        assert_eq!(Precision::parse("fp8"), None);
+        assert_eq!(Precision::default(), Precision::Exact);
+    }
+
+    #[test]
+    fn bf16_round_known_values() {
+        // Values exactly representable in bf16 are unchanged.
+        let bf16_max = f32::from_bits(0x7F7F_0000);
+        for v in [0.0f32, 1.0, -2.0, 0.5, 1.5, f32::INFINITY, -bf16_max] {
+            assert_eq!(bf16_round(v), v, "{v}");
+        }
+        // 1 + 2^-8 is exactly halfway between the bf16 neighbours 1.0 and
+        // 1 + 2^-7; nearest-even sends it down to 1.0.
+        let half_way = f32::from_bits(0x3F80_8000);
+        assert_eq!(bf16_round(half_way), 1.0);
+        // Just above the halfway point rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(bf16_round(above), f32::from_bits(0x3F81_0000));
+        // Relative error is bounded by the bf16 epsilon.
+        for i in 0..1000 {
+            let v = 0.37f32 * i as f32 - 180.0;
+            let r = bf16_round(v);
+            if v != 0.0 {
+                assert!(((r - v) / v).abs() <= 1.0 / 256.0, "{v} -> {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_round_preserves_nan_and_sign() {
+        assert!(bf16_round(f32::NAN).is_nan());
+        assert_eq!(bf16_round(-0.0f32).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(bf16_round(f32::NEG_INFINITY), f32::NEG_INFINITY);
+    }
+}

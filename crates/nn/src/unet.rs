@@ -3,7 +3,7 @@ use crate::dropout::Dropout;
 use crate::embedding::{sinusoidal_embedding, sinusoidal_embedding_ws};
 use crate::tensor::{cat_channels_into, cat_channels_shape};
 use crate::upsample::{upsample_nearest2, upsample_nearest2_backward, upsample_nearest2_ws};
-use crate::{Conv2d, GroupNorm, Linear, Param, SelfAttention2d, Tensor, Workspace};
+use crate::{Conv2d, GroupNorm, Linear, Param, Precision, SelfAttention2d, Tensor, Workspace};
 use rand::Rng;
 
 /// Configuration of the DDPM-style U-Net backbone (paper §IV-A).
@@ -116,23 +116,22 @@ impl ResBlock {
 
     /// Inference-only forward from a shared reference: no caches, dropout
     /// is the identity (evaluation semantics), scratch from `ws`.
-    fn infer(&self, x: &Tensor, temb: &Tensor, ws: &mut Workspace) -> Tensor {
-        let mut h = self.norm1.infer(x, ws);
-        silu_in_place(&mut h);
-        let mut out = self.conv1.infer(&h, ws);
-        ws.recycle(h);
-        let mut ts = ws.take_uninit(temb.shape());
-        ts.data_mut().copy_from_slice(temb.data());
-        silu_in_place(&mut ts);
-        let t = self.temb_proj.infer(&ts, ws);
-        ws.recycle(ts);
-        add_time_bias(&mut out, &t);
+    ///
+    /// `stemb` is the **already SiLU-activated** time embedding: every
+    /// block applies the same activation to the same tensor, so the
+    /// U-Net computes it once per call instead of copy+SiLU per block.
+    /// The whole norm→SiLU→conv→time-bias→norm→SiLU mid-section runs as
+    /// two fused kernels ([`GroupNorm::infer_silu`] and
+    /// [`Conv2d::infer_bias_norm_silu`]), each bit-identical to the layer
+    /// sequence it replaces; conv2 and the skip add are unchanged.
+    fn infer(&self, x: &Tensor, stemb: &Tensor, ws: &mut Workspace) -> Tensor {
+        let hn = self.norm1.infer_silu(x, ws);
+        let t = self.temb_proj.infer(stemb, ws);
+        let h = self.conv1.infer_bias_norm_silu(&hn, &t, &self.norm2, ws);
+        ws.recycle(hn);
         ws.recycle(t);
-        let mut h2 = self.norm2.infer(&out, ws);
-        ws.recycle(out);
-        silu_in_place(&mut h2);
-        let mut out = self.conv2.infer(&h2, ws);
-        ws.recycle(h2);
+        let mut out = self.conv2.infer(&h, ws);
+        ws.recycle(h);
         match &self.skip {
             Some(proj) => {
                 let skipped = proj.infer(x, ws);
@@ -145,13 +144,13 @@ impl ResBlock {
     }
 
     /// Prepacks the weights of every GEMM-backed sublayer (see
-    /// [`Conv2d::prepack`]).
-    fn prepack(&mut self) {
-        self.conv1.prepack();
-        self.temb_proj.prepack();
-        self.conv2.prepack();
+    /// [`Conv2d::prepack_with`]).
+    fn prepack_with(&mut self, precision: Precision) {
+        self.conv1.prepack_with(precision);
+        self.temb_proj.prepack_with(precision);
+        self.conv2.prepack_with(precision);
         if let Some(skip) = &mut self.skip {
-            skip.prepack();
+            skip.prepack_with(precision);
         }
     }
 
@@ -474,35 +473,44 @@ impl UNet {
     /// parameters directly and then calling [`UNet::infer`] without a
     /// fresh `prepack`, however, leaves the packed copies stale.
     pub fn prepack(&mut self) {
-        self.time_lin1.prepack();
-        self.time_lin2.prepack();
-        self.stem.prepack();
+        self.prepack_with(Precision::Exact);
+    }
+
+    /// [`UNet::prepack`] with an explicit weight precision for every
+    /// packed copy: [`Precision::Exact`] is the bit-exact default;
+    /// [`Precision::Bf16`] rounds packed weights to bfloat16 (f32
+    /// accumulation) for a smaller working set at an opt-in accuracy
+    /// cost. Re-running with a different precision replaces the packs.
+    pub fn prepack_with(&mut self, precision: Precision) {
+        self.time_lin1.prepack_with(precision);
+        self.time_lin2.prepack_with(precision);
+        self.stem.prepack_with(precision);
         for stage in &mut self.down {
             for (res, attn) in &mut stage.blocks {
-                res.prepack();
+                res.prepack_with(precision);
                 if let Some(attn) = attn {
-                    attn.prepack();
+                    attn.prepack_with(precision);
                 }
             }
             if let Some(down) = &mut stage.down {
-                down.prepack();
+                down.prepack_with(precision);
             }
         }
-        self.mid1.prepack();
-        self.mid_attn.prepack();
-        self.mid2.prepack();
+        self.mid1.prepack_with(precision);
+        self.mid_attn.prepack_with(precision);
+        self.mid2.prepack_with(precision);
         for stage in &mut self.up {
             for (res, attn) in &mut stage.blocks {
-                res.prepack();
+                res.prepack_with(precision);
                 if let Some(attn) = attn {
-                    attn.prepack();
+                    attn.prepack_with(precision);
                 }
             }
             if let Some(upc) = &mut stage.up {
-                upc.prepack();
+                upc.prepack_with(precision);
             }
         }
-        self.head_conv.prepack();
+        self.head_conv.prepack_with(precision);
     }
 
     /// Inference-only forward pass from a shared reference.
@@ -540,11 +548,14 @@ impl UNet {
         );
 
         let emb = sinusoidal_embedding_ws(steps, self.config.time_dim, ws);
-        let mut t1 = self.time_lin1.infer(&emb, ws);
+        // Hidden-layer SiLU fused into the GEMM epilogue; the final
+        // embedding is activated once here (every residual block consumes
+        // silu(temb), so per-block copies are pure waste).
+        let t1 = self.time_lin1.infer_silu(&emb, ws);
         ws.recycle(emb);
-        silu_in_place(&mut t1);
-        let temb = self.time_lin2.infer(&t1, ws);
+        let mut temb = self.time_lin2.infer(&t1, ws);
         ws.recycle(t1);
+        silu_in_place(&mut temb);
 
         // Encoder: each produced feature map doubles as the next stage's
         // input and a skip connection, so it is pushed (not copied) and
@@ -601,9 +612,8 @@ impl UNet {
         ws.put_skip_stack(skips);
         ws.recycle(temb);
 
-        let mut hn = self.head_norm.infer(&h, ws);
+        let hn = self.head_norm.infer_silu(&h, ws);
         ws.recycle(h);
-        silu_in_place(&mut hn);
         let out = self.head_conv.infer(&hn, ws);
         ws.recycle(hn);
         out

@@ -10,7 +10,8 @@
 //! workspace path and the prepacked warm-workspace path.
 
 use dp_nn::{
-    matmul, Conv2d, GroupNorm, Linear, SelfAttention2d, Tensor, UNet, UNetConfig, Workspace,
+    matmul, silu_in_place, Conv2d, GroupNorm, Linear, SelfAttention2d, Tensor, UNet, UNetConfig,
+    Workspace,
 };
 use rand::{Rng, SeedableRng};
 
@@ -329,6 +330,64 @@ fn attn_proj(attn: &SelfAttention2d, which: &str) -> Conv2d {
     conv.weight.value = params[idx].value.clone();
     conv.bias.value = params[idx + 1].value.clone();
     conv
+}
+
+#[test]
+fn fused_conv_norm_silu_matches_unfused_sequence_bit_exactly() {
+    // The residual-block fast path: conv -> per-channel time bias ->
+    // GroupNorm -> SiLU collapsed into one GEMM epilogue must reproduce
+    // the unfused four-step sequence bit-for-bit on randomised shapes,
+    // prepacked or not.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(106);
+    let mut ws = Workspace::new();
+    for trial in 0..12 {
+        let groups = rng.gen_range(1usize..4);
+        let oc = groups * rng.gen_range(1usize..5);
+        let ic = rng.gen_range(1usize..6);
+        let k = [1usize, 3, 3][rng.gen_range(0usize..3)];
+        let side = rng.gen_range(k.max(3)..10);
+        let batch = rng.gen_range(1usize..3);
+        let mut conv = Conv2d::new(ic, oc, k, 1, k / 2, &mut rng);
+        for b in conv.bias.value.data_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        let mut norm = GroupNorm::new(groups, oc);
+        for g in norm.gamma.value.data_mut() {
+            *g = rng.gen_range(0.5..1.5);
+        }
+        for b in norm.beta.value.data_mut() {
+            *b = rng.gen_range(-0.5..0.5);
+        }
+        let x = Tensor::randn(&[batch, ic, side, side], 1.0, &mut rng);
+        let tbias = Tensor::randn(&[batch, oc], 1.0, &mut rng);
+
+        let expected = {
+            let mut h = conv.infer(&x, &mut ws);
+            let (oh, ow) = (h.shape()[2], h.shape()[3]);
+            for ni in 0..batch {
+                for ci in 0..oc {
+                    let b = tbias.data()[ni * oc + ci];
+                    let start = (ni * oc + ci) * oh * ow;
+                    for v in &mut h.data_mut()[start..start + oh * ow] {
+                        *v += b;
+                    }
+                }
+            }
+            let mut out = norm.infer(&h, &mut ws);
+            silu_in_place(&mut out);
+            out
+        };
+
+        let label = format!("fused conv trial {trial} ic{ic} oc{oc} k{k} g{groups}");
+        for prepacked in [false, true] {
+            if prepacked {
+                conv.prepack();
+            }
+            let fused = conv.infer_bias_norm_silu(&x, &tbias, &norm, &mut ws);
+            assert_eq!(fused, expected, "{label} (prepacked: {prepacked})");
+            ws.recycle(fused);
+        }
+    }
 }
 
 #[test]

@@ -15,6 +15,7 @@
 //!   "priority": 0,
 //!   "deadline_ms": 5000,
 //!   "sample_stride": 1,
+//!   "precision": "exact",
 //!   "max_attempts": 4,
 //!   "repair_bowties": true,
 //!   "rules": {"space_min": 60, "width_min": 60, "area_min": 4000,
@@ -43,7 +44,7 @@ use diffpattern::drc::DesignRules;
 use diffpattern::geometry::BitGrid;
 use diffpattern::legalize::{SolveStats, SolverConfig};
 use diffpattern::squish::SquishPattern;
-use diffpattern::{Generated, PipelineReport, Provenance, RequestSpec};
+use diffpattern::{Generated, PipelineReport, Precision, Provenance, RequestSpec};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -155,6 +156,10 @@ pub fn spec_to_json(spec: &RequestSpec) -> Json {
             Json::Int(spec.sample_stride as i128),
         ),
         (
+            "precision".to_string(),
+            Json::Str(spec.precision.name().to_string()),
+        ),
+        (
             "max_attempts".to_string(),
             Json::Int(spec.max_attempts as i128),
         ),
@@ -203,6 +208,17 @@ pub fn spec_from_json(v: &Json) -> Result<RequestSpec, ProtoError> {
                 spec.deadline = Some(Duration::from_millis(u64_field(value, "deadline_ms")?));
             }
             "sample_stride" => spec.sample_stride = usize_field(value, "sample_stride")?,
+            "precision" => {
+                let name = value.as_str().ok_or(ProtoError::WrongType {
+                    field: "precision",
+                    expected: "\"exact\" or \"bf16\"",
+                })?;
+                spec.precision = Precision::parse(name).ok_or_else(|| {
+                    ProtoError::InvalidSpec(format!(
+                        "unknown precision `{name}` (expected exact or bf16)"
+                    ))
+                })?;
+            }
             "max_attempts" => spec.max_attempts = usize_field(value, "max_attempts")?,
             "repair_bowties" => spec.repair_bowties = bool_field(value, "repair_bowties")?,
             "rules" => spec.rules = rules_from_json(value)?,
@@ -698,6 +714,7 @@ mod tests {
         assert_eq!(a.priority, b.priority);
         assert_eq!(a.deadline, b.deadline);
         assert_eq!(a.sample_stride, b.sample_stride);
+        assert_eq!(a.precision, b.precision);
         assert_eq!(a.max_attempts, b.max_attempts);
         assert_eq!(a.repair_bowties, b.repair_bowties);
         assert_eq!(a.rules, b.rules);
@@ -723,7 +740,8 @@ mod tests {
         let donor = SquishPattern::new(grid, vec![512; 4], vec![1024; 2]).unwrap();
         let mut spec = RequestSpec::new(2)
             .deadline(Duration::from_millis(750))
-            .first_index(40);
+            .first_index(40)
+            .precision(Precision::Bf16);
         spec.donors = Arc::from([donor]);
         let wire = spec_to_json(&spec).to_string();
         let back = spec_from_json(&json::parse(&wire).unwrap()).unwrap();
@@ -753,6 +771,8 @@ mod tests {
                 r#"{"count": 1, "rules": {"space_min": -5}}"#,
                 "invalid_spec",
             ),
+            (r#"{"count": 1, "precision": "fp8"}"#, "invalid_spec"),
+            (r#"{"count": 1, "precision": 16}"#, "bad_request"),
             (
                 r#"{"count": 1, "donors": [{"topology": ["01", "0"], "dx": [1, 1], "dy": [1, 1]}]}"#,
                 "invalid_spec",

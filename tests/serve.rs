@@ -19,7 +19,8 @@ use diffpattern::legalize::{SolveStats, SolverConfig};
 use diffpattern::library::{Library, LibraryConfig};
 use diffpattern::squish::SquishPattern;
 use diffpattern::{
-    Generated, PatternService, Pipeline, PipelineConfig, Provenance, RequestSpec, TrainedModel,
+    Generated, PatternService, Pipeline, PipelineConfig, Precision, Provenance, RequestSpec,
+    TrainedModel,
 };
 use dp_serve::http::Conn;
 use dp_serve::json::{self, Json};
@@ -634,6 +635,7 @@ proptest! {
         has_deadline in any::<bool>(),
         donor_seed in any::<u64>(),
         donor_n in 0usize..3,
+        bf16 in any::<bool>(),
     ) {
         let rules = DesignRules::builder()
             .space_min(space)
@@ -661,6 +663,7 @@ proptest! {
             repair_bowties: repair,
             donors: Arc::from(donors.into_boxed_slice()),
             deadline: has_deadline.then(|| Duration::from_millis(deadline_ms)),
+            precision: if bf16 { Precision::Bf16 } else { Precision::Exact },
         };
 
         let wire = dp_serve::proto::spec_to_json(&spec).to_string();
@@ -681,6 +684,7 @@ proptest! {
         prop_assert_eq!(spec.repair_bowties, back.repair_bowties);
         prop_assert_eq!(spec.donors.as_ref(), back.donors.as_ref());
         prop_assert_eq!(spec.deadline, back.deadline);
+        prop_assert_eq!(spec.precision, back.precision);
     }
 
     /// Item records (pattern + full provenance) survive the NDJSON
