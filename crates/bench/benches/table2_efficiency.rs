@@ -79,6 +79,39 @@ fn sampling(c: &mut Criterion) {
             sampler.sample_batch_with(&bf16_denoiser, 16, 8, &mut rngs, &mut scratch)
         })
     });
+    // The conditioned single-lane steady-state path: a quarter of the
+    // tensor frozen (diffusion inpainting) plus hotspot-avoidance
+    // guidance. The per-step overhead over `topology_per_sample` is the
+    // re-clamp + logit reweight — budgeted at ≤ 15 % of the
+    // unconditioned floor.
+    let entries = 16 * 8 * 8;
+    let frozen = dp_diffusion::FrozenRegion::new(
+        (0..entries).map(|i| i < entries / 4).collect(),
+        (0..entries).map(|i| i % 3 == 0).collect(),
+    )
+    .unwrap();
+    let guidance =
+        dp_diffusion::MotifGuidance::new(dp_diffusion::Motif::IsolatedCell, 4.0).unwrap();
+    let conditioning = dp_diffusion::Conditioning::none()
+        .with_frozen(frozen)
+        .with_avoid(guidance);
+    let retained = sampler.strided_steps(1);
+    group.bench_function("topology_conditioned_per_sample", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut rngs = vec![rand::rngs::StdRng::seed_from_u64(round)];
+            sampler.sample_conditioned_batch_with(
+                &denoiser,
+                16,
+                8,
+                &retained,
+                &conditioning,
+                &mut rngs,
+                &mut scratch,
+            )
+        })
+    });
     // Null-model baseline showing the network cost dominates the chain.
     let mut uniform = UniformDenoiser::new();
     group.bench_function("chain_overhead_only", |b| {

@@ -3,7 +3,7 @@
 //! writes under `DP_BENCH_JSON`).
 //!
 //! ```text
-//! bench_diff OLD.json NEW.json [--tolerance PCT]
+//! bench_diff OLD.json NEW.json [--tolerance PCT] [--row NAME]...
 //! ```
 //!
 //! Prints a per-benchmark delta table over the labels both snapshots
@@ -12,6 +12,11 @@
 //! (default 50 — wide enough for shared-CI jitter, tight enough to catch
 //! a path accidentally falling off its fast implementation). Speed-ups
 //! never fail the diff.
+//!
+//! `--row NAME` (repeatable) restricts the comparison to exactly the
+//! named rows and *errors* when a named row is missing from either
+//! snapshot — the hard-gate mode CI uses for the pinned sampler rows,
+//! where a renamed or dropped benchmark must not silently pass.
 //!
 //! The parser is deliberately lenient — any line shaped like
 //! `"label": {"median_ns": N, ...}` counts — so snapshots survive manual
@@ -32,11 +37,12 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--tolerance PCT]";
+const USAGE: &str = "usage: bench_diff OLD.json NEW.json [--tolerance PCT] [--row NAME]...";
 
 fn run(args: &[String]) -> Result<bool, String> {
     let mut files: Vec<&str> = Vec::new();
     let mut tolerance = 50.0f64;
+    let mut rows: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--tolerance" {
@@ -44,6 +50,8 @@ fn run(args: &[String]) -> Result<bool, String> {
             tolerance = v
                 .parse()
                 .map_err(|_| format!("--tolerance expects a number, got `{v}`"))?;
+        } else if arg == "--row" {
+            rows.push(it.next().ok_or_else(|| USAGE.to_string())?);
         } else {
             files.push(arg);
         }
@@ -51,8 +59,20 @@ fn run(args: &[String]) -> Result<bool, String> {
     let [old_path, new_path] = files[..] else {
         return Err(USAGE.to_string());
     };
-    let old = load_medians(old_path)?;
-    let new = load_medians(new_path)?;
+    let mut old = load_medians(old_path)?;
+    let mut new = load_medians(new_path)?;
+    if !rows.is_empty() {
+        for row in &rows {
+            if !old.contains_key(*row) {
+                return Err(format!("{old_path}: pinned row `{row}` is missing"));
+            }
+            if !new.contains_key(*row) {
+                return Err(format!("{new_path}: pinned row `{row}` is missing"));
+            }
+        }
+        old.retain(|k, _| rows.contains(&k.as_str()));
+        new.retain(|k, _| rows.contains(&k.as_str()));
+    }
 
     let width = old
         .keys()
@@ -181,5 +201,32 @@ mod tests {
         };
         assert!(worst(&fast) <= 50.0);
         assert!(worst(&slow) > 50.0);
+    }
+
+    #[test]
+    fn pinned_rows_gate_and_reject_missing_labels() {
+        let dir = std::env::temp_dir();
+        let old_path = dir.join("bench_diff_row_old.json");
+        let new_path = dir.join("bench_diff_row_new.json");
+        std::fs::write(&old_path, SNAPSHOT).unwrap();
+        // `a/b` regresses far beyond tolerance, `c/d` is unchanged.
+        std::fs::write(
+            &new_path,
+            SNAPSHOT.replace(": {\"median_ns\": 100", ": {\"median_ns\": 900"),
+        )
+        .unwrap();
+        let args = |extra: &[&str]| -> Vec<String> {
+            [old_path.to_str().unwrap(), new_path.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .chain(extra.iter().map(|s| s.to_string()))
+                .collect()
+        };
+        // Pinning only the healthy row passes even though a/b regressed.
+        assert_eq!(run(&args(&["--row", "c/d"])), Ok(true));
+        // Pinning the regressed row fails.
+        assert_eq!(run(&args(&["--row", "a/b", "--row", "c/d"])), Ok(false));
+        // A pinned row absent from a snapshot is an error, not a pass.
+        assert!(run(&args(&["--row", "no/such"])).is_err());
     }
 }

@@ -24,11 +24,13 @@
 //! raw-weight blobs are rejected with a clear error).
 
 use diffpattern::drc::{check_pattern, DesignRules};
+use diffpattern::geometry::BitGrid;
 use diffpattern::library::{merge_libraries, Library, LibraryConfig, LibraryWriter};
 use diffpattern::render::{layout_to_pgm, pattern_to_ascii};
+use diffpattern::squish::{extend_to_side, DeepSquishTensor};
 use diffpattern::{
-    Generation, LibrarySink, PatternService, Pipeline, PipelineConfig, Precision, RequestSpec,
-    TrainedModel,
+    hotspot_guidance, repair_conditioning, Conditioning, FrozenRegion, Generation, LibrarySink,
+    PatternService, Pipeline, PipelineConfig, Precision, RequestSpec, TrainedModel,
 };
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -76,9 +78,12 @@ const USAGE: &str = "usage:
   dpgen train --iters N --model FILE [--seed N] [--steps K]
   dpgen gen   --model FILE --count N --out DIR [--seed N] [--stride N] [--threads N]
               [--micro-batch N] [--precision exact|bf16] [--rules PRESET]...
+              [--freeze-rect X,Y,W,H] [--freeze-from FILE] [--avoid-hotspots]
   dpgen demo  [--iters N] [--count N] [--seed N] [--threads N]
   dpgen library build --model FILE --out DIR [--count N] [--seed N] [--rules PRESET]...
               [--first-index N] [--segment-bytes N] [--stop-after N] [--threads N]
+  dpgen library repair --model FILE --dir DIR [--rules PRESET] [--method NAME]
+              [--bucket RULESET] [--seed N] [--threads N] [--micro-batch N]
   dpgen library stat  --dir DIR
   dpgen library merge --out DIR --shard DIR [--shard DIR]...
 
@@ -90,15 +95,32 @@ gets its own manifest under OUT/<preset>/)
 faster U-Net calls, still deterministic per (seed, index), but outputs
 differ from the default exact path.
 
+conditional generation (gen): --freeze-rect X,Y,W,H freezes the cells of
+that topology-matrix rectangle (cell coordinates, row 0 at the bottom)
+through the whole reverse chain — diffusion inpainting. The frozen bits
+come from --freeze-from FILE (an ASCII topology: '#'/'1' filled, '.'/'0'
+empty, top row first, exactly matrix-side lines) or, without it, from a
+base topology the model samples deterministically from the request seed.
+--avoid-hotspots adds rule-derived guidance steering the draw away from
+isolated-cell hotspot motifs. dpgen verifies every delivered pattern
+carries the frozen bits exactly and exits non-zero otherwise.
+
 `library build` appends to a durable content-addressed store (resumable:
 re-running continues from the last valid record). --stop-after N dies
 with exit code 3 after N settled slots, simulating a crash for recovery
-testing. `stat` prints a deterministic, timestamp-free summary; `merge`
-combines disjoint-index shard builds into a fresh store.";
+testing. `library repair` re-checks a bucket under a rules preset and
+regenerates every DRC-flagged entry by inpainting: the violating
+neighbourhood is redrawn, the legal remainder is frozen, and repairs
+land in the same store under method `repair`. `stat` prints a
+deterministic, timestamp-free summary; `merge` combines disjoint-index
+shard builds into a fresh store.";
 
 /// Parsed options: every `--key value` pair, with repeated keys collected
 /// in order (`--rules a --rules b`).
 type Options = HashMap<String, Vec<String>>;
+
+/// Value-less boolean options: present means `true`.
+const FLAGS: &[&str] = &["avoid-hotspots"];
 
 fn parse(args: &[String]) -> Option<(String, Options)> {
     let mut it = args.iter();
@@ -106,11 +128,12 @@ fn parse(args: &[String]) -> Option<(String, Options)> {
     let mut options = Options::new();
     while let Some(key) = it.next() {
         let key = key.strip_prefix("--")?;
-        let value = it.next()?;
-        options
-            .entry(key.to_string())
-            .or_default()
-            .push(value.clone());
+        let value = if FLAGS.contains(&key) {
+            "true".to_string()
+        } else {
+            it.next()?.clone()
+        };
+        options.entry(key.to_string()).or_default().push(value);
     }
     Some((command, options))
 }
@@ -153,6 +176,133 @@ fn rules_preset(name: &str) -> Result<DesignRules, Box<dyn std::error::Error>> {
         )
         .into()),
     }
+}
+
+/// The side of the model's unfolded topology matrix (`√C × M` cells).
+fn matrix_side(model: &TrainedModel) -> usize {
+    let patch = (0..=model.channels())
+        .find(|p| p * p == model.channels())
+        .expect("trained models have square channel counts");
+    patch * model.side()
+}
+
+/// Parses `X,Y,W,H` (topology-matrix cell coordinates, row 0 at the
+/// bottom) and checks it fits the `side × side` matrix.
+fn parse_rect(s: &str, side: usize) -> Result<(usize, usize, usize, usize), String> {
+    let parts: Vec<usize> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| format!("--freeze-rect expects X,Y,W,H (got `{s}`)"))?;
+    let [x, y, w, h] = parts[..] else {
+        return Err(format!("--freeze-rect expects four values (got `{s}`)"));
+    };
+    if w == 0 || h == 0 || x + w > side || y + h > side {
+        return Err(format!(
+            "--freeze-rect {x},{y},{w},{h} does not fit the {side}x{side} topology matrix"
+        ));
+    }
+    Ok((x, y, w, h))
+}
+
+/// Parses an ASCII topology (`#`/`1` filled, `.`/`0` empty, top row
+/// first) into a `side × side` grid.
+fn parse_topology(text: &str, side: usize) -> Result<BitGrid, String> {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.len() != side {
+        return Err(format!(
+            "--freeze-from needs {side} rows of {side} cells (got {} rows)",
+            lines.len()
+        ));
+    }
+    let mut grid = BitGrid::new(side, side).expect("side > 0");
+    for (li, line) in lines.iter().enumerate() {
+        let cells: Vec<char> = line.trim().chars().collect();
+        if cells.len() != side {
+            return Err(format!(
+                "--freeze-from row {li} has {} cells, expected {side}",
+                cells.len()
+            ));
+        }
+        for (col, &c) in cells.iter().enumerate() {
+            let filled = match c {
+                '#' | '1' => true,
+                '.' | '0' => false,
+                other => return Err(format!("--freeze-from: unexpected cell `{other}`")),
+            };
+            // Text rows run top-down; BitGrid rows bottom-up.
+            grid.set(col, side - 1 - li, filled);
+        }
+    }
+    Ok(grid)
+}
+
+/// Builds the frozen region for `gen`: `--freeze-rect` selects the cells,
+/// the bits come from `--freeze-from` or a deterministically sampled base
+/// topology.
+fn freeze_region(
+    service: &PatternService,
+    base: &RequestSpec,
+    options: &Options,
+) -> Result<Option<FrozenRegion>, Box<dyn std::error::Error>> {
+    let Some(rect) = opt_str(options, "freeze-rect") else {
+        if options.contains_key("freeze-from") {
+            return Err("--freeze-from needs --freeze-rect X,Y,W,H".into());
+        }
+        return Ok(None);
+    };
+    let model = service.model();
+    let side = matrix_side(model);
+    let (x, y, w, h) = parse_rect(rect, side)?;
+    let donor = match opt_str(options, "freeze-from") {
+        Some(file) => parse_topology(&std::fs::read_to_string(file)?, side)?,
+        None => {
+            // No donor file: the model itself supplies the base topology,
+            // deterministically from the request seed.
+            let spec = RequestSpec {
+                count: 1,
+                ..base.clone()
+            }
+            .seed(base.seed ^ 0x5EED);
+            let (topologies, _) = service.sample_topologies(&spec)?;
+            topologies
+                .into_iter()
+                .next()
+                .ok_or("sampling the base topology fell short")?
+        }
+    };
+    let mut mask = BitGrid::new(side, side).expect("side > 0");
+    for row in y..y + h {
+        for col in x..x + w {
+            mask.set(col, row, true);
+        }
+    }
+    let mask_t = DeepSquishTensor::fold(&mask, model.channels())?;
+    let bits_t = DeepSquishTensor::fold(&donor, model.channels())?;
+    Ok(Some(FrozenRegion::new(
+        mask_t.bits().to_vec(),
+        bits_t.bits().to_vec(),
+    )?))
+}
+
+/// Every delivered pattern must carry the frozen bits exactly; a
+/// mismatch is a contract violation worth a non-zero exit.
+fn verify_frozen(
+    batch: &Generation,
+    region: &FrozenRegion,
+    channels: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
+    for g in &batch.items {
+        let tensor = DeepSquishTensor::fold(g.pattern.topology(), channels)?;
+        for (i, (&frozen, &want)) in region.mask().iter().zip(region.bits()).enumerate() {
+            if frozen && tensor.bits()[i] != want {
+                return Err(
+                    format!("pattern {} clobbered frozen entry {i}", g.provenance.index).into(),
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 fn build_pipeline(
@@ -218,15 +368,26 @@ fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         .micro_batch(micro_batch)
         .build()?;
     let base = pipeline.request_spec(count).seed(seed).precision(precision);
+    let frozen = freeze_region(&service, &base, options)?;
+    let avoid = options.contains_key("avoid-hotspots");
+    let channels = service.model().channels();
 
     // Submit every rule set up front: one engine, one pool, and the
     // requests fill each other's denoising micro-batches.
     let mut handles = Vec::with_capacity(rule_sets.len());
     for (preset, rules) in &rule_sets {
+        let mut cond = Conditioning::none();
+        if let Some(region) = &frozen {
+            cond = cond.with_frozen(region.clone());
+        }
+        if avoid {
+            cond = cond.with_avoid(hotspot_guidance(rules));
+        }
         let spec = RequestSpec {
             rules: *rules,
             ..base.clone()
-        };
+        }
+        .conditioning(cond);
         handles.push((preset.clone(), *rules, service.submit(&spec)?));
     }
 
@@ -238,6 +399,13 @@ fn generate(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             out.join(&preset)
         };
         let batch = handle.wait()?;
+        if let Some(region) = &frozen {
+            verify_frozen(&batch, region, channels)?;
+            eprintln!(
+                "[{preset}] frozen bits verified on {} patterns",
+                batch.items.len()
+            );
+        }
         write_library(&dir, &batch, &rules)?;
         let r = batch.report;
         eprintln!(
@@ -290,10 +458,148 @@ fn library_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     match action.as_str() {
         "build" => library_build(&options),
+        "repair" => library_repair(&options),
         "stat" => library_stat(&options),
         "merge" => library_merge(&options),
         _ => Err(format!("unknown library action `{action}`\n{USAGE}").into()),
     }
+}
+
+/// The conditioned repair flow: re-check one bucket of a durable store
+/// under a rules preset, and for every DRC-flagged entry regenerate the
+/// pattern by inpainting — the violating neighbourhood is thawed, the
+/// legal remainder frozen to the entry's own bits
+/// ([`repair_conditioning`]) — draining the conditioned requests through
+/// a [`LibrarySink`] into the same store under method `repair`.
+fn library_repair(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let model_file = model_path(options, "library repair")?;
+    let dir = opt_str(options, "dir").ok_or("`library repair` needs --dir DIR")?;
+    let preset = opt_str(options, "rules").unwrap_or("standard").to_string();
+    let rules = rules_preset(&preset)?;
+    let method = opt_str(options, "method")
+        .unwrap_or("diffpattern")
+        .to_string();
+    // The source bucket's ruleset name: re-checking a bucket built under
+    // one preset against another is the curation workload.
+    let bucket = opt_str(options, "bucket").unwrap_or("standard").to_string();
+    let seed = opt_usize(options, "seed", 47) as u64;
+    let threads = opt_usize(options, "threads", 0);
+    let micro_batch = opt_usize(options, "micro-batch", 8);
+
+    let model = Arc::new(TrainedModel::load(&std::fs::read(&model_file)?)?);
+    let channels = model.channels();
+    let side = matrix_side(&model);
+
+    // Scan pass (read-only): collect the flagged entries and build each
+    // one's inpainting constraint.
+    let lib = Library::open(dir)?;
+    let records = lib
+        .records(&method, &bucket)
+        .ok_or_else(|| format!("no bucket {method}/{bucket} in {dir}"))?
+        .to_vec();
+    let total = records.len();
+    let mut scratch = Vec::new();
+    let mut flagged = Vec::new();
+    let mut skipped = 0usize;
+    for r in &records {
+        let rec = lib.read(r, &mut scratch)?;
+        if check_pattern(&rec.pattern, &rules).is_clean() {
+            continue;
+        }
+        // Entries too complex for the model's matrix (or whose violating
+        // cells do not survive the extension) cannot be inpainted.
+        let cond = extend_to_side(&rec.pattern, side)
+            .ok()
+            .and_then(|(ext, _)| repair_conditioning(&ext, &rules, channels));
+        match cond {
+            Some(cond) => flagged.push(cond),
+            None => skipped += 1,
+        }
+    }
+    drop(lib);
+    eprintln!(
+        "bucket {method}/{bucket}: {total} entries, {} flagged under `{preset}` rules, \
+         {skipped} not repairable",
+        flagged.len() + skipped
+    );
+    if flagged.is_empty() {
+        return Ok(());
+    }
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pipeline = build_pipeline(options, &mut rng)?;
+    let service = PatternService::builder(Arc::clone(&model))
+        .threads(threads)
+        .micro_batch(micro_batch)
+        .build()?;
+    let base = pipeline.request_spec(1).seed(seed);
+
+    let mut writer = LibraryWriter::open(dir, LibraryConfig::default())?;
+    let cursor = writer.open_bucket("repair", &preset, 0)?;
+
+    // One conditioned single-slot request per flagged entry, submitted up
+    // front; each lane's constraint differs, so they run as independent
+    // plans on the shared pool.
+    let mut handles = Vec::with_capacity(flagged.len());
+    for (i, cond) in flagged.iter().enumerate() {
+        let spec = RequestSpec {
+            count: 1,
+            first_index: cursor as usize + i,
+            rules,
+            ..base.clone()
+        }
+        .conditioning(cond.clone());
+        handles.push(service.submit(&spec)?);
+    }
+    let mut report = diffpattern::SinkReport::default();
+    let mut sink = LibrarySink::new(&mut writer, "repair", &preset);
+    for handle in handles {
+        let r = sink.drain(handle)?;
+        report.accepted += r.accepted;
+        report.duplicates += r.duplicates;
+        report.skipped += r.skipped;
+        report.next_index = r.next_index;
+    }
+    let lib = writer.finish()?;
+
+    // Verify the stored repairs: DRC-clean under the target rules and
+    // frozen-bit exact against each entry's constraint.
+    let mut clean = 0u64;
+    let mut scratch = Vec::new();
+    for r in lib.records("repair", &preset).unwrap_or(&[]) {
+        let rec = lib.read(r, &mut scratch)?;
+        if rec.source_index < cursor {
+            continue;
+        }
+        let cond = &flagged[(rec.source_index - cursor) as usize];
+        let region = cond.frozen().expect("repair conditioning always freezes");
+        let tensor = DeepSquishTensor::fold(rec.pattern.topology(), channels)?;
+        for (i, (&frozen, &want)) in region.mask().iter().zip(region.bits()).enumerate() {
+            if frozen && tensor.bits()[i] != want {
+                return Err(format!(
+                    "repair of slot {} clobbered frozen entry {i}",
+                    rec.source_index
+                )
+                .into());
+            }
+        }
+        if check_pattern(&rec.pattern, &rules).is_clean() {
+            clean += 1;
+        }
+    }
+    // A duplicate repair was byte-identical to an already-stored clean
+    // pattern, so it counts as a success; only shortfall slots fail.
+    let succeeded = clean + report.duplicates;
+    let goal = flagged.len() as u64;
+    eprintln!(
+        "repaired {succeeded}/{goal} flagged entries to DRC-clean \
+         ({} stored, {} duplicates, {} shortfall)",
+        report.accepted, report.duplicates, report.skipped
+    );
+    if succeeded * 20 < goal * 19 {
+        return Err(format!("repair success rate {succeeded}/{goal} is below 95%").into());
+    }
+    Ok(())
 }
 
 /// Deterministic (timestamp-free) store summary, printed to stdout so CI

@@ -1,0 +1,162 @@
+//! Service-level conditioning recipes: turning design rules and DRC
+//! reports into the per-lane [`Conditioning`] a [`crate::RequestSpec`]
+//! carries.
+//!
+//! The diffusion crate owns the *mechanism* (frozen-region inpainting,
+//! motif-avoidance guidance); this module owns the two *policies* the
+//! serving stack uses:
+//!
+//! * [`hotspot_guidance`] — the avoidance term for "generate hotspot-free
+//!   topologies under these rules" requests (the `dpgen
+//!   --avoid-hotspots` flag),
+//! * [`repair_conditioning`] — the inpainting constraint for the library
+//!   repair workload: freeze every cell of a DRC-flagged pattern except
+//!   the violating neighbourhood, so a resample keeps the legal
+//!   structure and redraws only what the checker objected to.
+
+use dp_diffusion::{Conditioning, FrozenRegion, Motif, MotifGuidance};
+use dp_drc::{flagged_cells, DesignRules};
+use dp_geometry::BitGrid;
+use dp_squish::{DeepSquishTensor, SquishPattern};
+
+/// The motif-avoidance term for hotspot-free generation under `rules`:
+/// isolated single cells are the topology-level signature of
+/// minimum-width/minimum-area hotspots, so the terminal draw is biased
+/// toward its 4-neighbour consensus. The weight is doubled when an
+/// isolated cell cannot even satisfy the area rule at minimum width
+/// (`width_min² < area_min`) — under such rules the motif is a
+/// guaranteed violation, not merely a risk.
+pub fn hotspot_guidance(rules: &DesignRules) -> MotifGuidance {
+    let min_square = (rules.width_min() as i128).pow(2);
+    let weight = if min_square < rules.area_min() {
+        8.0
+    } else {
+        4.0
+    };
+    MotifGuidance::new(Motif::IsolatedCell, weight).expect("fixed weights are finite and positive")
+}
+
+/// Builds the inpainting constraint that repairs `pattern` under
+/// `rules`: every cell [`flagged_cells`] implicates in a violation —
+/// dilated by one cell in all eight directions, so the sampler can move
+/// material *into* the offending neighbourhood — is left free, and the
+/// rest of the topology is frozen to its current bits. The returned
+/// conditioning also carries [`hotspot_guidance`], steering the redrawn
+/// cells away from fresh hotspots.
+///
+/// Returns `None` when the pattern is already clean (nothing to thaw) or
+/// when its topology cannot fold into a `channels`-deep tensor (the
+/// caller must extend the pattern to the serving model's matrix side
+/// first, e.g. with [`dp_squish::extend_to_side`]).
+pub fn repair_conditioning(
+    pattern: &SquishPattern,
+    rules: &DesignRules,
+    channels: usize,
+) -> Option<Conditioning> {
+    let flagged = flagged_cells(pattern, rules);
+    if flagged.is_empty() {
+        return None;
+    }
+    let topo = pattern.topology();
+    let (w, h) = (topo.width(), topo.height());
+    let mut mask = BitGrid::new(w, h).expect("topology is non-empty");
+    for row in 0..h {
+        for col in 0..w {
+            let thaw = (row.saturating_sub(1)..=(row + 1).min(h - 1))
+                .any(|r| (col.saturating_sub(1)..=(col + 1).min(w - 1)).any(|c| flagged.get(c, r)));
+            mask.set(col, row, !thaw);
+        }
+    }
+    let mask_t = DeepSquishTensor::fold(&mask, channels).ok()?;
+    let bits_t = DeepSquishTensor::fold(topo, channels).ok()?;
+    let region = FrozenRegion::new(mask_t.bits().to_vec(), bits_t.bits().to_vec())
+        .expect("mask and bits fold from the same grid shape");
+    Some(
+        Conditioning::none()
+            .with_frozen(region)
+            .with_avoid(hotspot_guidance(rules)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_geometry::{Layout, Rect};
+
+    fn rules() -> DesignRules {
+        DesignRules::builder()
+            .space_min(40)
+            .width_min(40)
+            .area_range(4_000, 2_000_000)
+            .build()
+            .unwrap()
+    }
+
+    fn tile() -> Layout {
+        Layout::new(Rect::new(0, 0, 2048, 2048).unwrap())
+    }
+
+    #[test]
+    fn guidance_targets_isolated_cells_and_scales_with_rules() {
+        let g = hotspot_guidance(&rules());
+        assert_eq!(g.motif(), Motif::IsolatedCell);
+        assert!(g.weight() > 0.0);
+        // width_min² = 1600 < area_min 4000: the doubled weight kicks in.
+        let strict = hotspot_guidance(&rules());
+        // width_min² = 250 000 ≥ area_min 4000: the base weight.
+        let relaxed = hotspot_guidance(
+            &DesignRules::builder()
+                .space_min(40)
+                .width_min(500)
+                .area_range(4_000, 2_000_000)
+                .build()
+                .unwrap(),
+        );
+        assert!(strict.weight() > relaxed.weight());
+    }
+
+    #[test]
+    fn clean_pattern_needs_no_repair() {
+        let mut l = tile();
+        l.push(Rect::new(100, 100, 400, 1000).unwrap());
+        l.push(Rect::new(600, 100, 900, 1000).unwrap());
+        let p = SquishPattern::encode(&l);
+        let (p, _) = dp_squish::extend_to_side(&p, 16).unwrap();
+        assert!(repair_conditioning(&p, &rules(), 16).is_none());
+    }
+
+    #[test]
+    fn dirty_pattern_freezes_the_legal_remainder() {
+        let mut l = tile();
+        l.push(Rect::new(100, 100, 400, 1000).unwrap());
+        l.push(Rect::new(420, 100, 700, 1000).unwrap()); // 20 nm gap
+        let p = SquishPattern::encode(&l);
+        let (p, _) = dp_squish::extend_to_side(&p, 16).unwrap();
+        let cond = repair_conditioning(&p, &rules(), 16).expect("pattern is dirty");
+        assert!(cond.avoid().is_some());
+        let region = cond.frozen().expect("repair freezes the legal cells");
+        assert_eq!(region.len(), 16 * 16);
+        // Something is frozen (the legal bars survive) and something is
+        // thawed (the violating gap can be redrawn).
+        let frozen = region.mask().iter().filter(|&&m| m).count();
+        assert!(frozen > 0 && frozen < region.len());
+        // Frozen targets are the pattern's own bits: a conditioned
+        // resample reproduces the legal structure exactly.
+        let bits = DeepSquishTensor::fold(p.topology(), 16).unwrap();
+        for (i, (&m, &b)) in region.mask().iter().zip(region.bits()).enumerate() {
+            if m {
+                assert_eq!(b, bits.bits()[i], "frozen target {i} diverges");
+            }
+        }
+    }
+
+    #[test]
+    fn unfoldable_topology_yields_none() {
+        let mut l = tile();
+        l.push(Rect::new(100, 100, 400, 1000).unwrap());
+        l.push(Rect::new(420, 100, 700, 1000).unwrap());
+        // Non-square topology: fold fails, so no conditioning.
+        let p = SquishPattern::encode(&l);
+        assert!(repair_conditioning(&p, &rules(), 16).is_none());
+    }
+}

@@ -20,10 +20,10 @@
 //! exercises the service core.
 
 use crate::{GenerateError, Generated, PipelineReport, Provenance};
-use dp_diffusion::{BatchScratch, Precision, Sampler, TrainedModel};
+use dp_diffusion::{BatchScratch, Conditioning, Precision, Sampler, TrainedModel};
 use dp_geometry::{bowtie, BitGrid};
 use dp_legalize::{Init, Solver};
-use dp_squish::SquishPattern;
+use dp_squish::{DeepSquishTensor, SquishPattern};
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
@@ -64,9 +64,10 @@ pub(crate) struct RequestJob {
     /// RNG stream from `item_seed(seed, first_index + i)`, so a request
     /// is an exact sub-range of the `(seed, index)` item space.
     pub(crate) first_index: usize,
-    /// Reverse-sampling stride; with `precision` it forms the *plan key*:
-    /// lanes may share a lock-step micro-batch only when they traverse the
-    /// same denoising step sequence through the same model.
+    /// Reverse-sampling stride; with `precision` and the conditioning
+    /// hash it forms the [`LanePlan`] key: lanes may share a lock-step
+    /// micro-batch only when they traverse the same denoising step
+    /// sequence through the same model under the same constraints.
     pub(crate) stride: usize,
     /// Which prepacked model variant evaluates this request's lanes
     /// ([`Precision::Exact`] keeps the bit-exact contract; `Bf16` runs the
@@ -75,6 +76,15 @@ pub(crate) struct RequestJob {
     pub(crate) precision: Precision,
     /// The retained denoising steps for `stride > 1` (precomputed once).
     pub(crate) retained: Arc<[usize]>,
+    /// Per-lane sampling constraints (frozen region, motif guidance) —
+    /// every lane of the request samples under the same conditioning.
+    /// [`Conditioning::none`] is the unconditioned path and draws the
+    /// exact random sequence the pre-conditioning sampler drew.
+    pub(crate) conditioning: Arc<Conditioning>,
+    /// [`Conditioning::plan_hash`] of `conditioning`, precomputed at
+    /// submit: the third component of the micro-batch plan key (lanes
+    /// only share a lock-step batch when their conditioning matches).
+    pub(crate) cond_hash: u64,
     pub(crate) max_attempts: usize,
     pub(crate) repair_bowties: bool,
     pub(crate) solver: Solver,
@@ -83,6 +93,29 @@ pub(crate) struct RequestJob {
     /// converted to shortfall: unclaimed lanes at claim time, in-flight
     /// lanes between denoising rounds. `None` never expires.
     pub(crate) deadline: Option<Instant>,
+}
+
+/// The micro-batch *plan key*: the sampling parameters every lane of a
+/// lock-step chunk must agree on. Stride and precision decide which
+/// denoising steps run through which model variant; the conditioning
+/// hash keeps differently-constrained lanes out of each other's batches
+/// (the batched sampler applies one [`Conditioning`] to the whole
+/// chunk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LanePlan {
+    stride: usize,
+    precision: Precision,
+    cond_hash: u64,
+}
+
+impl LanePlan {
+    fn of(job: &RequestJob) -> Self {
+        LanePlan {
+            stride: job.stride,
+            precision: job.precision,
+            cond_hash: job.cond_hash,
+        }
+    }
 }
 
 struct Request {
@@ -320,9 +353,9 @@ impl Engine {
 
     /// Claims the next micro-batch of lanes, drawing from as many pending
     /// requests as needed to fill it (the cross-request batching at the
-    /// heart of the service). All claimed lanes share one sampling plan
-    /// (stride and precision); requests on a different plan wait for
-    /// their own batch.
+    /// heart of the service). All claimed lanes share one [`LanePlan`]
+    /// (stride, precision and conditioning); requests on a different plan
+    /// wait for their own batch.
     ///
     /// Returns `None` when the engine is shut down, or — in one-shot mode
     /// — when no claimable work remains.
@@ -342,13 +375,17 @@ impl Engine {
             let nearest_deadline = Self::expire_due(&mut sched);
 
             let mut lanes: Vec<Lane> = Vec::new();
-            let mut plan = (0usize, Precision::Exact);
+            let mut plan = LanePlan {
+                stride: 0,
+                precision: Precision::Exact,
+                cond_hash: 0,
+            };
             let mut i = 0;
             while i < sched.queue.len() && lanes.len() < self.micro_batch {
                 let pending = &mut sched.queue[i];
                 if lanes.is_empty() {
-                    plan = (pending.req.job.stride, pending.req.job.precision);
-                } else if (pending.req.job.stride, pending.req.job.precision) != plan {
+                    plan = LanePlan::of(&pending.req.job);
+                } else if LanePlan::of(&pending.req.job) != plan {
                     i += 1;
                     continue;
                 }
@@ -442,28 +479,36 @@ impl Engine {
                     lane.active = false;
                 }
             }
-            let Some(plan) = lanes
-                .iter()
-                .find(|l| l.active)
-                .map(|l| (l.req.job.stride, Arc::clone(&l.req.job.retained)))
-            else {
+            // All active lanes share one plan (claim's invariant), so the
+            // first active lane's retained steps and conditioning describe
+            // the whole round. `retained` is the full `1..=K` chain for
+            // stride 1 and the respaced subset otherwise — the conditioned
+            // batch core runs both bit-identically to the dedicated entry
+            // points it replaced.
+            let Some(plan) = lanes.iter().find(|l| l.active).map(|l| {
+                (
+                    Arc::clone(&l.req.job.retained),
+                    Arc::clone(&l.req.job.conditioning),
+                )
+            }) else {
                 return;
             };
-            let (stride, retained) = plan;
+            let (retained, conditioning) = plan;
 
             let mut rngs: Vec<&mut rand::rngs::StdRng> = lanes
                 .iter_mut()
                 .filter(|l| l.active)
                 .map(|l| &mut l.rng)
                 .collect();
-            let tensors = if stride <= 1 {
-                self.sampler
-                    .sample_batch_with(model, channels, side, &mut rngs, scratch)
-            } else {
-                self.sampler.sample_respaced_batch_with(
-                    model, channels, side, &retained, &mut rngs, scratch,
-                )
-            };
+            let tensors = self.sampler.sample_conditioned_batch_with(
+                model,
+                channels,
+                side,
+                &retained,
+                &conditioning,
+                &mut rngs,
+                scratch,
+            );
             drop(rngs);
 
             let mut tensors = tensors.into_iter();
@@ -475,9 +520,18 @@ impl Engine {
                 let filtered = if bowtie::is_bowtie_free(&grid) {
                     Some((grid, false))
                 } else if lane.req.job.repair_bowties {
+                    // Bow-tie repair edits cells without regard for the
+                    // request's frozen region; a repair that clobbers a
+                    // frozen bit is rejected like any other bad sample
+                    // (the inpainting contract outranks repair).
                     bowtie::repair_bowties(&mut grid);
-                    lane.report.prefilter_repaired += 1;
-                    Some((grid, true))
+                    if frozen_preserved(&lane.req.job.conditioning, &grid, channels) {
+                        lane.report.prefilter_repaired += 1;
+                        Some((grid, true))
+                    } else {
+                        lane.report.prefilter_rejected += 1;
+                        None
+                    }
                 } else {
                     lane.report.prefilter_rejected += 1;
                     None
@@ -503,6 +557,24 @@ impl Engine {
             }
         }
     }
+}
+
+/// Whether `grid` still carries every frozen bit of the request's
+/// conditioning — checked after bow-tie repair, the one stage that may
+/// edit cells after the sampler's exact clamp. Unconditioned requests
+/// (and unfrozen ones) pass trivially without folding.
+fn frozen_preserved(conditioning: &Conditioning, grid: &BitGrid, channels: usize) -> bool {
+    let Some(region) = conditioning.frozen() else {
+        return true;
+    };
+    let Ok(tensor) = DeepSquishTensor::fold(grid, channels) else {
+        return false;
+    };
+    region
+        .mask()
+        .iter()
+        .zip(region.bits().iter().zip(tensor.bits()))
+        .all(|(&frozen, (&want, &got))| !frozen || want == got)
 }
 
 /// The per-lane finish stage after a sample survived the pre-filter.

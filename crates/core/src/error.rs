@@ -112,6 +112,14 @@ pub enum ConfigError {
         /// The spec's `count`.
         count: usize,
     },
+    /// A frozen-region conditioning does not span the model's topology
+    /// tensor: inpainting masks must cover every channel-major entry.
+    ConditioningShape {
+        /// Entries in the model's topology tensor (`C · M · M`).
+        expected: usize,
+        /// Entries the spec's frozen mask actually covers.
+        mask: usize,
+    },
     /// The solver window is smaller than the topology's scan-line count.
     WindowTooSmall {
         /// Unfolded topology matrix side (scan lines per axis).
@@ -143,6 +151,11 @@ impl fmt::Display for ConfigError {
             ConfigError::IndexOverflow { first_index, count } => write!(
                 f,
                 "first_index {first_index} + count {count} overflows the item index space"
+            ),
+            ConfigError::ConditioningShape { expected, mask } => write!(
+                f,
+                "frozen-region mask covers {mask} entries but the model's \
+                 topology tensor has {expected}"
             ),
             ConfigError::SideNotDivisible { matrix_side, patch } => write!(
                 f,

@@ -29,6 +29,11 @@
 //!   streaming each request's items through a `'static` [`RequestHandle`]
 //!   that cancels on drop — with output bit-identical regardless of
 //!   concurrent load, worker count, or admission order;
+//! * [`Conditioning`] makes any request conditional: frozen-region
+//!   inpainting ([`FrozenRegion`]) and hotspot-avoidance guidance
+//!   ([`MotifGuidance`]) ride on [`RequestSpec`] per lane — recipes in
+//!   [`hotspot_guidance`] and [`repair_conditioning`] — without changing
+//!   the determinism contract;
 //! * [`GenerationSession`] is the borrowing, single-request flavour of the
 //!   same engine: builder-configured, fallible
 //!   ([`ConfigError`]/[`GenerateError`]), thread-parallel and
@@ -108,6 +113,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod conditioning;
 mod engine;
 mod error;
 pub mod library_sink;
@@ -120,6 +126,7 @@ mod source;
 pub mod table1;
 pub mod table2;
 
+pub use conditioning::{hotspot_guidance, repair_conditioning};
 pub use error::{ConfigError, GenerateError, PipelineError};
 pub use library_sink::{LibrarySink, SinkError, SinkReport};
 pub use metrics::{evaluate_patterns, MethodRow};
@@ -133,7 +140,7 @@ pub use source::{
     SourceBatch,
 };
 
-pub use dp_diffusion::{Precision, TrainedModel};
+pub use dp_diffusion::{Conditioning, FrozenRegion, Motif, MotifGuidance, Precision, TrainedModel};
 
 pub use dp_baselines as baselines;
 pub use dp_datagen as datagen;

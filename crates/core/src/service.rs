@@ -61,7 +61,7 @@
 
 use crate::engine::{self, Engine, LaneMsg, Mode, Payload, RequestJob};
 use crate::{ConfigError, GenerateError, Generated, Generation, PipelineError, PipelineReport};
-use dp_diffusion::{Precision, TrainedModel};
+use dp_diffusion::{Conditioning, Precision, TrainedModel};
 use dp_drc::DesignRules;
 use dp_geometry::BitGrid;
 use dp_legalize::{Solver, SolverConfig};
@@ -128,6 +128,16 @@ pub struct RequestSpec {
     /// Donor patterns for Solving-E initialisation; empty falls back to
     /// Solving-R. Shared (`Arc`) so specs clone cheaply.
     pub donors: Arc<[SquishPattern]>,
+    /// Per-lane sampling constraints: a frozen region (inpainting — the
+    /// masked entries of every sampled topology tensor are clamped to the
+    /// given bits) and/or motif-avoidance guidance. The default
+    /// [`Conditioning::none`] is the unconditioned path, bit-identical to
+    /// pre-conditioning releases. Lanes only share a micro-batch with
+    /// lanes under the same conditioning, and a frozen region's shape is
+    /// validated against the model's tensor at submit
+    /// ([`ConfigError::ConditioningShape`]). Shared (`Arc`) so specs
+    /// clone cheaply.
+    pub conditioning: Arc<Conditioning>,
     /// Wall-clock budget measured from [`PatternService::submit`]. Lanes
     /// not delivered in time are converted to shortfall — unclaimed lanes
     /// at the next scheduling pass, in-flight lanes between denoising
@@ -158,6 +168,7 @@ impl RequestSpec {
             max_attempts: 4,
             repair_bowties: true,
             donors: Arc::from([]),
+            conditioning: Arc::new(Conditioning::none()),
             deadline: None,
         }
     }
@@ -188,6 +199,13 @@ impl RequestSpec {
     /// sub-range determinism contract).
     pub fn first_index(mut self, first_index: usize) -> Self {
         self.first_index = first_index;
+        self
+    }
+
+    /// Returns the spec sampling under the given conditioning (see the
+    /// [`RequestSpec::conditioning`] field for the constraint semantics).
+    pub fn conditioning(mut self, conditioning: Conditioning) -> Self {
+        self.conditioning = Arc::new(conditioning);
         self
     }
 }
@@ -394,9 +412,11 @@ impl PatternService {
     ///
     /// # Errors
     ///
-    /// [`ConfigError::ZeroStride`], [`ConfigError::ZeroAttempts`], or
+    /// [`ConfigError::ZeroStride`], [`ConfigError::ZeroAttempts`],
     /// [`ConfigError::WindowTooSmall`] when the spec's solver window
-    /// cannot hold the model's topology matrix.
+    /// cannot hold the model's topology matrix, or
+    /// [`ConfigError::ConditioningShape`] when the spec's frozen region
+    /// does not span the model's topology tensor.
     pub fn submit(&self, spec: &RequestSpec) -> Result<RequestHandle, ConfigError> {
         self.submit_mode(spec, Mode::Generate)
     }
@@ -451,6 +471,14 @@ impl PatternService {
                 count: spec.count,
             });
         }
+        let model = &self.core.model;
+        let entries = model.channels() * model.side() * model.side();
+        if !spec.conditioning.matches_entries(entries) {
+            return Err(ConfigError::ConditioningShape {
+                expected: entries,
+                mask: spec.conditioning.frozen().map_or(0, |f| f.len()),
+            });
+        }
         let deadline = spec
             .deadline
             .or(self.core.default_deadline)
@@ -467,6 +495,8 @@ impl PatternService {
             repair_bowties: spec.repair_bowties,
             solver: Solver::new(spec.rules, spec.solver),
             donors: Arc::clone(&spec.donors),
+            conditioning: Arc::clone(&spec.conditioning),
+            cond_hash: spec.conditioning.plan_hash(),
             deadline,
         };
         let cancel = Arc::new(AtomicBool::new(false));

@@ -36,7 +36,7 @@
 
 use crate::engine::{self, Engine, LaneMsg, Mode, Payload, RequestJob};
 use crate::{ConfigError, GenerateError, PipelineReport};
-use dp_diffusion::{Precision, Sampler, TrainedModel};
+use dp_diffusion::{Conditioning, Precision, Sampler, TrainedModel};
 use dp_drc::DesignRules;
 use dp_geometry::BitGrid;
 use dp_legalize::{SolveStats, Solver, SolverConfig};
@@ -382,6 +382,10 @@ impl<'m> GenerationSession<'m> {
             repair_bowties: self.repair_bowties,
             solver: self.solver.clone(),
             donors: Arc::clone(&self.donors),
+            // Sessions always run unconditioned (`plan_hash() == 0`);
+            // per-request conditioning is a service-level feature.
+            conditioning: Arc::new(Conditioning::none()),
+            cond_hash: 0,
             deadline: None,
         };
         let rx = engine

@@ -1,0 +1,136 @@
+//! The conditioning-contract harness: conditioned requests (frozen
+//! region + motif guidance) must be deterministic per `(seed, index)`,
+//! deliver only DRC-clean patterns that carry every frozen bit exactly,
+//! and stay isolated from the exact unconditioned path — an
+//! unconditioned request's output is bit-identical whether or not
+//! conditioned requests flood the same engine (the conditioning hash is
+//! part of the micro-batch plan key, so differently-constrained lanes
+//! never share a lock-step batch).
+
+use diffpattern::drc::check_pattern;
+use diffpattern::squish::DeepSquishTensor;
+use diffpattern::{
+    hotspot_guidance, Conditioning, ConfigError, FrozenRegion, PatternService, Pipeline,
+    PipelineConfig, RequestSpec,
+};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const COUNT: usize = 6;
+const SEED: u64 = 17;
+
+fn trained_service() -> (PatternService, RequestSpec) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+    let mut pipeline = Pipeline::from_synthetic_map(PipelineConfig::tiny(), &mut rng).unwrap();
+    let _ = pipeline.train(6, &mut rng).unwrap();
+    let spec = pipeline.request_spec(COUNT).seed(SEED);
+    let model = Arc::new(pipeline.into_trained_model().unwrap());
+    let service = PatternService::builder(model)
+        .threads(2)
+        .micro_batch(4)
+        .build()
+        .unwrap();
+    (service, spec)
+}
+
+/// A realistic inpainting constraint: freeze the first quarter of the
+/// model's tensor to the bits of a topology the model itself sampled
+/// (the "extend this pattern" workload), plus rule-derived guidance.
+fn quarter_freeze(service: &PatternService, spec: &RequestSpec) -> (Conditioning, Vec<bool>) {
+    let model = service.model();
+    let entries = model.channels() * model.side() * model.side();
+    let donor_spec = RequestSpec {
+        count: 1,
+        ..spec.clone()
+    }
+    .seed(SEED ^ 0xABCD);
+    let (topologies, _) = service.sample_topologies(&donor_spec).unwrap();
+    let base = DeepSquishTensor::fold(&topologies[0], model.channels()).unwrap();
+    let mask: Vec<bool> = (0..entries).map(|i| i < entries / 4).collect();
+    let bits = base.bits().to_vec();
+    let cond = Conditioning::none()
+        .with_frozen(FrozenRegion::new(mask.clone(), bits.clone()).unwrap())
+        .with_avoid(hotspot_guidance(&spec.rules));
+    (cond, mask)
+}
+
+#[test]
+fn conditioned_requests_are_deterministic_legal_and_frozen_bit_exact() {
+    let (service, spec) = trained_service();
+    let (cond, mask) = quarter_freeze(&service, &spec);
+    let frozen_bits = cond.frozen().unwrap().bits().to_vec();
+    let cond_spec = spec.clone().conditioning(cond);
+
+    let a = service.generate(&cond_spec).unwrap();
+    let b = service.generate(&cond_spec).unwrap();
+    assert_eq!(
+        a.items, b.items,
+        "conditioned sampling must be deterministic per (seed, index)"
+    );
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.items.len() + a.report.shortfall, COUNT);
+
+    let channels = service.model().channels();
+    for g in &a.items {
+        // Legality is structural: the solver only emits clean patterns,
+        // conditioned or not.
+        let drc = check_pattern(&g.pattern, &cond_spec.rules);
+        assert!(drc.is_clean(), "{:?}", drc.violations());
+        // Every frozen entry of every delivered topology carries its
+        // target bit — inpainting is exact, not approximate, and the
+        // bow-tie repair stage is not allowed to undo it.
+        let tensor = DeepSquishTensor::fold(g.pattern.topology(), channels).unwrap();
+        for (i, (&frozen, &want)) in mask.iter().zip(&frozen_bits).enumerate() {
+            if frozen {
+                assert_eq!(tensor.bits()[i], want, "frozen entry {i} diverged");
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_output_is_isolated_from_concurrent_conditioned_load() {
+    let (service, spec) = trained_service();
+    let (cond, _) = quarter_freeze(&service, &spec);
+    let cond_spec = RequestSpec {
+        count: 12,
+        ..spec.clone()
+    }
+    .seed(SEED ^ 0x5A5A)
+    .conditioning(cond);
+
+    // Unconditioned baseline, alone on the engine.
+    let solo = service.generate(&spec).unwrap();
+
+    // The same unconditioned request while a bigger conditioned request
+    // floods the pool: the conditioning hash keys the micro-batch plan,
+    // so the exact lanes never share a lock-step batch with conditioned
+    // ones and the output cannot move by a single bit.
+    let busy = service.submit(&cond_spec).unwrap();
+    let under_load = service.generate(&spec).unwrap();
+    let _ = busy.wait().unwrap();
+    assert_eq!(
+        solo.items, under_load.items,
+        "unconditioned output must not depend on concurrent conditioned load"
+    );
+    assert_eq!(solo.report, under_load.report);
+}
+
+#[test]
+fn submit_rejects_a_frozen_region_of_the_wrong_shape() {
+    let (service, spec) = trained_service();
+    let model = service.model();
+    let entries = model.channels() * model.side() * model.side();
+    let wrong = entries / 2 + 1;
+    let bad = spec.clone().conditioning(
+        Conditioning::none()
+            .with_frozen(FrozenRegion::new(vec![true; wrong], vec![false; wrong]).unwrap()),
+    );
+    match service.submit(&bad) {
+        Err(ConfigError::ConditioningShape { expected, mask }) => {
+            assert_eq!(expected, entries);
+            assert_eq!(mask, wrong);
+        }
+        other => panic!("expected ConditioningShape, got {other:?}"),
+    }
+}

@@ -40,6 +40,18 @@ pub enum DiffusionError {
     /// The weight payload inside a model blob did not match the declared
     /// architecture.
     Weights(dp_nn::WeightsError),
+    /// A frozen-region mask and its bit payload have different lengths.
+    ConditioningMismatch {
+        /// Mask length.
+        mask: usize,
+        /// Bits length.
+        bits: usize,
+    },
+    /// A motif-guidance weight outside `(0, ∞)`.
+    BadGuidanceWeight {
+        /// Offending weight.
+        weight: f64,
+    },
 }
 
 impl fmt::Display for DiffusionError {
@@ -68,6 +80,13 @@ impl fmt::Display for DiffusionError {
                 write!(f, "malformed model blob: {reason}")
             }
             DiffusionError::Weights(e) => write!(f, "model weights: {e}"),
+            DiffusionError::ConditioningMismatch { mask, bits } => write!(
+                f,
+                "frozen-region mask length {mask} does not match bits length {bits}"
+            ),
+            DiffusionError::BadGuidanceWeight { weight } => {
+                write!(f, "guidance weight {weight} must be finite and positive")
+            }
         }
     }
 }

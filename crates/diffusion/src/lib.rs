@@ -24,6 +24,17 @@
 //! independently of neural-network training (see `OracleDenoiser`), while
 //! production use plugs in the [`NeuralDenoiser`] U-Net wrapper.
 //!
+//! Every sampling entry point funnels into one *conditioned* core
+//! parameterised by a per-lane [`Conditioning`]: a [`FrozenRegion`]
+//! holds known bits through the whole reverse chain (diffusion
+//! inpainting — the frozen set rides `q(x_k | x_0)` between steps so
+//! lane statistics stay on-manifold, and is clamped exactly at the
+//! end), and a [`MotifGuidance`] reweights the terminal draw against a
+//! hotspot motif. [`Conditioning::none`] is the unconditioned case and
+//! costs nothing; each lane consumes exactly its own RNG stream either
+//! way, so conditioned and unconditioned lanes compose freely in one
+//! batch call without perturbing each other.
+//!
 //! # Example: forward process converges to the uniform distribution
 //!
 //! ```
@@ -37,6 +48,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod conditioning;
 mod denoiser;
 mod error;
 pub mod loss;
@@ -45,6 +57,7 @@ mod sampler;
 mod schedule;
 mod trainer;
 
+pub use conditioning::{Conditioning, FrozenRegion, Motif, MotifGuidance};
 pub use denoiser::{Denoiser, InferenceDenoiser, NeuralDenoiser, OracleDenoiser, UniformDenoiser};
 pub use error::DiffusionError;
 pub use model::TrainedModel;

@@ -1,5 +1,5 @@
-use crate::schedule::{posterior_jump_same_prob, posterior_same_prob, NoiseSchedule};
-use crate::{Denoiser, InferenceDenoiser};
+use crate::schedule::{posterior_jump_same_prob, NoiseSchedule};
+use crate::{Conditioning, Denoiser, InferenceDenoiser, MotifGuidance};
 use dp_nn::Workspace;
 use dp_squish::DeepSquishTensor;
 use rand::Rng;
@@ -76,6 +76,11 @@ impl Predictor for MutPredictor<'_> {
     }
 }
 
+/// Trace observer handed to the conditioned core: called with the step
+/// index and the state at the top step, after each intermediate jump,
+/// and at 0 (the Fig. 6 hook).
+type SnapshotObserver<'a> = &'a mut dyn FnMut(usize, &DeepSquishTensor);
+
 struct InferPredictor<'a>(&'a dyn InferenceDenoiser);
 
 impl Predictor for InferPredictor<'_> {
@@ -137,12 +142,16 @@ impl Sampler {
         rng: &mut impl Rng,
     ) -> Vec<DeepSquishTensor> {
         let mut scratch = SampleScratch::new();
+        let retained = self.full_steps();
         (0..count)
             .map(|_| {
-                self.chain_core(
+                self.conditioned_core(
                     &mut MutPredictor(denoiser),
                     channels,
                     side,
+                    &retained,
+                    &Conditioning::none(),
+                    None,
                     rng,
                     &mut scratch,
                 )
@@ -158,10 +167,13 @@ impl Sampler {
         side: usize,
         rng: &mut impl Rng,
     ) -> DeepSquishTensor {
-        self.chain_core(
+        self.conditioned_core(
             &mut MutPredictor(denoiser),
             channels,
             side,
+            &self.full_steps(),
+            &Conditioning::none(),
+            None,
             rng,
             &mut SampleScratch::new(),
         )
@@ -191,7 +203,16 @@ impl Sampler {
         rng: &mut impl Rng,
         scratch: &mut SampleScratch,
     ) -> DeepSquishTensor {
-        self.chain_core(&mut InferPredictor(denoiser), channels, side, rng, scratch)
+        self.conditioned_core(
+            &mut InferPredictor(denoiser),
+            channels,
+            side,
+            &self.full_steps(),
+            &Conditioning::none(),
+            None,
+            rng,
+            scratch,
+        )
     }
 
     /// Respaced (DDIM-style, paper ref. \[12\]) sampling: traverses only
@@ -211,11 +232,13 @@ impl Sampler {
         retained: &[usize],
         rng: &mut impl Rng,
     ) -> DeepSquishTensor {
-        self.respaced_core(
+        self.conditioned_core(
             &mut MutPredictor(denoiser),
             channels,
             side,
             retained,
+            &Conditioning::none(),
+            None,
             rng,
             &mut SampleScratch::new(),
         )
@@ -259,11 +282,56 @@ impl Sampler {
         rng: &mut impl Rng,
         scratch: &mut SampleScratch,
     ) -> DeepSquishTensor {
-        self.respaced_core(
+        self.conditioned_core(
             &mut InferPredictor(denoiser),
             channels,
             side,
             retained,
+            &Conditioning::none(),
+            None,
+            rng,
+            scratch,
+        )
+    }
+
+    /// Conditioned single-lane sampling over an explicit retained-step
+    /// subset (the full sequence [`Sampler::strided_steps`]`(1)` gives the
+    /// plain ancestral chain). The conditioning bends this lane's chain —
+    /// frozen entries are q-sampled to the step's noise level after every
+    /// reverse step and clamped exactly at the end; motif guidance
+    /// reweights the terminal categorical draw's logits (see
+    /// [`Conditioning`]).
+    ///
+    /// Determinism: the lane consumes only `rng`, in a fixed order, so the
+    /// output is a pure function of `(denoiser, rng stream, conditioning)`.
+    /// Under [`Conditioning::none`] no extra draw and no probability
+    /// perturbation happens — the result is bit-identical to
+    /// [`Sampler::sample_respaced_with`].
+    ///
+    /// # Panics
+    ///
+    /// Same retained-step conditions as [`Sampler::sample_respaced`]; also
+    /// panics when the conditioning's frozen mask does not span exactly
+    /// `channels * side * side` entries (validate shapes upstream with
+    /// [`Conditioning::matches_entries`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_conditioned_with(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        conditioning: &Conditioning,
+        rng: &mut impl Rng,
+        scratch: &mut SampleScratch,
+    ) -> DeepSquishTensor {
+        self.conditioned_core(
+            &mut InferPredictor(denoiser),
+            channels,
+            side,
+            retained,
+            conditioning,
+            None,
             rng,
             scratch,
         )
@@ -290,35 +358,15 @@ impl Sampler {
         rngs: &mut [R],
         scratch: &mut BatchScratch,
     ) -> Vec<DeepSquishTensor> {
-        let k_max = self.schedule.steps();
-        let mut states: Vec<DeepSquishTensor> = rngs
-            .iter_mut()
-            .map(|rng| uniform_state(channels, side, rng))
-            .collect();
-        if states.is_empty() {
-            return states;
-        }
-        let BatchScratch { ws, p1 } = scratch;
-        let entries = channels * side * side;
-
-        for k in (2..=k_max).rev() {
-            denoiser.infer_p1_batch_into(&states, k, ws, p1);
-            debug_assert_eq!(p1.len(), states.len() * entries);
-            let eq = posterior_same_prob(&self.schedule, k, true);
-            let ne = posterior_same_prob(&self.schedule, k, false);
-            for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
-                let lane = &p1[li * entries..(li + 1) * entries];
-                reverse_update_in_place(eq, ne, state.bits_mut(), lane, rng);
-            }
-        }
-
-        // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly, per lane.
-        denoiser.infer_p1_batch_into(&states, 1, ws, p1);
-        for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
-            let lane = &p1[li * entries..(li + 1) * entries];
-            categorical_draw_in_place(state.bits_mut(), lane, rng);
-        }
-        states
+        self.sample_conditioned_batch_with(
+            denoiser,
+            channels,
+            side,
+            &self.full_steps(),
+            &Conditioning::none(),
+            rngs,
+            scratch,
+        )
     }
 
     /// Micro-batched respaced sampling: the [`Sampler::sample_respaced_with`]
@@ -339,32 +387,77 @@ impl Sampler {
         rngs: &mut [R],
         scratch: &mut BatchScratch,
     ) -> Vec<DeepSquishTensor> {
-        let k_max = self.schedule.steps();
-        assert!(!retained.is_empty(), "empty step subset");
+        self.sample_conditioned_batch_with(
+            denoiser,
+            channels,
+            side,
+            retained,
+            &Conditioning::none(),
+            rngs,
+            scratch,
+        )
+    }
+
+    /// THE batched core: [`Sampler::sample_conditioned_with`] advanced
+    /// across `rngs.len()` lock-step lanes sharing one `conditioning`.
+    /// Every unconditioned entry point in this crate funnels here (with
+    /// the full step sequence and [`Conditioning::none`]), so there is
+    /// exactly one implementation of the reverse-chain mathematics.
+    ///
+    /// Per-lane bit-identity holds as for [`Sampler::sample_batch_with`]:
+    /// lane `i` equals [`Sampler::sample_conditioned_with`] driven by
+    /// `rngs[i]` alone, because frozen-bit re-noising draws from the
+    /// lane's own RNG right after that lane's reverse update.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Sampler::sample_conditioned_with`] (checked
+    /// even for an empty batch, so a misconfigured schedule or mask never
+    /// goes unnoticed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample_conditioned_batch_with<R: Rng>(
+        &self,
+        denoiser: &dyn InferenceDenoiser,
+        channels: usize,
+        side: usize,
+        retained: &[usize],
+        conditioning: &Conditioning,
+        rngs: &mut [R],
+        scratch: &mut BatchScratch,
+    ) -> Vec<DeepSquishTensor> {
+        let entries = channels * side * side;
+        self.validate_retained(retained);
         assert!(
-            retained.windows(2).all(|w| w[0] < w[1]),
-            "retained steps must be strictly increasing"
+            conditioning.matches_entries(entries),
+            "conditioning mask does not span {entries} entries"
         );
-        assert!(retained[0] >= 1, "steps are 1-based");
-        assert!(
-            *retained.last().expect("non-empty") <= k_max,
-            "step beyond K"
-        );
+        let k_top = *retained.last().expect("non-empty");
 
         let mut states: Vec<DeepSquishTensor> = rngs
             .iter_mut()
-            .map(|rng| uniform_state(channels, side, rng))
+            .map(|rng| {
+                let mut state = uniform_state(channels, side, rng);
+                if let Some(region) = conditioning.frozen() {
+                    // Lanes start at q(x_{k_top} | x0) on the frozen set.
+                    region.write_noised(
+                        self.schedule.cumulative_flip(k_top),
+                        state.bits_mut(),
+                        rng,
+                    );
+                }
+                state
+            })
             .collect();
         if states.is_empty() {
             return states;
         }
         let BatchScratch { ws, p1 } = scratch;
-        let entries = channels * side * side;
 
         for idx in (0..retained.len()).rev() {
             let k = retained[idx];
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
             denoiser.infer_p1_batch_into(&states, k, ws, p1);
+            debug_assert_eq!(p1.len(), states.len() * entries);
             let coeffs = (j > 0).then(|| {
                 (
                     posterior_jump_same_prob(&self.schedule, j, k, true),
@@ -372,40 +465,66 @@ impl Sampler {
                 )
             });
             for (li, (state, rng)) in states.iter_mut().zip(rngs.iter_mut()).enumerate() {
-                let lane = &p1[li * entries..(li + 1) * entries];
+                let lane = &mut p1[li * entries..(li + 1) * entries];
                 match coeffs {
-                    Some((eq, ne)) => reverse_update_in_place(eq, ne, state.bits_mut(), lane, rng),
-                    None => categorical_draw_in_place(state.bits_mut(), lane, rng),
+                    Some((eq, ne)) => {
+                        reverse_update_in_place(eq, ne, state.bits_mut(), lane, rng);
+                        if let Some(region) = conditioning.frozen() {
+                            region.write_noised(
+                                self.schedule.cumulative_flip(j),
+                                state.bits_mut(),
+                                rng,
+                            );
+                        }
+                    }
+                    None => {
+                        if let Some(guidance) = conditioning.avoid() {
+                            apply_guidance(guidance, channels, side, ws, lane);
+                        }
+                        categorical_draw_in_place(state.bits_mut(), lane, rng);
+                        if let Some(region) = conditioning.frozen() {
+                            region.write_exact(state.bits_mut());
+                        }
+                    }
                 }
             }
         }
         states
     }
 
-    fn respaced_core(
+    /// The single-lane core behind every non-batched entry point: the
+    /// respaced reverse chain with optional conditioning and an optional
+    /// snapshot observer (called at the top step, after each intermediate
+    /// jump, and at 0 — the Fig. 6 trace hook).
+    #[allow(clippy::too_many_arguments)]
+    fn conditioned_core(
         &self,
         predict: &mut dyn Predictor,
         channels: usize,
         side: usize,
         retained: &[usize],
+        conditioning: &Conditioning,
+        mut snapshot: Option<SnapshotObserver<'_>>,
         rng: &mut impl Rng,
         scratch: &mut SampleScratch,
     ) -> DeepSquishTensor {
-        let k_max = self.schedule.steps();
-        assert!(!retained.is_empty(), "empty step subset");
+        self.validate_retained(retained);
+        let entries = channels * side * side;
         assert!(
-            retained.windows(2).all(|w| w[0] < w[1]),
-            "retained steps must be strictly increasing"
+            conditioning.matches_entries(entries),
+            "conditioning mask does not span {entries} entries"
         );
-        assert!(retained[0] >= 1, "steps are 1-based");
-        assert!(
-            *retained.last().expect("non-empty") <= k_max,
-            "step beyond K"
-        );
+        let k_top = *retained.last().expect("non-empty");
 
         // Start from the stationary distribution at the highest retained
         // step (for k_top close to K this is indistinguishable from T_K).
         let mut state = uniform_state(channels, side, rng);
+        if let Some(region) = conditioning.frozen() {
+            region.write_noised(self.schedule.cumulative_flip(k_top), state.bits_mut(), rng);
+        }
+        if let Some(observe) = snapshot.as_deref_mut() {
+            observe(k_top, &state);
+        }
         let SampleScratch { ws, p1 } = scratch;
 
         for idx in (0..retained.len()).rev() {
@@ -413,15 +532,53 @@ impl Sampler {
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
             predict.predict_into(&state, k, ws, p1);
             if j == 0 {
-                // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly.
+                // Final jump: draw x̂0 ~ p_θ(x0 | x_k) directly, with the
+                // guidance bias (if any) applied to this draw's logits.
+                if let Some(guidance) = conditioning.avoid() {
+                    apply_guidance(guidance, channels, side, ws, p1);
+                }
                 categorical_draw_in_place(state.bits_mut(), p1, rng);
+                if let Some(region) = conditioning.frozen() {
+                    region.write_exact(state.bits_mut());
+                }
             } else {
                 let eq = posterior_jump_same_prob(&self.schedule, j, k, true);
                 let ne = posterior_jump_same_prob(&self.schedule, j, k, false);
                 reverse_update_in_place(eq, ne, state.bits_mut(), p1, rng);
+                if let Some(region) = conditioning.frozen() {
+                    region.write_noised(self.schedule.cumulative_flip(j), state.bits_mut(), rng);
+                }
+                if let Some(observe) = snapshot.as_deref_mut() {
+                    observe(j, &state);
+                }
             }
         }
+        if let Some(observe) = snapshot {
+            observe(0, &state);
+        }
         state
+    }
+
+    /// The full 1-based step sequence `[1, 2, ..., K]` — the retained set
+    /// that makes the respaced core the plain ancestral chain
+    /// (`posterior_jump_same_prob(k-1, k)` is bit-exactly
+    /// [`crate::posterior_same_prob`]`(k)`).
+    fn full_steps(&self) -> Vec<usize> {
+        (1..=self.schedule.steps()).collect()
+    }
+
+    /// The retained-step contract shared by every sampling entry point.
+    fn validate_retained(&self, retained: &[usize]) {
+        assert!(!retained.is_empty(), "empty step subset");
+        assert!(
+            retained.windows(2).all(|w| w[0] < w[1]),
+            "retained steps must be strictly increasing"
+        );
+        assert!(retained[0] >= 1, "steps are 1-based");
+        assert!(
+            *retained.last().expect("non-empty") <= self.schedule.steps(),
+            "step beyond K"
+        );
     }
 
     /// Builds an evenly strided retained-step subset `[s, 2s, ..., K]` for
@@ -484,37 +641,9 @@ impl Sampler {
         )
     }
 
-    /// The lean ancestral chain: mutates one state tensor in place, so the
-    /// per-step loop performs no heap allocation once `scratch` is warm.
-    fn chain_core(
-        &self,
-        predict: &mut dyn Predictor,
-        channels: usize,
-        side: usize,
-        rng: &mut impl Rng,
-        scratch: &mut SampleScratch,
-    ) -> DeepSquishTensor {
-        let k_max = self.schedule.steps();
-        // T_K ~ uniform over {0, 1}: the stationary distribution (Eq. 6).
-        let mut state = uniform_state(channels, side, rng);
-        let SampleScratch { ws, p1 } = scratch;
-
-        for k in (2..=k_max).rev() {
-            predict.predict_into(&state, k, ws, p1);
-            let eq = posterior_same_prob(&self.schedule, k, true);
-            let ne = posterior_same_prob(&self.schedule, k, false);
-            reverse_update_in_place(eq, ne, state.bits_mut(), p1, rng);
-        }
-
-        // Final step: draw x̂0 ~ p_θ(x0 | x_1) directly.
-        predict.predict_into(&state, 1, ws, p1);
-        categorical_draw_in_place(state.bits_mut(), p1, rng);
-        state
-    }
-
-    /// As [`Sampler::chain_core`] but cloning the state at the requested
-    /// snapshot steps — the Fig. 6 trace path, which necessarily
-    /// allocates per snapshot.
+    /// The Fig. 6 trace path: the conditioned core with a snapshot
+    /// observer cloning the state at the endpoints and every requested
+    /// step (which necessarily allocates per snapshot).
     fn trace_core(
         &self,
         predict: &mut dyn Predictor,
@@ -524,37 +653,48 @@ impl Sampler {
         rng: &mut impl Rng,
     ) -> SampleTrace {
         let k_max = self.schedule.steps();
-        let mut scratch = SampleScratch::new();
-        let mut state = uniform_state(channels, side, rng);
-        let SampleScratch { ws, p1 } = &mut scratch;
-
-        let mut snapshots = vec![(k_max, state.clone())];
-        for k in (2..=k_max).rev() {
-            predict.predict_into(&state, k, ws, p1);
-            let eq = posterior_same_prob(&self.schedule, k, true);
-            let ne = posterior_same_prob(&self.schedule, k, false);
-            reverse_update_in_place(eq, ne, state.bits_mut(), p1, rng);
-            if snapshot_steps.contains(&(k - 1)) {
-                snapshots.push((k - 1, state.clone()));
+        let mut snapshots: Vec<(usize, DeepSquishTensor)> = Vec::new();
+        let mut record = |k: usize, state: &DeepSquishTensor| {
+            if k == k_max || k == 0 || snapshot_steps.contains(&k) {
+                snapshots.push((k, state.clone()));
             }
-        }
-
-        predict.predict_into(&state, 1, ws, p1);
-        categorical_draw_in_place(state.bits_mut(), p1, rng);
-        snapshots.push((0, state.clone()));
-
-        SampleTrace {
-            snapshots,
-            sample: state,
-        }
+        };
+        let sample = self.conditioned_core(
+            predict,
+            channels,
+            side,
+            &self.full_steps(),
+            &Conditioning::none(),
+            Some(&mut record),
+            rng,
+            &mut SampleScratch::new(),
+        );
+        SampleTrace { snapshots, sample }
     }
+}
+
+/// Rebiases one lane's `p1` in place for the terminal draw: copies the
+/// unbiased probabilities into a pooled workspace buffer (so neighbour
+/// reads see pre-guidance values), then lets the guidance rewrite `p1`.
+/// Allocation-free once the workspace pool is warm.
+fn apply_guidance(
+    guidance: &MotifGuidance,
+    channels: usize,
+    side: usize,
+    ws: &mut Workspace,
+    p1: &mut [f64],
+) {
+    let mut base = ws.take_probs(p1.len());
+    base.copy_from_slice(p1);
+    guidance.reweight(channels, side, &base, p1);
+    ws.put_probs(base);
 }
 
 /// Applies one reverse denoising step to a lane in place: every entry is
 /// kept or flipped with keep-probability `pm·eq + (1−pm)·ne`, where `pm`
 /// is the network's probability that `x̃_0` matches the entry's current
 /// value and `(eq, ne)` are the step's two posterior coefficients
-/// ([`posterior_same_prob`] / [`posterior_jump_same_prob`] at
+/// ([`crate::posterior_same_prob`] / [`posterior_jump_same_prob`] at
 /// `xk_equals_x0 ∈ {true, false}`). The coefficients depend only on the
 /// schedule and the step — never on the state — so callers hoist them out
 /// of the element loop instead of re-deriving the posterior per entry.
@@ -600,7 +740,7 @@ fn uniform_state(channels: usize, side: usize, rng: &mut impl Rng) -> DeepSquish
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{OracleDenoiser, UniformDenoiser};
+    use crate::{FrozenRegion, OracleDenoiser, UniformDenoiser};
     use rand::SeedableRng;
 
     fn schedule() -> NoiseSchedule {
@@ -871,6 +1011,187 @@ mod tests {
         let sampler = Sampler::new(schedule());
         let mut d = UniformDenoiser::new();
         let _ = sampler.sample_respaced(&mut d, 1, 4, &[50, 10], &mut rng);
+    }
+
+    #[test]
+    fn conditioning_none_is_bit_identical_to_unconditioned_entry_points() {
+        // The conditioned core IS the unconditioned sampler under
+        // `Conditioning::none()`: same draws, same samples, single-lane
+        // and batched, full chain and respaced.
+        let bits: Vec<bool> = (0..64).map(|i| i % 4 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let oracle = OracleDenoiser::new(x0, 0.9);
+        let sampler = Sampler::new(schedule());
+        let none = Conditioning::none();
+        let full = sampler.strided_steps(1);
+        let retained = sampler.strided_steps(8);
+        let mut scratch = SampleScratch::new();
+        for (steps, seed) in [(&full, 41u64), (&retained, 42)] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let cond = sampler.sample_conditioned_with(
+                &oracle,
+                1,
+                8,
+                steps,
+                &none,
+                &mut rng,
+                &mut scratch,
+            );
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let plain = sampler.sample_respaced_with(&oracle, 1, 8, steps, &mut rng, &mut scratch);
+            assert_eq!(cond, plain);
+        }
+    }
+
+    fn frozen_checkerboard(entries: usize, offset: usize, span: usize) -> FrozenRegion {
+        let mask: Vec<bool> = (0..entries)
+            .map(|i| (offset..offset + span).contains(&i))
+            .collect();
+        let bits: Vec<bool> = (0..entries).map(|i| i % 2 == 0).collect();
+        FrozenRegion::new(mask, bits).unwrap()
+    }
+
+    #[test]
+    fn conditioned_batch_matches_sequential_conditioned_lanes() {
+        // Same lock-step bit-identity contract as the unconditioned batch,
+        // now with a frozen region + guidance attached to every lane.
+        let bits: Vec<bool> = (0..64).map(|i| i % 3 == 0).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 8, bits).unwrap();
+        let oracle = OracleDenoiser::new(x0, 0.9);
+        let sampler = Sampler::new(schedule());
+        let cond = Conditioning::none()
+            .with_frozen(frozen_checkerboard(64, 5, 20))
+            .with_avoid(MotifGuidance::new(crate::Motif::IsolatedCell, 2.0).unwrap());
+        let retained = sampler.strided_steps(6);
+        let seeds: Vec<u64> = (0..5u64).map(|i| 7000 + 11 * i).collect();
+        let mut scratch = BatchScratch::new();
+        let mut rngs: Vec<rand::rngs::StdRng> = seeds
+            .iter()
+            .map(|&s| rand::rngs::StdRng::seed_from_u64(s))
+            .collect();
+        let batched = sampler.sample_conditioned_batch_with(
+            &oracle,
+            1,
+            8,
+            &retained,
+            &cond,
+            &mut rngs,
+            &mut scratch,
+        );
+        let mut solo_scratch = SampleScratch::new();
+        for (li, &seed) in seeds.iter().enumerate() {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let solo = sampler.sample_conditioned_with(
+                &oracle,
+                1,
+                8,
+                &retained,
+                &cond,
+                &mut rng,
+                &mut solo_scratch,
+            );
+            assert_eq!(batched[li], solo, "lane {li} diverged");
+        }
+    }
+
+    #[test]
+    fn guidance_suppresses_isolated_cells() {
+        // An oracle that believes in a field of isolated single-cell dots:
+        // unguided sampling reproduces most of them; isolated-cell
+        // guidance sees each dot's logit against a firmly-empty
+        // neighbourhood and pushes it down.
+        let sampler = Sampler::new(schedule());
+        let dot = |n: usize, m: usize| n % 4 == 1 && m % 4 == 1;
+        let bits: Vec<bool> = (0..256).map(|i| dot(i % 16, i / 16)).collect();
+        let x0 = DeepSquishTensor::from_bits(1, 16, bits).unwrap();
+        let oracle = OracleDenoiser::new(x0, 0.9);
+        let retained = sampler.strided_steps(1);
+        let dots_present = |t: &DeepSquishTensor| -> usize {
+            (0..256)
+                .filter(|&i| dot(i % 16, i / 16) && t.bits()[i])
+                .count()
+        };
+        let cond = Conditioning::none()
+            .with_avoid(MotifGuidance::new(crate::Motif::IsolatedCell, 6.0).unwrap());
+        let mut scratch = SampleScratch::new();
+        let (mut plain, mut guided) = (0usize, 0usize);
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let t = sampler.sample_conditioned_with(
+                &oracle,
+                1,
+                16,
+                &retained,
+                &Conditioning::none(),
+                &mut rng,
+                &mut scratch,
+            );
+            plain += dots_present(&t);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let t = sampler.sample_conditioned_with(
+                &oracle,
+                1,
+                16,
+                &retained,
+                &cond,
+                &mut rng,
+                &mut scratch,
+            );
+            guided += dots_present(&t);
+        }
+        assert!(
+            guided * 2 < plain,
+            "guidance did not suppress isolated dots: {guided} vs {plain}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not span")]
+    fn conditioned_core_rejects_wrong_mask_shape() {
+        let sampler = Sampler::new(schedule());
+        let d = UniformDenoiser::new();
+        let cond = Conditioning::none().with_frozen(frozen_checkerboard(32, 0, 8));
+        let retained = sampler.strided_steps(10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let _ = sampler.sample_conditioned_with(
+            &d,
+            1,
+            8, // 64 entries, mask has 32
+            &retained,
+            &cond,
+            &mut rng,
+            &mut SampleScratch::new(),
+        );
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(48))]
+        #[test]
+        fn frozen_bits_survive_every_offset_and_seed(
+            offset in 0usize..64,
+            span in 1usize..32,
+            seed in proptest::prelude::any::<u64>(),
+            stride in 0usize..12,
+        ) {
+            // The inpainting contract, at every mask offset: output bits
+            // under the mask equal the frozen input bits, for all seeds,
+            // full-chain and respaced alike.
+            let sampler = Sampler::new(NoiseSchedule::linear(24, 0.02, 0.5).unwrap());
+            let d = UniformDenoiser::new();
+            let span = span.min(64 - offset);
+            let region = frozen_checkerboard(64, offset, span);
+            let cond = Conditioning::none().with_frozen(region.clone());
+            let retained = sampler.strided_steps(stride);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let out = sampler.sample_conditioned_with(
+                &d, 1, 8, &retained, &cond, &mut rng, &mut SampleScratch::new(),
+            );
+            for (i, &frozen) in region.mask().iter().enumerate() {
+                if frozen {
+                    proptest::prop_assert_eq!(out.bits()[i], region.bits()[i]);
+                }
+            }
+        }
     }
 
     #[test]

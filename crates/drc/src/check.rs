@@ -1,8 +1,9 @@
 use crate::violation::Axis;
 use crate::{DesignRules, Violation};
 use dp_geometry::runs::{filled_runs, interior_space_runs};
-use dp_geometry::{ComponentLabels, Coord, Layout};
+use dp_geometry::{BitGrid, ComponentLabels, Coord, Layout};
 use dp_squish::SquishPattern;
+use std::ops::Range;
 
 /// Result of a DRC run: every violation found plus coverage statistics.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -161,6 +162,85 @@ pub fn check_layout(layout: &Layout, rules: &DesignRules) -> DrcReport {
     check_pattern(&SquishPattern::encode(layout), rules)
 }
 
+/// Marks every topology cell implicated in a violation of `rules`: the
+/// cells of too-narrow filled runs (width), of too-tight interior empty
+/// runs (space), and of polygons with out-of-range area. The same scan as
+/// [`check_pattern`], so the mask is non-empty exactly when the report is
+/// dirty.
+///
+/// This is the "thaw set" of the conditioned repair workload: a repair
+/// lane resamples the flagged cells (plus whatever dilation the caller
+/// adds) while freezing the already-legal remainder of the pattern.
+pub fn flagged_cells(pattern: &SquishPattern, rules: &DesignRules) -> BitGrid {
+    let topo = pattern.topology();
+    let xs = pattern.x_scan_lines();
+    let ys = pattern.y_scan_lines();
+    let mut mask = BitGrid::new(topo.width(), topo.height()).expect("topology is non-empty");
+
+    for row in 0..topo.height() {
+        let cells: Vec<bool> = topo.row(row).collect();
+        for span in violating_spans(&cells, topo.width(), &xs, rules) {
+            for col in span {
+                mask.set(col, row, true);
+            }
+        }
+    }
+    for col in 0..topo.width() {
+        let cells: Vec<bool> = topo.column(col).collect();
+        for span in violating_spans(&cells, topo.height(), &ys, rules) {
+            for row in span {
+                mask.set(col, row, true);
+            }
+        }
+    }
+
+    let labels = ComponentLabels::label(topo);
+    let boxes = labels.bounding_boxes();
+    for label in 0..labels.count() {
+        let (c0, r0, c1, r1) = boxes[label as usize];
+        let touches_border = c0 == 0 || r0 == 0 || c1 == topo.width() || r1 == topo.height();
+        if touches_border && rules.exempt_border() {
+            continue;
+        }
+        let cells = labels.cells_of(label);
+        let area: i128 = cells
+            .iter()
+            .map(|&(c, r)| pattern.dx()[c] as i128 * pattern.dy()[r] as i128)
+            .sum();
+        if area < rules.area_min() || area > rules.area_max() {
+            for (c, r) in cells {
+                mask.set(c, r, true);
+            }
+        }
+    }
+    mask
+}
+
+/// Cell-index spans of the width/space violations along one row or column
+/// — [`check_line`]'s scan with locations instead of reports.
+fn violating_spans(
+    cells: &[bool],
+    len: usize,
+    scan: &[Coord],
+    rules: &DesignRules,
+) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    for run in filled_runs(cells.iter().copied()) {
+        if run.touches_border(len) && rules.exempt_border() {
+            continue;
+        }
+        if scan[run.end] - scan[run.start] < rules.width_min() {
+            out.push(run.start..run.end);
+        }
+    }
+    for run in interior_space_runs(cells.iter().copied(), len) {
+        if scan[run.end] - scan[run.start] < rules.space_min() {
+            out.push(run.start..run.end);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +367,61 @@ mod tests {
         l.push(Rect::new(100, 100, 400, 1000).unwrap());
         let report = check_layout(&l, &rules());
         assert!(report.runs_checked() > 0);
+    }
+
+    #[test]
+    fn flagged_cells_empty_iff_clean() {
+        let mut clean = tile();
+        clean.push(Rect::new(100, 100, 400, 1000).unwrap());
+        clean.push(Rect::new(600, 100, 900, 1000).unwrap());
+        let p = SquishPattern::encode(&clean);
+        assert!(check_pattern(&p, &rules()).is_clean());
+        assert!(flagged_cells(&p, &rules()).is_empty());
+
+        let mut dirty = tile();
+        dirty.push(Rect::new(100, 100, 400, 1000).unwrap());
+        dirty.push(Rect::new(420, 100, 700, 1000).unwrap()); // 20 nm gap
+        let p = SquishPattern::encode(&dirty);
+        assert!(!check_pattern(&p, &rules()).is_clean());
+        assert!(!flagged_cells(&p, &rules()).is_empty());
+    }
+
+    #[test]
+    fn flagged_cells_locate_the_violating_gap() {
+        // The 20 nm gap between the bars is one empty column; only its
+        // cells (per violating row) may be flagged — the bars themselves
+        // are legal and must stay unflagged so a repair can freeze them.
+        let mut l = tile();
+        l.push(Rect::new(100, 100, 400, 1000).unwrap());
+        l.push(Rect::new(420, 100, 700, 1000).unwrap());
+        let p = SquishPattern::encode(&l);
+        let mask = flagged_cells(&p, &rules());
+        let topo = p.topology();
+        assert!(!mask.is_empty());
+        for row in 0..topo.height() {
+            for col in 0..topo.width() {
+                if mask.get(col, row) {
+                    assert!(!topo.get(col, row), "filled cell flagged at ({col},{row})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flagged_cells_cover_bad_area_polygons() {
+        let mut l = tile();
+        // 50x60 = 3000 nm^2 < 4000 minimum: the whole polygon is flagged.
+        l.push(Rect::new(100, 100, 160, 150).unwrap());
+        let p = SquishPattern::encode(&l);
+        let mask = flagged_cells(&p, &rules());
+        let topo = p.topology();
+        for row in 0..topo.height() {
+            for col in 0..topo.width() {
+                if topo.get(col, row) {
+                    assert!(mask.get(col, row), "polygon cell ({col},{row}) unflagged");
+                }
+            }
+        }
     }
 
     #[test]

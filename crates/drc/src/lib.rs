@@ -52,7 +52,7 @@ pub mod constraints;
 mod rules;
 mod violation;
 
-pub use check::{check_layout, check_pattern, DrcReport};
+pub use check::{check_layout, check_pattern, flagged_cells, DrcReport};
 pub use constraints::ConstraintSet;
 pub use rules::{DesignRules, DesignRulesBuilder, RulesError};
 pub use violation::Violation;

@@ -25,6 +25,7 @@ pub struct Workspace {
     pool: Vec<Vec<f32>>,
     skip_stack: Vec<Tensor>,
     steps: Vec<usize>,
+    probs: Vec<f64>,
 }
 
 impl Workspace {
@@ -94,6 +95,23 @@ impl Workspace {
         self.steps = steps;
     }
 
+    /// Borrows the reusable `f64` staging buffer, sized to `len` with
+    /// **unspecified contents** (callers must fully overwrite it). The
+    /// sampler uses it to stage per-lane probability/mask vectors — e.g.
+    /// the pre-guidance copy of a lane's `p1` — without allocating in the
+    /// denoising loop. Return it with [`Workspace::put_probs`] so the
+    /// capacity is retained.
+    pub fn take_probs(&mut self, len: usize) -> Vec<f64> {
+        let mut probs = std::mem::take(&mut self.probs);
+        probs.resize(len, 0.0);
+        probs
+    }
+
+    /// Returns the buffer taken by [`Workspace::take_probs`].
+    pub fn put_probs(&mut self, probs: Vec<f64>) {
+        self.probs = probs;
+    }
+
     /// Pops a pooled buffer able to hold `len` elements without
     /// reallocating, or the best available fallback.
     fn grab(&mut self, len: usize) -> Vec<f32> {
@@ -154,6 +172,22 @@ mod tests {
         assert_eq!(again.as_ptr(), ptr);
         assert_eq!(again.capacity(), cap);
         ws.put_steps(again);
+    }
+
+    #[test]
+    fn probs_buffer_round_trips_and_keeps_capacity() {
+        let mut ws = Workspace::new();
+        let mut probs = ws.take_probs(6);
+        assert_eq!(probs.len(), 6);
+        probs.fill(0.25);
+        let ptr = probs.as_ptr();
+        let cap = probs.capacity();
+        ws.put_probs(probs);
+        let again = ws.take_probs(4);
+        assert_eq!(again.len(), 4);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(again.capacity(), cap);
+        ws.put_probs(again);
     }
 
     #[test]

@@ -23,9 +23,23 @@
 //!   "solver": {"target_width": 2048, "target_height": 2048,
 //!              "max_iterations": 500, "max_restarts": 8, "margin": 2.0},
 //!   "donors": [{"topology": ["0110", "1111"], "dx": [512, 512, 512, 512],
-//!               "dy": [1024, 1024]}]
+//!               "dy": [1024, 1024]}],
+//!   "conditioning": {"freeze_len": 256, "freeze_mask": "Af8A...",
+//!                    "freeze_bits": "AAD/...", "avoid_motif": "isolated-cell",
+//!                    "avoid_weight": 4.0}
 //! }
 //! ```
+//!
+//! The optional `conditioning` object carries the per-lane sampling
+//! constraints. A frozen region travels as `freeze_len` (entry count)
+//! plus `freeze_mask`/`freeze_bits`: the channel-major boolean vectors
+//! packed LSB-first into bytes and base64-encoded (standard alphabet,
+//! `=` padding). Both decoding and the bit packing are strict — padding
+//! bits past `freeze_len` and non-canonical base64 are rejected, so one
+//! wire string maps to exactly one region. Motif avoidance travels as
+//! the preset name (`avoid_motif`, see `Motif::name`) and its guidance
+//! `avoid_weight`. Either half may appear alone, but each half's fields
+//! are all-or-nothing.
 //!
 //! The response is a newline-delimited JSON (NDJSON) stream: one
 //! `{"type":"item", ...}` record per generated pattern in completion
@@ -44,7 +58,10 @@ use diffpattern::drc::DesignRules;
 use diffpattern::geometry::BitGrid;
 use diffpattern::legalize::{SolveStats, SolverConfig};
 use diffpattern::squish::SquishPattern;
-use diffpattern::{Generated, PipelineReport, Precision, Provenance, RequestSpec};
+use diffpattern::{
+    Conditioning, FrozenRegion, Generated, Motif, MotifGuidance, PipelineReport, Precision,
+    Provenance, RequestSpec,
+};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -180,6 +197,12 @@ pub fn spec_to_json(spec: &RequestSpec) -> Json {
             Json::Int(deadline.as_millis() as i128),
         ));
     }
+    if !spec.conditioning.is_none() {
+        fields.push((
+            "conditioning".to_string(),
+            conditioning_to_json(&spec.conditioning),
+        ));
+    }
     Json::Obj(fields)
 }
 
@@ -223,6 +246,7 @@ pub fn spec_from_json(v: &Json) -> Result<RequestSpec, ProtoError> {
             "repair_bowties" => spec.repair_bowties = bool_field(value, "repair_bowties")?,
             "rules" => spec.rules = rules_from_json(value)?,
             "solver" => spec.solver = solver_from_json(value)?,
+            "conditioning" => spec.conditioning = Arc::new(conditioning_from_json(value)?),
             "donors" => {
                 let items = value.as_arr().ok_or(ProtoError::WrongType {
                     field: "donors",
@@ -370,6 +394,244 @@ fn solver_from_json(v: &Json) -> Result<SolverConfig, ProtoError> {
         }
     }
     Ok(solver)
+}
+
+// ---------------------------------------------------------------------
+// Conditioning
+// ---------------------------------------------------------------------
+
+/// Serialises a non-empty conditioning (see the module docs for the
+/// field semantics). [`spec_to_json`] omits the object entirely for
+/// [`Conditioning::none`].
+fn conditioning_to_json(cond: &Conditioning) -> Json {
+    let mut fields = Vec::new();
+    if let Some(region) = cond.frozen() {
+        fields.push(("freeze_len".to_string(), Json::Int(region.len() as i128)));
+        fields.push((
+            "freeze_mask".to_string(),
+            Json::Str(bools_to_b64(region.mask())),
+        ));
+        fields.push((
+            "freeze_bits".to_string(),
+            Json::Str(bools_to_b64(region.bits())),
+        ));
+    }
+    if let Some(guidance) = cond.avoid() {
+        fields.push((
+            "avoid_motif".to_string(),
+            Json::Str(guidance.motif().name().to_string()),
+        ));
+        fields.push(("avoid_weight".to_string(), Json::Float(guidance.weight())));
+    }
+    Json::Obj(fields)
+}
+
+/// Parses a `conditioning` object. Strict like every other spec object:
+/// unknown fields error, each constraint's fields are all-or-nothing,
+/// and the base64 vectors must decode canonically to `freeze_len` bits.
+fn conditioning_from_json(v: &Json) -> Result<Conditioning, ProtoError> {
+    let Json::Obj(fields) = v else {
+        return Err(ProtoError::WrongType {
+            field: "conditioning",
+            expected: "an object",
+        });
+    };
+    let mut freeze_len: Option<usize> = None;
+    let mut freeze_mask: Option<&str> = None;
+    let mut freeze_bits: Option<&str> = None;
+    let mut avoid_motif: Option<&str> = None;
+    let mut avoid_weight: Option<f64> = None;
+    for (key, value) in fields {
+        match key.as_str() {
+            "freeze_len" => {
+                freeze_len = Some(usize_field(value, "conditioning.freeze_len")?);
+            }
+            "freeze_mask" => {
+                freeze_mask = Some(value.as_str().ok_or(ProtoError::WrongType {
+                    field: "conditioning.freeze_mask",
+                    expected: "a base64 string",
+                })?);
+            }
+            "freeze_bits" => {
+                freeze_bits = Some(value.as_str().ok_or(ProtoError::WrongType {
+                    field: "conditioning.freeze_bits",
+                    expected: "a base64 string",
+                })?);
+            }
+            "avoid_motif" => {
+                avoid_motif = Some(value.as_str().ok_or(ProtoError::WrongType {
+                    field: "conditioning.avoid_motif",
+                    expected: "a motif preset name",
+                })?);
+            }
+            "avoid_weight" => {
+                avoid_weight = Some(value.as_f64().ok_or(ProtoError::WrongType {
+                    field: "conditioning.avoid_weight",
+                    expected: "a number",
+                })?);
+            }
+            other => {
+                return Err(ProtoError::UnknownField {
+                    at: "conditioning",
+                    field: other.to_string(),
+                })
+            }
+        }
+    }
+    let mut cond = Conditioning::none();
+    match (freeze_len, freeze_mask, freeze_bits) {
+        (Some(len), Some(mask), Some(bits)) => {
+            let mask = bools_from_b64(mask, len, "conditioning.freeze_mask")?;
+            let bits = bools_from_b64(bits, len, "conditioning.freeze_bits")?;
+            let region = FrozenRegion::new(mask, bits)
+                .map_err(|e| ProtoError::InvalidSpec(e.to_string()))?;
+            cond = cond.with_frozen(region);
+        }
+        (None, None, None) => {}
+        (len, mask, bits) => {
+            let field = if len.is_none() {
+                "conditioning.freeze_len"
+            } else if mask.is_none() {
+                "conditioning.freeze_mask"
+            } else {
+                let _ = bits;
+                "conditioning.freeze_bits"
+            };
+            return Err(ProtoError::MissingField { field });
+        }
+    }
+    match (avoid_motif, avoid_weight) {
+        (Some(name), Some(weight)) => {
+            let motif = Motif::from_name(name)
+                .ok_or_else(|| ProtoError::InvalidSpec(format!("unknown motif preset `{name}`")))?;
+            let guidance = MotifGuidance::new(motif, weight)
+                .map_err(|e| ProtoError::InvalidSpec(e.to_string()))?;
+            cond = cond.with_avoid(guidance);
+        }
+        (None, None) => {}
+        (Some(_), None) => {
+            return Err(ProtoError::MissingField {
+                field: "conditioning.avoid_weight",
+            })
+        }
+        (None, Some(_)) => {
+            return Err(ProtoError::MissingField {
+                field: "conditioning.avoid_motif",
+            })
+        }
+    }
+    Ok(cond)
+}
+
+// ---------------------------------------------------------------------
+// Base64 (standard alphabet, `=` padding, canonical-only decoding)
+// ---------------------------------------------------------------------
+
+const B64_TABLE: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Packs a boolean vector LSB-first into bytes and base64-encodes them.
+fn bools_to_b64(bools: &[bool]) -> String {
+    let mut bytes = vec![0u8; bools.len().div_ceil(8)];
+    for (i, &b) in bools.iter().enumerate() {
+        if b {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    b64_encode(&bytes)
+}
+
+/// Inverse of [`bools_to_b64`] for a known bit count. Rejects anything
+/// but the one canonical encoding: wrong byte count, non-canonical
+/// base64, or set bits past `len` in the final byte.
+fn bools_from_b64(s: &str, len: usize, field: &'static str) -> Result<Vec<bool>, ProtoError> {
+    let bytes = b64_decode(s)
+        .ok_or_else(|| ProtoError::InvalidSpec(format!("`{field}` is not canonical base64")))?;
+    if bytes.len() != len.div_ceil(8) {
+        return Err(ProtoError::InvalidSpec(format!(
+            "`{field}` decodes to {} bytes but freeze_len {len} needs {}",
+            bytes.len(),
+            len.div_ceil(8)
+        )));
+    }
+    if !len.is_multiple_of(8) && bytes[len / 8] >> (len % 8) != 0 {
+        return Err(ProtoError::InvalidSpec(format!(
+            "`{field}` has set bits past freeze_len {len}"
+        )));
+    }
+    Ok((0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
+}
+
+fn b64_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
+    for chunk in bytes.chunks(3) {
+        let n = (u32::from(chunk[0]) << 16)
+            | (u32::from(chunk.get(1).copied().unwrap_or(0)) << 8)
+            | u32::from(chunk.get(2).copied().unwrap_or(0));
+        out.push(B64_TABLE[(n >> 18) as usize & 63] as char);
+        out.push(B64_TABLE[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 {
+            B64_TABLE[(n >> 6) as usize & 63] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_TABLE[n as usize & 63] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+fn b64_value(c: u8) -> Option<u32> {
+    match c {
+        b'A'..=b'Z' => Some(u32::from(c - b'A')),
+        b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+        b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Strict decoder: length must be a multiple of 4, `=` only as final
+/// padding, and the bits a padded chunk drops must be zero (so every
+/// byte string has exactly one accepted encoding).
+fn b64_decode(s: &str) -> Option<Vec<u8>> {
+    let b = s.as_bytes();
+    if !b.len().is_multiple_of(4) {
+        return None;
+    }
+    let chunks = b.len() / 4;
+    let mut out = Vec::with_capacity(chunks * 3);
+    for (i, chunk) in b.chunks(4).enumerate() {
+        let pad = if i + 1 == chunks {
+            chunk.iter().rev().take_while(|&&c| c == b'=').count()
+        } else {
+            0
+        };
+        if pad > 2 {
+            return None;
+        }
+        let mut n = 0u32;
+        for &c in &chunk[..4 - pad] {
+            n = (n << 6) | b64_value(c)?;
+        }
+        n <<= 6 * pad as u32;
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+        match pad {
+            1 if n & 0xFF != 0 => return None,
+            2 if n & 0xFFFF != 0 => return None,
+            _ => {}
+        }
+    }
+    Some(out)
 }
 
 // ---------------------------------------------------------------------
@@ -724,6 +986,7 @@ mod tests {
         assert_eq!(a.solver.max_restarts, b.solver.max_restarts);
         assert_eq!(a.solver.margin.to_bits(), b.solver.margin.to_bits());
         assert_eq!(a.donors.as_ref(), b.donors.as_ref());
+        assert_eq!(a.conditioning.plan_hash(), b.conditioning.plan_hash());
     }
 
     #[test]
@@ -776,6 +1039,108 @@ mod tests {
             (
                 r#"{"count": 1, "donors": [{"topology": ["01", "0"], "dx": [1, 1], "dy": [1, 1]}]}"#,
                 "invalid_spec",
+            ),
+        ];
+        for (body, code) in cases {
+            let e = spec_from_json(&json::parse(body).unwrap()).unwrap_err();
+            assert_eq!(e.code(), code, "{body} -> {e}");
+        }
+    }
+
+    #[test]
+    fn base64_round_trips_and_rejects_non_canonical() {
+        for len in 0usize..=67 {
+            let bools: Vec<bool> = (0..len).map(|i| (i * 7 + len) % 3 == 0).collect();
+            let wire = bools_to_b64(&bools);
+            assert_eq!(bools_from_b64(&wire, len, "t").unwrap(), bools, "len {len}");
+        }
+        // Non-canonical padding bits: "AB==" carries set bits the single
+        // decoded byte drops.
+        assert!(b64_decode("AQ==").is_some());
+        assert!(b64_decode("AB==").is_none());
+        assert!(b64_decode("AAA").is_none(), "length not a multiple of 4");
+        assert!(b64_decode("A=AA").is_none(), "interior padding");
+        assert!(b64_decode("AA!A").is_none(), "bad alphabet");
+        // A set bit past freeze_len inside the final byte is rejected.
+        let wire = bools_to_b64(&[true, true, true]);
+        assert!(bools_from_b64(&wire, 2, "t").is_err());
+    }
+
+    #[test]
+    fn conditioned_spec_round_trips() {
+        let mask: Vec<bool> = (0..96).map(|i| i % 5 == 0).collect();
+        let bits: Vec<bool> = (0..96).map(|i| i % 2 == 0).collect();
+        let cond = Conditioning::none()
+            .with_frozen(FrozenRegion::new(mask.clone(), bits.clone()).unwrap())
+            .with_avoid(MotifGuidance::new(Motif::IsolatedCell, 3.25).unwrap());
+        let spec = RequestSpec::new(2).conditioning(cond);
+        let wire = spec_to_json(&spec).to_string();
+        let back = spec_from_json(&json::parse(&wire).unwrap()).unwrap();
+        spec_eq(&spec, &back);
+        let region = back.conditioning.frozen().unwrap();
+        assert_eq!(region.mask(), &mask[..]);
+        assert_eq!(region.bits(), &bits[..]);
+        let guidance = back.conditioning.avoid().unwrap();
+        assert_eq!(guidance.motif(), Motif::IsolatedCell);
+        assert_eq!(guidance.weight().to_bits(), 3.25f64.to_bits());
+        assert_eq!(spec.conditioning.plan_hash(), back.conditioning.plan_hash());
+    }
+
+    #[test]
+    fn unconditioned_spec_omits_the_conditioning_object() {
+        let wire = spec_to_json(&RequestSpec::new(1)).to_string();
+        assert!(!wire.contains("conditioning"));
+    }
+
+    #[test]
+    fn bad_conditioning_objects_are_typed_errors() {
+        let cases = [
+            // Unknown field inside the object.
+            (
+                r#"{"count": 1, "conditioning": {"freze_len": 4}}"#,
+                "unknown_field",
+            ),
+            // Frozen fields are all-or-nothing.
+            (
+                r#"{"count": 1, "conditioning": {"freeze_len": 4}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"count": 1, "conditioning": {"freeze_mask": "Dw==", "freeze_bits": "Cw=="}}"#,
+                "bad_request",
+            ),
+            // So are the avoidance fields.
+            (
+                r#"{"count": 1, "conditioning": {"avoid_motif": "isolated-cell"}}"#,
+                "bad_request",
+            ),
+            (
+                r#"{"count": 1, "conditioning": {"avoid_weight": 2.0}}"#,
+                "bad_request",
+            ),
+            // Semantic failures: bad preset, bad weight, bad base64,
+            // length mismatch.
+            (
+                r#"{"count": 1, "conditioning": {"avoid_motif": "dense-blob", "avoid_weight": 2.0}}"#,
+                "invalid_spec",
+            ),
+            (
+                r#"{"count": 1, "conditioning": {"avoid_motif": "isolated-cell", "avoid_weight": -1.0}}"#,
+                "invalid_spec",
+            ),
+            (
+                r#"{"count": 1, "conditioning": {"freeze_len": 4, "freeze_mask": "!!", "freeze_bits": "Cw=="}}"#,
+                "invalid_spec",
+            ),
+            (
+                r#"{"count": 1, "conditioning": {"freeze_len": 400, "freeze_mask": "Dw==", "freeze_bits": "Cw=="}}"#,
+                "invalid_spec",
+            ),
+            // Wrong JSON types.
+            (r#"{"count": 1, "conditioning": "frozen"}"#, "bad_request"),
+            (
+                r#"{"count": 1, "conditioning": {"freeze_len": 4, "freeze_mask": 15, "freeze_bits": "Cw=="}}"#,
+                "bad_request",
             ),
         ];
         for (body, code) in cases {

@@ -17,10 +17,10 @@ use diffpattern::drc::DesignRules;
 use diffpattern::geometry::BitGrid;
 use diffpattern::legalize::{SolveStats, SolverConfig};
 use diffpattern::library::{Library, LibraryConfig};
-use diffpattern::squish::SquishPattern;
+use diffpattern::squish::{DeepSquishTensor, SquishPattern};
 use diffpattern::{
-    Generated, PatternService, Pipeline, PipelineConfig, Precision, Provenance, RequestSpec,
-    TrainedModel,
+    Conditioning, FrozenRegion, Generated, Motif, MotifGuidance, PatternService, Pipeline,
+    PipelineConfig, Precision, Provenance, RequestSpec, TrainedModel,
 };
 use dp_serve::http::Conn;
 use dp_serve::json::{self, Json};
@@ -103,6 +103,46 @@ fn wire_output_is_byte_identical_to_in_process() {
     assert_eq!(wire.report, again.report);
 }
 
+#[test]
+fn conditioned_wire_output_is_byte_identical_to_in_process() {
+    let (model, base) = trained(70, 4);
+    let (server, service) = start(&model, 2, 4, 0, ServeConfig::default());
+
+    // Freeze the first quarter of the topology tensor to zeros and steer
+    // the rest away from isolated cells — both constraint families ride
+    // the wire together.
+    let entries = model.channels() * model.side() * model.side();
+    let mask: Vec<bool> = (0..entries).map(|i| i < entries / 4).collect();
+    let bits = vec![false; entries];
+    let cond = Conditioning::none()
+        .with_frozen(FrozenRegion::new(mask.clone(), bits.clone()).unwrap())
+        .with_avoid(MotifGuidance::new(Motif::IsolatedCell, 2.5).unwrap());
+    let spec = RequestSpec {
+        count: 3,
+        ..base.clone()
+    }
+    .seed(41)
+    .conditioning(cond);
+
+    let local = service.generate(&spec).unwrap();
+    let mut wire = client(&server).generate(&spec).unwrap();
+    assert!(wire.error.is_none());
+    wire.items.sort_by_key(|g| g.provenance.index);
+    assert_eq!(local.items, wire.items);
+    assert_eq!(local.report, wire.report);
+
+    // Every delivered pattern honours the frozen region exactly — the
+    // constraint was live across the socket, not dropped in transit.
+    for item in &wire.items {
+        let tensor = DeepSquishTensor::fold(item.pattern.topology(), model.channels()).unwrap();
+        for (i, (&frozen, &want)) in mask.iter().zip(&bits).enumerate() {
+            if frozen {
+                assert_eq!(tensor.bits()[i], want, "frozen entry {i} diverged");
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Conformance: every bad input gets a structured error, nothing wedges
 // ---------------------------------------------------------------------
@@ -135,6 +175,20 @@ fn invalid_bodies_get_structured_errors_and_connection_survives() {
         (
             "{\"count\": 1, \"donors\": [{\"topology\": [\"01\", \"0\"], \
              \"dx\": [1, 1], \"dy\": [1, 1]}]}",
+            422,
+            "invalid_spec",
+        ),
+        // A typo inside the conditioning object is caught at parse time.
+        (
+            "{\"count\": 1, \"conditioning\": {\"freze_len\": 4}}",
+            400,
+            "unknown_field",
+        ),
+        // A well-formed frozen region whose mask does not span the
+        // model's tensor is rejected at submit (shape validation).
+        (
+            "{\"count\": 1, \"conditioning\": {\"freeze_len\": 8, \
+             \"freeze_mask\": \"Dw==\", \"freeze_bits\": \"Cw==\"}}",
             422,
             "invalid_spec",
         ),
@@ -605,6 +659,23 @@ fn random_donor(seed: u64) -> SquishPattern {
     SquishPattern::new(BitGrid::from_cells(w, h, cells).unwrap(), dx, dy).unwrap()
 }
 
+/// A random conditioning of every composable shape: none, frozen-only,
+/// guidance-only, frozen + guidance.
+fn random_conditioning(seed: u64, frozen_len: usize, kind: u8) -> Conditioning {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xD17A_C0DE);
+    let mut cond = Conditioning::none();
+    if kind & 1 != 0 {
+        let mask: Vec<bool> = (0..frozen_len).map(|_| rng.gen()).collect();
+        let bits: Vec<bool> = (0..frozen_len).map(|_| rng.gen()).collect();
+        cond = cond.with_frozen(FrozenRegion::new(mask, bits).unwrap());
+    }
+    if kind & 2 != 0 {
+        let weight = f64::from(rng.gen_range(1u32..1_000_000)) / 1_000.0;
+        cond = cond.with_avoid(MotifGuidance::new(Motif::IsolatedCell, weight).unwrap());
+    }
+    cond
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -636,6 +707,8 @@ proptest! {
         donor_seed in any::<u64>(),
         donor_n in 0usize..3,
         bf16 in any::<bool>(),
+        frozen_len in 1usize..64,
+        frozen_kind in 0u8..4,
     ) {
         let rules = DesignRules::builder()
             .space_min(space)
@@ -662,6 +735,7 @@ proptest! {
             max_attempts: attempts,
             repair_bowties: repair,
             donors: Arc::from(donors.into_boxed_slice()),
+            conditioning: Arc::new(random_conditioning(seed, frozen_len, frozen_kind)),
             deadline: has_deadline.then(|| Duration::from_millis(deadline_ms)),
             precision: if bf16 { Precision::Bf16 } else { Precision::Exact },
         };
@@ -685,6 +759,18 @@ proptest! {
         prop_assert_eq!(spec.donors.as_ref(), back.donors.as_ref());
         prop_assert_eq!(spec.deadline, back.deadline);
         prop_assert_eq!(spec.precision, back.precision);
+        // Conditioning survives exactly: frozen mask/bits bit-for-bit,
+        // motif preset and guidance weight to the last ulp (plan_hash
+        // covers all of it canonically).
+        prop_assert_eq!(spec.conditioning.plan_hash(), back.conditioning.plan_hash());
+        prop_assert_eq!(
+            spec.conditioning.frozen().map(|f| (f.mask().to_vec(), f.bits().to_vec())),
+            back.conditioning.frozen().map(|f| (f.mask().to_vec(), f.bits().to_vec()))
+        );
+        prop_assert_eq!(
+            spec.conditioning.avoid().map(|g| (g.motif(), g.weight().to_bits())),
+            back.conditioning.avoid().map(|g| (g.motif(), g.weight().to_bits()))
+        );
     }
 
     /// Item records (pattern + full provenance) survive the NDJSON

@@ -6,7 +6,8 @@
 
 use diffpattern::drc::check_pattern;
 use diffpattern::{
-    ConfigError, Generated, PatternService, Pipeline, PipelineConfig, RequestSpec, TrainedModel,
+    ConfigError, Generated, PatternService, Pipeline, PipelineConfig, RecvPoll, RequestSpec,
+    TrainedModel,
 };
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -529,4 +530,54 @@ fn first_index_subrange_is_bit_identical_to_the_full_request_slice() {
         )
         .unwrap_err();
     assert!(matches!(err, ConfigError::IndexOverflow { .. }), "{err:?}");
+}
+
+#[test]
+fn recv_timeout_polls_without_losing_items_or_accounting() {
+    let (model, base, _) = trained(82, 4);
+    let svc = service(&model, 2);
+    let spec = RequestSpec {
+        count: 4,
+        ..base.clone()
+    }
+    .seed(29);
+
+    // Reference: the blocking collector.
+    let reference = svc.generate(&spec).unwrap();
+
+    // Polling loop: short timeouts interleave `TimedOut` ticks (the
+    // network server's liveness-check window) with item delivery, and
+    // must surface exactly the same items, in some order, with the same
+    // closing report.
+    let mut handle = svc.submit(&spec).unwrap();
+    let mut items: Vec<Generated> = Vec::new();
+    let mut timeouts = 0usize;
+    loop {
+        match handle.recv_timeout(std::time::Duration::from_millis(5)) {
+            RecvPoll::Item(g) => items.push(g),
+            RecvPoll::TimedOut => timeouts += 1,
+            RecvPoll::Finished => break,
+        }
+        assert!(timeouts < 1_000_000, "request never completed");
+    }
+    // Finished is sticky: further polls return it immediately.
+    assert!(matches!(
+        handle.recv_timeout(std::time::Duration::ZERO),
+        RecvPoll::Finished
+    ));
+
+    items.sort_by_key(|g| g.provenance.index);
+    let mut expected = reference.items.clone();
+    expected.sort_by_key(|g| g.provenance.index);
+    assert_eq!(items, expected, "polled items must match the blocking run");
+    assert_eq!(items.len() + handle.report().shortfall, 4);
+
+    // A zero timeout on a fresh request times out immediately rather
+    // than blocking (the first denoising chunk takes far longer than 0ms).
+    let mut fresh = svc.submit(&spec).unwrap();
+    assert!(matches!(
+        fresh.recv_timeout(std::time::Duration::ZERO),
+        RecvPoll::TimedOut
+    ));
+    drop(fresh);
 }
