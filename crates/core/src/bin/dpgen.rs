@@ -33,7 +33,7 @@ use diffpattern::{
     PatternService, Pipeline, PipelineConfig, Precision, RequestSpec, TrainedModel,
 };
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -117,7 +117,8 @@ shard builds into a fresh store.";
 
 /// Parsed options: every `--key value` pair, with repeated keys collected
 /// in order (`--rules a --rules b`).
-type Options = HashMap<String, Vec<String>>;
+// `BTreeMap` so any diagnostic listing of options is deterministic.
+type Options = BTreeMap<String, Vec<String>>;
 
 /// Value-less boolean options: present means `true`.
 const FLAGS: &[&str] = &["avoid-hotspots"];

@@ -222,11 +222,40 @@ impl Engine {
         }
     }
 
+    /// The one place the scheduler mutex is acquired. Poisoning means a
+    /// worker panicked mid-rearrangement and the queue may be torn;
+    /// resuming over it could duplicate or drop lanes, so propagating
+    /// the original panic (and letting the supervisor restart) is the
+    /// safer failure mode.
+    fn lock_sched(&self) -> std::sync::MutexGuard<'_, Sched> {
+        // dp-lint: allow(panic-in-serving-tier): poisoned scheduler state must not be resumed — propagate the worker panic
+        self.sched.lock().expect("scheduler lock poisoned")
+    }
+
+    /// Parks on the work condvar, optionally with a timeout, reacquiring
+    /// the scheduler lock (same poisoning policy as [`Engine::lock_sched`]).
+    fn wait_work<'e>(
+        &'e self,
+        guard: std::sync::MutexGuard<'e, Sched>,
+        timeout: Option<std::time::Duration>,
+    ) -> std::sync::MutexGuard<'e, Sched> {
+        let reacquired = match timeout {
+            Some(t) => self
+                .work
+                .wait_timeout(guard, t)
+                .map(|(g, _)| g)
+                .map_err(|_| ()),
+            None => self.work.wait(guard).map_err(|_| ()),
+        };
+        // dp-lint: allow(panic-in-serving-tier): poisoned scheduler state must not be resumed — propagate the worker panic
+        reacquired.expect("scheduler lock poisoned while waiting")
+    }
+
     /// Queue depth and in-flight lane count right now. The two reads are
     /// not one atomic snapshot — a lane can move from queued to in-flight
     /// between them — but each figure is individually exact.
     pub(crate) fn stats(&self) -> EngineStats {
-        let sched = self.sched.lock().expect("scheduler lock poisoned");
+        let sched = self.lock_sched();
         EngineStats {
             queued_requests: sched.queue.len(),
             queued_lanes: sched
@@ -266,7 +295,7 @@ impl Engine {
             return Ok(rx);
         }
         {
-            let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+            let mut sched = self.lock_sched();
             // Cancelled entries do not count against the bound (they are
             // dead weight a claim pass will drop), expired ones neither —
             // sweep both before judging fullness.
@@ -311,6 +340,7 @@ impl Engine {
     /// entry leaves the queue. Returns the nearest *future* deadline among
     /// the survivors, so parked workers know how long they may sleep.
     fn expire_due(sched: &mut Sched) -> Option<Instant> {
+        // dp-lint: allow(nondeterministic-time): deadline expiry is wall-clock by definition and never reaches pattern bytes
         let now = Instant::now();
         let mut nearest: Option<Instant> = None;
         sched.queue.retain_mut(|p| {
@@ -344,7 +374,7 @@ impl Engine {
     /// calls return `None`. Queued-but-unclaimed lanes are dropped; their
     /// requests' channels disconnect.
     pub(crate) fn shutdown(&self) {
-        let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+        let mut sched = self.lock_sched();
         sched.shutdown = true;
         sched.queue.clear();
         drop(sched);
@@ -360,7 +390,7 @@ impl Engine {
     /// Returns `None` when the engine is shut down, or — in one-shot mode
     /// — when no claimable work remains.
     fn claim(&self) -> Option<Vec<Lane>> {
-        let mut sched = self.sched.lock().expect("scheduler lock poisoned");
+        let mut sched = self.lock_sched();
         loop {
             if sched.shutdown {
                 return None;
@@ -397,7 +427,7 @@ impl Engine {
                         req: Arc::clone(&pending.req),
                         index,
                         seed,
-                        rng: rand::rngs::StdRng::seed_from_u64(seed),
+                        rng: lane_rng(seed),
                         attempts: 0,
                         report: PipelineReport::default(),
                         outcome: None,
@@ -424,16 +454,11 @@ impl Engine {
             // is observed by an otherwise idle pool.
             sched = match nearest_deadline {
                 Some(deadline) => {
+                    // dp-lint: allow(nondeterministic-time): bounding a park by a wall-clock deadline; never reaches pattern bytes
                     let wait = deadline.saturating_duration_since(Instant::now());
-                    self.work
-                        .wait_timeout(sched, wait)
-                        .expect("scheduler lock poisoned while waiting")
-                        .0
+                    self.wait_work(sched, Some(wait))
                 }
-                None => self
-                    .work
-                    .wait(sched)
-                    .expect("scheduler lock poisoned while waiting"),
+                None => self.wait_work(sched, None),
             };
         }
     }
@@ -467,6 +492,7 @@ impl Engine {
             _ => model,
         };
         loop {
+            // dp-lint: allow(nondeterministic-time): deadline observation between rounds; never reaches pattern bytes
             let now = Instant::now();
             for lane in lanes.iter_mut().filter(|l| l.active) {
                 // Cancellation and deadline expiry share an exit: the lane
@@ -513,6 +539,7 @@ impl Engine {
 
             let mut tensors = tensors.into_iter();
             for lane in lanes.iter_mut().filter(|l| l.active) {
+                // dp-lint: allow(panic-in-serving-tier): the sampler returns exactly one tensor per lane RNG by construction
                 let tensor = tensors.next().expect("one sample per active lane");
                 lane.attempts += 1;
                 lane.report.topologies_sampled += 1;
@@ -756,6 +783,15 @@ pub(crate) fn item_seed(seed: u64, index: usize) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// The one sanctioned lane-RNG construction site: a lane's generator is
+/// seeded with the [`item_seed`] splitmix64 derivation and nothing else,
+/// so a lane's draw sequence depends only on (request seed, item index)
+/// — never on scheduling, batching or worker identity.
+pub(crate) fn lane_rng(lane_seed: u64) -> rand::rngs::StdRng {
+    // dp-lint: allow(rng-discipline): this helper is the sanctioned splitmix64 lane-derivation site the rule points everyone at
+    rand::rngs::StdRng::seed_from_u64(lane_seed)
 }
 
 #[cfg(test)]

@@ -328,12 +328,12 @@ impl Drop for ServiceCore {
         // so dropping a service never leaks threads. Outstanding request
         // handles see their channels disconnect and terminate early.
         self.engine.shutdown();
-        for worker in self
-            .workers
-            .lock()
-            .expect("worker registry poisoned")
-            .drain(..)
-        {
+        // The registry is only written at construction and here; a
+        // poisoned lock means a thread panicked holding it, and tearing
+        // down is exactly what Drop is already doing.
+        // dp-lint: allow(panic-in-serving-tier): Drop-path join; a poisoned registry propagates the original worker panic
+        let mut workers = self.workers.lock().expect("worker registry poisoned");
+        for worker in workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -482,7 +482,7 @@ impl PatternService {
         let deadline = spec
             .deadline
             .or(self.core.default_deadline)
-            .map(|d| Instant::now() + d);
+            .map(|d| Instant::now() + d); // dp-lint: allow(nondeterministic-time): anchoring a relative deadline; never reaches pattern bytes
         let job = RequestJob {
             mode,
             seed: spec.seed,
@@ -595,11 +595,13 @@ impl RequestHandle {
     /// of blocking indefinitely — the polling primitive a network server
     /// needs to interleave item delivery with client-liveness checks.
     pub fn recv_timeout(&mut self, timeout: Duration) -> RecvPoll {
+        // dp-lint: allow(nondeterministic-time): polling timeout anchor; never reaches pattern bytes
         let deadline = Instant::now() + timeout;
         loop {
             if self.finished {
                 return RecvPoll::Finished;
             }
+            // dp-lint: allow(nondeterministic-time): polling timeout remainder; never reaches pattern bytes
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.rx.recv_timeout(remaining) {
                 Ok(msg) => match self.absorb(msg) {

@@ -453,6 +453,10 @@ impl Sampler {
         }
         let BatchScratch { ws, p1 } = scratch;
 
+        // The steady-state denoising loop: every buffer it touches was
+        // allocated up front (states, scratch), which the counting-
+        // allocator tests pin dynamically and dp_lint pins statically.
+        // dp-lint: zero-alloc
         for idx in (0..retained.len()).rev() {
             let k = retained[idx];
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
@@ -527,6 +531,9 @@ impl Sampler {
         }
         let SampleScratch { ws, p1 } = scratch;
 
+        // Steady-state single-lane loop — same allocation-free contract
+        // as the batched core above.
+        // dp-lint: zero-alloc
         for idx in (0..retained.len()).rev() {
             let k = retained[idx];
             let j = if idx == 0 { 0 } else { retained[idx - 1] };
@@ -710,6 +717,7 @@ pub fn reverse_update_in_place(
     p1: &[f64],
     rng: &mut impl Rng,
 ) {
+    // dp-lint: zero-alloc
     for (bit, &p) in bits.iter_mut().zip(p1) {
         // Probability the network gives to x̃0 equalling the current
         // state of this entry.
@@ -724,6 +732,7 @@ pub fn reverse_update_in_place(
 /// draw per entry, in entry order. Public for the same micro-benchmark
 /// reason as [`reverse_update_in_place`].
 pub fn categorical_draw_in_place(bits: &mut [bool], p1: &[f64], rng: &mut impl Rng) {
+    // dp-lint: zero-alloc
     for (bit, &p) in bits.iter_mut().zip(p1) {
         *bit = rng.gen_bool(p.clamp(0.0, 1.0));
     }

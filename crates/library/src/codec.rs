@@ -47,6 +47,7 @@ const fn crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // dp-lint: allow(truncating-cast-in-codec): const fn, TryFrom is not const; i < 256 by the loop bound
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
@@ -69,7 +70,9 @@ static CRC_TABLE: [u32; 256] = crc_table();
 pub fn crc32(data: &[u8]) -> u32 {
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        // Masked to 8 bits, so the index conversion is total.
+        let idx = usize::try_from((c ^ u32::from(b)) & 0xFF).unwrap_or(0);
+        c = CRC_TABLE[idx] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
 }
@@ -80,7 +83,7 @@ pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// Absorbs bytes into an FNV-1a 64-bit state.
 pub fn fnv1a(mut state: u64, data: &[u8]) -> u64 {
     for &b in data {
-        state ^= b as u64;
+        state ^= u64::from(b);
         state = state.wrapping_mul(0x1000_0000_01b3);
     }
     state
@@ -88,8 +91,12 @@ pub fn fnv1a(mut state: u64, data: &[u8]) -> u64 {
 
 /// Content hash of a topology: FNV-1a over `(width, height, packed bits)`.
 pub fn topology_hash(grid: &BitGrid) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, &(grid.width() as u32).to_le_bytes());
-    h = fnv1a(h, &(grid.height() as u32).to_le_bytes());
+    // Grids are bounded far below u32::MAX per side; saturating keeps
+    // the historical u32-LE hash input without a truncating cast.
+    let w32 = u32::try_from(grid.width()).unwrap_or(u32::MAX);
+    let h32 = u32::try_from(grid.height()).unwrap_or(u32::MAX);
+    let mut h = fnv1a(FNV_OFFSET, &w32.to_le_bytes());
+    h = fnv1a(h, &h32.to_le_bytes());
     fnv1a(h, &pack_bits(grid))
 }
 
@@ -149,23 +156,24 @@ impl Record {
         let invalid = |d: &str| LibraryError::Invalid {
             detail: d.to_string(),
         };
-        if self.method.len() > 255 || self.ruleset.len() > 255 {
-            return Err(invalid("method/ruleset labels are limited to 255 bytes"));
-        }
+        let method_len = u8::try_from(self.method.len())
+            .map_err(|_| invalid("method/ruleset labels are limited to 255 bytes"))?;
+        let ruleset_len = u8::try_from(self.ruleset.len())
+            .map_err(|_| invalid("method/ruleset labels are limited to 255 bytes"))?;
         let (w16, h16) = (
             u16::try_from(w).map_err(|_| invalid("topology wider than u16"))?,
             u16::try_from(h).map_err(|_| invalid("topology taller than u16"))?,
         );
         let mut out = Vec::with_capacity(64 + w * h / 8 + 4 * (w + h));
         out.push(RECORD_VERSION);
-        out.push(self.method.len() as u8);
+        out.push(method_len);
         out.extend_from_slice(self.method.as_bytes());
-        out.push(self.ruleset.len() as u8);
+        out.push(ruleset_len);
         out.extend_from_slice(self.ruleset.as_bytes());
         out.extend_from_slice(&self.source_index.to_le_bytes());
         out.extend_from_slice(&self.dups_since_prev.to_le_bytes());
         out.extend_from_slice(&self.skips_since_prev.to_le_bytes());
-        out.push(self.legal as u8);
+        out.push(u8::from(self.legal));
         out.extend_from_slice(&self.complexity.0.to_le_bytes());
         out.extend_from_slice(&self.complexity.1.to_le_bytes());
         out.extend_from_slice(&w16.to_le_bytes());
@@ -181,8 +189,11 @@ impl Record {
     /// Encodes the payload and wraps it in a `[len][crc]` frame.
     pub fn frame(&self) -> Result<Vec<u8>, LibraryError> {
         let payload = self.encode()?;
+        let len32 = u32::try_from(payload.len()).map_err(|_| LibraryError::Invalid {
+            detail: "payload length exceeds the u32 frame field".to_string(),
+        })?;
         let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
-        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&len32.to_le_bytes());
         out.extend_from_slice(&crc32(&payload).to_le_bytes());
         out.extend_from_slice(&payload);
         Ok(out)
@@ -206,8 +217,8 @@ impl Record {
         }
         let cx = r.u16()?;
         let cy = r.u16()?;
-        let w = r.u16()? as usize;
-        let h = r.u16()? as usize;
+        let w = usize::from(r.u16()?);
+        let h = usize::from(r.u16()?);
         let bits = r.take((w * h).div_ceil(8))?;
         let cells: Vec<bool> = (0..w * h)
             .map(|i| bits[i / 8] >> (i % 8) & 1 != 0)
@@ -282,7 +293,7 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn label(&mut self) -> Result<String, LibraryError> {
-        let n = self.u8()? as usize;
+        let n = usize::from(self.u8()?);
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("label is not UTF-8".to_string()))
     }
@@ -331,7 +342,9 @@ pub fn scan_frame(buf: &[u8], offset: usize) -> FrameScan {
             reason: "truncated frame header".to_string(),
         };
     }
-    let len = u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap()) as usize;
+    // u32 → usize is total on every supported (32/64-bit) target.
+    let len32 = u32::from_le_bytes(buf[offset..offset + 4].try_into().unwrap());
+    let len = usize::try_from(len32).unwrap_or(usize::MAX);
     let crc = u32::from_le_bytes(buf[offset + 4..offset + 8].try_into().unwrap());
     if len == 0 || len > MAX_PAYLOAD {
         return FrameScan::Invalid {

@@ -18,13 +18,17 @@
 //!   `1e-9` in tests) and is what the hot ingest path reports.
 
 use dp_datagen::PatternLibrary;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Online complexity histogram + Shannon entropy for one library bucket.
+///
+/// The histogram is a `BTreeMap` so any future iteration (debug dumps,
+/// merges, heat maps) is in deterministic key order — this type feeds
+/// `results.md`, where byte-stability across runs is a contract.
 #[derive(Debug, Clone, Default)]
 pub struct DiversityMeter {
     lib: PatternLibrary,
-    counts: HashMap<(usize, usize), usize>,
+    counts: BTreeMap<(usize, usize), usize>,
     sum_clog: f64,
 }
 

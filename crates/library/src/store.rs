@@ -36,7 +36,7 @@ use crate::error::LibraryError;
 use crate::matrix::{format_utc_timestamp, write_matrix, MatrixRow};
 use dp_datagen::PatternLibrary;
 use dp_squish::{complexity_of_grid, SquishPattern};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -152,7 +152,9 @@ struct BucketState {
     pending_dups: u64,
     pending_skips: u64,
     meter: DiversityMeter,
-    topos: HashMap<u64, Vec<TopoGroup>>,
+    /// Dedup groups keyed by topology hash; `BTreeMap` so stats that
+    /// fold over groups visit them in one deterministic order.
+    topos: BTreeMap<u64, Vec<TopoGroup>>,
     order: Vec<RecordRef>,
     updated: String,
     last_ckpt: (u64, u64, u64, u64),
@@ -1078,6 +1080,7 @@ impl LibraryWriter {
         let now = match &self.config.timestamp_override {
             Some(t) => t.clone(),
             None => {
+                // dp-lint: allow(nondeterministic-time): checkpoint timestamps are metadata; tests pin bytes via timestamp_override
                 let secs = std::time::SystemTime::now()
                     .duration_since(std::time::UNIX_EPOCH)
                     .map(|d| d.as_secs())

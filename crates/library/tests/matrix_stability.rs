@@ -1,0 +1,107 @@
+//! Regression test for the results-matrix byte-stability contract:
+//! two identical builds (same config, same ingest stream, pinned
+//! `timestamp_override`) must emit byte-identical `results.md` files.
+//!
+//! This is the test half of the `HashMap` → `BTreeMap` switch in the
+//! store and diversity meter: `std::collections::HashMap` seeds its
+//! hasher per *instance*, so with a hashed container anywhere on the
+//! path from ingest to matrix rendering, two writers in the same
+//! process can legitimately disagree on iteration order and the bytes
+//! diverge. The BTree containers make the order a property of the
+//! data, which is what `results.md` — a committed artifact — requires.
+
+use dp_library::{render_matrix, Library, LibraryConfig, LibraryWriter};
+use dp_squish::{BitGrid, SquishPattern};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const BUCKETS: &[(&str, &str)] = &[
+    ("diffpattern", "standard"),
+    ("diffpattern", "strict"),
+    ("lhs", "standard"),
+    ("random", "strict"),
+];
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dp_matrix_{tag}_{}_{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "_")
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cfg() -> LibraryConfig {
+    LibraryConfig {
+        segment_bytes: 1 << 16,
+        timestamp_override: Some("2026-08-08 - 00:00:00".to_string()),
+    }
+}
+
+/// Deterministic small pattern from a seed (splitmix-style scatter).
+fn pattern(seed: u64) -> SquishPattern {
+    let mut x = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xA5A5);
+    let mut next = move || {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 29;
+        x
+    };
+    let w = (next() % 4 + 1) as usize;
+    let h = (next() % 4 + 1) as usize;
+    let cells: Vec<bool> = (0..w * h).map(|_| next() % 2 == 0).collect();
+    let topology = BitGrid::from_cells(w, h, cells).unwrap();
+    let dx: Vec<i64> = (0..w).map(|_| (next() % 8 + 1) as i64).collect();
+    let dy: Vec<i64> = (0..h).map(|_| (next() % 8 + 1) as i64).collect();
+    SquishPattern::new(topology, dx, dy).unwrap()
+}
+
+/// Builds the same four-bucket library every time: seeds cycle with a
+/// short period so duplicates and topology-group collisions exercise
+/// the ordered containers, and every thirteenth item is a skip.
+fn build(dir: &Path) -> Library {
+    let mut w = LibraryWriter::open(dir, cfg()).unwrap();
+    for &(method, ruleset) in BUCKETS {
+        w.open_bucket(method, ruleset, 0).unwrap();
+    }
+    for i in 0..200u64 {
+        let (method, ruleset) = BUCKETS[usize::try_from(i).unwrap() % BUCKETS.len()];
+        if i % 13 == 5 {
+            w.record_skip(method, ruleset).unwrap();
+            continue;
+        }
+        let index = w.next_index(method, ruleset).unwrap();
+        let p = pattern(i * 7 % 23);
+        w.ingest(method, ruleset, index, &p, i % 3 != 0).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+#[test]
+fn identical_builds_emit_identical_matrix_bytes() {
+    let (da, db) = (tmp("a"), tmp("b"));
+    let la = build(&da);
+    let lb = build(&db);
+
+    let file_a = fs::read(da.join("results.md")).unwrap();
+    let file_b = fs::read(db.join("results.md")).unwrap();
+    assert!(!file_a.is_empty(), "results.md must not be empty");
+    assert_eq!(
+        file_a, file_b,
+        "two identical builds produced different results.md bytes"
+    );
+
+    // The in-memory rendering path must agree with what hit the disk.
+    let rendered = render_matrix(&la.matrix_rows());
+    assert_eq!(rendered.into_bytes(), file_a);
+    assert_eq!(la.content_hash(), lb.content_hash());
+
+    let _ = fs::remove_dir_all(&da);
+    let _ = fs::remove_dir_all(&db);
+}

@@ -1,0 +1,200 @@
+//! Parsing of inline `dp-lint` control comments.
+//!
+//! Two directives exist, both only recognized in *non-doc* comments
+//! (doc comments may quote the syntax freely without side effects):
+//!
+//! * `dp-lint: allow(<rule>): <reason>` — suppress `<rule>` on the line
+//!   the comment trails, or (for a comment alone on its line) on the
+//!   line of the next code token. The reason is mandatory: an allow
+//!   without one is itself an `invalid-directive` finding and does not
+//!   suppress anything.
+//! * `dp-lint: zero-alloc` — marks the next block (`{ ... }`) as an
+//!   allocation-free region checked by the `zero-alloc-region` rule.
+//!
+//! This module is the pure text-level parser; placement (which line an
+//! allow targets, which braces bound a region) lives in [`crate::engine`].
+
+use crate::rules;
+
+/// The meaning of one `dp-lint` comment, before placement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// A well-formed `allow(<rule>): <reason>`.
+    Allow {
+        /// The rule being suppressed (validated against the registry).
+        rule: &'static str,
+    },
+    /// A `zero-alloc` region marker.
+    ZeroAlloc,
+    /// A malformed directive; the message becomes an unsuppressible
+    /// `invalid-directive` finding.
+    Invalid {
+        /// What is wrong with it.
+        message: String,
+    },
+}
+
+/// Parses one comment's full text. Returns `None` when the comment is
+/// not a directive at all (no `dp-lint` marker).
+pub fn parse_comment(text: &str) -> Option<DirectiveKind> {
+    let at = text.find("dp-lint")?;
+    let mut rest = &text[at + "dp-lint".len()..];
+    // Block comments carry their closing delimiter in the token text.
+    if let Some(stripped) = rest.strip_suffix("*/") {
+        rest = stripped;
+    }
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix(':') else {
+        return Some(DirectiveKind::Invalid {
+            message: "missing `:` after `dp-lint` — write `dp-lint: allow(<rule>): <reason>` \
+                      or `dp-lint: zero-alloc`"
+                .to_string(),
+        });
+    };
+    let body = body.trim();
+
+    if let Some(after) = body.strip_prefix("allow") {
+        return Some(parse_allow(after.trim_start()));
+    }
+    if body == "zero-alloc" {
+        return Some(DirectiveKind::ZeroAlloc);
+    }
+    let word = body
+        .split(|c: char| c.is_whitespace() || c == '(' || c == ':')
+        .next()
+        .unwrap_or("");
+    Some(DirectiveKind::Invalid {
+        message: format!(
+            "unknown dp-lint directive `{word}` — supported: `allow(<rule>): <reason>`, \
+             `zero-alloc`"
+        ),
+    })
+}
+
+fn parse_allow(s: &str) -> DirectiveKind {
+    let Some(open) = s.strip_prefix('(') else {
+        return DirectiveKind::Invalid {
+            message: "malformed allow — write `dp-lint: allow(<rule>): <reason>`".to_string(),
+        };
+    };
+    let Some(close) = open.find(')') else {
+        return DirectiveKind::Invalid {
+            message: "malformed allow: missing `)`".to_string(),
+        };
+    };
+    let name = open[..close].trim();
+    let Some(def) = rules::rule(name) else {
+        let known: Vec<&str> = rules::RULES
+            .iter()
+            .map(|r| r.id)
+            .filter(|id| *id != rules::INVALID_DIRECTIVE)
+            .collect();
+        return DirectiveKind::Invalid {
+            message: format!(
+                "unknown rule `{name}` in allow directive — known rules: {}",
+                known.join(", ")
+            ),
+        };
+    };
+    if def.id == rules::INVALID_DIRECTIVE {
+        return DirectiveKind::Invalid {
+            message: "`invalid-directive` findings cannot be suppressed".to_string(),
+        };
+    }
+    let tail = open[close + 1..].trim_start();
+    let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return DirectiveKind::Invalid {
+            message: format!(
+                "allow({}) without a reason — write `dp-lint: allow({}): <why this site is \
+                 exempt>`",
+                def.id, def.id
+            ),
+        };
+    }
+    DirectiveKind::Allow { rule: def.id }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_reason_parses() {
+        let text = "// dp-lint: allow(nondeterministic-time): deadline math, not output";
+        assert_eq!(
+            parse_comment(text),
+            Some(DirectiveKind::Allow {
+                rule: "nondeterministic-time"
+            })
+        );
+    }
+
+    #[test]
+    fn allow_without_reason_is_invalid() {
+        for text in [
+            "// dp-lint: allow(nondeterministic-time)",
+            "// dp-lint: allow(nondeterministic-time):",
+            "// dp-lint: allow(nondeterministic-time):   ",
+        ] {
+            match parse_comment(text) {
+                Some(DirectiveKind::Invalid { message }) => {
+                    assert!(message.contains("without a reason"), "{message}");
+                }
+                other => panic!("expected Invalid for {text:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected_and_lists_known_rules() {
+        match parse_comment("// dp-lint: allow(no-such-rule): whatever") {
+            Some(DirectiveKind::Invalid { message }) => {
+                assert!(message.contains("unknown rule `no-such-rule`"), "{message}");
+                assert!(message.contains("zero-alloc-region"), "{message}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_directive_rule_cannot_be_allowed() {
+        match parse_comment("// dp-lint: allow(invalid-directive): nice try") {
+            Some(DirectiveKind::Invalid { message }) => {
+                assert!(message.contains("cannot be suppressed"), "{message}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_alloc_and_block_comment_forms() {
+        assert_eq!(
+            parse_comment("// dp-lint: zero-alloc"),
+            Some(DirectiveKind::ZeroAlloc)
+        );
+        assert_eq!(
+            parse_comment("/* dp-lint: zero-alloc */"),
+            Some(DirectiveKind::ZeroAlloc)
+        );
+        assert_eq!(
+            parse_comment("/* dp-lint: allow(unordered-iteration): sorted before emit */"),
+            Some(DirectiveKind::Allow {
+                rule: "unordered-iteration"
+            })
+        );
+    }
+
+    #[test]
+    fn non_directives_and_typos_are_handled() {
+        assert_eq!(parse_comment("// ordinary comment"), None);
+        assert!(matches!(
+            parse_comment("// dp-lint allow(rng-discipline): forgot the colon"),
+            Some(DirectiveKind::Invalid { .. })
+        ));
+        assert!(matches!(
+            parse_comment("// dp-lint: forbid(everything)"),
+            Some(DirectiveKind::Invalid { .. })
+        ));
+    }
+}

@@ -1,0 +1,448 @@
+//! The per-file analysis pipeline and the workspace walker.
+//!
+//! For each `.rs` file the engine: lexes it, erases `#[cfg(test)]`
+//! items (token-level, so test modules can use `HashMap` and `unwrap`
+//! freely), parses `dp-lint` directives out of the remaining non-doc
+//! comments, runs every in-scope rule matcher over the comment-free
+//! token stream, and then applies allow directives line-by-line. An
+//! allow that suppresses nothing is itself a finding, so stale
+//! exemptions cannot accumulate.
+//!
+//! The walker skips `tests/`, `benches/`, `examples/`, `fixtures/`,
+//! `target/` and `.git/` subtrees entirely: the contracts bind shipped
+//! library and binary code, not test harnesses.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::directives::{parse_comment, DirectiveKind};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::{Finding, Report};
+use crate::rules::{self, INVALID_DIRECTIVE};
+
+/// Directory names whose subtrees are never analyzed.
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "fixtures"];
+
+/// Byte-offset → line/column mapping for one file.
+struct LineIndex {
+    /// Byte offset of each line's first byte; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl LineIndex {
+    fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { starts }
+    }
+
+    /// 1-based line containing `offset`.
+    fn line_of(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based (line, column); column counts chars, not bytes.
+    fn line_col(&self, src: &str, offset: usize) -> (usize, usize) {
+        let line = self.line_of(offset);
+        let start = self.starts[line - 1];
+        let col = src
+            .get(start..offset)
+            .map_or(1, |prefix| prefix.chars().count() + 1);
+        (line, col)
+    }
+
+    /// The trimmed text of a 1-based line, capped for report snippets.
+    fn snippet(&self, src: &str, line: usize) -> String {
+        let start = self.starts[line - 1];
+        let end = self
+            .starts
+            .get(line)
+            .map_or(src.len(), |&next| next.saturating_sub(1));
+        let text = src.get(start..end).unwrap_or("").trim();
+        if text.chars().count() > 120 {
+            let cut: String = text.chars().take(117).collect();
+            format!("{cut}...")
+        } else {
+            text.to_string()
+        }
+    }
+}
+
+/// One placed allow directive, awaiting a finding to suppress.
+struct Allow {
+    rule: &'static str,
+    /// 1-based line the allow applies to (`usize::MAX` = nothing).
+    target_line: usize,
+    /// Byte offset of the directive comment, for unused-allow reports.
+    offset: usize,
+    used: bool,
+}
+
+/// Analyzes one file's source. `path` is the normalized, root-relative
+/// path used for rule scoping and reporting.
+pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
+    let tokens = lex(src);
+    let lines = LineIndex::new(src);
+
+    let code_all: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).copied().collect();
+    let test_regions = cfg_test_regions(&code_all, src);
+    let hidden = |t: &Token| {
+        test_regions
+            .iter()
+            .any(|&(s, e)| t.start >= s && t.end <= e)
+    };
+    let code: Vec<Token> = code_all.iter().filter(|t| !hidden(t)).copied().collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut zero_alloc: Vec<(usize, usize)> = Vec::new();
+
+    let emit = |findings: &mut Vec<Finding>, rule: &'static str, offset: usize, message: String| {
+        let (line, column) = lines.line_col(src, offset);
+        findings.push(Finding {
+            rule,
+            file: path.to_string(),
+            line,
+            column,
+            snippet: lines.snippet(src, line),
+            message,
+        });
+    };
+
+    for t in &tokens {
+        let doc = match t.kind {
+            TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => doc,
+            _ => continue,
+        };
+        if doc || hidden(t) {
+            continue;
+        }
+        let Some(kind) = parse_comment(t.text(src)) else {
+            continue;
+        };
+        match kind {
+            DirectiveKind::Invalid { message } => {
+                emit(&mut findings, INVALID_DIRECTIVE, t.start, message);
+            }
+            DirectiveKind::ZeroAlloc => match region_after(&code, t.end) {
+                Some(region) => zero_alloc.push(region),
+                None => emit(
+                    &mut findings,
+                    INVALID_DIRECTIVE,
+                    t.start,
+                    "zero-alloc directive is not followed by a block".to_string(),
+                ),
+            },
+            DirectiveKind::Allow { rule } => {
+                let line_start = lines.starts[lines.line_of(t.start) - 1];
+                let standalone = src
+                    .get(line_start..t.start)
+                    .is_some_and(|s| s.trim().is_empty());
+                let target_line = if standalone {
+                    code.iter()
+                        .find(|c| c.start >= t.end)
+                        .map_or(usize::MAX, |c| lines.line_of(c.start))
+                } else {
+                    lines.line_of(t.start)
+                };
+                allows.push(Allow {
+                    rule,
+                    target_line,
+                    offset: t.start,
+                    used: false,
+                });
+            }
+        }
+    }
+
+    for m in rules::run_matchers(path, src, &code, &zero_alloc) {
+        let line = lines.line_of(m.offset);
+        if let Some(allow) = allows
+            .iter_mut()
+            .find(|a| a.rule == m.rule && a.target_line == line)
+        {
+            allow.used = true;
+            continue;
+        }
+        emit(&mut findings, m.rule, m.offset, m.message);
+    }
+
+    for allow in allows.iter().filter(|a| !a.used) {
+        emit(
+            &mut findings,
+            INVALID_DIRECTIVE,
+            allow.offset,
+            format!(
+                "allow({}) suppresses nothing — remove the stale directive",
+                allow.rule
+            ),
+        );
+    }
+
+    findings
+}
+
+/// Byte ranges of items behind a `#[cfg(test)]`-style attribute.
+///
+/// Token-level heuristic: an attribute whose first identifier is `cfg`
+/// and which mentions `test` (and not `not`) marks the following item —
+/// through any further attributes — as a test region, ending at the
+/// first `;` at bracket depth zero or the matching `}` of the item's
+/// first block.
+fn cfg_test_regions(code: &[Token], src: &str) -> Vec<(usize, usize)> {
+    let is_punct = |i: usize, c: char| code.get(i).is_some_and(|t| t.kind == TokenKind::Punct(c));
+
+    // Returns the index of the `]` matching the `[` at `open`.
+    let close_bracket = |open: usize| -> Option<usize> {
+        let mut depth = 0usize;
+        for (j, t) in code.iter().enumerate().skip(open) {
+            match t.kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    };
+
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        if !(is_punct(i, '#') && is_punct(i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let Some(close) = close_bracket(i + 1) else {
+            break;
+        };
+        let inner = &code[i + 2..close];
+        let inner_ident = |t: &Token| t.kind == TokenKind::Ident;
+        let is_test_attr = inner
+            .first()
+            .is_some_and(|t| inner_ident(t) && t.text(src) == "cfg")
+            && inner
+                .iter()
+                .any(|t| inner_ident(t) && t.text(src) == "test")
+            && !inner.iter().any(|t| inner_ident(t) && t.text(src) == "not");
+        if !is_test_attr {
+            i = close + 1;
+            continue;
+        }
+
+        // Step over any further attributes on the same item.
+        let mut k = close + 1;
+        while is_punct(k, '#') && is_punct(k + 1, '[') {
+            match close_bracket(k + 1) {
+                Some(c) => k = c + 1,
+                None => break,
+            }
+        }
+        if k >= code.len() {
+            break;
+        }
+
+        // The item runs to the first `;` at depth zero, or the `}`
+        // closing the first block opened at depth zero.
+        let mut depth = 0usize;
+        let mut end = code[code.len() - 1].end;
+        let mut end_index = code.len();
+        for (j, t) in code.iter().enumerate().skip(k) {
+            match t.kind {
+                TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => {
+                    depth += 1;
+                }
+                TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                    depth = depth.saturating_sub(1);
+                }
+                TokenKind::Punct('}') => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = t.end;
+                        end_index = j + 1;
+                        break;
+                    }
+                }
+                TokenKind::Punct(';') if depth == 0 => {
+                    end = t.end;
+                    end_index = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        // Include the attribute itself in the erased region.
+        regions.push((code[i].start, end));
+        i = end_index;
+    }
+    regions
+}
+
+/// The byte range of the first `{ ... }` block whose opening brace
+/// follows byte offset `after`.
+fn region_after(code: &[Token], after: usize) -> Option<(usize, usize)> {
+    let open = code
+        .iter()
+        .position(|t| t.start >= after && t.kind == TokenKind::Punct('{'))?;
+    let mut depth = 0usize;
+    for t in &code[open..] {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some((code[open].start, t.end));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Unbalanced file: run the region to the last token.
+    Some((code[open].start, code.last().map_or(after, |t| t.end)))
+}
+
+/// Walks `root` and analyzes every `.rs` file outside the skip list.
+/// Findings come back sorted by (file, line, column, rule).
+pub fn analyze_tree(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for file in &files {
+        let bytes = fs::read(file)?;
+        let src = String::from_utf8_lossy(&bytes);
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(analyze_source(&rel, &src));
+    }
+    let mut report = Report {
+        files_scanned: files.len(),
+        findings,
+    };
+    report.sort();
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_found(path: &str, src: &str) -> Vec<&'static str> {
+        analyze_source(path, src)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn cfg_test_modules_are_erased() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); z.unwrap(); }\n}\n";
+        let got = rules_found("crates/serve/src/proto.rs", src);
+        assert_eq!(got, ["panic-in-serving-tier"], "only the live unwrap");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_erased() {
+        let src = "#[cfg(not(test))]\nfn live() { x.unwrap(); }\n";
+        let got = rules_found("crates/serve/src/proto.rs", src);
+        assert_eq!(got, ["panic-in-serving-tier"]);
+    }
+
+    #[test]
+    fn cfg_test_single_item_and_attr_stacking() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T { m: HashMap<u8, u8> }\n\
+                   struct Live { m: HashSet<u8> }\n";
+        let got = rules_found("crates/core/src/scheduler.rs", src);
+        assert_eq!(got, ["unordered-iteration"], "only the live HashSet");
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_same_line_only() {
+        let src = "fn f() {\n\
+                   let a = HashMap::new(); // dp-lint: allow(unordered-iteration): keyed lookup only, never iterated\n\
+                   let b = HashMap::new();\n}\n";
+        let got = rules_found("crates/core/src/x.rs", src);
+        assert_eq!(got, ["unordered-iteration"], "second line still fires");
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "fn f() {\n\
+                   // dp-lint: allow(unordered-iteration): keyed lookup only, never iterated\n\
+                   let a = HashMap::new();\n}\n";
+        assert!(rules_found("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_allow_is_a_finding() {
+        let src = "// dp-lint: allow(unordered-iteration): stale\nfn f() {}\n";
+        let got = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "invalid-directive");
+        assert!(
+            got[0].message.contains("suppresses nothing"),
+            "{}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn doc_comments_do_not_carry_directives() {
+        let src = "/// Usage: `// dp-lint: allow(bogus-rule)`\nfn f() {}\n";
+        assert!(analyze_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn zero_alloc_region_flags_allocation_in_block() {
+        let src = "fn hot(buf: &mut [u8]) {\n\
+                   // dp-lint: zero-alloc\n\
+                   for b in buf.iter_mut() {\n  let c = owned.clone();\n}\n\
+                   let after = tail.to_vec();\n}\n";
+        let got = rules_found("crates/nn/src/workspace.rs", src);
+        assert_eq!(got, ["zero-alloc-region"], "alloc after the region is fine");
+    }
+
+    #[test]
+    fn line_and_column_are_one_based_chars() {
+        let src = "fn f() {\n    let m = HashMap::new();\n}\n";
+        let got = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!((got[0].line, got[0].column), (2, 13));
+        assert_eq!(got[0].snippet, "let m = HashMap::new();");
+    }
+}

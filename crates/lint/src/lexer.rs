@@ -1,0 +1,477 @@
+//! A string- and comment-aware lexer for Rust source.
+//!
+//! This is not a full Rust lexer — it recognises exactly the token
+//! shapes the rule engine needs to match code *without* being fooled by
+//! comments, string literals, char literals or lifetimes:
+//!
+//! * line and (nested) block comments, with doc-comment flagging;
+//! * plain, raw, byte and byte-raw string literals (`"…"`, `r#"…"#`,
+//!   `b"…"`, `br#"…"#`);
+//! * char and byte literals vs lifetimes (`'a'` vs `'a`);
+//! * identifiers (including `r#raw` identifiers), numbers, and
+//!   single-character punctuation.
+//!
+//! Every token carries its byte span into the source. The invariant the
+//! property tests pin: spans are strictly increasing, non-overlapping,
+//! land on `char` boundaries, and the bytes between consecutive tokens
+//! are whitespace only — so the token stream plus the gaps reconstructs
+//! the file byte-for-byte. Unterminated literals and comments extend to
+//! end of input instead of panicking: the lexer must survive arbitrary
+//! bytes, because it runs on files a rule author has never seen.
+
+/// What kind of token a span is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `as`, `r#match`).
+    Ident,
+    /// A numeric literal (integer or float, any base).
+    Number,
+    /// Any string-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// A char or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A lifetime: `'a`, `'static`.
+    Lifetime,
+    /// A `//` comment. `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// A `/* … */` comment (nesting-aware). `doc` is true for `/**` and
+    /// `/*!` forms.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// A single punctuation character (everything else).
+    Punct(char),
+}
+
+/// One lexed token: a [`TokenKind`] plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within its source file.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is any comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// Lexes `src` into a token stream. Never panics; any byte sequence
+/// produces a valid (possibly degenerate) stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+    }
+    .run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+                continue;
+            }
+            let start = self.pos;
+            let kind = self.next_kind(b);
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+            });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn next_kind(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' => self.prefixed_or_ident(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => self.punct(),
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` (but not `////`) and `//!` are doc comments.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'/'), Some(b'/')) => false,
+            (Some(b'/'), _) => true,
+            _ => false,
+        };
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` (but not `/***` or the degenerate `/**/`) and `/*!`.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some(b'!'), _) => true,
+            (Some(b'*'), Some(b'*')) => false,
+            (Some(b'*'), Some(b'/')) => false,
+            (Some(b'*'), _) => true,
+            _ => false,
+        };
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.bump_char();
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// A `"`-delimited string with `\` escapes; unterminated runs to EOF.
+    fn string(&mut self) -> TokenKind {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    self.bump_char();
+                }
+                _ => self.bump_char(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at the current `r`/`b` prefix:
+    /// `r"…"`, `r#"…"#`, `br##"…"##`. The caller has verified the shape.
+    fn raw_string(&mut self) {
+        // Skip the prefix letters.
+        while matches!(self.peek(0), Some(b'r') | Some(b'b')) {
+            self.pos += 1;
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        // Opening quote (guaranteed by the caller's lookahead).
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut close = 0usize;
+                while close < hashes && self.peek(1 + close) == Some(b'#') {
+                    close += 1;
+                }
+                if close == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump_char();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime).
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        self.pos += 1;
+        match self.peek(0) {
+            Some(b'\\') => {
+                // Escaped char literal: consume the escape, then scan to
+                // the closing quote (covers `'\u{1F600}'`).
+                self.pos += 1;
+                self.bump_char();
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.bump_char();
+                }
+                self.pos = (self.pos + 1).min(self.bytes.len());
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) => {
+                // `'a'` is a char, `'a` / `'static` are lifetimes.
+                let mut ahead = 1;
+                while self.peek(ahead).is_some_and(is_ident_continue) {
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') {
+                    self.pos += ahead + 1;
+                    TokenKind::Char
+                } else {
+                    self.pos += ahead;
+                    TokenKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'%'` and friends: one char then the closing quote.
+                self.bump_char();
+                if self.peek(0) == Some(b'\'') {
+                    self.pos += 1;
+                }
+                TokenKind::Char
+            }
+            None => TokenKind::Char,
+        }
+    }
+
+    /// `r`/`b` can open a raw string, byte string, byte char, raw
+    /// identifier — or just be the first letter of an identifier.
+    fn prefixed_or_ident(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        // b"…"  b'…'  br"…"  br#"…"
+        if b == b'b' {
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return self.string();
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    self.pos += 1;
+                    // Byte literal: escape or single byte, then `'`.
+                    if self.peek(0) == Some(b'\\') {
+                        self.pos += 1;
+                        self.bump_char();
+                        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                            self.bump_char();
+                        }
+                        self.pos = (self.pos + 1).min(self.bytes.len());
+                    } else {
+                        self.bump_char();
+                        if self.peek(0) == Some(b'\'') {
+                            self.pos += 1;
+                        }
+                    }
+                    return TokenKind::Char;
+                }
+                Some(b'r') if self.raw_follows(2) => {
+                    self.raw_string();
+                    return TokenKind::Str;
+                }
+                _ => {}
+            }
+        }
+        // r"…"  r#"…"#  r#ident
+        if b == b'r' {
+            if self.raw_follows(1) {
+                self.raw_string();
+                return TokenKind::Str;
+            }
+            if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) {
+                // Raw identifier: `r#match`.
+                self.pos += 2;
+                return self.ident();
+            }
+        }
+        self.ident()
+    }
+
+    /// Whether `#*"` follows at `self.pos + at` (a raw-string opener).
+    fn raw_follows(&self, at: usize) -> bool {
+        let mut ahead = at;
+        while self.peek(ahead) == Some(b'#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some(b'"')
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let mut seen_dot = false;
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == b'_' => self.pos += 1,
+                // `1.5` continues the number; `1..3` does not.
+                Some(b'.') if !seen_dot && self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    seen_dot = true;
+                    self.pos += 1;
+                }
+                // `1e+3` / `1e-3` exponent signs.
+                Some(b'+') | Some(b'-')
+                    if matches!(self.bytes.get(self.pos - 1), Some(b'e') | Some(b'E')) =>
+                {
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        TokenKind::Number
+    }
+
+    fn punct(&mut self) -> TokenKind {
+        let c = self.src[self.pos..].chars().next().unwrap_or('\u{FFFD}');
+        self.pos += c.len_utf8();
+        TokenKind::Punct(c)
+    }
+
+    /// Advances by one full `char` (UTF-8 aware), at least one byte.
+    fn bump_char(&mut self) {
+        if self.pos >= self.bytes.len() {
+            return;
+        }
+        self.pos += 1;
+        while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+            self.pos += 1;
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r#"let x = "a // not a comment"; // real /* still line */
+/* block /* nested */ end */ y"#;
+        let toks = kinds(src);
+        assert_eq!(toks[3], (TokenKind::Str, "\"a // not a comment\""));
+        assert!(matches!(toks[5].0, TokenKind::LineComment { doc: false }));
+        assert_eq!(toks[6].1, "/* block /* nested */ end */");
+        assert_eq!(toks[7], (TokenKind::Ident, "y"));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let src = "/// doc\n//! inner\n// plain\n//// not doc\n/** block doc */\n/*! inner block */\n/* plain block */";
+        let flags: Vec<bool> = lex(src)
+            .iter()
+            .map(|t| match t.kind {
+                TokenKind::LineComment { doc } | TokenKind::BlockComment { doc } => doc,
+                _ => unreachable!("only comments in input"),
+            })
+            .collect();
+        assert_eq!(flags, [true, true, false, false, true, true, false]);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r###"r#"has "quotes" and // slashes"# tail"###;
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[1], (TokenKind::Ident, "tail"));
+        let src2 = "br\"bytes\" b\"more\" b'x' r#ident";
+        let toks2 = kinds(src2);
+        assert_eq!(toks2[0].0, TokenKind::Str);
+        assert_eq!(toks2[1].0, TokenKind::Str);
+        assert_eq!(toks2[2].0, TokenKind::Char);
+        assert_eq!(toks2[3], (TokenKind::Ident, "r#ident"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "&'a str; 'x'; '\\n'; '\\u{1F600}'; 'static";
+        let got: Vec<TokenKind> = lex(src)
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime | TokenKind::Char))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(
+            got,
+            [
+                TokenKind::Lifetime,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Lifetime
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let src = "0..10 1.5 1e-3 0xFF_u32";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::Number, "0"));
+        assert_eq!(toks[1].1, ".");
+        assert_eq!(toks[2].1, ".");
+        assert_eq!(toks[3], (TokenKind::Number, "10"));
+        assert_eq!(toks[4], (TokenKind::Number, "1.5"));
+        assert_eq!(toks[5], (TokenKind::Number, "1e-3"));
+        assert_eq!(toks[6], (TokenKind::Number, "0xFF_u32"));
+    }
+
+    #[test]
+    fn unterminated_literals_run_to_eof_without_panicking() {
+        for src in ["\"open", "r#\"open", "/* open", "'", "b'", "b\"open"] {
+            let toks = lex(src);
+            assert!(!toks.is_empty(), "{src:?}");
+            assert_eq!(toks.last().map(|t| t.end), Some(src.len()), "{src:?}");
+        }
+    }
+
+    #[test]
+    fn spans_cover_all_non_whitespace() {
+        let src = "fn f(x: &str) -> usize { x.len() } // done";
+        let toks = lex(src);
+        let mut reconstructed = vec![b' '; src.len()];
+        for t in &toks {
+            reconstructed[t.start..t.end].copy_from_slice(&src.as_bytes()[t.start..t.end]);
+        }
+        assert_eq!(String::from_utf8(reconstructed).as_deref(), Ok(src));
+    }
+}

@@ -1,0 +1,96 @@
+//! The `dp_lint` command-line front end.
+//!
+//! ```text
+//! cargo run -p dp_lint -- --workspace [--root DIR] [--json PATH]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dp_lint::engine::analyze_tree;
+use dp_lint::rules::RULES;
+
+const USAGE: &str = "\
+dp_lint: static analysis for the workspace's determinism, panic-freedom \
+and codec-safety contracts
+
+USAGE:
+    dp_lint --workspace [--root DIR] [--json PATH]
+    dp_lint --list-rules
+
+OPTIONS:
+    --workspace      analyze every .rs file under the root (default: cwd)
+    --root DIR       analyze DIR instead of the current directory
+    --json PATH      additionally write the machine-readable report to PATH
+    --list-rules     print the rule registry and exit
+    --help           print this help
+
+EXIT CODES:
+    0  clean    1  findings    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut workspace = false;
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(PathBuf::from(path)),
+                None => return usage_error("--json requires a path"),
+            },
+            "--list-rules" => {
+                for rule in RULES {
+                    println!("{:<26} {}", rule.id, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if !workspace {
+        return usage_error("pass --workspace to analyze (or --list-rules / --help)");
+    }
+
+    let report = match analyze_tree(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("dp_lint: error analyzing {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_path {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("dp_lint: error writing {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    print!("{}", report.render_human());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("dp_lint: {message}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

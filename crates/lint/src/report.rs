@@ -1,0 +1,202 @@
+//! Finding and report types, with human-readable and JSON rendering.
+//!
+//! Both renderings are fully deterministic: findings are sorted by
+//! (file, line, column, rule) and the JSON writer emits keys in a
+//! fixed order with no timestamps, so golden files and CI artifacts
+//! are byte-stable across runs and machines.
+
+use std::fmt::Write as _;
+
+/// One rule violation (or directive-hygiene problem) at a source site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's id (kebab-case, from the registry).
+    pub rule: &'static str,
+    /// Normalized root-relative path of the file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column (in chars).
+    pub column: usize,
+    /// The trimmed source line, capped at 120 chars.
+    pub snippet: String,
+    /// Why this site violates the contract and what to do instead.
+    pub message: String,
+}
+
+/// The result of analyzing a tree: every finding, plus scan stats.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Number of `.rs` files lexed and analyzed.
+    pub files_scanned: usize,
+    /// All findings across the tree.
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Sorts findings into the canonical (file, line, column, rule) order.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
+        });
+    }
+
+    /// Whether the tree passed with zero findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the compiler-style human report, ending with a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.file, f.line, f.column, f.rule, f.message
+            );
+            if !f.snippet.is_empty() {
+                let _ = writeln!(out, "    {} | {}", f.line, f.snippet);
+            }
+        }
+        let _ = if self.is_clean() {
+            writeln!(out, "dp_lint: clean ({} files scanned)", self.files_scanned)
+        } else {
+            writeln!(
+                out,
+                "dp_lint: {} finding(s) in {} files scanned",
+                self.findings.len(),
+                self.files_scanned
+            )
+        };
+        out
+    }
+
+    /// Renders the machine-readable report: stable key order, 2-space
+    /// indent, trailing newline. Suitable for golden files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"tool\": \"dp_lint\",");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"findings_total\": {},", self.findings.len());
+        if self.findings.is_empty() {
+            out.push_str("  \"findings\": []\n");
+        } else {
+            out.push_str("  \"findings\": [\n");
+            for (i, f) in self.findings.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"rule\": \"{}\",", json_escape(f.rule));
+                let _ = writeln!(out, "      \"file\": \"{}\",", json_escape(&f.file));
+                let _ = writeln!(out, "      \"line\": {},", f.line);
+                let _ = writeln!(out, "      \"column\": {},", f.column);
+                let _ = writeln!(out, "      \"snippet\": \"{}\",", json_escape(&f.snippet));
+                let _ = writeln!(out, "      \"message\": \"{}\"", json_escape(&f.message));
+                let comma = if i + 1 < self.findings.len() { "," } else { "" };
+                let _ = writeln!(out, "    }}{comma}");
+            }
+            out.push_str("  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, column: usize, rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            column,
+            snippet: "let x = 1;".to_string(),
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_by_file_line_column_rule() {
+        let mut r = Report {
+            files_scanned: 2,
+            findings: vec![
+                finding("b.rs", 1, 1, "rng-discipline"),
+                finding("a.rs", 9, 1, "rng-discipline"),
+                finding("a.rs", 2, 5, "unordered-iteration"),
+                finding("a.rs", 2, 5, "nondeterministic-time"),
+            ],
+        };
+        r.sort();
+        let order: Vec<(&str, usize, &str)> = r
+            .findings
+            .iter()
+            .map(|f| (f.file.as_str(), f.line, f.rule))
+            .collect();
+        assert_eq!(
+            order,
+            [
+                ("a.rs", 2, "nondeterministic-time"),
+                ("a.rs", 2, "unordered-iteration"),
+                ("a.rs", 9, "rng-discipline"),
+                ("b.rs", 1, "rng-discipline"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let mut f = finding("a.rs", 1, 1, "invalid-directive");
+        f.snippet = "say \"hi\"\\".to_string();
+        let r = Report {
+            files_scanned: 1,
+            findings: vec![f],
+        };
+        let json = r.to_json();
+        assert!(
+            json.contains("\"snippet\": \"say \\\"hi\\\"\\\\\""),
+            "{json}"
+        );
+        assert!(json.ends_with("}\n"));
+        let clean = Report {
+            files_scanned: 3,
+            findings: vec![],
+        };
+        assert!(clean.to_json().contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn human_report_has_summary_line() {
+        let clean = Report {
+            files_scanned: 4,
+            findings: vec![],
+        };
+        assert!(clean.render_human().contains("clean (4 files scanned)"));
+        let dirty = Report {
+            files_scanned: 4,
+            findings: vec![finding("a.rs", 1, 1, "rng-discipline")],
+        };
+        let text = dirty.render_human();
+        assert!(text.contains("a.rs:1:1: [rng-discipline] msg"), "{text}");
+        assert!(text.contains("1 finding(s) in 4 files"), "{text}");
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: determinism violations in the engine scope.
+//!
+//! `Instant::now` outside an allow directive trips `nondeterministic-time`,
+//! and a raw `StdRng` construction trips `rng-discipline`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+pub fn wall_clock_jitter() -> Instant {
+    Instant::now()
+}
+
+pub fn rogue_lane_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

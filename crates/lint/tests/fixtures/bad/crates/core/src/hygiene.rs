@@ -1,0 +1,24 @@
+//! Fixture: every directive-hygiene failure mode.
+//!
+//! A reasonless allow, an unknown rule name, an attempt to suppress the
+//! hygiene rule itself, and a stale allow that suppresses nothing — all
+//! four surface as `invalid-directive` findings, and the reasonless
+//! allow does *not* suppress the `Instant::now` it sits above.
+
+// dp-lint: allow(nondeterministic-time)
+pub fn reasonless() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn unknown_rule() -> u32 {
+    7 // dp-lint: allow(no-such-rule): the rule name is misspelled
+}
+
+pub fn self_suppression() -> u32 {
+    11 // dp-lint: allow(invalid-directive): hygiene findings cannot be silenced
+}
+
+// dp-lint: allow(unordered-iteration): nothing on the next line iterates anything
+pub fn stale() -> u32 {
+    13
+}

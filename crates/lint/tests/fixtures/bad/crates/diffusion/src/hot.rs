@@ -1,0 +1,15 @@
+//! Fixture: allocation inside a declared zero-alloc region.
+//!
+//! The `vec!`, `.to_vec()` and `.collect()` sites all land between the
+//! region's opening `{` and its matching `}`.
+
+pub fn denoise_step(xs: &[u64]) -> Vec<u64> {
+    // dp-lint: zero-alloc
+    {
+        let staging = vec![0u64; xs.len()];
+        let copy = xs.to_vec();
+        let doubled: Vec<u64> = copy.iter().map(|v| v * 2).collect();
+        let _ = (staging, doubled);
+    }
+    Vec::new()
+}

@@ -1,0 +1,18 @@
+//! Fixture: serving-tier and codec violations.
+//!
+//! `HashMap` trips `unordered-iteration`, `.unwrap()` and `panic!` trip
+//! `panic-in-serving-tier`, and the `as u8` cast trips
+//! `truncating-cast-in-codec`.
+
+use std::collections::HashMap;
+
+pub fn tag_of(len: usize) -> u8 {
+    len as u8
+}
+
+pub fn handle(fields: &HashMap<String, String>, key: &str) -> String {
+    if key.is_empty() {
+        panic!("empty key");
+    }
+    fields.get(key).unwrap().clone()
+}

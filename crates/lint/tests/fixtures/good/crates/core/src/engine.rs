@@ -1,0 +1,23 @@
+//! Fixture: the same operations as the bad tree, written inside the
+//! contracts — reasoned allow directives on the genuinely-needed sites.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+pub fn deadline_clock() -> Instant {
+    // dp-lint: allow(nondeterministic-time): fixture models a sanctioned wall-clock read (deadline bookkeeping)
+    Instant::now()
+}
+
+pub fn lane_rng(lane_seed: u64) -> StdRng {
+    // dp-lint: allow(rng-discipline): fixture models the one sanctioned per-lane derivation site
+    StdRng::seed_from_u64(lane_seed)
+}
+
+pub fn hot_loop(acc: &mut [u64], xs: &[u64]) {
+    // dp-lint: zero-alloc
+    for (a, x) in acc.iter_mut().zip(xs) {
+        *a = a.wrapping_add(*x);
+    }
+}

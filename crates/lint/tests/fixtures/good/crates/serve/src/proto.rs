@@ -1,0 +1,26 @@
+//! Fixture: serving-tier code that satisfies the contracts, plus a
+//! `#[cfg(test)]` module proving the engine erases test-only code —
+//! the module below unwraps and uses `HashMap` freely without findings.
+
+use std::collections::BTreeMap;
+
+pub fn tag_of(len: usize) -> u8 {
+    u8::try_from(len & 0xFF).unwrap_or(0)
+}
+
+pub fn handle(fields: &BTreeMap<String, String>, key: &str) -> Option<String> {
+    fields.get(key).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn tests_may_unwrap_and_hash() {
+        let mut m = HashMap::new();
+        m.insert("k", 1u8);
+        assert_eq!(*m.get("k").unwrap(), 1);
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: lives under a `tests/` directory, which the walker skips
+//! entirely — nothing here is scanned, so these would-be violations
+//! never surface.
+
+use std::collections::HashMap;
+
+pub fn free_for_all(m: &HashMap<String, String>) -> String {
+    let _t = std::time::Instant::now();
+    m.get("k").unwrap().clone()
+}

@@ -1,0 +1,90 @@
+//! Golden-report tests over the fixture corpora.
+//!
+//! `fixtures/bad` is a miniature workspace tree where every rule in the
+//! registry fires at least once; `fixtures/good` is the same shape
+//! written inside the contracts. Both trees carry an `expected.json`
+//! golden that the JSON renderer must reproduce byte-for-byte — any
+//! drift in rule scoping, messages, sorting, or JSON shape fails here.
+//!
+//! Regenerate a golden after an intentional change with:
+//! `cargo run -p dp_lint -- --workspace --root <tree> --json <tree>/expected.json`
+
+use dp_lint::{analyze_tree, rules, Report};
+use std::path::PathBuf;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn analyze_fixture(name: &str) -> Report {
+    analyze_tree(&fixture_root(name)).expect("fixture tree must be readable")
+}
+
+fn golden(name: &str) -> String {
+    let path = fixture_root(name).join("expected.json");
+    std::fs::read_to_string(&path).expect("golden expected.json must exist")
+}
+
+#[test]
+fn bad_corpus_matches_golden_byte_for_byte() {
+    let report = analyze_fixture("bad");
+    assert!(!report.is_clean(), "the bad corpus must produce findings");
+    assert_eq!(
+        report.to_json(),
+        golden("bad"),
+        "bad-corpus JSON drifted from tests/fixtures/bad/expected.json"
+    );
+}
+
+#[test]
+fn bad_corpus_fires_every_rule_in_the_registry() {
+    let report = analyze_fixture("bad");
+    for def in rules::RULES {
+        assert!(
+            report.findings.iter().any(|f| f.rule == def.id),
+            "rule `{}` has no fixture coverage in the bad corpus",
+            def.id
+        );
+    }
+}
+
+#[test]
+fn good_corpus_is_clean_and_matches_golden() {
+    let report = analyze_fixture("good");
+    assert!(
+        report.is_clean(),
+        "good corpus should be clean, got: {}",
+        report.render_human()
+    );
+    assert_eq!(
+        report.to_json(),
+        golden("good"),
+        "good-corpus JSON drifted from tests/fixtures/good/expected.json"
+    );
+}
+
+#[test]
+fn good_corpus_skips_tests_directories() {
+    // The good tree holds three .rs files on disk, but
+    // crates/serve/tests/wire.rs sits under a `tests/` directory the
+    // walker must skip — so only two are scanned, and the would-be
+    // violations in wire.rs never surface.
+    let report = analyze_fixture("good");
+    assert_eq!(report.files_scanned, 2);
+    assert!(report.findings.iter().all(|f| !f.file.contains("wire.rs")));
+}
+
+#[test]
+fn findings_sorted_by_file_line_column_rule() {
+    let report = analyze_fixture("bad");
+    let keys: Vec<_> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.column, f.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "report findings must arrive pre-sorted");
+}

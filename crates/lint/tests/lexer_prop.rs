@@ -1,0 +1,67 @@
+//! Property tests for the lexer's span discipline.
+//!
+//! The contract documented in `dp_lint::lexer`: token spans are
+//! strictly increasing, non-overlapping, land on `char` boundaries,
+//! and the bytes between consecutive tokens are whitespace only — so
+//! the token stream plus the gaps reconstructs the file byte-for-byte.
+//! The generator leans on the characters that open lexer modes
+//! (quotes, slashes, stars, `r`/`b` prefixes, hashes, backslashes) and
+//! multi-byte UTF-8 so unterminated and nested constructs get hit.
+
+use dp_lint::lexer::lex;
+use proptest::prelude::*;
+
+/// Weighted toward mode-opening characters; includes multi-byte UTF-8.
+const POOL: &[char] = &[
+    '"', '\'', '/', '*', '\\', 'r', 'b', '#', '!', '.', ':', ';', '{', '}', '(', ')', '<', '>',
+    '=', '-', '+', '_', 'a', 'z', 'A', '0', '9', 'x', 'e', ' ', ' ', '\n', '\n', '\t', 'é', 'λ',
+    '🦀',
+];
+
+fn assemble(picks: &[u8]) -> String {
+    picks
+        .iter()
+        .map(|&b| POOL[usize::from(b) % POOL.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Spans partition the file: in-bounds, ordered, char-aligned,
+    /// whitespace-only gaps, and concatenation reconstructs the input.
+    fn token_spans_round_trip_file_offsets(
+        picks in proptest::collection::vec(proptest::strategy::any::<u8>(), 0..160),
+    ) {
+        let src = assemble(&picks);
+        let tokens = lex(&src);
+
+        let mut rebuilt = String::new();
+        let mut cursor = 0usize;
+        for tok in &tokens {
+            prop_assert!(tok.start < tok.end, "empty span at {}", tok.start);
+            prop_assert!(tok.end <= src.len(), "span past EOF");
+            prop_assert!(cursor <= tok.start, "overlapping/unordered spans");
+            prop_assert!(src.is_char_boundary(tok.start), "start off char boundary");
+            prop_assert!(src.is_char_boundary(tok.end), "end off char boundary");
+            let gap = &src[cursor..tok.start];
+            prop_assert!(
+                gap.chars().all(char::is_whitespace),
+                "non-whitespace gap {:?} before offset {}",
+                gap,
+                tok.start
+            );
+            rebuilt.push_str(gap);
+            rebuilt.push_str(tok.text(&src));
+            cursor = tok.end;
+        }
+        let tail = &src[cursor..];
+        prop_assert!(
+            tail.chars().all(char::is_whitespace),
+            "non-whitespace tail {:?}",
+            tail
+        );
+        rebuilt.push_str(tail);
+        prop_assert_eq!(rebuilt, src);
+    }
+}

@@ -24,7 +24,7 @@ use diffpattern::library::LibraryConfig;
 use diffpattern::{PatternService, Pipeline, PipelineConfig, TrainedModel};
 use dp_serve::{serve, ServeConfig, ServeLibrary};
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -47,7 +47,8 @@ serving flags:
 
 endpoints: POST /v1/generate (NDJSON stream), GET /metrics, GET /healthz";
 
-type Options = HashMap<String, Vec<String>>;
+// `BTreeMap` so any diagnostic listing of options is deterministic.
+type Options = BTreeMap<String, Vec<String>>;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -148,6 +148,35 @@ impl Json {
     }
 }
 
+/// Lossless integer constructors: every integer the protocol puts on
+/// the wire widens into the `i128` lane without truncation, so codec
+/// code never needs a bare `as` cast (`truncating-cast-in-codec`).
+macro_rules! json_from_int {
+    ($($ty:ty),*) => {$(
+        impl From<$ty> for Json {
+            fn from(v: $ty) -> Json {
+                Json::Int(i128::from(v))
+            }
+        }
+    )*};
+}
+
+json_from_int!(u8, u16, u32, u64, i8, i16, i32, i64, i128);
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        // `usize` has no `i128: From` impl (16-byte-pointer targets are
+        // theoretical); saturating keeps this total without a panic path.
+        Json::Int(i128::try_from(v).unwrap_or(i128::MAX))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
 /// Serialises the value to compact JSON (no whitespace), the exact
 /// byte sequence the wire tests pin. `to_string()` goes through this.
 impl fmt::Display for Json {
@@ -169,8 +198,8 @@ fn write_string(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }
@@ -233,7 +262,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
+    fn expect_byte(&mut self, b: u8, message: &'static str) -> Result<(), ParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -273,7 +302,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.expect(b'[', "expected `[`")?;
+        self.expect_byte(b'[', "expected `[`")?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -296,7 +325,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.expect(b'{', "expected `{`")?;
+        self.expect_byte(b'{', "expected `{`")?;
         let mut fields: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -314,7 +343,7 @@ impl<'a> Parser<'a> {
                 });
             }
             self.skip_ws();
-            self.expect(b':', "expected `:` after object key")?;
+            self.expect_byte(b':', "expected `:` after object key")?;
             self.skip_ws();
             let value = self.value(depth + 1)?;
             fields.push((key, value));
@@ -331,7 +360,7 @@ impl<'a> Parser<'a> {
     }
 
     fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"', "expected string")?;
+        self.expect_byte(b'"', "expected string")?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -385,9 +414,12 @@ impl<'a> Parser<'a> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
+                    // The input arrived as `&str`, so this cannot fail;
+                    // surfacing it as a parse error keeps the path
+                    // panic-free even if that ever changes.
                     out.push_str(
                         std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("input is valid UTF-8"),
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?,
                     );
                 }
             }
@@ -431,7 +463,8 @@ impl<'a> Parser<'a> {
             }
             self.digits()?;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid bytes in number"))?;
         if !is_float {
             // Integers that overflow i128 (39+ digits) degrade to f64
             // rather than failing — the codec rejects them later with a

@@ -161,25 +161,16 @@ impl ProtoError {
 /// donors included).
 pub fn spec_to_json(spec: &RequestSpec) -> Json {
     let mut fields = vec![
-        ("count".to_string(), Json::Int(spec.count as i128)),
-        (
-            "first_index".to_string(),
-            Json::Int(spec.first_index as i128),
-        ),
-        ("seed".to_string(), Json::Int(spec.seed as i128)),
-        ("priority".to_string(), Json::Int(spec.priority as i128)),
-        (
-            "sample_stride".to_string(),
-            Json::Int(spec.sample_stride as i128),
-        ),
+        ("count".to_string(), Json::from(spec.count)),
+        ("first_index".to_string(), Json::from(spec.first_index)),
+        ("seed".to_string(), Json::from(spec.seed)),
+        ("priority".to_string(), Json::from(spec.priority)),
+        ("sample_stride".to_string(), Json::from(spec.sample_stride)),
         (
             "precision".to_string(),
             Json::Str(spec.precision.name().to_string()),
         ),
-        (
-            "max_attempts".to_string(),
-            Json::Int(spec.max_attempts as i128),
-        ),
+        ("max_attempts".to_string(), Json::from(spec.max_attempts)),
         (
             "repair_bowties".to_string(),
             Json::Bool(spec.repair_bowties),
@@ -194,7 +185,9 @@ pub fn spec_to_json(spec: &RequestSpec) -> Json {
     if let Some(deadline) = spec.deadline {
         fields.push((
             "deadline_ms".to_string(),
-            Json::Int(deadline.as_millis() as i128),
+            // A `Duration`'s millis fit i128 for ~10^25 years; saturate
+            // rather than keep a truncating cast in the codec.
+            Json::Int(i128::try_from(deadline.as_millis()).unwrap_or(i128::MAX)),
         ));
     }
     if !spec.conditioning.is_none() {
@@ -279,14 +272,8 @@ pub fn spec_from_json(v: &Json) -> Result<RequestSpec, ProtoError> {
 
 fn rules_to_json(rules: &DesignRules) -> Json {
     Json::Obj(vec![
-        (
-            "space_min".to_string(),
-            Json::Int(rules.space_min() as i128),
-        ),
-        (
-            "width_min".to_string(),
-            Json::Int(rules.width_min() as i128),
-        ),
+        ("space_min".to_string(), Json::from(rules.space_min())),
+        ("width_min".to_string(), Json::from(rules.width_min())),
         ("area_min".to_string(), Json::Int(rules.area_min())),
         ("area_max".to_string(), Json::Int(rules.area_max())),
         (
@@ -343,22 +330,16 @@ fn rules_from_json(v: &Json) -> Result<DesignRules, ProtoError> {
 
 fn solver_to_json(solver: &SolverConfig) -> Json {
     Json::Obj(vec![
-        (
-            "target_width".to_string(),
-            Json::Int(solver.target_width as i128),
-        ),
+        ("target_width".to_string(), Json::from(solver.target_width)),
         (
             "target_height".to_string(),
-            Json::Int(solver.target_height as i128),
+            Json::from(solver.target_height),
         ),
         (
             "max_iterations".to_string(),
-            Json::Int(solver.max_iterations as i128),
+            Json::from(solver.max_iterations),
         ),
-        (
-            "max_restarts".to_string(),
-            Json::Int(solver.max_restarts as i128),
-        ),
+        ("max_restarts".to_string(), Json::from(solver.max_restarts)),
         ("margin".to_string(), Json::Float(solver.margin)),
     ])
 }
@@ -406,7 +387,7 @@ fn solver_from_json(v: &Json) -> Result<SolverConfig, ProtoError> {
 fn conditioning_to_json(cond: &Conditioning) -> Json {
     let mut fields = Vec::new();
     if let Some(region) = cond.frozen() {
-        fields.push(("freeze_len".to_string(), Json::Int(region.len() as i128)));
+        fields.push(("freeze_len".to_string(), Json::from(region.len())));
         fields.push((
             "freeze_mask".to_string(),
             Json::Str(bools_to_b64(region.mask())),
@@ -561,24 +542,30 @@ fn bools_from_b64(s: &str, len: usize, field: &'static str) -> Result<Vec<bool>,
     Ok((0..len).map(|i| bytes[i / 8] >> (i % 8) & 1 == 1).collect())
 }
 
+/// The base64 alphabet character for the 6-bit group at `shift`.
+fn b64_char(n: u32, shift: u32) -> char {
+    // Masked to 6 bits, so the index is always in-table and the u32 →
+    // usize conversion cannot fail on any supported target.
+    let idx = usize::try_from((n >> shift) & 63).unwrap_or(0);
+    char::from(B64_TABLE[idx])
+}
+
+/// The low 8 bits of a reassembled base64 group.
+fn b64_byte(n: u32, shift: u32) -> u8 {
+    // dp-lint: allow(truncating-cast-in-codec): masked to 8 bits first — truncation is the operation
+    ((n >> shift) & 0xFF) as u8
+}
+
 fn b64_encode(bytes: &[u8]) -> String {
     let mut out = String::with_capacity(bytes.len().div_ceil(3) * 4);
     for chunk in bytes.chunks(3) {
         let n = (u32::from(chunk[0]) << 16)
             | (u32::from(chunk.get(1).copied().unwrap_or(0)) << 8)
             | u32::from(chunk.get(2).copied().unwrap_or(0));
-        out.push(B64_TABLE[(n >> 18) as usize & 63] as char);
-        out.push(B64_TABLE[(n >> 12) as usize & 63] as char);
-        out.push(if chunk.len() > 1 {
-            B64_TABLE[(n >> 6) as usize & 63] as char
-        } else {
-            '='
-        });
-        out.push(if chunk.len() > 2 {
-            B64_TABLE[n as usize & 63] as char
-        } else {
-            '='
-        });
+        out.push(b64_char(n, 18));
+        out.push(b64_char(n, 12));
+        out.push(if chunk.len() > 1 { b64_char(n, 6) } else { '=' });
+        out.push(if chunk.len() > 2 { b64_char(n, 0) } else { '=' });
     }
     out
 }
@@ -617,13 +604,14 @@ fn b64_decode(s: &str) -> Option<Vec<u8>> {
         for &c in &chunk[..4 - pad] {
             n = (n << 6) | b64_value(c)?;
         }
-        n <<= 6 * pad as u32;
-        out.push((n >> 16) as u8);
+        // `pad` is at most 2 (checked above), so the conversion is total.
+        n <<= 6 * u32::try_from(pad).unwrap_or(0);
+        out.push(b64_byte(n, 16));
         if pad < 2 {
-            out.push((n >> 8) as u8);
+            out.push(b64_byte(n, 8));
         }
         if pad < 1 {
-            out.push(n as u8);
+            out.push(b64_byte(n, 0));
         }
         match pad {
             1 if n & 0xFF != 0 => return None,
@@ -656,11 +644,11 @@ pub fn pattern_to_json(pattern: &SquishPattern) -> Json {
         ("topology".to_string(), Json::Arr(rows)),
         (
             "dx".to_string(),
-            Json::Arr(pattern.dx().iter().map(|&d| Json::Int(d as i128)).collect()),
+            Json::Arr(pattern.dx().iter().map(|&d| Json::from(d)).collect()),
         ),
         (
             "dy".to_string(),
-            Json::Arr(pattern.dy().iter().map(|&d| Json::Int(d as i128)).collect()),
+            Json::Arr(pattern.dy().iter().map(|&d| Json::from(d)).collect()),
         ),
     ])
 }
@@ -743,18 +731,15 @@ pub fn item_to_json(generated: &Generated) -> Json {
     let p = &generated.provenance;
     Json::Obj(vec![
         ("type".to_string(), Json::Str("item".to_string())),
-        ("index".to_string(), Json::Int(p.index as i128)),
-        ("seed".to_string(), Json::Int(p.seed as i128)),
-        ("attempts".to_string(), Json::Int(p.attempts as i128)),
+        ("index".to_string(), Json::from(p.index)),
+        ("seed".to_string(), Json::from(p.seed)),
+        ("attempts".to_string(), Json::from(p.attempts)),
         ("repaired".to_string(), Json::Bool(p.repaired)),
         (
             "solve".to_string(),
             Json::Obj(vec![
-                (
-                    "iterations".to_string(),
-                    Json::Int(p.solve.iterations as i128),
-                ),
-                ("restarts".to_string(), Json::Int(p.solve.restarts as i128)),
+                ("iterations".to_string(), Json::from(p.solve.iterations)),
+                ("restarts".to_string(), Json::from(p.solve.restarts)),
             ]),
         ),
         ("pattern".to_string(), pattern_to_json(&generated.pattern)),
@@ -830,33 +815,33 @@ pub fn report_to_json(
 ) -> Json {
     let mut fields = vec![
         ("type".to_string(), Json::Str("report".to_string())),
-        ("requested".to_string(), Json::Int(requested as i128)),
-        ("delivered".to_string(), Json::Int(delivered as i128)),
+        ("requested".to_string(), Json::from(requested)),
+        ("delivered".to_string(), Json::from(delivered)),
         ("deadline_expired".to_string(), Json::Bool(deadline_expired)),
         (
             "report".to_string(),
             Json::Obj(vec![
                 (
                     "topologies_sampled".to_string(),
-                    Json::Int(report.topologies_sampled as i128),
+                    Json::from(report.topologies_sampled),
                 ),
                 (
                     "prefilter_rejected".to_string(),
-                    Json::Int(report.prefilter_rejected as i128),
+                    Json::from(report.prefilter_rejected),
                 ),
                 (
                     "prefilter_repaired".to_string(),
-                    Json::Int(report.prefilter_repaired as i128),
+                    Json::from(report.prefilter_repaired),
                 ),
                 (
                     "solver_failures".to_string(),
-                    Json::Int(report.solver_failures as i128),
+                    Json::from(report.solver_failures),
                 ),
                 (
                     "legal_patterns".to_string(),
-                    Json::Int(report.legal_patterns as i128),
+                    Json::from(report.legal_patterns),
                 ),
-                ("shortfall".to_string(), Json::Int(report.shortfall as i128)),
+                ("shortfall".to_string(), Json::from(report.shortfall)),
             ]),
         ),
     ];
@@ -943,19 +928,23 @@ fn int_in_range(v: &Json, field: &'static str, min: i128, max: i128) -> Result<i
 }
 
 fn usize_field(v: &Json, field: &'static str) -> Result<usize, ProtoError> {
-    Ok(int_in_range(v, field, 0, usize::MAX as i128)? as usize)
+    let i = int_in_range(v, field, 0, i128::try_from(usize::MAX).unwrap_or(i128::MAX))?;
+    usize::try_from(i).map_err(|_| ProtoError::OutOfRange { field })
 }
 
 fn u64_field(v: &Json, field: &'static str) -> Result<u64, ProtoError> {
-    Ok(int_in_range(v, field, 0, u64::MAX as i128)? as u64)
+    let i = int_in_range(v, field, 0, i128::from(u64::MAX))?;
+    u64::try_from(i).map_err(|_| ProtoError::OutOfRange { field })
 }
 
 fn i64_field(v: &Json, field: &'static str) -> Result<i64, ProtoError> {
-    Ok(int_in_range(v, field, i64::MIN as i128, i64::MAX as i128)? as i64)
+    let i = int_in_range(v, field, i128::from(i64::MIN), i128::from(i64::MAX))?;
+    i64::try_from(i).map_err(|_| ProtoError::OutOfRange { field })
 }
 
 fn i32_field(v: &Json, field: &'static str) -> Result<i32, ProtoError> {
-    Ok(int_in_range(v, field, i32::MIN as i128, i32::MAX as i128)? as i32)
+    let i = int_in_range(v, field, i128::from(i32::MIN), i128::from(i32::MAX))?;
+    i32::try_from(i).map_err(|_| ProtoError::OutOfRange { field })
 }
 
 fn bool_field(v: &Json, field: &'static str) -> Result<bool, ProtoError> {
